@@ -1,0 +1,125 @@
+// Experiment E12: revealing baseline vs the paper's hiding LCPs.
+//
+// The comparison the paper's introduction frames: the trivial LCP spends
+// ceil(log k) bits and reveals everything; the paper's constructions pay
+// (sometimes nothing, sometimes a log factor) to hide. Prints a
+// certificate-size and verification-cost table across n, then times
+// verification per scheme.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "certify/degree_one.h"
+#include "certify/even_cycle.h"
+#include "certify/revealing.h"
+#include "certify/shatter.h"
+#include "certify/universal.h"
+#include "certify/watermelon.h"
+#include "graph/generators.h"
+#include "util/check.h"
+
+namespace shlcp {
+namespace {
+
+void print_table() {
+  std::printf("=== E12: certificate sizes, revealing vs hiding ===\n");
+  std::printf("%-12s %-22s %6s %6s %8s %8s\n", "scheme", "instance", "n",
+              "bits", "hiding", "rounds");
+
+  const RevealingLcp revealing(2);
+  const DegreeOneLcp degree_one;
+  const EvenCycleLcp even_cycle;
+  const ShatterLcp shatter;
+  const WatermelonLcp watermelon;
+  const UniversalLcp universal = make_universal_bipartiteness_lcp();
+
+  auto row = [](const Lcp& lcp, const char* name, const char* inst_name,
+                const Graph& g, const char* hiding) {
+    Instance inst = Instance::canonical(g);
+    const auto labels = lcp.prove(g, inst.ports, inst.ids);
+    SHLCP_CHECK(labels.has_value());
+    SHLCP_CHECK(lcp.decoder().accepts_all(inst.with_labels(*labels)));
+    std::printf("%-12s %-22s %6d %6d %8s %8d\n", name, inst_name,
+                g.num_nodes(), labels->max_bits(), hiding,
+                lcp.decoder().radius());
+  };
+
+  for (int n : {16, 64, 256}) {
+    row(revealing, "revealing", "path", make_path(n), "no");
+    row(degree_one, "degree-one", "path", make_path(n), "yes@1node");
+    row(watermelon, "watermelon", "path", make_path(n), "yes");
+    if (n <= 30) {
+      row(universal, "universal", "path", make_path(n), "no");
+    }
+  }
+  for (int n : {16, 64, 256}) {
+    row(revealing, "revealing", "cycle", make_cycle(n), "no");
+    row(even_cycle, "even-cycle", "cycle", make_cycle(n), "everywhere");
+  }
+  {
+    Graph spider(1);
+    for (int i = 0; i < 8; ++i) {
+      Node prev = 0;
+      for (int j = 0; j < 2; ++j) {
+        const Node next = spider.add_node();
+        spider.add_edge(prev, next);
+        prev = next;
+      }
+    }
+    row(revealing, "revealing", "spider-8x2", spider, "no");
+    row(shatter, "shatter", "spider-8x2", spider, "yes");
+  }
+  std::printf("\n");
+}
+
+template <typename MakeLcp, typename MakeGraph>
+void run_verify_bench(benchmark::State& state, MakeLcp make_lcp,
+                      MakeGraph make_graph) {
+  const auto lcp = make_lcp();
+  const Graph g = make_graph(static_cast<int>(state.range(0)));
+  Instance inst = Instance::canonical(g);
+  inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcp.decoder().run(inst));
+  }
+  state.counters["nodes"] = g.num_nodes();
+}
+
+void BM_VerifyRevealing(benchmark::State& state) {
+  run_verify_bench(
+      state, [] { return RevealingLcp(2); },
+      [](int n) { return make_path(n); });
+}
+BENCHMARK(BM_VerifyRevealing)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VerifyDegreeOne(benchmark::State& state) {
+  run_verify_bench(
+      state, [] { return DegreeOneLcp(); },
+      [](int n) { return make_path(n); });
+}
+BENCHMARK(BM_VerifyDegreeOne)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VerifyEvenCycle(benchmark::State& state) {
+  run_verify_bench(
+      state, [] { return EvenCycleLcp(); },
+      [](int n) { return make_cycle(n); });
+}
+BENCHMARK(BM_VerifyEvenCycle)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_VerifyWatermelon(benchmark::State& state) {
+  run_verify_bench(
+      state, [] { return WatermelonLcp(); },
+      [](int n) { return make_path(n); });
+}
+BENCHMARK(BM_VerifyWatermelon)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+}  // namespace shlcp
+
+int main(int argc, char** argv) {
+  shlcp::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Experiment E1 (Fig. 1, Lemma 2.1, the r-forgetful definition).
+//
+// Regenerates, as a table: which standard families are r-forgetful at
+// which r, together with their diameters -- every r-forgetful row must
+// satisfy diam >= 2r + 1 (Lemma 2.1), which the harness asserts. Then
+// times the recognizer itself across sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "util/check.h"
+
+namespace shlcp {
+namespace {
+
+void print_table() {
+  struct Row {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"path-12", make_path(12)});
+  rows.push_back({"cycle-6", make_cycle(6)});
+  rows.push_back({"cycle-9", make_cycle(9)});
+  rows.push_back({"cycle-16", make_cycle(16)});
+  rows.push_back({"grid-5x5", make_grid(5, 5)});
+  rows.push_back({"grid-9x9", make_grid(9, 9)});
+  rows.push_back({"torus-6x6", make_torus(6, 6)});
+  rows.push_back({"hypercube-4", make_hypercube(4)});
+  rows.push_back({"complete-6", make_complete(6)});
+  rows.push_back({"theta-3,3,5", make_theta(3, 3, 5)});
+
+  std::printf("=== E1: r-forgetfulness vs diameter (Lemma 2.1) ===\n");
+  std::printf("%-14s %5s %6s %6s %6s %6s %10s\n", "graph", "n", "diam",
+              "r=1", "r=2", "r=3", "max-r(<=4)");
+  for (const Row& row : rows) {
+    const int diam = diameter(row.g);
+    const bool f1 = is_r_forgetful(row.g, 1);
+    const bool f2 = is_r_forgetful(row.g, 2);
+    const bool f3 = is_r_forgetful(row.g, 3);
+    const int maxr = max_forgetfulness(row.g, 4);
+    // Lemma 2.1 check.
+    for (int r = 1; r <= 4; ++r) {
+      if (r <= maxr) {
+        SHLCP_CHECK_MSG(diam >= 2 * r + 1, "Lemma 2.1 violated");
+      }
+    }
+    std::printf("%-14s %5d %6d %6s %6s %6s %10d\n", row.name,
+                row.g.num_nodes(), diam, f1 ? "yes" : "no",
+                f2 ? "yes" : "no", f3 ? "yes" : "no", maxr);
+  }
+  std::printf("Lemma 2.1 (diam >= 2r+1 for every r-forgetful row): OK\n\n");
+}
+
+void BM_IsForgetfulGrid(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  const Graph g = make_grid(side, side);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_r_forgetful(g, 1));
+  }
+  state.counters["nodes"] = g.num_nodes();
+}
+BENCHMARK(BM_IsForgetfulGrid)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_EscapePath(benchmark::State& state) {
+  const Graph g = make_grid(9, 9);
+  const int r = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forgetful_escape_path(g, 40, 39, r));
+  }
+}
+BENCHMARK(BM_EscapePath)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Diameter(benchmark::State& state) {
+  const Graph g = make_torus(static_cast<int>(state.range(0)),
+                             static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diameter(g));
+  }
+}
+BENCHMARK(BM_Diameter)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+}  // namespace shlcp
+
+int main(int argc, char** argv) {
+  shlcp::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Experiment E11 (Section 6, Lemma 6.2): the Ramsey-based reduction to
+// order-invariance.
+//
+// Regenerates the finite analogue: an identifier-value-sensitive decoder
+// is probed into a type coloring of id tuples, a monochromatic id set B
+// is found by Ramsey search, and the synthesized wrapper decoder is
+// verified order-invariant while agreeing with the original on ids drawn
+// from B. Prints the sizes involved; then times the Ramsey search as the
+// id space grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "lcp/checker.h"
+#include "lower/order_invariant.h"
+#include "ramsey/ramsey.h"
+#include "ramsey/types.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+LambdaDecoder id_sum_parity() {
+  return LambdaDecoder(1, false, "id-sum-parity", [](const View& v) {
+    int sum = 0;
+    for (const Ident id : v.ids) {
+      sum += id;
+    }
+    return sum % 2 == 0;
+  });
+}
+
+void print_replay() {
+  std::printf("=== E11: Lemma 6.2 (Ramsey reduction to order-invariance) "
+              "===\n");
+  const auto decoder = id_sum_parity();
+  const Instance probe_instance = Instance::canonical(make_path(3));
+  TypeOracle oracle(decoder, probes_from_instance(probe_instance, 1));
+  std::printf("decoder: %s (verdict flips with id values); probes: %zu, "
+              "tuple arity s = %d\n",
+              decoder.name().c_str(), oracle.probes().size(),
+              oracle.arity());
+
+  const auto uniform = find_uniform_id_set(oracle, 24, 8, 100);
+  SHLCP_CHECK(uniform.has_value());
+  std::printf("monochromatic id set B of size %zu found in [1, 24]: ",
+              uniform->size());
+  for (const Ident id : *uniform) {
+    std::printf("%d ", id);
+  }
+  std::printf("\n");
+
+  const OrderInvariantWrapper wrapper(decoder, *uniform, 100);
+  Rng rng(5);
+  Instance labeled = probe_instance;
+  SHLCP_CHECK(check_order_invariant(wrapper, labeled, 50, rng).ok);
+  SHLCP_CHECK(!check_order_invariant(decoder, labeled, 50, rng).ok);
+  std::printf("wrapper D' is order-invariant (50 random order-preserving "
+              "remaps); the inner decoder is not\n");
+
+  int agreements = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    std::vector<Ident> pool = *uniform;
+    rng.shuffle(pool);
+    pool.resize(3);
+    Instance inst = probe_instance;
+    inst.ids = IdAssignment::from_vector(pool, 100);
+    bool all_agree = true;
+    for (Node v = 0; v < 3; ++v) {
+      const View view = inst.view_of(v, 1, false);
+      all_agree = all_agree && (wrapper.accept(view) == decoder.accept(view));
+    }
+    agreements += all_agree ? 1 : 0;
+  }
+  std::printf("D' == D on ids drawn inside B: %d/20 random assignments "
+              "agree (Lemma 6.2 equivalence)\n\n",
+              agreements);
+  SHLCP_CHECK(agreements == 20);
+}
+
+void BM_RamseySearch(benchmark::State& state) {
+  const auto decoder = id_sum_parity();
+  const Instance probe_instance = Instance::canonical(make_path(3));
+  TypeOracle oracle(decoder, probes_from_instance(probe_instance, 1));
+  const int space = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(find_uniform_id_set(oracle, space, 6, 200));
+  }
+}
+BENCHMARK(BM_RamseySearch)->Arg(12)->Arg(24)->Arg(48);
+
+void BM_PairColoringSearch(benchmark::State& state) {
+  const auto coloring = [](const std::vector<int>& s) {
+    return (3 * s[0] + 5 * s[1]) % 4;
+  };
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(largest_monochromatic_subset(n, 2, coloring));
+  }
+}
+BENCHMARK(BM_PairColoringSearch)->Arg(10)->Arg(14)->Arg(18);
+
+void BM_TypeEvaluation(benchmark::State& state) {
+  const auto decoder = id_sum_parity();
+  const Instance probe_instance = Instance::canonical(make_path(3));
+  TypeOracle oracle(decoder, probes_from_instance(probe_instance, 1));
+  const std::vector<Ident> tuple{3, 8, 13};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oracle.type_of(tuple, 100));
+  }
+}
+BENCHMARK(BM_TypeEvaluation);
+
+}  // namespace
+}  // namespace shlcp
+
+int main(int argc, char** argv) {
+  shlcp::print_replay();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

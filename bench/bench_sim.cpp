@@ -1,0 +1,108 @@
+// Experiment E13 (Section 2.2 semantics): the LOCAL simulator.
+//
+// Regenerates the equivalence claim -- r rounds of real message passing
+// reconstruct exactly the radius-r views -- with an accounting table of
+// rounds / messages / bytes per family, then times engine rounds and
+// distributed verification.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "certify/even_cycle.h"
+#include "certify/revealing.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+void print_table() {
+  std::printf("=== E13: LOCAL simulator (gather == extract) ===\n");
+  std::printf("%-12s %5s %3s %10s %12s %8s\n", "graph", "n", "r", "messages",
+              "bytes", "views==");
+  Rng rng(1);
+  struct Row {
+    const char* name;
+    Graph g;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"cycle-16", make_cycle(16)});
+  rows.push_back({"grid-5x5", make_grid(5, 5)});
+  rows.push_back({"torus-6x6", make_torus(6, 6)});
+  rows.push_back({"tree-24", make_random_tree(24, rng)});
+  for (Row& row : rows) {
+    for (int r = 1; r <= 3; ++r) {
+      Instance inst;
+      inst.ports = PortAssignment::random(row.g, rng);
+      inst.ids = IdAssignment::random(row.g, 3 * row.g.num_nodes(), rng);
+      Labeling labels(row.g.num_nodes());
+      for (Node v = 0; v < row.g.num_nodes(); ++v) {
+        labels.at(v) = Certificate{{v % 7}, 3};
+      }
+      inst.labels = std::move(labels);
+      inst.g = row.g;
+      SyncEngine engine(inst);
+      engine.run(r);
+      bool all_equal = true;
+      for (Node v = 0; v < inst.num_nodes(); ++v) {
+        all_equal =
+            all_equal && (engine.view_of(v, r) == inst.view_of(v, r, false));
+      }
+      SHLCP_CHECK(all_equal);
+      std::printf("%-12s %5d %3d %10llu %12llu %8s\n", row.name,
+                  row.g.num_nodes(), r,
+                  static_cast<unsigned long long>(engine.stats().messages),
+                  static_cast<unsigned long long>(engine.stats().bytes),
+                  all_equal ? "yes" : "NO");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_EngineRounds(benchmark::State& state) {
+  const Instance inst = Instance::canonical(
+      make_torus(static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(0))));
+  const int rounds = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    SyncEngine engine(inst);
+    engine.run(rounds);
+    benchmark::DoNotOptimize(engine.stats());
+  }
+}
+BENCHMARK(BM_EngineRounds)->Args({4, 1})->Args({4, 3})->Args({8, 1})->Args({8, 3});
+
+void BM_DistributedVerification(benchmark::State& state) {
+  const RevealingLcp lcp(2);
+  const Graph g = make_cycle(static_cast<int>(state.range(0)));
+  Instance inst = Instance::canonical(g);
+  inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_decoder_distributed(lcp.decoder(), inst));
+  }
+}
+BENCHMARK(BM_DistributedVerification)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DirectVerification(benchmark::State& state) {
+  const RevealingLcp lcp(2);
+  const Graph g = make_cycle(static_cast<int>(state.range(0)));
+  Instance inst = Instance::canonical(g);
+  inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcp.decoder().run(inst));
+  }
+}
+BENCHMARK(BM_DirectVerification)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace shlcp
+
+int main(int argc, char** argv) {
+  shlcp::print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

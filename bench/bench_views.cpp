@@ -1,0 +1,114 @@
+// Experiment E2 (Fig. 2, Section 2.2/3 definitions).
+//
+// Replays the Fig. 2 semantics -- the edge between two distance-r nodes
+// is invisible -- on a concrete instance and prints the visible-edge
+// accounting, then times view extraction and canonical encoding across
+// graph families and radii.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "lcp/instance.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "views/canonical.h"
+#include "views/extract.h"
+
+namespace shlcp {
+namespace {
+
+void print_fig2_replay() {
+  std::printf("=== E2: view visibility rule (Fig. 2) ===\n");
+  // C5 at radius 2 from node 0: nodes 2 and 3 are both at distance 2;
+  // their edge must be invisible.
+  const Instance inst = Instance::canonical(make_cycle(5));
+  const View v = inst.view_of(0, 2, false);
+  std::printf("C5, center 0, r=2: view nodes=%d, visible edges=%d "
+              "(graph has 5); the {2,3} edge is hidden\n",
+              v.num_nodes(), v.g.num_edges());
+  SHLCP_CHECK(v.g.num_edges() == 4);
+
+  const Instance grid = Instance::canonical(make_grid(5, 5));
+  for (int r = 1; r <= 3; ++r) {
+    const View w = grid.view_of(12, r, false);
+    std::printf("grid-5x5, center 12, r=%d: nodes=%d edges=%d\n", r,
+                w.num_nodes(), w.g.num_edges());
+  }
+  std::printf("\n");
+}
+
+Instance make_labeled(Graph g, Rng& rng) {
+  Instance inst;
+  inst.ports = PortAssignment::random(g, rng);
+  inst.ids = IdAssignment::random(g, 2 * g.num_nodes(), rng);
+  Labeling labels(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    labels.at(v) = Certificate{{rng.next_int(0, 3)}, 2};
+  }
+  inst.labels = std::move(labels);
+  inst.g = std::move(g);
+  return inst;
+}
+
+void BM_ExtractView(benchmark::State& state) {
+  Rng rng(1);
+  const int side = static_cast<int>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  const Instance inst = make_labeled(make_grid(side, side), rng);
+  const Node center = (side * side) / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.view_of(center, r, false));
+  }
+  state.counters["view_nodes"] =
+      static_cast<double>(inst.view_of(center, r, false).num_nodes());
+}
+BENCHMARK(BM_ExtractView)
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({9, 2})
+    ->Args({9, 3})
+    ->Args({15, 3});
+
+void BM_ExtractAllViews(benchmark::State& state) {
+  Rng rng(2);
+  const Instance inst =
+      make_labeled(make_cycle(static_cast<int>(state.range(0))), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.all_views(1, false));
+  }
+}
+BENCHMARK(BM_ExtractAllViews)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CanonicalKey(benchmark::State& state) {
+  Rng rng(3);
+  const int side = static_cast<int>(state.range(0));
+  const Instance inst = make_labeled(make_grid(side, side), rng);
+  const View v = inst.view_of((side * side) / 2, 2, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(canonical_key(v));
+  }
+}
+BENCHMARK(BM_CanonicalKey)->Arg(5)->Arg(9)->Arg(15);
+
+void BM_ViewEquality(benchmark::State& state) {
+  Rng rng(4);
+  const Instance inst = make_labeled(make_torus(6, 6), rng);
+  const View a = inst.view_of(14, 2, false);
+  const View b = inst.view_of(14, 2, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a == b);
+  }
+}
+BENCHMARK(BM_ViewEquality);
+
+}  // namespace
+}  // namespace shlcp
+
+int main(int argc, char** argv) {
+  shlcp::print_fig2_replay();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Distributed run: the LCP verifier as an actual message-passing system.
+//
+// Executes the even-cycle LCP on C16 through the synchronous LOCAL engine:
+// round-1 announcements, full-information forwarding, per-node view
+// reconstruction, local verdicts -- with message/byte accounting, and a
+// cross-check against the direct view-extraction semantics.
+
+#include <cstdio>
+
+#include "certify/even_cycle.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+
+using namespace shlcp;
+
+int main() {
+  const Graph g = make_cycle(16);
+  const EvenCycleLcp lcp;
+  Instance inst = Instance::canonical(g);
+  inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+
+  std::printf("running the even-cycle verifier on C16 as %d round(s) of "
+              "message passing...\n",
+              lcp.decoder().radius());
+  SimStats stats;
+  const auto verdicts = run_decoder_distributed(lcp.decoder(), inst, &stats);
+  int accepted = 0;
+  for (const bool b : verdicts) {
+    accepted += b ? 1 : 0;
+  }
+  std::printf("verdicts: %d/%d accept\n", accepted, g.num_nodes());
+  std::printf("traffic: %llu messages, %llu bytes in %d round(s)\n",
+              static_cast<unsigned long long>(stats.messages),
+              static_cast<unsigned long long>(stats.bytes), stats.rounds);
+
+  std::printf("cross-check vs direct view extraction: %s\n",
+              verdicts == lcp.decoder().run(inst) ? "identical" : "MISMATCH");
+
+  // Deeper gathering: radius-3 knowledge of node 0.
+  SyncEngine engine(inst);
+  engine.run(3);
+  const View v = engine.view_of(0, 3);
+  std::printf("\nafter 3 rounds node 0 knows %d nodes and %d edges "
+              "(radius-3 view)\n",
+              v.num_nodes(), v.g.num_edges());
+  std::printf("engine totals: %llu messages, %llu bytes\n",
+              static_cast<unsigned long long>(engine.stats().messages),
+              static_cast<unsigned long long>(engine.stats().bytes));
+  return 0;
+}

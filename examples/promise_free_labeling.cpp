@@ -1,0 +1,71 @@
+// Promise-free labeling: the paper's motivating application (Section 1).
+//
+// The paper wants LCL problems of the form "3-color the part of the graph
+// where a 2-colorability certificate is valid" to be well-defined on
+// ARBITRARY input graphs -- that is exactly what strong soundness buys:
+// whatever graph and whatever certificates an adversary supplies, the
+// accepting region induces a 2-colorable subgraph, so a 3-coloring (in
+// fact a 2-coloring) of that region always exists and an online algorithm
+// can produce it.
+//
+// This example plays the adversary: random graphs (bipartite or not),
+// random certificates from the degree-one LCP's alphabet, and after each
+// trial 3-colors the accepting region -- which must never fail.
+
+#include <cstdio>
+
+#include "certify/degree_one.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+using namespace shlcp;
+
+int main() {
+  const DegreeOneLcp lcp;
+  Rng rng(0xFEEDFACE);
+  int trials = 0;
+  int nonempty_regions = 0;
+  int max_region = 0;
+
+  for (int rep = 0; rep < 300; ++rep) {
+    const int n = rng.next_int(4, 12);
+    const Graph g = make_random_graph(n, 1, 3, rng);
+    Instance inst = Instance::canonical(g);
+    // Adversarial certificates.
+    Labeling labels(n);
+    for (Node v = 0; v < n; ++v) {
+      const auto space = lcp.certificate_space(g, inst.ids, v);
+      labels.at(v) = space[rng.next_below(space.size())];
+    }
+    inst.labels = std::move(labels);
+
+    const auto accepting = lcp.decoder().accepting_set(inst);
+    const Graph region = g.induced_subgraph(accepting);
+    // Strong soundness in action: the region must be 2-colorable, hence
+    // 3-colorable; the "online LOCAL" step is trivial from there.
+    const auto coloring = k_coloring(region, 3);
+    if (!coloring.has_value()) {
+      std::printf("IMPOSSIBLE: accepting region not 3-colorable -- strong "
+                  "soundness would be broken\n");
+      return 1;
+    }
+    ++trials;
+    if (!accepting.empty()) {
+      ++nonempty_regions;
+      max_region = std::max(max_region, static_cast<int>(accepting.size()));
+    }
+  }
+  std::printf("%d adversarial trials: every accepting region was "
+              "3-colorable (strong soundness)\n",
+              trials);
+  std::printf("%d trials had non-empty accepting regions (largest: %d "
+              "nodes)\n",
+              nonempty_regions, max_region);
+  std::printf("\nThis is the promise-free behavior the paper's Section 1 "
+              "needs: the labeling task\n\"3-color wherever the "
+              "certificate validates\" is solvable on EVERY input graph,\n"
+              "no matter what the adversary writes into the "
+              "certificates.\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "certify/codec.h"
+
+#include "certify/degree_one.h"
+#include "certify/even_cycle.h"
+#include "certify/revealing.h"
+#include "certify/shatter.h"
+#include "certify/spanning_bfs.h"
+#include "certify/watermelon.h"
+#include "util/bitstream.h"
+
+namespace shlcp {
+
+namespace {
+
+EncodedCertificate finish(const BitWriter& w) {
+  return EncodedCertificate{w.bytes(), w.size_bits()};
+}
+
+}  // namespace
+
+EncodedCertificate encode_degree_one(const Certificate& c) {
+  SHLCP_CHECK(c.fields.size() == 1 && 0 <= c.fields[0] && c.fields[0] <= 3);
+  BitWriter w;
+  w.write(static_cast<std::uint32_t>(c.fields[0]), 2);
+  return finish(w);
+}
+
+Certificate decode_degree_one(const EncodedCertificate& e) {
+  BitReader r(e.bytes, e.bits);
+  const int symbol = static_cast<int>(r.read(2));
+  SHLCP_CHECK(r.remaining() == 0);
+  return make_degree_one_certificate(static_cast<DegreeOneSymbol>(symbol));
+}
+
+EncodedCertificate encode_even_cycle(const Certificate& c) {
+  // Layout: fa-1 (1), ca (1), fb-1 (1), cb (1). The own ports are fixed
+  // by the canonical entry order and cost nothing.
+  SHLCP_CHECK(c.fields.size() == 6 && c.fields[0] == 1 && c.fields[3] == 2);
+  BitWriter w;
+  w.write(static_cast<std::uint32_t>(c.fields[1] - 1), 1);
+  w.write(static_cast<std::uint32_t>(c.fields[2]), 1);
+  w.write(static_cast<std::uint32_t>(c.fields[4] - 1), 1);
+  w.write(static_cast<std::uint32_t>(c.fields[5]), 1);
+  return finish(w);
+}
+
+Certificate decode_even_cycle(const EncodedCertificate& e) {
+  BitReader r(e.bytes, e.bits);
+  const Port fa = static_cast<Port>(r.read(1)) + 1;
+  const int ca = static_cast<int>(r.read(1));
+  const Port fb = static_cast<Port>(r.read(1)) + 1;
+  const int cb = static_cast<int>(r.read(1));
+  SHLCP_CHECK(r.remaining() == 0);
+  return make_even_cycle_certificate(fa, ca, fb, cb);
+}
+
+EncodedCertificate encode_revealing(const Certificate& c, int k) {
+  SHLCP_CHECK(c.fields.size() == 1 && 0 <= c.fields[0] && c.fields[0] < k);
+  BitWriter w;
+  w.write(static_cast<std::uint32_t>(c.fields[0]), bit_width_for(k - 1));
+  return finish(w);
+}
+
+Certificate decode_revealing(const EncodedCertificate& e, int k) {
+  BitReader r(e.bytes, e.bits);
+  const int color = static_cast<int>(r.read(bit_width_for(k - 1)));
+  SHLCP_CHECK(r.remaining() == 0);
+  return make_color_certificate(color, k);
+}
+
+EncodedCertificate encode_spanning_bfs(const Certificate& c,
+                                       const CodecParams& p) {
+  SHLCP_CHECK(c.fields.size() == 2);
+  BitWriter w;
+  w.write(static_cast<std::uint32_t>(c.fields[0]), bit_width_for(p.id_bound));
+  w.write(static_cast<std::uint32_t>(c.fields[1]), bit_width_for(p.n));
+  return finish(w);
+}
+
+Certificate decode_spanning_bfs(const EncodedCertificate& e,
+                                const CodecParams& p) {
+  BitReader r(e.bytes, e.bits);
+  const Ident root = static_cast<Ident>(r.read(bit_width_for(p.id_bound)));
+  const int dist = static_cast<int>(r.read(bit_width_for(p.n)));
+  SHLCP_CHECK(r.remaining() == 0);
+  return make_spanning_bfs_certificate(root, dist, p.id_bound, p.n);
+}
+
+EncodedCertificate encode_shatter(const Certificate& c, const CodecParams& p) {
+  // Vector-on-point layout. type (2 bits), id (log N), then:
+  //   type 0: k (log n) + k color bits
+  //   type 1: nothing else
+  //   type 2: component (log n) + color (1)
+  const auto& f = c.fields;
+  SHLCP_CHECK(f.size() >= 2);
+  BitWriter w;
+  w.write(static_cast<std::uint32_t>(f[0]), 2);
+  w.write(static_cast<std::uint32_t>(f[1]), bit_width_for(p.id_bound));
+  if (f[0] == 0) {
+    const int k = f[2];
+    w.write(static_cast<std::uint32_t>(k), bit_width_for(p.component_bound));
+    for (int i = 0; i < k; ++i) {
+      w.write(static_cast<std::uint32_t>(f[static_cast<std::size_t>(3 + i)]), 1);
+    }
+  } else if (f[0] == 2) {
+    w.write(static_cast<std::uint32_t>(f[2]), bit_width_for(p.component_bound));
+    w.write(static_cast<std::uint32_t>(f[3]), 1);
+  }
+  return finish(w);
+}
+
+Certificate decode_shatter(const EncodedCertificate& e, const CodecParams& p) {
+  BitReader r(e.bytes, e.bits);
+  const int type = static_cast<int>(r.read(2));
+  const Ident id = static_cast<Ident>(r.read(bit_width_for(p.id_bound)));
+  if (type == 0) {
+    const int k = static_cast<int>(r.read(bit_width_for(p.component_bound)));
+    std::vector<int> colors;
+    for (int i = 0; i < k; ++i) {
+      colors.push_back(static_cast<int>(r.read(1)));
+    }
+    SHLCP_CHECK(r.remaining() == 0);
+    return make_shatter_type0(id, colors, p.id_bound);
+  }
+  if (type == 1) {
+    SHLCP_CHECK(r.remaining() == 0);
+    return make_shatter_type1(id, {}, p.id_bound);
+  }
+  SHLCP_CHECK(type == 2);
+  const int comp = static_cast<int>(r.read(bit_width_for(p.component_bound)));
+  const int color = static_cast<int>(r.read(1));
+  SHLCP_CHECK(r.remaining() == 0);
+  return make_shatter_type2(id, comp, color, p.id_bound, p.component_bound);
+}
+
+EncodedCertificate encode_watermelon(const Certificate& c,
+                                     const CodecParams& p) {
+  const auto& f = c.fields;
+  SHLCP_CHECK(f.size() >= 3);
+  BitWriter w;
+  w.write(static_cast<std::uint32_t>(f[0] - 1), 1);  // type in {1, 2}
+  w.write(static_cast<std::uint32_t>(f[1]), bit_width_for(p.id_bound));
+  w.write(static_cast<std::uint32_t>(f[2]), bit_width_for(p.id_bound));
+  if (f[0] == 2) {
+    SHLCP_CHECK(f.size() == 8);
+    w.write(static_cast<std::uint32_t>(f[3]), bit_width_for(p.n));
+    w.write(static_cast<std::uint32_t>(f[4]), bit_width_for(p.max_degree));
+    w.write(static_cast<std::uint32_t>(f[5]), 1);
+    w.write(static_cast<std::uint32_t>(f[6]), bit_width_for(p.max_degree));
+    w.write(static_cast<std::uint32_t>(f[7]), 1);
+  }
+  return finish(w);
+}
+
+Certificate decode_watermelon(const EncodedCertificate& e,
+                              const CodecParams& p) {
+  BitReader r(e.bytes, e.bits);
+  const int type = static_cast<int>(r.read(1)) + 1;
+  const Ident id1 = static_cast<Ident>(r.read(bit_width_for(p.id_bound)));
+  const Ident id2 = static_cast<Ident>(r.read(bit_width_for(p.id_bound)));
+  if (type == 1) {
+    SHLCP_CHECK(r.remaining() == 0);
+    return make_watermelon_type1(id1, id2, p.id_bound);
+  }
+  const int num = static_cast<int>(r.read(bit_width_for(p.n)));
+  const Port p1 = static_cast<Port>(r.read(bit_width_for(p.max_degree)));
+  const int c1 = static_cast<int>(r.read(1));
+  const Port p2 = static_cast<Port>(r.read(bit_width_for(p.max_degree)));
+  const int c2 = static_cast<int>(r.read(1));
+  SHLCP_CHECK(r.remaining() == 0);
+  return make_watermelon_type2(id1, id2, num, p1, c1, p2, c2, p.id_bound,
+                               p.max_degree);
+}
+
+}  // namespace shlcp

@@ -1,0 +1,147 @@
+#include "certify/degree_one.h"
+
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+
+namespace shlcp {
+
+namespace {
+
+/// Decodes a certificate into a symbol; nullopt when malformed.
+std::optional<DegreeOneSymbol> symbol_of(const Certificate& c) {
+  if (c.fields.size() != 1 || c.fields[0] < 0 || c.fields[0] > 3) {
+    return std::nullopt;
+  }
+  return static_cast<DegreeOneSymbol>(c.fields[0]);
+}
+
+bool is_color(DegreeOneSymbol s) {
+  return s == DegreeOneSymbol::kColor0 || s == DegreeOneSymbol::kColor1;
+}
+
+}  // namespace
+
+Certificate make_degree_one_certificate(DegreeOneSymbol s) {
+  return Certificate{{static_cast<int>(s)}, 2};
+}
+
+bool DegreeOneDecoder::accept(const View& view) const {
+  const auto own = symbol_of(view.center_label());
+  if (!own.has_value()) {
+    return false;
+  }
+  const auto nb = view.g.neighbors(view.center);
+  // Decode all neighbor symbols up front; any malformed one rejects.
+  std::vector<DegreeOneSymbol> sym;
+  sym.reserve(nb.size());
+  for (const Node w : nb) {
+    const auto s = symbol_of(view.labels[static_cast<std::size_t>(w)]);
+    if (!s.has_value()) {
+      return false;
+    }
+    sym.push_back(*s);
+  }
+
+  switch (*own) {
+    case DegreeOneSymbol::kBot:
+      // Rule 1: degree 1 and the unique neighbor is TOP.
+      return sym.size() == 1 && sym[0] == DegreeOneSymbol::kTop;
+
+    case DegreeOneSymbol::kTop: {
+      // Rule 2: a unique BOT neighbor; all the others share one color
+      // (the kNoCommonBeta ablation drops the sharing requirement and
+      // loses strong soundness -- see the header).
+      int bots = 0;
+      int color = -1;
+      bool colors_agree = true;
+      for (const DegreeOneSymbol s : sym) {
+        if (s == DegreeOneSymbol::kBot) {
+          ++bots;
+        } else if (is_color(s)) {
+          const int c = static_cast<int>(s);
+          if (color == -1) {
+            color = c;
+          } else if (color != c) {
+            colors_agree = false;
+          }
+        } else {
+          return false;  // a TOP neighbor of TOP is never acceptable
+        }
+      }
+      if (variant_ == DegreeOneVariant::kNoCommonBeta) {
+        colors_agree = true;
+      }
+      return bots == 1 && colors_agree;
+    }
+
+    case DegreeOneSymbol::kColor0:
+    case DegreeOneSymbol::kColor1: {
+      // Rule 3: at most one TOP neighbor; every other neighbor carries the
+      // opposite color.
+      const int own_color = static_cast<int>(*own);
+      int tops = 0;
+      for (const DegreeOneSymbol s : sym) {
+        if (s == DegreeOneSymbol::kTop) {
+          ++tops;
+          continue;
+        }
+        if (!is_color(s) || static_cast<int>(s) == own_color) {
+          return false;
+        }
+      }
+      return tops <= 1;
+    }
+  }
+  return false;  // unreachable
+}
+
+std::optional<Labeling> DegreeOneLcp::prove(const Graph& g,
+                                            const PortAssignment& /*ports*/,
+                                            const IdAssignment& /*ids*/) const {
+  if (!in_promise(g)) {
+    return std::nullopt;
+  }
+  const auto res = check_bipartite(g);
+  SHLCP_CHECK(res.bipartite());
+  // Lowest-index degree-1 node is hidden.
+  Node hidden = -1;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) == 1) {
+      hidden = v;
+      break;
+    }
+  }
+  SHLCP_CHECK(hidden != -1);
+  const Node anchor = g.neighbors(hidden)[0];
+
+  Labeling labels(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (v == hidden) {
+      labels.at(v) = make_degree_one_certificate(DegreeOneSymbol::kBot);
+    } else if (v == anchor) {
+      labels.at(v) = make_degree_one_certificate(DegreeOneSymbol::kTop);
+    } else {
+      labels.at(v) = make_degree_one_certificate(
+          res.coloring[static_cast<std::size_t>(v)] == 0
+              ? DegreeOneSymbol::kColor0
+              : DegreeOneSymbol::kColor1);
+    }
+  }
+  return labels;
+}
+
+bool DegreeOneLcp::in_promise(const Graph& g) const {
+  return g.num_nodes() >= 2 && has_min_degree_one(g) && is_bipartite(g);
+}
+
+std::vector<Certificate> DegreeOneLcp::certificate_space(
+    const Graph& /*g*/, const IdAssignment& /*ids*/, Node /*v*/) const {
+  return {
+      make_degree_one_certificate(DegreeOneSymbol::kColor0),
+      make_degree_one_certificate(DegreeOneSymbol::kColor1),
+      make_degree_one_certificate(DegreeOneSymbol::kBot),
+      make_degree_one_certificate(DegreeOneSymbol::kTop),
+  };
+}
+
+}  // namespace shlcp

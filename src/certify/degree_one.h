@@ -1,0 +1,95 @@
+// The degree-one strong and hiding LCP (Lemma 4.1 of the paper).
+//
+// Promise class H1: bipartite graphs with minimum degree 1. The honest
+// prover hides the 2-coloring at a single degree-1 node: that node gets
+// the symbol BOT, its unique neighbor gets TOP, and every other node gets
+// its color in a proper 2-coloring of G. The decoder rules are exactly
+// those of the paper's proof:
+//
+//   BOT accepts iff it has degree 1 and its neighbor is TOP.
+//   TOP accepts iff exactly one neighbor is BOT and all remaining
+//       neighbors carry one common color beta in {0, 1}.
+//   A colored node accepts iff at most one neighbor is TOP and every
+//       other neighbor carries the opposite color.
+//
+// Strong soundness hinges on the "common beta" requirement at TOP: an odd
+// cycle of accepting nodes would need an odd number of color flips around
+// it, but colored-colored edges flip and TOP nodes preserve (both cycle
+// neighbors share beta), forcing an even count. Hiding follows from the
+// odd 5-cycle in V(D, 4) built from the two instances of Fig. 3 (see
+// nbhd/witness.h, which replays the figure).
+
+#pragma once
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Certificate symbols of the degree-one LCP, stored as fields[0].
+enum class DegreeOneSymbol : int {
+  kColor0 = 0,
+  kColor1 = 1,
+  kBot = 2,  // the hidden degree-1 node (paper's "bottom")
+  kTop = 3,  // its unique neighbor (paper's "top")
+};
+
+/// Builds a degree-one certificate (2 bits).
+Certificate make_degree_one_certificate(DegreeOneSymbol s);
+
+/// Ablation switch: kNoCommonBeta drops the requirement that TOP's
+/// colored neighbors share one color. The flip-parity argument in the
+/// file comment then fails, and indeed the exhaustive checker finds a
+/// concrete violation (an accepted odd cycle through a TOP node whose
+/// two cycle neighbors carry different colors) -- see
+/// tests/certify_degree_one_test.cpp, NoCommonBetaAblation. This pins the
+/// load-bearing role of the "= beta" in the paper's rule 2(b).
+enum class DegreeOneVariant {
+  kStandard,
+  kNoCommonBeta,
+};
+
+/// Decoder of Lemma 4.1: anonymous, one round, constant-size certificates.
+class DegreeOneDecoder final : public Decoder {
+ public:
+  explicit DegreeOneDecoder(
+      DegreeOneVariant variant = DegreeOneVariant::kStandard)
+      : variant_(variant) {}
+
+  [[nodiscard]] int radius() const override { return 1; }
+  [[nodiscard]] bool anonymous() const override { return true; }
+  [[nodiscard]] std::string name() const override {
+    return variant_ == DegreeOneVariant::kStandard ? "degree-one"
+                                                   : "degree-one-no-beta";
+  }
+  [[nodiscard]] bool accept(const View& view) const override;
+
+ private:
+  DegreeOneVariant variant_;
+};
+
+/// The full LCP bundle for Lemma 4.1.
+class DegreeOneLcp final : public Lcp {
+ public:
+  explicit DegreeOneLcp(DegreeOneVariant variant = DegreeOneVariant::kStandard)
+      : decoder_(variant) {}
+
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+
+  /// Hides the coloring at the lowest-index degree-1 node. Declines
+  /// non-bipartite graphs and graphs with minimum degree != 1.
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+
+  /// The full alphabet {0, 1, BOT, TOP}: exhaustive sweeps over it are
+  /// exact (there is no other certificate content the decoder inspects).
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+ private:
+  DegreeOneDecoder decoder_;
+};
+
+}  // namespace shlcp

@@ -1,0 +1,148 @@
+#include "certify/even_cycle.h"
+
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+
+namespace shlcp {
+
+namespace {
+
+/// Parsed form of a well-formed even-cycle certificate: entry[p-1] is the
+/// (far port, color) claimed for the edge at own port p.
+struct ParsedCert {
+  Port far[2] = {0, 0};
+  int color[2] = {-1, -1};
+};
+
+std::optional<ParsedCert> parse(const Certificate& c) {
+  if (c.fields.size() != 6) {
+    return std::nullopt;
+  }
+  const auto& f = c.fields;
+  if (f[0] != 1 || f[3] != 2) {
+    return std::nullopt;  // canonical entry order: own ports 1 then 2
+  }
+  auto port_ok = [](int p) { return p == 1 || p == 2; };
+  auto color_ok = [](int c2) { return c2 == 0 || c2 == 1; };
+  if (!port_ok(f[1]) || !color_ok(f[2]) || !port_ok(f[4]) || !color_ok(f[5])) {
+    return std::nullopt;
+  }
+  ParsedCert out;
+  out.far[0] = f[1];
+  out.color[0] = f[2];
+  out.far[1] = f[4];
+  out.color[1] = f[5];
+  return out;
+}
+
+}  // namespace
+
+Certificate make_even_cycle_certificate(Port far_a, int col_a, Port far_b,
+                                        int col_b) {
+  SHLCP_CHECK((far_a == 1 || far_a == 2) && (far_b == 1 || far_b == 2));
+  SHLCP_CHECK((col_a == 0 || col_a == 1) && (col_b == 0 || col_b == 1));
+  return Certificate{{1, far_a, col_a, 2, far_b, col_b}, 6};
+}
+
+bool EvenCycleDecoder::accept(const View& view) const {
+  const auto own = parse(view.center_label());
+  if (!own.has_value()) {
+    return false;
+  }
+  if (own->color[0] == own->color[1]) {
+    return false;  // the two incident edges must get distinct colors
+  }
+  if (view.center_degree() != 2) {
+    return false;
+  }
+  for (const Node w : view.g.neighbors(view.center)) {
+    const Port p = view.port(view.center, w);  // own port on the edge
+    const Port q = view.port(w, view.center);  // far port on the edge
+    if (p < 1 || p > 2 || q < 1 || q > 2) {
+      return false;
+    }
+    // Own entry for this edge must name the actual far port.
+    if (own->far[static_cast<std::size_t>(p - 1)] != q) {
+      return false;
+    }
+    // The neighbor's certificate must describe the shared edge identically
+    // (entry indexed by the neighbor's own port q).
+    const auto theirs = parse(view.labels[static_cast<std::size_t>(w)]);
+    if (!theirs.has_value()) {
+      return false;
+    }
+    if (theirs->far[static_cast<std::size_t>(q - 1)] != p ||
+        theirs->color[static_cast<std::size_t>(q - 1)] !=
+            own->color[static_cast<std::size_t>(p - 1)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Labeling> EvenCycleLcp::prove(const Graph& g,
+                                            const PortAssignment& ports,
+                                            const IdAssignment& /*ids*/) const {
+  if (!in_promise(g)) {
+    return std::nullopt;
+  }
+  // Walk the cycle from node 0, 2-edge-coloring alternately. Even length
+  // makes the coloring close up properly.
+  const int n = g.num_nodes();
+  std::vector<int> edge_color(static_cast<std::size_t>(n), -1);
+  // edge_color[i] is the color of the edge (walk[i], walk[i+1]).
+  std::vector<Node> walk{0};
+  Node prev = -1;
+  Node cur = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto nb = g.neighbors(cur);
+    const Node next = (nb[0] == prev) ? nb[1] : nb[0];
+    edge_color[static_cast<std::size_t>(i)] = i % 2;
+    walk.push_back(next);
+    prev = cur;
+    cur = next;
+  }
+  SHLCP_CHECK(walk.back() == 0);
+
+  // Color lookup per undirected edge.
+  auto color_of_edge = [&](Node a, Node b) {
+    for (int i = 0; i < n; ++i) {
+      const Node x = walk[static_cast<std::size_t>(i)];
+      const Node y = walk[static_cast<std::size_t>(i + 1)];
+      if ((x == a && y == b) || (x == b && y == a)) {
+        return edge_color[static_cast<std::size_t>(i)];
+      }
+    }
+    SHLCP_CHECK_MSG(false, "edge not on the cycle walk");
+    return -1;
+  };
+
+  Labeling labels(n);
+  for (Node v = 0; v < n; ++v) {
+    const Node w1 = ports.neighbor_at(g, v, 1);
+    const Node w2 = ports.neighbor_at(g, v, 2);
+    labels.at(v) = make_even_cycle_certificate(
+        ports.port(g, w1, v), color_of_edge(v, w1), ports.port(g, w2, v),
+        color_of_edge(v, w2));
+  }
+  return labels;
+}
+
+bool EvenCycleLcp::in_promise(const Graph& g) const { return is_even_cycle(g); }
+
+std::vector<Certificate> EvenCycleLcp::certificate_space(
+    const Graph& /*g*/, const IdAssignment& /*ids*/, Node /*v*/) const {
+  std::vector<Certificate> space;
+  for (Port fa = 1; fa <= 2; ++fa) {
+    for (int ca = 0; ca <= 1; ++ca) {
+      for (Port fb = 1; fb <= 2; ++fb) {
+        for (int cb = 0; cb <= 1; ++cb) {
+          space.push_back(make_even_cycle_certificate(fa, ca, fb, cb));
+        }
+      }
+    }
+  }
+  return space;
+}
+
+}  // namespace shlcp

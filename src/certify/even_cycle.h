@@ -1,0 +1,77 @@
+// The even-cycle strong and hiding LCP (Lemma 4.2 of the paper).
+//
+// Promise class H2: even cycles. The honest prover reveals a proper
+// 2-EDGE-coloring instead of the 2-(node-)coloring: an even cycle is
+// 2-colorable iff it is 2-edge-colorable, and the edge coloring hides the
+// node coloring *at every node* (there is no local way to break the
+// symmetry between the two node colorings consistent with the edges).
+//
+// A certificate at v names v's two incident edges by their port pairs
+// (prt(v, e), prt(u, e)) and gives each a color, with the two colors
+// distinct:
+//
+//   fields = [pA_self, pA_far, cA, pB_self, pB_far, cB]
+//
+// ordered so that pA_self = 1 and pB_self = 2 (canonical entry order; any
+// other own-port combination is malformed). The decoder at v checks:
+//   - the format above, with cA != cB;
+//   - deg(v) = 2;
+//   - for each incident edge, the entry at v's own port matches the
+//     actual port pair of that edge;
+//   - the neighbor's certificate describes the shared edge with the same
+//     color (entry indexed by the neighbor's own port on the edge).
+//
+// Strong soundness: accepted nodes have degree exactly 2 in the host
+// graph, so an odd cycle of accepting nodes would be an odd cycle
+// component carrying a proper 2-edge-coloring -- impossible. Hiding: the
+// odd cycle in V(D, 6) from the two instances of Fig. 5 (replayed by
+// nbhd/witness.h).
+
+#pragma once
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Builds an even-cycle certificate. `far_a`/`far_b` are the far-end ports
+/// of the edges at own ports 1 and 2; `col_a`/`col_b` their colors.
+/// Encoded size: 6 bits (each field is one bit: ports in {1,2} and colors
+/// in {0,1}).
+Certificate make_even_cycle_certificate(Port far_a, int col_a, Port far_b,
+                                        int col_b);
+
+/// Decoder of Lemma 4.2: anonymous, one round, constant-size certificates.
+class EvenCycleDecoder final : public Decoder {
+ public:
+  [[nodiscard]] int radius() const override { return 1; }
+  [[nodiscard]] bool anonymous() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "even-cycle"; }
+  [[nodiscard]] bool accept(const View& view) const override;
+};
+
+/// The full LCP bundle for Lemma 4.2.
+class EvenCycleLcp final : public Lcp {
+ public:
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+
+  /// Reveals a 2-edge-coloring. Declines anything that is not an even
+  /// cycle.
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+
+  /// All 16 well-formed certificates (far ports in {1,2}^2, colors in
+  /// {0,1}^2, including the owner-rejecting ones with equal colors, since
+  /// those still influence neighbors' verdicts). Malformed certificates
+  /// are behaviorally equivalent to a well-formed one that fails the
+  /// neighbor containment check, so omitting them keeps the sweep exact.
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+ private:
+  EvenCycleDecoder decoder_;
+};
+
+}  // namespace shlcp

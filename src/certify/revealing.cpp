@@ -1,0 +1,88 @@
+#include "certify/revealing.h"
+
+#include "graph/algorithms.h"
+#include "util/format.h"
+
+namespace shlcp {
+
+namespace {
+
+/// Extracts the color field of a revealing certificate, or -1 when the
+/// format is invalid.
+int color_of(const Certificate& c, int k) {
+  if (c.fields.size() != 1) {
+    return -1;
+  }
+  const int color = c.fields[0];
+  return (0 <= color && color < k) ? color : -1;
+}
+
+int ceil_log2(int k) {
+  int bits = 1;
+  while ((1 << bits) < k) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Certificate make_color_certificate(int color, int k) {
+  SHLCP_CHECK(k >= 2);
+  return Certificate{{color}, ceil_log2(k)};
+}
+
+RevealingDecoder::RevealingDecoder(int k) : k_(k) { SHLCP_CHECK(k >= 2); }
+
+std::string RevealingDecoder::name() const {
+  return format("revealing-%d-col", k_);
+}
+
+bool RevealingDecoder::accept(const View& view) const {
+  const int own = color_of(view.center_label(), k_);
+  if (own == -1) {
+    return false;
+  }
+  for (const Node w : view.g.neighbors(view.center)) {
+    const int other = color_of(view.labels[static_cast<std::size_t>(w)], k_);
+    // A neighbor with an invalid certificate cannot be verified against,
+    // so the node rejects: the accepting set must be self-certifying.
+    if (other == -1 || other == own) {
+      return false;
+    }
+  }
+  return true;
+}
+
+RevealingLcp::RevealingLcp(int k) : k_(k), decoder_(k) {}
+
+std::optional<Labeling> RevealingLcp::prove(const Graph& g,
+                                            const PortAssignment& /*ports*/,
+                                            const IdAssignment& /*ids*/) const {
+  const auto coloring = k_coloring(g, k_);
+  if (!coloring.has_value()) {
+    return std::nullopt;
+  }
+  Labeling labels(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    labels.at(v) =
+        make_color_certificate((*coloring)[static_cast<std::size_t>(v)], k_);
+  }
+  return labels;
+}
+
+bool RevealingLcp::in_promise(const Graph& g) const {
+  return is_k_colorable(g, k_);
+}
+
+std::vector<Certificate> RevealingLcp::certificate_space(
+    const Graph& /*g*/, const IdAssignment& /*ids*/, Node /*v*/) const {
+  std::vector<Certificate> space;
+  for (int c = 0; c < k_; ++c) {
+    space.push_back(make_color_certificate(c, k_));
+  }
+  space.push_back(Certificate{{k_}, ceil_log2(k_)});  // out-of-range sentinel
+  return space;
+}
+
+}  // namespace shlcp

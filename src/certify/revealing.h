@@ -1,0 +1,64 @@
+// The trivial revealing LCP for k-coloring (Section 1 of the paper).
+//
+// Certificates are just the node's color in a proper k-coloring
+// (ceil(log k) bits). The decoder accepts iff its own color is in range
+// and differs from the color of every neighbor. This LCP is *strong* (the
+// accepting nodes are properly colored by their own certificates) but
+// emphatically *not hiding*: the extractor that outputs its own
+// certificate recovers the coloring everywhere. It is the baseline against
+// which the hiding constructions are compared (experiment E12) and the
+// positive control for the Lemma 3.2 extractor (experiment E9): its
+// accepting neighborhood graph is always k-colorable.
+
+#pragma once
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Decoder of the revealing LCP: anonymous, one round.
+class RevealingDecoder final : public Decoder {
+ public:
+  explicit RevealingDecoder(int k);
+
+  [[nodiscard]] int radius() const override { return 1; }
+  [[nodiscard]] bool anonymous() const override { return true; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool accept(const View& view) const override;
+
+  [[nodiscard]] int k() const { return k_; }
+
+ private:
+  int k_;
+};
+
+/// The revealing LCP bundle: promise class = all k-colorable graphs.
+class RevealingLcp final : public Lcp {
+ public:
+  explicit RevealingLcp(int k);
+
+  [[nodiscard]] int k() const override { return k_; }
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+
+  /// Certificate space: the k colors. (Out-of-range certificates are
+  /// rejected at the owner and treated as "not a proper color" by
+  /// neighbors, which is behaviorally identical to a color clashing with
+  /// everything; one sentinel out-of-range certificate is included so the
+  /// sweeps exercise the format check.)
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+ private:
+  int k_;
+  RevealingDecoder decoder_;
+};
+
+/// Builds the color certificate used by the revealing LCP (also reused by
+/// tests). Bit size is ceil(log2 k) (>= 1).
+Certificate make_color_certificate(int color, int k);
+
+}  // namespace shlcp

@@ -1,0 +1,360 @@
+#include "certify/shatter.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+
+namespace shlcp {
+
+namespace {
+
+int ceil_log2(int x) {
+  int bits = 1;
+  while ((1 << bits) < x) {
+    ++bits;
+  }
+  return bits;
+}
+
+/// Parsed shatter certificate (either layout). `colors` is carried by
+/// type 1 under kLiteral and by type 0 under kVectorOnPoint.
+struct Parsed {
+  int type = -1;
+  Ident id = -1;            // claimed shatter-point identifier
+  std::vector<int> colors;  // facing colors per component
+  int component = -1;       // type 2
+  int color = -1;           // type 2
+};
+
+std::optional<std::vector<int>> parse_colors(const std::vector<int>& f,
+                                             std::size_t at, int k) {
+  if (k < 1 || f.size() != at + static_cast<std::size_t>(k)) {
+    return std::nullopt;
+  }
+  std::vector<int> colors;
+  for (int i = 0; i < k; ++i) {
+    const int col = f[at + static_cast<std::size_t>(i)];
+    if (col != 0 && col != 1) {
+      return std::nullopt;
+    }
+    colors.push_back(col);
+  }
+  return colors;
+}
+
+std::optional<Parsed> parse(const Certificate& c, ShatterVariant variant) {
+  const auto& f = c.fields;
+  if (f.size() < 2 || f[0] < 0 || f[0] > 2 || f[1] < 1) {
+    return std::nullopt;
+  }
+  Parsed p;
+  p.type = f[0];
+  p.id = f[1];
+  const bool vector_on_point = (variant == ShatterVariant::kVectorOnPoint);
+  switch (p.type) {
+    case 0: {
+      if (!vector_on_point) {
+        return f.size() == 2 ? std::optional<Parsed>(p) : std::nullopt;
+      }
+      if (f.size() < 3) {
+        return std::nullopt;
+      }
+      auto colors = parse_colors(f, 3, f[2]);
+      if (!colors.has_value()) {
+        return std::nullopt;
+      }
+      p.colors = std::move(*colors);
+      return p;
+    }
+    case 1: {
+      if (vector_on_point) {
+        return f.size() == 2 ? std::optional<Parsed>(p) : std::nullopt;
+      }
+      if (f.size() < 3) {
+        return std::nullopt;
+      }
+      auto colors = parse_colors(f, 3, f[2]);
+      if (!colors.has_value()) {
+        return std::nullopt;
+      }
+      p.colors = std::move(*colors);
+      return p;
+    }
+    case 2: {
+      if (f.size() != 4 || f[2] < 1 || (f[3] != 0 && f[3] != 1)) {
+        return std::nullopt;
+      }
+      p.component = f[2];
+      p.color = f[3];
+      return p;
+    }
+  }
+  return std::nullopt;
+}
+
+Certificate with_colors(int type, Ident shatter_id,
+                        const std::vector<int>& colors, Ident id_bound) {
+  Certificate c;
+  c.fields = {type, shatter_id};
+  c.bits = 2 + ceil_log2(id_bound + 1);
+  if (!colors.empty()) {
+    c.fields.push_back(static_cast<int>(colors.size()));
+    c.fields.insert(c.fields.end(), colors.begin(), colors.end());
+    c.bits += ceil_log2(static_cast<int>(colors.size()) + 1) +
+              static_cast<int>(colors.size());
+  }
+  return c;
+}
+
+}  // namespace
+
+Certificate make_shatter_type0(Ident shatter_id, const std::vector<int>& colors,
+                               Ident id_bound) {
+  return with_colors(0, shatter_id, colors, id_bound);
+}
+
+Certificate make_shatter_type1(Ident shatter_id, const std::vector<int>& colors,
+                               Ident id_bound) {
+  return with_colors(1, shatter_id, colors, id_bound);
+}
+
+Certificate make_shatter_type2(Ident shatter_id, int component, int color,
+                               Ident id_bound, int component_bound) {
+  return Certificate{{2, shatter_id, component, color},
+                     2 + ceil_log2(id_bound + 1) +
+                         ceil_log2(component_bound + 1) + 1};
+}
+
+bool ShatterDecoder::accept(const View& view) const {
+  const auto own = parse(view.center_label(), variant_);
+  if (!own.has_value()) {
+    return false;
+  }
+  const auto nb = view.g.neighbors(view.center);
+  std::vector<Parsed> theirs;
+  theirs.reserve(nb.size());
+  for (const Node w : nb) {
+    auto p = parse(view.labels[static_cast<std::size_t>(w)], variant_);
+    if (!p.has_value()) {
+      return false;
+    }
+    theirs.push_back(std::move(*p));
+  }
+
+  switch (own->type) {
+    case 0: {
+      // Condition 1: id matches own identifier; all neighbors are type 1
+      // with identical content naming this node.
+      if (own->id != view.center_id()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < theirs.size(); ++i) {
+        const Parsed& t = theirs[i];
+        if (t.type != 1 || t.id != view.center_id()) {
+          return false;
+        }
+        if (i > 0 && t.colors != theirs[0].colors) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case 1: {
+      // Condition 2.
+      int type0_count = 0;
+      const std::vector<int>* vector = nullptr;  // the facing-colors vector
+      if (variant_ == ShatterVariant::kLiteral) {
+        vector = &own->colors;
+      }
+      for (std::size_t i = 0; i < theirs.size(); ++i) {
+        const Parsed& t = theirs[i];
+        if (t.type == 1) {
+          return false;  // 2(a): N(v) is independent
+        }
+        if (t.type == 0) {
+          ++type0_count;
+          if (t.id != own->id) {
+            return false;  // 2(b): we both name the same shatter point
+          }
+          if (variant_ == ShatterVariant::kVectorOnPoint) {
+            // Repair: the type-0 neighbor must actually *be* the node
+            // with the claimed identifier, and we adopt its vector.
+            if (view.ids[static_cast<std::size_t>(nb[i])] != own->id) {
+              return false;
+            }
+            vector = &t.colors;
+          }
+        }
+      }
+      if (type0_count != 1) {
+        return false;  // 2(b): unique shatter-point neighbor
+      }
+      SHLCP_CHECK(vector != nullptr);
+      for (const Parsed& t : theirs) {
+        if (t.type == 2) {
+          // 2(c): component in range, facing color matches the vector.
+          if (t.id != own->id ||
+              t.component > static_cast<int>(vector->size()) ||
+              (*vector)[static_cast<std::size_t>(t.component - 1)] !=
+                  t.color) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    case 2: {
+      // Condition 3.
+      for (const Parsed& t : theirs) {
+        if (t.type == 0) {
+          return false;  // 3(a)
+        }
+        if (t.type == 1) {
+          // 3(b): id agreement; under kLiteral also the vector lookup.
+          if (t.id != own->id) {
+            return false;
+          }
+          if (variant_ == ShatterVariant::kLiteral &&
+              (own->component > static_cast<int>(t.colors.size()) ||
+               t.colors[static_cast<std::size_t>(own->component - 1)] !=
+                   own->color)) {
+            return false;
+          }
+        }
+        if (t.type == 2) {
+          // 3(c)
+          if (t.id != own->id || t.component != own->component ||
+              t.color == own->color) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+  }
+  return false;  // unreachable
+}
+
+std::optional<Labeling> ShatterLcp::prove(const Graph& g,
+                                          const PortAssignment& /*ports*/,
+                                          const IdAssignment& ids) const {
+  if (!in_promise(g)) {
+    return std::nullopt;
+  }
+  const auto points = shatter_points(g);
+  SHLCP_CHECK(!points.empty());
+  const Node v = points[0];
+  const Ident vid = ids.id_of(v);
+  const Ident bound = ids.bound();
+
+  // Components of G - N[v], numbered 1..k in order of smallest node.
+  std::vector<Node> rest;
+  const auto nv = g.neighbors(v);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (u != v && !std::binary_search(nv.begin(), nv.end(), u)) {
+      rest.push_back(u);
+    }
+  }
+  std::vector<Node> old_of_new;
+  const Graph sub = g.induced_subgraph(rest, &old_of_new);
+  const auto comp_of_local = connected_components(sub);
+  const int k =
+      sub.num_nodes() == 0
+          ? 0
+          : 1 + *std::max_element(comp_of_local.begin(), comp_of_local.end());
+  SHLCP_CHECK(k >= 2);
+
+  // 2-color each component; record each node's component and color.
+  const auto sub_col = check_bipartite(sub);
+  SHLCP_CHECK(sub_col.bipartite());
+
+  std::vector<int> component(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<int> color(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t i = 0; i < old_of_new.size(); ++i) {
+    component[static_cast<std::size_t>(old_of_new[i])] = comp_of_local[i] + 1;
+    color[static_cast<std::size_t>(old_of_new[i])] = sub_col.coloring[i];
+  }
+
+  // Facing colors: for each component, the color of its nodes adjacent to
+  // N(v). Well-defined in a bipartite graph (Lemma 7.1, condition 3);
+  // components with no edge to N(v) get facing color 0.
+  std::vector<int> facing(static_cast<std::size_t>(k), 0);
+  std::vector<bool> have_facing(static_cast<std::size_t>(k), false);
+  for (const Node u : nv) {
+    for (const Node w : g.neighbors(u)) {
+      const int comp = component[static_cast<std::size_t>(w)];
+      if (comp == -1) {
+        continue;
+      }
+      const int x = color[static_cast<std::size_t>(w)];
+      if (!have_facing[static_cast<std::size_t>(comp - 1)]) {
+        have_facing[static_cast<std::size_t>(comp - 1)] = true;
+        facing[static_cast<std::size_t>(comp - 1)] = x;
+      } else {
+        SHLCP_CHECK_MSG(facing[static_cast<std::size_t>(comp - 1)] == x,
+                        "Lemma 7.1(3) violated in a bipartite graph");
+      }
+    }
+  }
+
+  const bool on_point = (variant_ == ShatterVariant::kVectorOnPoint);
+  Labeling labels(g.num_nodes());
+  labels.at(v) =
+      make_shatter_type0(vid, on_point ? facing : std::vector<int>{}, bound);
+  for (const Node u : nv) {
+    labels.at(u) =
+        make_shatter_type1(vid, on_point ? std::vector<int>{} : facing, bound);
+  }
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (component[static_cast<std::size_t>(u)] != -1) {
+      labels.at(u) = make_shatter_type2(
+          vid, component[static_cast<std::size_t>(u)],
+          color[static_cast<std::size_t>(u)], bound, k);
+    }
+  }
+  return labels;
+}
+
+bool ShatterLcp::in_promise(const Graph& g) const {
+  return g.num_nodes() >= 1 && is_bipartite(g) && has_shatter_point(g);
+}
+
+std::vector<Certificate> ShatterLcp::certificate_space(
+    const Graph& g, const IdAssignment& ids, Node /*v*/) const {
+  std::vector<Certificate> space;
+  const Ident bound = ids.bound();
+  const int kmax = max_components_in_space_;
+  const bool on_point = (variant_ == ShatterVariant::kVectorOnPoint);
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    const Ident id = ids.id_of(u);
+    // Vector-free side: type 0 under kLiteral, type 1 under kVectorOnPoint.
+    if (on_point) {
+      space.push_back(make_shatter_type1(id, {}, bound));
+    } else {
+      space.push_back(make_shatter_type0(id, {}, bound));
+    }
+    // Vector-carrying side: all colors vectors of length 1..kmax.
+    for (int len = 1; len <= kmax; ++len) {
+      for (int mask = 0; mask < (1 << len); ++mask) {
+        std::vector<int> colors;
+        for (int i = 0; i < len; ++i) {
+          colors.push_back((mask >> i) & 1);
+        }
+        if (on_point) {
+          space.push_back(make_shatter_type0(id, colors, bound));
+        } else {
+          space.push_back(make_shatter_type1(id, colors, bound));
+        }
+      }
+    }
+    for (int comp = 1; comp <= kmax; ++comp) {
+      for (int x = 0; x <= 1; ++x) {
+        space.push_back(make_shatter_type2(id, comp, x, bound, kmax));
+      }
+    }
+  }
+  return space;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,115 @@
+// The shatter-point strong and hiding LCP (Theorem 1.3 of the paper).
+//
+// Promise class: bipartite graphs admitting a shatter point, i.e. a node v
+// such that G - N[v] is disconnected (Section 7.1).
+//
+// REPRODUCTION FINDING. The certificate scheme as literally written in
+// the brief announcement stores the facing-colors vector on the type-1
+// nodes (the neighbors of v) and lets only the type-0 node v check that
+// all type-1 certificates agree. When the claimed shatter point rejects
+// (or two pendant nodes both claim type 0), two type-1 nodes in one
+// accepting component can carry *different* vectors, and an odd cycle
+// alternating through components whose facing colors they disagree on is
+// unanimously accepted: strong soundness fails. Concretely, on C5 plus
+// two pendant type-0 claimants there is a labeling whose accepting set
+// induces the full odd 5-cycle (tests/certify_shatter_test.cpp constructs
+// it; bench_shatter reports it).
+//
+// The repair implemented as the Theorem 1.3 artifact moves the vector to
+// the type-0 certificate and anchors type-1 nodes to the *actual* holder
+// of the claimed identifier:
+//
+//   type 0 ("I am the shatter point"):  [0, id, k, col_1..col_k]
+//   type 1 ("I am a neighbor of v"):    [1, id]
+//   type 2 ("component #c, color x"):   [2, id, c, x]
+//
+// A type-1 node requires a neighbor w with a type-0 certificate whose
+// *actual identifier* equals the claimed id (by injectivity there is at
+// most one such node in the whole graph) and validates each type-2
+// neighbor against w's vector. Every type-1 node of a connected accepting
+// component therefore reads the SAME physical vector -- whether or not the
+// shatter point itself accepts -- and the paper's parity argument goes
+// through. The vector sits only on v, two hops away from the deep
+// component nodes, so the P1/P2 hiding witness of the paper's proof is
+// untouched, and the certificate bound O(min{Delta^2, n} + log n) is
+// unchanged (the vector merely changes owner).
+//
+// ShatterVariant::kLiteral keeps the paper's decoder verbatim as the
+// mechanically-checked counterexample artifact.
+
+#pragma once
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Which decoder rules to apply; see file comment.
+enum class ShatterVariant {
+  kLiteral,        // paper-verbatim; NOT strongly sound (counterexample kept)
+  kVectorOnPoint,  // repaired: facing vector on the type-0 certificate
+};
+
+/// Certificate builders. `id_bound` (= N) fixes bit-size accounting.
+/// Pass an empty vector to make_shatter_type0 for the kLiteral layout and
+/// a non-empty one for kVectorOnPoint; symmetrically, type-1 certificates
+/// carry the vector only in the kLiteral layout.
+Certificate make_shatter_type0(Ident shatter_id, const std::vector<int>& colors,
+                               Ident id_bound);
+Certificate make_shatter_type1(Ident shatter_id, const std::vector<int>& colors,
+                               Ident id_bound);
+Certificate make_shatter_type2(Ident shatter_id, int component, int color,
+                               Ident id_bound, int component_bound);
+
+/// Decoder of Theorem 1.3: identifier-using, one round.
+class ShatterDecoder final : public Decoder {
+ public:
+  explicit ShatterDecoder(ShatterVariant variant) : variant_(variant) {}
+
+  [[nodiscard]] int radius() const override { return 1; }
+  [[nodiscard]] bool anonymous() const override { return false; }
+  [[nodiscard]] std::string name() const override {
+    return variant_ == ShatterVariant::kLiteral ? "shatter-point-literal"
+                                                : "shatter-point";
+  }
+  [[nodiscard]] bool accept(const View& view) const override;
+
+ private:
+  ShatterVariant variant_;
+};
+
+/// The full LCP bundle for Theorem 1.3.
+class ShatterLcp final : public Lcp {
+ public:
+  /// `max_components_in_space` bounds the adversarial certificate space
+  /// used by exhaustive sweeps; it does not affect prover or decoder.
+  explicit ShatterLcp(ShatterVariant variant = ShatterVariant::kVectorOnPoint,
+                      int max_components_in_space = 2)
+      : decoder_(variant),
+        variant_(variant),
+        max_components_in_space_(max_components_in_space) {}
+
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+
+  /// Certifies through the lowest-index shatter point. Declines graphs
+  /// that are not bipartite or have no shatter point.
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+
+  /// Adversarial space: every type, with the claimed shatter id ranging
+  /// over identifiers present in the graph, component counts/numbers up to
+  /// `max_components_in_space`, and all color variants. Exact relative to
+  /// the component bound (absent ids behave like present ids carried by no
+  /// neighbor, which the space covers).
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+ private:
+  ShatterDecoder decoder_;
+  ShatterVariant variant_;
+  int max_components_in_space_;
+};
+
+}  // namespace shlcp

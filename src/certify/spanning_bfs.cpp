@@ -1,0 +1,97 @@
+#include "certify/spanning_bfs.h"
+
+#include "graph/algorithms.h"
+
+namespace shlcp {
+
+namespace {
+
+int ceil_log2(int x) {
+  int bits = 1;
+  while ((1 << bits) < x) {
+    ++bits;
+  }
+  return bits;
+}
+
+struct Parsed {
+  Ident root = -1;
+  int dist = -1;
+};
+
+std::optional<Parsed> parse(const Certificate& c) {
+  if (c.fields.size() != 2 || c.fields[0] < 1 || c.fields[1] < 0) {
+    return std::nullopt;
+  }
+  return Parsed{c.fields[0], c.fields[1]};
+}
+
+}  // namespace
+
+Certificate make_spanning_bfs_certificate(Ident root_id, int dist,
+                                          Ident id_bound, int dist_bound) {
+  return Certificate{{root_id, dist},
+                     ceil_log2(id_bound + 1) + ceil_log2(dist_bound + 1)};
+}
+
+bool SpanningBfsDecoder::accept(const View& view) const {
+  const auto own = parse(view.center_label());
+  if (!own.has_value()) {
+    return false;
+  }
+  const auto nb = view.g.neighbors(view.center);
+  bool has_parent = false;
+  for (const Node w : nb) {
+    const auto t = parse(view.labels[static_cast<std::size_t>(w)]);
+    if (!t.has_value() || t->root != own->root) {
+      return false;
+    }
+    const int delta = t->dist - own->dist;
+    if (delta != 1 && delta != -1) {
+      return false;
+    }
+    has_parent = has_parent || (delta == -1);
+  }
+  if (own->dist == 0) {
+    // The root: its actual identifier must match the claim. (Neighbors
+    // necessarily carry dist 1 by the +-1 rule above.)
+    return own->root == view.center_id();
+  }
+  return has_parent;
+}
+
+std::optional<Labeling> SpanningBfsLcp::prove(const Graph& g,
+                                              const PortAssignment& /*ports*/,
+                                              const IdAssignment& ids) const {
+  if (!in_promise(g)) {
+    return std::nullopt;
+  }
+  const Node root = 0;
+  const auto dist = bfs_distances(g, root);
+  Labeling labels(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    labels.at(v) = make_spanning_bfs_certificate(
+        ids.id_of(root), dist[static_cast<std::size_t>(v)], ids.bound(),
+        g.num_nodes());
+  }
+  return labels;
+}
+
+bool SpanningBfsLcp::in_promise(const Graph& g) const {
+  return g.num_nodes() >= 1 && is_connected(g) && is_bipartite(g);
+}
+
+std::vector<Certificate> SpanningBfsLcp::certificate_space(
+    const Graph& g, const IdAssignment& ids, Node /*v*/) const {
+  std::vector<Certificate> space;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    for (int d = 0; d < g.num_nodes(); ++d) {
+      space.push_back(make_spanning_bfs_certificate(ids.id_of(u), d,
+                                                    ids.bound(),
+                                                    g.num_nodes()));
+    }
+  }
+  return space;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,66 @@
+// The classical distance-labeling proof of bipartiteness -- the scheme
+// the paper's introduction refers to when it says "the only way of
+// certifying bipartiteness that is known is to reveal a 2-coloring".
+//
+// Certificates: [root_id, dist], where dist is the node's BFS distance
+// from a prover-chosen root. The 1-round decoder checks:
+//   - everyone agrees on root_id;
+//   - the node with dist = 0 IS the root (actual identifier matches) and
+//     all its neighbors have dist = 1;
+//   - every node with dist = d > 0 has some neighbor with dist = d - 1
+//     and only neighbors with dist in {d - 1, d + 1}.
+//
+// The +-1 rule forces dist parities to alternate across every edge of the
+// accepting set, so the scheme is STRONG (the accepting set is 2-colored
+// by dist mod 2) -- and for exactly the same reason it is maximally
+// revealing: dist mod 2 IS the coloring, every node outputs it locally,
+// and V(D, n) is always 2-colorable. This is the contrast class for the
+// paper's hiding constructions (experiment E12/E15) and the concrete
+// motivation for the whole paper: to certify 2-colorability without
+// shipping this certificate.
+//
+// Certificates take O(log n) bits; the promise class is connected
+// bipartite graphs (distance certificates need connectivity to pin every
+// node to the root's component).
+
+#pragma once
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Builds a spanning-BFS certificate ([root_id, dist], O(log n) bits).
+Certificate make_spanning_bfs_certificate(Ident root_id, int dist,
+                                          Ident id_bound, int dist_bound);
+
+/// Decoder: identifier-using, one round.
+class SpanningBfsDecoder final : public Decoder {
+ public:
+  [[nodiscard]] int radius() const override { return 1; }
+  [[nodiscard]] bool anonymous() const override { return false; }
+  [[nodiscard]] std::string name() const override { return "spanning-bfs"; }
+  [[nodiscard]] bool accept(const View& view) const override;
+};
+
+/// The full LCP bundle.
+class SpanningBfsLcp final : public Lcp {
+ public:
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+
+  /// BFS from the lowest-index node. Declines disconnected or
+  /// non-bipartite graphs.
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+
+  /// Root ids over identifiers present; distances up to n.
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+ private:
+  SpanningBfsDecoder decoder_;
+};
+
+}  // namespace shlcp

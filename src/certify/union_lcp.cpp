@@ -1,0 +1,142 @@
+#include "certify/union_lcp.h"
+
+#include "util/format.h"
+
+namespace shlcp {
+
+namespace {
+
+int ceil_log2(int x) {
+  int bits = 1;
+  while ((1 << bits) < x) {
+    ++bits;
+  }
+  return bits;
+}
+
+/// Strips the tag from every certificate in `view`; nullopt if any
+/// certificate is malformed or carries a different tag than `tag`.
+std::optional<View> strip_view(const View& view, int tag, int num_parts) {
+  View stripped = view;
+  for (auto& cert : stripped.labels) {
+    const auto split = untag_certificate(cert, num_parts);
+    if (!split.has_value() || split->first != tag) {
+      return std::nullopt;
+    }
+    cert = split->second;
+  }
+  return stripped;
+}
+
+}  // namespace
+
+Certificate tag_certificate(int tag, const Certificate& inner, int num_parts) {
+  SHLCP_CHECK(0 <= tag && tag < num_parts);
+  Certificate out;
+  out.fields.reserve(inner.fields.size() + 1);
+  out.fields.push_back(tag);
+  out.fields.insert(out.fields.end(), inner.fields.begin(),
+                    inner.fields.end());
+  out.bits = inner.bits + ceil_log2(num_parts);
+  return out;
+}
+
+std::optional<std::pair<int, Certificate>> untag_certificate(
+    const Certificate& c, int num_parts) {
+  if (c.fields.empty() || c.fields[0] < 0 || c.fields[0] >= num_parts) {
+    return std::nullopt;
+  }
+  Certificate inner;
+  inner.fields.assign(c.fields.begin() + 1, c.fields.end());
+  inner.bits = c.bits - ceil_log2(num_parts);
+  return std::make_pair(c.fields[0], inner);
+}
+
+UnionDecoder::UnionDecoder(std::vector<const Lcp*> parts)
+    : parts_(std::move(parts)) {
+  SHLCP_CHECK(!parts_.empty());
+  radius_ = parts_[0]->decoder().radius();
+  anonymous_ = true;
+  for (const Lcp* part : parts_) {
+    SHLCP_CHECK_MSG(part->decoder().radius() == radius_,
+                    "union requires equal radii");
+    anonymous_ = anonymous_ && part->decoder().anonymous();
+  }
+}
+
+std::string UnionDecoder::name() const {
+  std::string out = "union(";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += parts_[i]->decoder().name();
+  }
+  return out + ")";
+}
+
+bool UnionDecoder::accept(const View& view) const {
+  const int num_parts = static_cast<int>(parts_.size());
+  const auto own =
+      untag_certificate(view.center_label(), num_parts);
+  if (!own.has_value()) {
+    return false;
+  }
+  const int tag = own->first;
+  const auto stripped = strip_view(view, tag, num_parts);
+  if (!stripped.has_value()) {
+    return false;  // some visible certificate carries a different tag
+  }
+  return parts_[static_cast<std::size_t>(tag)]->decoder().accept(*stripped);
+}
+
+UnionLcp::UnionLcp(std::vector<const Lcp*> parts)
+    : parts_(parts), decoder_(std::move(parts)) {}
+
+std::optional<Labeling> UnionLcp::prove(const Graph& g,
+                                        const PortAssignment& ports,
+                                        const IdAssignment& ids) const {
+  const int num_parts = static_cast<int>(parts_.size());
+  for (int tag = 0; tag < num_parts; ++tag) {
+    const Lcp* part = parts_[static_cast<std::size_t>(tag)];
+    if (!part->in_promise(g)) {
+      continue;
+    }
+    auto inner = part->prove(g, ports, ids);
+    if (!inner.has_value()) {
+      continue;
+    }
+    Labeling tagged(g.num_nodes());
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      tagged.at(v) = tag_certificate(tag, inner->at(v), num_parts);
+    }
+    return tagged;
+  }
+  return std::nullopt;
+}
+
+bool UnionLcp::in_promise(const Graph& g) const {
+  for (const Lcp* part : parts_) {
+    if (part->in_promise(g)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Certificate> UnionLcp::certificate_space(
+    const Graph& g, const IdAssignment& ids, Node v) const {
+  const int num_parts = static_cast<int>(parts_.size());
+  std::vector<Certificate> space;
+  for (int tag = 0; tag < num_parts; ++tag) {
+    for (const Certificate& inner :
+         parts_[static_cast<std::size_t>(tag)]->certificate_space(g, ids, v)) {
+      space.push_back(tag_certificate(tag, inner, num_parts));
+    }
+  }
+  return space;
+}
+
+std::string UnionLcp::name() const { return decoder_.name(); }
+
+}  // namespace shlcp

@@ -1,0 +1,77 @@
+// Union of LCPs over a union of promise classes (Theorem 1.1).
+//
+// Theorem 1.1 certifies 2-col over H = H1 (min degree 1) union H2 (even
+// cycles) by combining the degree-one LCP and the even-cycle LCP. The
+// generic combinator here tags every certificate with which sub-LCP it
+// belongs to; a node accepts iff every certificate in sight carries its
+// own tag and the tagged sub-decoder accepts the view with tags stripped.
+//
+// Strong soundness is inherited: accepting nodes of different tags are
+// never adjacent, so the accepting set splits into per-tag parts, each a
+// subset of the corresponding sub-decoder's accepting set under a labeling
+// that agrees on the part -- and subgraphs of k-colorable graphs are
+// k-colorable. Hiding is inherited from either component (a hiding witness
+// for a sub-LCP lifts by tagging). The tag adds one bit (constant-size
+// overall when both components are constant-size, as in Theorem 1.1).
+
+#pragma once
+
+#include <memory>
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Decoder of the tagged union. All sub-decoders must share radius; the
+/// union is anonymous iff all components are.
+class UnionDecoder final : public Decoder {
+ public:
+  explicit UnionDecoder(std::vector<const Lcp*> parts);
+
+  [[nodiscard]] int radius() const override { return radius_; }
+  [[nodiscard]] bool anonymous() const override { return anonymous_; }
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool accept(const View& view) const override;
+
+ private:
+  std::vector<const Lcp*> parts_;
+  int radius_;
+  bool anonymous_;
+};
+
+/// The union LCP. Does not own its parts; keep them alive.
+class UnionLcp final : public Lcp {
+ public:
+  explicit UnionLcp(std::vector<const Lcp*> parts);
+
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+
+  /// Delegates to the first part whose promise contains g, tagging the
+  /// resulting certificates.
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+
+  /// g is in the union of the parts' promise classes.
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+
+  /// Union of the parts' spaces, tagged.
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::vector<const Lcp*> parts_;
+  UnionDecoder decoder_;
+};
+
+/// Prepends tag to a certificate (one extra bit per tag level; we charge
+/// ceil(log2(#parts)) bits, at least 1).
+Certificate tag_certificate(int tag, const Certificate& inner, int num_parts);
+
+/// Splits a tagged certificate; nullopt if malformed or tag out of range.
+std::optional<std::pair<int, Certificate>> untag_certificate(
+    const Certificate& c, int num_parts);
+
+}  // namespace shlcp

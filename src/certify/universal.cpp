@@ -1,0 +1,173 @@
+#include "certify/universal.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+
+namespace shlcp {
+
+namespace {
+
+int ceil_log2(int x) {
+  int bits = 1;
+  while ((1 << bits) < x) {
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Certificate make_universal_certificate(const Graph& g,
+                                       const IdAssignment& ids) {
+  const int n = g.num_nodes();
+  SHLCP_CHECK_MSG(n <= 30, "row bitmasks are packed into int fields");
+  // Sorted identifier list with the index permutation.
+  std::vector<std::pair<Ident, Node>> order;
+  for (Node v = 0; v < n; ++v) {
+    order.emplace_back(ids.id_of(v), v);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<int> index_of_node(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    index_of_node[static_cast<std::size_t>(order[static_cast<std::size_t>(i)].second)] = i;
+  }
+  Certificate c;
+  c.fields.push_back(n);
+  for (const auto& [id, node] : order) {
+    c.fields.push_back(id);
+  }
+  for (int i = 0; i < n; ++i) {
+    const Node v = order[static_cast<std::size_t>(i)].second;
+    int mask = 0;
+    for (const Node w : g.neighbors(v)) {
+      mask |= 1 << index_of_node[static_cast<std::size_t>(w)];
+    }
+    c.fields.push_back(mask);
+  }
+  c.bits = n * n + n * ceil_log2(ids.bound() + 1) + ceil_log2(n + 1);
+  return c;
+}
+
+std::optional<std::pair<Graph, std::vector<Ident>>>
+decode_universal_certificate(const Certificate& c) {
+  const auto& f = c.fields;
+  if (f.empty() || f[0] < 1 || f[0] > 30) {
+    return std::nullopt;
+  }
+  const int n = f[0];
+  if (f.size() != static_cast<std::size_t>(1 + 2 * n)) {
+    return std::nullopt;
+  }
+  std::vector<Ident> ids(f.begin() + 1, f.begin() + 1 + n);
+  for (int i = 0; i < n; ++i) {
+    if (ids[static_cast<std::size_t>(i)] < 1 ||
+        (i > 0 && ids[static_cast<std::size_t>(i)] <=
+                      ids[static_cast<std::size_t>(i - 1)])) {
+      return std::nullopt;  // ids strictly increasing (injective)
+    }
+  }
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    const int row = f[static_cast<std::size_t>(1 + n + i)];
+    if (row < 0 || row >= (1 << n)) {
+      return std::nullopt;
+    }
+    if ((row >> i) & 1) {
+      return std::nullopt;  // no loops
+    }
+    for (int j = 0; j < n; ++j) {
+      if ((row >> j) & 1) {
+        // Symmetry check via the mirrored bit.
+        const int other = f[static_cast<std::size_t>(1 + n + j)];
+        if (((other >> i) & 1) == 0) {
+          return std::nullopt;
+        }
+        if (i < j) {
+          g.add_edge(i, j);
+        }
+      }
+    }
+  }
+  return std::make_pair(std::move(g), std::move(ids));
+}
+
+bool UniversalDecoder::accept(const View& view) const {
+  const auto own = decode_universal_certificate(view.center_label());
+  if (!own.has_value()) {
+    return false;
+  }
+  const auto& [claimed, ids] = *own;
+  // (2) Neighbors carry the identical certificate.
+  for (const Node w : view.g.neighbors(view.center)) {
+    if (!(view.labels[static_cast<std::size_t>(w)] == view.center_label())) {
+      return false;
+    }
+  }
+  // (3) Own identifier appears; actual incidence equals the matrix row.
+  const auto it =
+      std::lower_bound(ids.begin(), ids.end(), view.center_id());
+  if (it == ids.end() || *it != view.center_id()) {
+    return false;
+  }
+  const int my_index = static_cast<int>(it - ids.begin());
+  if (claimed.degree(my_index) != view.center_degree()) {
+    return false;
+  }
+  for (const Node w : view.g.neighbors(view.center)) {
+    const Ident wid = view.ids[static_cast<std::size_t>(w)];
+    const auto wit = std::lower_bound(ids.begin(), ids.end(), wid);
+    if (wit == ids.end() || *wit != wid) {
+      return false;
+    }
+    if (!claimed.has_edge(my_index, static_cast<int>(wit - ids.begin()))) {
+      return false;
+    }
+  }
+  // (4) The predicate holds on the decoded graph.
+  return predicate_(claimed);
+}
+
+UniversalLcp::UniversalLcp(GraphPredicate predicate, std::string name)
+    : predicate_(predicate), decoder_(predicate, std::move(name)) {}
+
+std::optional<Labeling> UniversalLcp::prove(const Graph& g,
+                                            const PortAssignment& /*ports*/,
+                                            const IdAssignment& ids) const {
+  if (!in_promise(g)) {
+    return std::nullopt;
+  }
+  const Certificate cert = make_universal_certificate(g, ids);
+  Labeling labels(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    labels.at(v) = cert;
+  }
+  return labels;
+}
+
+bool UniversalLcp::in_promise(const Graph& g) const {
+  return g.num_nodes() >= 1 && g.num_nodes() <= 30 && predicate_(g);
+}
+
+std::vector<Certificate> UniversalLcp::certificate_space(
+    const Graph& g, const IdAssignment& ids, Node /*v*/) const {
+  // Honest certificates of every graph over the SAME id set -- the
+  // adversary's only leverage is claiming a different topology. Capped to
+  // tiny n (2^C(n,2) matrices).
+  const int n = g.num_nodes();
+  SHLCP_CHECK_MSG(n <= 5, "universal certificate space is capped at n = 5");
+  std::vector<Certificate> space;
+  for_each_graph(n, [&](const Graph& h) {
+    space.push_back(make_universal_certificate(h, ids));
+    return true;
+  });
+  return space;
+}
+
+UniversalLcp make_universal_bipartiteness_lcp() {
+  return UniversalLcp([](const Graph& g) { return is_bipartite(g); },
+                      "bipartite");
+}
+
+}  // namespace shlcp

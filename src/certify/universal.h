@@ -1,0 +1,91 @@
+// The universal O(n^2)-bit LCP (Section 1.1 of the paper).
+//
+// "Every Turing-computable graph property P admits an LCP with
+// certificates of size O(n^2): simply provide the entire adjacency matrix
+// of the input graph to every vertex, along with their corresponding node
+// identifiers." This module implements that classical scheme for an
+// arbitrary computable predicate:
+//
+//   certificate = [n, id_1 < ... < id_n, row_1, ..., row_n]
+//
+// where row_i is the bitmask of the i-th node's neighbors (indices into
+// the sorted id list). The 1-round decoder checks that (1) the
+// certificate is well-formed, symmetric, and loop-free, (2) every
+// neighbor carries the IDENTICAL certificate, (3) its own identifier
+// appears and its actual incident edges are exactly the matrix row of its
+// index, and (4) the predicate holds on the decoded graph.
+//
+// For the 2-colorability predicate the scheme is STRONG: an accepted node
+// has all its real edges inside the matrix, so an accepted odd cycle
+// would embed an odd cycle into the (predicate-checked, hence bipartite)
+// decoded graph. It is also maximally revealing -- every node can decode
+// the entire graph and output its color in the lexicographically first
+// coloring -- which makes it the Section 1.1 contrast point: hiding is
+// about WHAT certificates convey, not how large they are.
+
+#pragma once
+
+#include <functional>
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// A computable graph predicate (the paper's property P).
+using GraphPredicate = std::function<bool(const Graph&)>;
+
+/// Builds the universal certificate for (g, ids). Bit size:
+/// n^2 + n ceil(log N) + ceil(log n).
+Certificate make_universal_certificate(const Graph& g, const IdAssignment& ids);
+
+/// Decodes a universal certificate back into (graph, sorted ids);
+/// nullopt when malformed (non-symmetric, loops, unsorted ids, bad
+/// sizes). Exposed for tests and the extraction demonstration.
+std::optional<std::pair<Graph, std::vector<Ident>>> decode_universal_certificate(
+    const Certificate& c);
+
+/// Decoder of the universal scheme: identifier-using, one round.
+class UniversalDecoder final : public Decoder {
+ public:
+  explicit UniversalDecoder(GraphPredicate predicate, std::string name)
+      : predicate_(std::move(predicate)), name_(std::move(name)) {}
+
+  [[nodiscard]] int radius() const override { return 1; }
+  [[nodiscard]] bool anonymous() const override { return false; }
+  [[nodiscard]] std::string name() const override {
+    return "universal-" + name_;
+  }
+  [[nodiscard]] bool accept(const View& view) const override;
+
+ private:
+  GraphPredicate predicate_;
+  std::string name_;
+};
+
+/// The full LCP bundle. The adversarial certificate space for exhaustive
+/// sweeps contains the honest certificate of every graph on the same
+/// node set (all 2^C(n,2) matrices for tiny n) -- see certificate_space.
+class UniversalLcp final : public Lcp {
+ public:
+  /// `predicate` must accept exactly the 2-colorable graphs for the
+  /// strong-soundness guarantee to mean what Lcp::k() = 2 says; other
+  /// predicates may be used with the checkers' k adjusted by the caller.
+  explicit UniversalLcp(GraphPredicate predicate, std::string name);
+
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const override;
+  [[nodiscard]] bool in_promise(const Graph& g) const override;
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const override;
+
+ private:
+  GraphPredicate predicate_;
+  UniversalDecoder decoder_;
+};
+
+/// Convenience: the universal LCP for bipartiteness.
+UniversalLcp make_universal_bipartiteness_lcp();
+
+}  // namespace shlcp

@@ -1,0 +1,267 @@
+#include "certify/watermelon.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+
+namespace shlcp {
+
+namespace {
+
+int ceil_log2(int x) {
+  int bits = 1;
+  while ((1 << bits) < x) {
+    ++bits;
+  }
+  return bits;
+}
+
+struct Parsed {
+  int type = -1;
+  Ident id1 = -1;
+  Ident id2 = -1;
+  int num = -1;
+  Port far[2] = {0, 0};
+  int color[2] = {-1, -1};
+};
+
+std::optional<Parsed> parse(const Certificate& c) {
+  const auto& f = c.fields;
+  if (f.size() < 3 || (f[0] != 1 && f[0] != 2)) {
+    return std::nullopt;
+  }
+  Parsed p;
+  p.type = f[0];
+  p.id1 = f[1];
+  p.id2 = f[2];
+  if (p.id1 < 1 || p.id2 <= p.id1) {
+    return std::nullopt;  // id1 < id2 in increasing order
+  }
+  if (p.type == 1) {
+    return f.size() == 3 ? std::optional<Parsed>(p) : std::nullopt;
+  }
+  if (f.size() != 8) {
+    return std::nullopt;
+  }
+  p.num = f[3];
+  p.far[0] = f[4];
+  p.color[0] = f[5];
+  p.far[1] = f[6];
+  p.color[1] = f[7];
+  if (p.num < 1 || p.far[0] < 1 || p.far[1] < 1) {
+    return std::nullopt;
+  }
+  auto color_ok = [](int x) { return x == 0 || x == 1; };
+  if (!color_ok(p.color[0]) || !color_ok(p.color[1]) ||
+      p.color[0] == p.color[1]) {
+    return std::nullopt;  // the two incident edges get distinct colors
+  }
+  return p;
+}
+
+}  // namespace
+
+Certificate make_watermelon_type1(Ident id1, Ident id2, Ident id_bound) {
+  SHLCP_CHECK(id1 < id2);
+  return Certificate{{1, id1, id2}, 1 + 2 * ceil_log2(id_bound + 1)};
+}
+
+Certificate make_watermelon_type2(Ident id1, Ident id2, int num, Port p1,
+                                  int c1, Port p2, int c2, Ident id_bound,
+                                  int port_bound) {
+  SHLCP_CHECK(id1 < id2);
+  return Certificate{{2, id1, id2, num, p1, c1, p2, c2},
+                     1 + 3 * ceil_log2(id_bound + 1) +
+                         2 * ceil_log2(port_bound + 1) + 2};
+}
+
+bool WatermelonDecoder::accept(const View& view) const {
+  const auto own = parse(view.center_label());
+  if (!own.has_value()) {
+    return false;
+  }
+  const Node c = view.center;
+  const auto nb = view.g.neighbors(c);
+  std::vector<Parsed> theirs;
+  theirs.reserve(nb.size());
+  for (const Node w : nb) {
+    auto p = parse(view.labels[static_cast<std::size_t>(w)]);
+    if (!p.has_value()) {
+      return false;
+    }
+    theirs.push_back(std::move(*p));
+  }
+
+  // Condition 1: all neighbors agree on the endpoint identifiers.
+  for (const Parsed& t : theirs) {
+    if (t.id1 != own->id1 || t.id2 != own->id2) {
+      return false;
+    }
+  }
+
+  if (own->type == 1) {
+    // Condition 2(a): we are one of the claimed endpoints.
+    if (view.center_id() != own->id1 && view.center_id() != own->id2) {
+      return false;
+    }
+    std::vector<int> nums;
+    std::vector<int> star_colors;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const Node w = nb[i];
+      const Parsed& t = theirs[i];
+      // 2(b): all neighbors are path nodes whose entry for the shared edge
+      // points back at us.
+      if (t.type != 2) {
+        return false;
+      }
+      const Port j = view.port(w, c);  // neighbor's own port on the edge
+      if (j != 1 && j != 2) {
+        return false;  // a type-2 certificate only describes ports 1 and 2
+      }
+      if (t.far[static_cast<std::size_t>(j - 1)] != view.port(c, w)) {
+        return false;
+      }
+      nums.push_back(t.num);
+      // 2(d): the colors of our incident edges, as claimed by the
+      // neighbors' entries for those edges.
+      star_colors.push_back(t.color[static_cast<std::size_t>(j - 1)]);
+    }
+    // 2(c): path numbers pairwise distinct.
+    std::sort(nums.begin(), nums.end());
+    if (std::adjacent_find(nums.begin(), nums.end()) != nums.end()) {
+      return false;
+    }
+    // 2(d): the endpoint star is monochromatic.
+    for (const int col : star_colors) {
+      if (col != star_colors[0]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Type 2. Condition 3(a): exactly two neighbors, reached via our own
+  // ports 1 and 2.
+  if (view.center_degree() != 2) {
+    return false;
+  }
+  for (Port i = 1; i <= 2; ++i) {
+    const Node w = view.neighbor_at(c, i);
+    if (w == -1) {
+      return false;
+    }
+    const Parsed& t = theirs[static_cast<std::size_t>(
+        std::lower_bound(nb.begin(), nb.end(), w) - nb.begin())];
+    const Port actual_far = view.port(w, c);
+    if (variant_ == WatermelonVariant::kStandard &&
+        own->far[static_cast<std::size_t>(i - 1)] != actual_far) {
+      // Far-port claims must match the visible reality; see file comment
+      // in watermelon.h.
+      return false;
+    }
+    if (t.type == 1) {
+      // 3(b): the endpoint's actual identifier is one of the claimed two.
+      const Ident wid = view.ids[static_cast<std::size_t>(w)];
+      if (wid != own->id1 && wid != own->id2) {
+        return false;
+      }
+      continue;
+    }
+    // 3(c): same path number; reciprocal port and color bookkeeping.
+    if (t.num != own->num) {
+      return false;
+    }
+    const Port j = own->far[static_cast<std::size_t>(i - 1)];
+    if (j != 1 && j != 2) {
+      return false;
+    }
+    if (t.far[static_cast<std::size_t>(j - 1)] != i ||
+        t.color[static_cast<std::size_t>(j - 1)] !=
+            own->color[static_cast<std::size_t>(i - 1)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Labeling> WatermelonLcp::prove(const Graph& g,
+                                             const PortAssignment& ports,
+                                             const IdAssignment& ids) const {
+  if (!in_promise(g)) {
+    return std::nullopt;
+  }
+  const auto dec = watermelon_decomposition(g);
+  SHLCP_CHECK(dec.has_value());
+  const Ident e1 = ids.id_of(dec->v1);
+  const Ident e2 = ids.id_of(dec->v2);
+  const Ident id1 = std::min(e1, e2);
+  const Ident id2 = std::max(e1, e2);
+  const Ident bound = ids.bound();
+  const int port_bound = g.max_degree();
+
+  // Color every path's edges alternately starting with 0 at v1.
+  std::map<Edge, int> edge_color;
+  for (const auto& path : dec->paths) {
+    for (std::size_t j = 0; j + 1 < path.size(); ++j) {
+      edge_color[make_edge(path[j], path[j + 1])] = static_cast<int>(j % 2);
+    }
+  }
+
+  Labeling labels(g.num_nodes());
+  labels.at(dec->v1) = make_watermelon_type1(id1, id2, bound);
+  labels.at(dec->v2) = make_watermelon_type1(id1, id2, bound);
+  for (std::size_t path_idx = 0; path_idx < dec->paths.size(); ++path_idx) {
+    const auto& path = dec->paths[path_idx];
+    for (std::size_t j = 1; j + 1 < path.size(); ++j) {
+      const Node u = path[j];
+      const Node w1 = ports.neighbor_at(g, u, 1);
+      const Node w2 = ports.neighbor_at(g, u, 2);
+      labels.at(u) = make_watermelon_type2(
+          id1, id2, static_cast<int>(path_idx) + 1, ports.port(g, w1, u),
+          edge_color.at(make_edge(u, w1)), ports.port(g, w2, u),
+          edge_color.at(make_edge(u, w2)), bound, port_bound);
+    }
+  }
+  return labels;
+}
+
+bool WatermelonLcp::in_promise(const Graph& g) const {
+  return g.num_nodes() >= 3 && is_watermelon(g) && is_bipartite(g);
+}
+
+std::vector<Certificate> WatermelonLcp::certificate_space(
+    const Graph& g, const IdAssignment& ids, Node /*v*/) const {
+  std::vector<Certificate> space;
+  const Ident bound = ids.bound();
+  const int port_bound = g.max_degree();
+  const int port_cap = std::min(port_bound, 4);
+
+  // All sorted id pairs over identifiers present in the graph.
+  std::vector<Ident> present;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    present.push_back(ids.id_of(u));
+  }
+  std::sort(present.begin(), present.end());
+  for (std::size_t a = 0; a < present.size(); ++a) {
+    for (std::size_t b = a + 1; b < present.size(); ++b) {
+      const Ident id1 = present[a];
+      const Ident id2 = present[b];
+      space.push_back(make_watermelon_type1(id1, id2, bound));
+      for (int num = 1; num <= max_paths_in_space_; ++num) {
+        for (Port p1 = 1; p1 <= port_cap; ++p1) {
+          for (Port p2 = 1; p2 <= port_cap; ++p2) {
+            for (int c1 = 0; c1 <= 1; ++c1) {
+              space.push_back(make_watermelon_type2(id1, id2, num, p1, c1, p2,
+                                                    1 - c1, bound, port_bound));
+            }
+          }
+        }
+      }
+    }
+  }
+  return space;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,390 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace shlcp {
+
+std::vector<int> bfs_distances(const Graph& g, Node source) {
+  return bfs_distances_multi(g, {source});
+}
+
+std::vector<int> bfs_distances_multi(const Graph& g,
+                                     const std::vector<Node>& sources) {
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::deque<Node> queue;
+  for (const Node s : sources) {
+    g.check_node(s);
+    if (dist[static_cast<std::size_t>(s)] == -1) {
+      dist[static_cast<std::size_t>(s)] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (const Node w : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(w)] == -1) {
+        dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (Node s = 0; s < g.num_nodes(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) {
+      continue;
+    }
+    const int c = next++;
+    std::deque<Node> queue{s};
+    comp[static_cast<std::size_t>(s)] = c;
+    while (!queue.empty()) {
+      const Node u = queue.front();
+      queue.pop_front();
+      for (const Node w : g.neighbors(u)) {
+        if (comp[static_cast<std::size_t>(w)] == -1) {
+          comp[static_cast<std::size_t>(w)] = c;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+int num_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  return comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+}
+
+bool is_connected(const Graph& g) { return num_components(g) <= 1; }
+
+BipartiteResult check_bipartite(const Graph& g) {
+  BipartiteResult result;
+  const int n = g.num_nodes();
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  std::vector<Node> parent(static_cast<std::size_t>(n), -1);
+
+  // Self-loop = odd cycle of length 1.
+  for (Node v = 0; v < n; ++v) {
+    if (g.has_edge(v, v)) {
+      result.odd_cycle = {v, v};
+      return result;
+    }
+  }
+
+  for (Node s = 0; s < n; ++s) {
+    if (color[static_cast<std::size_t>(s)] != -1) {
+      continue;
+    }
+    color[static_cast<std::size_t>(s)] = 0;
+    std::deque<Node> queue{s};
+    while (!queue.empty()) {
+      const Node u = queue.front();
+      queue.pop_front();
+      for (const Node w : g.neighbors(u)) {
+        if (color[static_cast<std::size_t>(w)] == -1) {
+          color[static_cast<std::size_t>(w)] = 1 - color[static_cast<std::size_t>(u)];
+          parent[static_cast<std::size_t>(w)] = u;
+          queue.push_back(w);
+        } else if (color[static_cast<std::size_t>(w)] ==
+                   color[static_cast<std::size_t>(u)]) {
+          // Reconstruct an odd closed walk through the BFS tree: climb from
+          // both u and w to their lowest common ancestor.
+          std::vector<Node> up_u{u};
+          std::vector<Node> up_w{w};
+          // Collect ancestors of u (by depth equalization then lockstep).
+          auto depth = [&](Node x) {
+            int d = 0;
+            while (parent[static_cast<std::size_t>(x)] != -1) {
+              x = parent[static_cast<std::size_t>(x)];
+              ++d;
+            }
+            return d;
+          };
+          Node a = u;
+          Node b = w;
+          int da = depth(a);
+          int db = depth(b);
+          while (da > db) {
+            a = parent[static_cast<std::size_t>(a)];
+            up_u.push_back(a);
+            --da;
+          }
+          while (db > da) {
+            b = parent[static_cast<std::size_t>(b)];
+            up_w.push_back(b);
+            --db;
+          }
+          while (a != b) {
+            a = parent[static_cast<std::size_t>(a)];
+            b = parent[static_cast<std::size_t>(b)];
+            up_u.push_back(a);
+            up_w.push_back(b);
+          }
+          // Cycle: u -> ... -> lca -> ... -> w -> u.
+          std::vector<Node> cycle(up_u.begin(), up_u.end());
+          for (auto it = up_w.rbegin() + 1; it != up_w.rend(); ++it) {
+            cycle.push_back(*it);
+          }
+          cycle.push_back(u);
+          result.odd_cycle = std::move(cycle);
+          return result;
+        }
+      }
+    }
+  }
+  result.coloring = std::move(color);
+  return result;
+}
+
+bool is_bipartite(const Graph& g) { return check_bipartite(g).bipartite(); }
+
+namespace {
+
+/// DSATUR-ordered backtracking: always branch on the uncolored node with
+/// the most distinctly-colored neighbors (ties: higher degree, then lower
+/// index -- fully deterministic). Exponential in the worst case but
+/// orders of magnitude faster than index order on the view graphs the
+/// library produces.
+bool color_backtrack_dsatur(const Graph& g, int k, int colored,
+                            std::vector<int>& color) {
+  const int n = g.num_nodes();
+  if (colored == n) {
+    return true;
+  }
+  // Pick the most saturated uncolored node.
+  Node pick = -1;
+  int best_sat = -1;
+  int best_deg = -1;
+  for (Node v = 0; v < n; ++v) {
+    if (color[static_cast<std::size_t>(v)] != -1) {
+      continue;
+    }
+    int sat_mask = 0;
+    for (const Node w : g.neighbors(v)) {
+      const int c = color[static_cast<std::size_t>(w)];
+      if (c != -1) {
+        sat_mask |= 1 << c;
+      }
+    }
+    const int sat = __builtin_popcount(static_cast<unsigned>(sat_mask));
+    const int deg = g.degree(v);
+    if (sat > best_sat || (sat == best_sat && deg > best_deg)) {
+      best_sat = sat;
+      best_deg = deg;
+      pick = v;
+    }
+  }
+  SHLCP_CHECK(pick != -1);
+  for (int c = 0; c < k; ++c) {
+    bool ok = true;
+    for (const Node w : g.neighbors(pick)) {
+      if (w == pick || color[static_cast<std::size_t>(w)] == c) {
+        ok = false;  // self-loops are never colorable
+        break;
+      }
+    }
+    if (!ok) {
+      continue;
+    }
+    color[static_cast<std::size_t>(pick)] = c;
+    if (color_backtrack_dsatur(g, k, colored + 1, color)) {
+      return true;
+    }
+    color[static_cast<std::size_t>(pick)] = -1;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> k_coloring(const Graph& g, int k) {
+  SHLCP_CHECK(k >= 1);
+  SHLCP_CHECK_MSG(k <= 30, "colors are tracked in a 32-bit saturation mask");
+  std::vector<int> color(static_cast<std::size_t>(g.num_nodes()), -1);
+  if (!color_backtrack_dsatur(g, k, 0, color)) {
+    return std::nullopt;
+  }
+  return color;
+}
+
+bool is_k_colorable(const Graph& g, int k) {
+  if (k >= 2) {
+    // Bipartiteness short-circuits the common case exactly.
+    if (k == 2) {
+      return is_bipartite(g);
+    }
+  }
+  return k_coloring(g, k).has_value();
+}
+
+int chromatic_number(const Graph& g) {
+  SHLCP_CHECK(g.num_nodes() >= 1);
+  for (int k = 1; k <= g.num_nodes(); ++k) {
+    if (is_k_colorable(g, k)) {
+      return k;
+    }
+  }
+  SHLCP_CHECK_MSG(false, "graph with a self-loop has no proper coloring");
+  return -1;
+}
+
+int diameter(const Graph& g) {
+  SHLCP_CHECK(g.num_nodes() >= 1);
+  SHLCP_CHECK_MSG(is_connected(g), "diameter of a disconnected graph");
+  int d = 0;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (const int x : dist) {
+      d = std::max(d, x);
+    }
+  }
+  return d;
+}
+
+std::optional<std::vector<Node>> shortest_path(const Graph& g, Node s, Node t) {
+  return shortest_path_avoiding(g, s, t, {});
+}
+
+std::optional<std::vector<Node>> shortest_path_avoiding(
+    const Graph& g, Node s, Node t, const std::vector<Node>& forbidden) {
+  g.check_node(s);
+  g.check_node(t);
+  std::vector<bool> blocked(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const Node f : forbidden) {
+    g.check_node(f);
+    blocked[static_cast<std::size_t>(f)] = true;
+  }
+  SHLCP_CHECK_MSG(!blocked[static_cast<std::size_t>(s)] &&
+                      !blocked[static_cast<std::size_t>(t)],
+                  "endpoints must not be forbidden");
+  std::vector<Node> parent(static_cast<std::size_t>(g.num_nodes()), -2);
+  parent[static_cast<std::size_t>(s)] = -1;
+  std::deque<Node> queue{s};
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    if (u == t) {
+      break;
+    }
+    for (const Node w : g.neighbors(u)) {
+      if (blocked[static_cast<std::size_t>(w)] ||
+          parent[static_cast<std::size_t>(w)] != -2) {
+        continue;
+      }
+      parent[static_cast<std::size_t>(w)] = u;
+      queue.push_back(w);
+    }
+  }
+  if (parent[static_cast<std::size_t>(t)] == -2) {
+    return std::nullopt;
+  }
+  std::vector<Node> path;
+  for (Node x = t; x != -1; x = parent[static_cast<std::size_t>(x)]) {
+    path.push_back(x);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+int cycle_space_dimension(const Graph& g) {
+  return g.num_edges() - g.num_nodes() + num_components(g);
+}
+
+std::optional<std::vector<Node>> find_cycle_in_component(const Graph& g,
+                                                         Node start) {
+  g.check_node(start);
+  // BFS from start; the first non-tree edge closes a cycle through the BFS
+  // tree.
+  std::vector<Node> parent(static_cast<std::size_t>(g.num_nodes()), -2);
+  parent[static_cast<std::size_t>(start)] = -1;
+  std::deque<Node> queue{start};
+  while (!queue.empty()) {
+    const Node u = queue.front();
+    queue.pop_front();
+    for (const Node w : g.neighbors(u)) {
+      if (w == u) {
+        return std::vector<Node>{u, u};  // self-loop
+      }
+      if (parent[static_cast<std::size_t>(w)] == -2) {
+        parent[static_cast<std::size_t>(w)] = u;
+        queue.push_back(w);
+      } else if (w != parent[static_cast<std::size_t>(u)]) {
+        // Non-tree edge u-w: climb both to the root collecting ancestors,
+        // splice at the lowest common ancestor.
+        auto ancestors = [&](Node x) {
+          std::vector<Node> up{x};
+          while (parent[static_cast<std::size_t>(x)] >= 0) {
+            x = parent[static_cast<std::size_t>(x)];
+            up.push_back(x);
+          }
+          return up;
+        };
+        const auto au = ancestors(u);
+        const auto aw = ancestors(w);
+        // Find LCA: deepest common suffix element.
+        std::size_t iu = au.size();
+        std::size_t iw = aw.size();
+        while (iu > 0 && iw > 0 && au[iu - 1] == aw[iw - 1]) {
+          --iu;
+          --iw;
+        }
+        // au[iu] (== aw[iw]) is the LCA. Build u -> ... -> LCA -> ... -> w
+        // and close with the non-tree edge w -> u.
+        std::vector<Node> cycle;
+        for (std::size_t i = 0; i <= iu && i < au.size(); ++i) {
+          cycle.push_back(au[i]);
+        }
+        for (std::size_t i = iw; i-- > 0;) {
+          cycle.push_back(aw[i]);
+        }
+        cycle.push_back(cycle.front());
+        return cycle;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_walk(const Graph& g, const std::vector<Node>& walk) {
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    if (!g.has_edge(walk[i], walk[i + 1])) {
+      return false;
+    }
+  }
+  for (const Node v : walk) {
+    if (v < 0 || v >= g.num_nodes()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_odd_closed_walk(const Graph& g, const std::vector<Node>& walk) {
+  SHLCP_CHECK(is_walk(g, walk));
+  if (walk.size() < 2 || walk.front() != walk.back()) {
+    return false;
+  }
+  return (walk.size() - 1) % 2 == 1;
+}
+
+std::vector<Node> ball(const Graph& g, Node v, int k) {
+  const auto dist = bfs_distances(g, v);
+  std::vector<Node> out;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (dist[static_cast<std::size_t>(u)] != -1 &&
+        dist[static_cast<std::size_t>(u)] <= k) {
+      out.push_back(u);
+    }
+  }
+  return out;
+}
+
+}  // namespace shlcp

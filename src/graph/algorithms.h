@@ -1,0 +1,98 @@
+// Exact graph algorithms used throughout the reproduction.
+//
+// Everything here is deterministic and exact. The library's graphs are
+// small (the paper's constructions live on at most a few hundred nodes),
+// so clarity wins over asymptotics: BFS everywhere, backtracking for
+// k-coloring.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace shlcp {
+
+/// BFS distances from `source`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, Node source);
+
+/// BFS distances from a *set* of sources (distance to the nearest source).
+std::vector<int> bfs_distances_multi(const Graph& g,
+                                     const std::vector<Node>& sources);
+
+/// Connected components: returns a vector comp[v] in [0, #components) with
+/// components numbered by smallest contained node.
+std::vector<int> connected_components(const Graph& g);
+
+/// Number of connected components.
+int num_components(const Graph& g);
+
+/// True iff g is connected (the empty graph counts as connected).
+bool is_connected(const Graph& g);
+
+/// Result of a bipartiteness test: either a proper 2-coloring or an odd
+/// closed walk witnessing non-bipartiteness.
+struct BipartiteResult {
+  /// Proper 2-coloring (values 0/1) if bipartite; empty otherwise.
+  std::vector<int> coloring;
+  /// An odd cycle (as a node sequence, first == last) if not bipartite;
+  /// empty otherwise.
+  std::vector<Node> odd_cycle;
+
+  [[nodiscard]] bool bipartite() const { return odd_cycle.empty(); }
+};
+
+/// Tests bipartiteness; a self-loop counts as an odd cycle of length 1.
+BipartiteResult check_bipartite(const Graph& g);
+
+/// Convenience wrapper over check_bipartite.
+bool is_bipartite(const Graph& g);
+
+/// Proper k-coloring by DSATUR-ordered backtracking, or nullopt if none
+/// exists. Fully deterministic (a fixed tie-breaking rule), which is all
+/// Lemma 3.2 needs to make the extractor decoder well-defined.
+/// Exponential in the worst case; fast at library scale.
+std::optional<std::vector<int>> k_coloring(const Graph& g, int k);
+
+/// True iff g admits a proper k-coloring.
+bool is_k_colorable(const Graph& g, int k);
+
+/// Chromatic number (by trying k = 1, 2, ...). Requires num_nodes >= 1.
+int chromatic_number(const Graph& g);
+
+/// Diameter of a connected graph: max over pairs of BFS distance.
+/// Requires g connected and non-empty.
+int diameter(const Graph& g);
+
+/// Shortest path from s to t as a node sequence (s first), or nullopt if
+/// disconnected. Deterministic (prefers smaller node indices).
+std::optional<std::vector<Node>> shortest_path(const Graph& g, Node s, Node t);
+
+/// Shortest path from s to t avoiding every node in `forbidden`
+/// (s and t must not be forbidden), or nullopt.
+std::optional<std::vector<Node>> shortest_path_avoiding(
+    const Graph& g, Node s, Node t, const std::vector<Node>& forbidden);
+
+/// Cyclomatic number m - n + c: the dimension of the cycle space, used by
+/// the lower-bound pipeline ("contains at least two cycles").
+int cycle_space_dimension(const Graph& g);
+
+/// Finds some cycle through the component containing `start` if one
+/// exists, as a closed node sequence (first == last); nullopt if that
+/// component is a tree. Deterministic.
+std::optional<std::vector<Node>> find_cycle_in_component(const Graph& g,
+                                                         Node start);
+
+/// True iff `walk` (a node sequence) is a walk in g: consecutive entries
+/// adjacent. An empty or single-node sequence is a walk.
+bool is_walk(const Graph& g, const std::vector<Node>& walk);
+
+/// True iff `walk` is closed (first == last) and of odd length (number of
+/// edges). Requires is_walk(g, walk).
+bool is_odd_closed_walk(const Graph& g, const std::vector<Node>& walk);
+
+/// The set N^k(v): all nodes at distance <= k from v, sorted.
+std::vector<Node> ball(const Graph& g, Node v, int k);
+
+}  // namespace shlcp

@@ -1,0 +1,293 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/algorithms.h"
+
+namespace shlcp {
+
+Graph make_path(int n) {
+  SHLCP_CHECK(n >= 1);
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+Graph make_cycle(int n) {
+  SHLCP_CHECK_MSG(n >= 3, "a simple cycle needs at least 3 nodes");
+  Graph g = make_path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph make_star(int leaves) {
+  SHLCP_CHECK(leaves >= 1);
+  Graph g(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) {
+    g.add_edge(0, i);
+  }
+  return g;
+}
+
+Graph make_complete(int n) {
+  SHLCP_CHECK(n >= 1);
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+Graph make_complete_bipartite(int a, int b) {
+  SHLCP_CHECK(a >= 1 && b >= 1);
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i) {
+    for (int j = 0; j < b; ++j) {
+      g.add_edge(i, a + j);
+    }
+  }
+  return g;
+}
+
+Graph make_grid(int rows, int cols) {
+  SHLCP_CHECK(rows >= 1 && cols >= 1);
+  Graph g(rows * cols);
+  auto idx = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        g.add_edge(idx(r, c), idx(r, c + 1));
+      }
+      if (r + 1 < rows) {
+        g.add_edge(idx(r, c), idx(r + 1, c));
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_torus(int rows, int cols) {
+  SHLCP_CHECK_MSG(rows >= 3 && cols >= 3, "torus needs both dimensions >= 3");
+  Graph g(rows * cols);
+  auto idx = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g.add_edge_if_absent(idx(r, c), idx(r, (c + 1) % cols));
+      g.add_edge_if_absent(idx(r, c), idx((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(int d) {
+  SHLCP_CHECK(1 <= d && d <= 20);
+  const int n = 1 << d;
+  Graph g(n);
+  for (int v = 0; v < n; ++v) {
+    for (int b = 0; b < d; ++b) {
+      const int u = v ^ (1 << b);
+      if (v < u) {
+        g.add_edge(v, u);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_watermelon(const std::vector<int>& path_lengths) {
+  SHLCP_CHECK_MSG(!path_lengths.empty(), "watermelon needs at least one path");
+  for (const int len : path_lengths) {
+    SHLCP_CHECK_MSG(len >= 2, "watermelon paths have length at least 2");
+  }
+  int interior = 0;
+  for (const int len : path_lengths) {
+    interior += len - 1;
+  }
+  Graph g(2 + interior);
+  const Node v1 = 0;
+  const Node v2 = 1;
+  int next = 2;
+  for (const int len : path_lengths) {
+    Node prev = v1;
+    for (int i = 0; i < len - 1; ++i) {
+      g.add_edge(prev, next);
+      prev = next++;
+    }
+    g.add_edge(prev, v2);
+  }
+  return g;
+}
+
+Graph make_theta(int len_a, int len_b, int len_c) {
+  return make_watermelon({len_a, len_b, len_c});
+}
+
+Graph make_double_broom(int spine, int left, int right) {
+  SHLCP_CHECK(spine >= 2 && left >= 0 && right >= 0);
+  Graph g = make_path(spine);
+  for (int i = 0; i < left; ++i) {
+    const Node leaf = g.add_node();
+    g.add_edge(0, leaf);
+  }
+  for (int i = 0; i < right; ++i) {
+    const Node leaf = g.add_node();
+    g.add_edge(spine - 1, leaf);
+  }
+  return g;
+}
+
+Graph make_random_tree(int n, Rng& rng) {
+  SHLCP_CHECK(n >= 1);
+  Graph g(n);
+  if (n <= 1) {
+    return g;
+  }
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Pruefer sequence decoding for a uniform labeled tree.
+  std::vector<int> pruefer(static_cast<std::size_t>(n - 2));
+  for (auto& x : pruefer) {
+    x = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(n)));
+  }
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (const int x : pruefer) {
+    ++deg[static_cast<std::size_t>(x)];
+  }
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (const int x : pruefer) {
+    // Smallest leaf not yet consumed.
+    int leaf = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!used[static_cast<std::size_t>(v)] && deg[static_cast<std::size_t>(v)] == 1) {
+        leaf = v;
+        break;
+      }
+    }
+    g.add_edge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = true;
+    --deg[static_cast<std::size_t>(x)];
+  }
+  // Two remaining degree-1 nodes.
+  int a = -1;
+  for (int v = 0; v < n; ++v) {
+    if (!used[static_cast<std::size_t>(v)] && deg[static_cast<std::size_t>(v)] == 1) {
+      if (a == -1) {
+        a = v;
+      } else {
+        g.add_edge(a, v);
+        break;
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_random_graph(int n, std::uint64_t p_num, std::uint64_t p_den,
+                        Rng& rng) {
+  SHLCP_CHECK(n >= 0);
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.next_bool(p_num, p_den)) {
+        g.add_edge(i, j);
+      }
+    }
+  }
+  return g;
+}
+
+Graph make_random_bipartite(int n, int extra_edges, Rng& rng) {
+  Graph g = make_random_tree(n, rng);
+  const auto res = check_bipartite(g);
+  SHLCP_CHECK(res.bipartite());
+  const auto& side = res.coloring;
+  for (int tries = 0, added = 0; added < extra_edges && tries < 50 * (extra_edges + 1);
+       ++tries) {
+    const Node u = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const Node v = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v || side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    if (g.add_edge_if_absent(u, v)) {
+      ++added;
+    }
+  }
+  return g;
+}
+
+Graph make_random_nonbipartite(int n, int extra_edges, Rng& rng) {
+  SHLCP_CHECK(n >= 3);
+  Graph g = make_random_tree(n, rng);
+  const auto res = check_bipartite(g);
+  const auto& side = res.coloring;
+  // Force one odd cycle: connect two non-adjacent same-side nodes.
+  bool forced = false;
+  for (int tries = 0; tries < 1000 && !forced; ++tries) {
+    const Node u = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const Node v = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v && side[static_cast<std::size_t>(u)] == side[static_cast<std::size_t>(v)]) {
+      forced = g.add_edge_if_absent(u, v);
+    }
+  }
+  if (!forced) {
+    // Degenerate fallback (e.g. star where one side is a single node):
+    // subdivide nothing, just add a triangle chord path. With n >= 3 a
+    // same-side pair always exists in one of the two sides of a tree with
+    // n >= 3 nodes, so this is unreachable in practice.
+    g.add_edge_if_absent(0, 1);
+  }
+  for (int tries = 0, added = 0; added < extra_edges && tries < 50 * (extra_edges + 1);
+       ++tries) {
+    const Node u = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const Node v = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) {
+      continue;
+    }
+    if (g.add_edge_if_absent(u, v)) {
+      ++added;
+    }
+  }
+  return g;
+}
+
+bool for_each_graph(int n, const std::function<bool(const Graph&)>& visit) {
+  SHLCP_CHECK_MSG(0 <= n && n <= 7, "for_each_graph capped at n = 7");
+  std::vector<Edge> slots;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      slots.push_back(Edge{i, j});
+    }
+  }
+  const std::uint32_t limit = 1u << slots.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    Graph g(n);
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if ((mask >> s) & 1u) {
+        g.add_edge(slots[s].u, slots[s].v);
+      }
+    }
+    if (!visit(g)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool for_each_connected_graph(int n,
+                              const std::function<bool(const Graph&)>& visit) {
+  return for_each_graph(n, [&](const Graph& g) {
+    if (!is_connected(g)) {
+      return true;
+    }
+    return visit(g);
+  });
+}
+
+}  // namespace shlcp

@@ -1,0 +1,85 @@
+// Graph families used by the paper's constructions and experiments.
+//
+// Includes both the named families the theorems quantify over (even
+// cycles, minimum-degree-one graphs, watermelon graphs, shatter-point
+// graphs, r-forgetful grids/tori/trees) and generic generators (random
+// graphs, random trees) for adversarial testing. Also includes a labeled-
+// graph enumerator for the exhaustive soundness and neighborhood-graph
+// engines (Lemma 3.1 iterates over *all* graphs of bounded size).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace shlcp {
+
+/// Path P_n on n >= 1 nodes: 0 - 1 - ... - n-1.
+Graph make_path(int n);
+
+/// Cycle C_n on n >= 3 nodes: 0 - 1 - ... - n-1 - 0.
+Graph make_cycle(int n);
+
+/// Star K_{1,k}: center 0 with k >= 1 leaves.
+Graph make_star(int leaves);
+
+/// Complete graph K_n.
+Graph make_complete(int n);
+
+/// Complete bipartite K_{a,b}: parts {0..a-1} and {a..a+b-1}.
+Graph make_complete_bipartite(int a, int b);
+
+/// rows x cols grid; node (r, c) has index r * cols + c. Requires both
+/// dimensions >= 1.
+Graph make_grid(int rows, int cols);
+
+/// rows x cols torus (grid with wraparound). Requires both >= 3 so the
+/// result stays simple.
+Graph make_torus(int rows, int cols);
+
+/// d-dimensional hypercube on 2^d nodes. Requires 1 <= d <= 20.
+Graph make_hypercube(int d);
+
+/// Watermelon graph (Section 7.2): endpoints v1 = 0 and v2 = 1 joined by
+/// k = path_lengths.size() internally disjoint paths; path_lengths[i] >= 2
+/// is the number of edges of the i-th path. Interior nodes are numbered
+/// consecutively after the endpoints, path by path.
+Graph make_watermelon(const std::vector<int>& path_lengths);
+
+/// Theta graph: watermelon with exactly three paths.
+Graph make_theta(int len_a, int len_b, int len_c);
+
+/// The "double broom": a path of `spine` >= 2 nodes with `left` pendant
+/// leaves on one end and `right` on the other. With spine >= 3 the middle
+/// node is a shatter point. Requires left, right >= 0.
+Graph make_double_broom(int spine, int left, int right);
+
+/// Uniform random labeled tree on n >= 1 nodes (Pruefer decoding).
+Graph make_random_tree(int n, Rng& rng);
+
+/// G(n, p) with p = p_num / p_den; deterministic given the Rng state.
+Graph make_random_graph(int n, std::uint64_t p_num, std::uint64_t p_den,
+                        Rng& rng);
+
+/// Random connected bipartite graph: random tree on n nodes plus
+/// `extra_edges` random part-respecting edges (skipped when impossible).
+Graph make_random_bipartite(int n, int extra_edges, Rng& rng);
+
+/// Random *non-bipartite* connected graph: random tree plus edges, with at
+/// least one odd cycle forced. Requires n >= 3.
+Graph make_random_nonbipartite(int n, int extra_edges, Rng& rng);
+
+/// Enumerates every labeled graph on n nodes (all 2^C(n,2) edge subsets),
+/// optionally restricted by a predicate evaluated before the visit.
+/// Requires n <= 7 (2^21 graphs). Return false from visit to stop early;
+/// the function returns false iff stopped early.
+bool for_each_graph(int n, const std::function<bool(const Graph&)>& visit);
+
+/// As for_each_graph but only connected graphs.
+bool for_each_connected_graph(int n,
+                              const std::function<bool(const Graph&)>& visit);
+
+}  // namespace shlcp

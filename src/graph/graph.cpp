@@ -1,0 +1,164 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.h"
+
+namespace shlcp {
+
+Graph::Graph(int n) {
+  SHLCP_CHECK(n >= 0);
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+namespace {
+
+/// Inserts `x` into the sorted vector `v`; returns false if already there.
+bool sorted_insert(std::vector<Node>& v, Node x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) {
+    return false;
+  }
+  v.insert(it, x);
+  return true;
+}
+
+/// Removes `x` from the sorted vector `v`; returns false if absent.
+bool sorted_erase(std::vector<Node>& v, Node x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) {
+    return false;
+  }
+  v.erase(it);
+  return true;
+}
+
+}  // namespace
+
+void Graph::add_edge(Node u, Node v) {
+  check_node(u);
+  check_node(v);
+  SHLCP_CHECK_MSG(u != v, "use add_loop for self-loops");
+  const bool fresh = sorted_insert(adj_[static_cast<std::size_t>(u)], v);
+  SHLCP_CHECK_MSG(fresh, "edge already present");
+  sorted_insert(adj_[static_cast<std::size_t>(v)], u);
+  ++num_edges_;
+}
+
+void Graph::add_loop(Node v) {
+  check_node(v);
+  const bool fresh = sorted_insert(adj_[static_cast<std::size_t>(v)], v);
+  SHLCP_CHECK_MSG(fresh, "loop already present");
+  ++num_edges_;
+}
+
+bool Graph::add_edge_if_absent(Node u, Node v) {
+  check_node(u);
+  check_node(v);
+  SHLCP_CHECK_MSG(u != v, "use add_loop for self-loops");
+  if (has_edge(u, v)) {
+    return false;
+  }
+  add_edge(u, v);
+  return true;
+}
+
+void Graph::remove_edge(Node u, Node v) {
+  check_node(u);
+  check_node(v);
+  const bool had = sorted_erase(adj_[static_cast<std::size_t>(u)], v);
+  SHLCP_CHECK_MSG(had, "edge not present");
+  if (u != v) {
+    sorted_erase(adj_[static_cast<std::size_t>(v)], u);
+  }
+  --num_edges_;
+}
+
+bool Graph::has_edge(Node u, Node v) const {
+  check_node(u);
+  check_node(v);
+  const auto& nb = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+int Graph::min_degree() const {
+  SHLCP_CHECK_MSG(num_nodes() > 0, "min_degree of empty graph");
+  int d = degree(0);
+  for (Node v = 1; v < num_nodes(); ++v) {
+    d = std::min(d, degree(v));
+  }
+  return d;
+}
+
+int Graph::max_degree() const {
+  SHLCP_CHECK_MSG(num_nodes() > 0, "max_degree of empty graph");
+  int d = degree(0);
+  for (Node v = 1; v < num_nodes(); ++v) {
+    d = std::max(d, degree(v));
+  }
+  return d;
+}
+
+std::vector<Edge> Graph::edges() const {
+  std::vector<Edge> out;
+  out.reserve(static_cast<std::size_t>(num_edges_));
+  for (Node u = 0; u < num_nodes(); ++u) {
+    for (const Node v : neighbors(u)) {
+      if (u <= v) {
+        out.push_back(Edge{u, v});
+      }
+    }
+  }
+  return out;
+}
+
+Node Graph::add_node() {
+  adj_.emplace_back();
+  return num_nodes() - 1;
+}
+
+Graph Graph::induced_subgraph(std::span<const Node> nodes,
+                              std::vector<Node>* old_of_new) const {
+  std::vector<int> new_of_old(static_cast<std::size_t>(num_nodes()), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    check_node(nodes[i]);
+    SHLCP_CHECK_MSG(new_of_old[static_cast<std::size_t>(nodes[i])] == -1,
+                    "duplicate node in induced_subgraph");
+    new_of_old[static_cast<std::size_t>(nodes[i])] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node u = nodes[i];
+    for (const Node v : neighbors(u)) {
+      const int j = new_of_old[static_cast<std::size_t>(v)];
+      if (j == -1) {
+        continue;
+      }
+      if (u == v) {
+        sub.add_loop(static_cast<Node>(i));
+      } else if (static_cast<int>(i) < j) {
+        sub.add_edge(static_cast<Node>(i), j);
+      }
+    }
+  }
+  if (old_of_new != nullptr) {
+    old_of_new->assign(nodes.begin(), nodes.end());
+  }
+  return sub;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.adj_ == b.adj_;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes() << ", m=" << num_edges() << ")";
+  for (Node v = 0; v < num_nodes(); ++v) {
+    os << "\n  " << v << ": " << join(neighbors(v), " ");
+  }
+  return os.str();
+}
+
+}  // namespace shlcp

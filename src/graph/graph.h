@@ -1,0 +1,118 @@
+// Undirected graphs in the style of Section 2 of the paper.
+//
+// Nodes are dense indices 0..n-1 (node *identifiers* in the LCP sense are
+// a separate assignment, see graph/ids.h). Graphs are simple and
+// undirected; self-loops are permitted by the paper's definitions but none
+// of the constructions use them, so add_edge rejects loops by default and
+// offers add_loop explicitly.
+//
+// Adjacency lists are kept sorted, which gives deterministic iteration
+// order everywhere -- important because several constructions (canonical
+// colorings, lexicographically-first choices in Lemma 3.2) depend on a
+// fixed ordering.
+
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace shlcp {
+
+/// Dense node index. Distinct from the LCP identifier (see IdAssignment).
+using Node = int;
+
+/// An undirected edge as an unordered pair; stored with u <= v.
+struct Edge {
+  Node u = 0;
+  Node v = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Normalizes an edge so u <= v.
+inline Edge make_edge(Node a, Node b) {
+  return a <= b ? Edge{a, b} : Edge{b, a};
+}
+
+/// Simple undirected graph with sorted adjacency lists.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` isolated nodes.
+  explicit Graph(int n);
+
+  /// Number of nodes.
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(adj_.size()); }
+
+  /// Number of edges (loops count once).
+  [[nodiscard]] int num_edges() const { return num_edges_; }
+
+  /// Adds the edge {u, v}. Requires u != v, both in range, and the edge
+  /// not already present.
+  void add_edge(Node u, Node v);
+
+  /// Adds a self-loop at v (allowed by the paper's model; rarely used).
+  void add_loop(Node v);
+
+  /// Adds the edge if absent; returns true if it was added.
+  bool add_edge_if_absent(Node u, Node v);
+
+  /// Removes the edge {u, v}. Requires the edge to be present.
+  void remove_edge(Node u, Node v);
+
+  /// True iff {u, v} is an edge (or u == v is a loop).
+  [[nodiscard]] bool has_edge(Node u, Node v) const;
+
+  /// Sorted neighbor list of v. A loop at v lists v once.
+  [[nodiscard]] std::span<const Node> neighbors(Node v) const {
+    check_node(v);
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree of v (a loop contributes 1 here; none of the paper's
+  /// constructions use loops, so the convention never matters in practice).
+  [[nodiscard]] int degree(Node v) const {
+    return static_cast<int>(neighbors(v).size());
+  }
+
+  /// Minimum degree delta(G). Requires a non-empty graph.
+  [[nodiscard]] int min_degree() const;
+
+  /// Maximum degree Delta(G). Requires a non-empty graph.
+  [[nodiscard]] int max_degree() const;
+
+  /// All edges, sorted lexicographically.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Adds a fresh isolated node and returns its index.
+  Node add_node();
+
+  /// Subgraph induced by `nodes` (paper notation G[U]). The returned
+  /// graph reindexes nodes densely in the order given; `nodes` must not
+  /// contain duplicates. Also outputs the map new-index -> old-index via
+  /// the optional out parameter.
+  [[nodiscard]] Graph induced_subgraph(std::span<const Node> nodes,
+                                       std::vector<Node>* old_of_new = nullptr) const;
+
+  /// Structural equality (same node count and edge set).
+  friend bool operator==(const Graph& a, const Graph& b);
+
+  /// Multi-line human-readable rendering (for failure messages).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throws unless 0 <= v < num_nodes().
+  void check_node(Node v) const {
+    SHLCP_CHECK_MSG(0 <= v && v < num_nodes(), "node index out of range");
+  }
+
+ private:
+  std::vector<std::vector<Node>> adj_;
+  int num_edges_ = 0;
+};
+
+}  // namespace shlcp

@@ -1,0 +1,87 @@
+#include "graph/ids.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/combinatorics.h"
+
+namespace shlcp {
+
+IdAssignment IdAssignment::consecutive(const Graph& g) {
+  std::vector<Ident> ids(static_cast<std::size_t>(g.num_nodes()));
+  std::iota(ids.begin(), ids.end(), 1);
+  return from_vector(std::move(ids), g.num_nodes());
+}
+
+IdAssignment IdAssignment::from_vector(std::vector<Ident> ids, Ident bound) {
+  std::vector<Ident> sorted = ids;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    SHLCP_CHECK_MSG(sorted[i] >= 1 && sorted[i] <= bound,
+                    "identifier out of range [1, N]");
+    SHLCP_CHECK_MSG(i == 0 || sorted[i] != sorted[i - 1],
+                    "identifiers must be injective");
+  }
+  IdAssignment ia;
+  ia.ids_ = std::move(ids);
+  ia.bound_ = bound;
+  return ia;
+}
+
+IdAssignment IdAssignment::random(const Graph& g, Ident bound, Rng& rng) {
+  const int n = g.num_nodes();
+  SHLCP_CHECK_MSG(bound >= n, "need at least n identifiers");
+  // Floyd's algorithm would be fancier; for our sizes a partial shuffle of
+  // [1, bound] materialized is fine only for small bounds, so instead draw
+  // with rejection into a sorted set.
+  std::vector<Ident> chosen;
+  chosen.reserve(static_cast<std::size_t>(n));
+  while (static_cast<int>(chosen.size()) < n) {
+    const Ident candidate = 1 + static_cast<Ident>(rng.next_below(
+                                    static_cast<std::uint64_t>(bound)));
+    if (std::find(chosen.begin(), chosen.end(), candidate) == chosen.end()) {
+      chosen.push_back(candidate);
+    }
+  }
+  return from_vector(std::move(chosen), bound);
+}
+
+Node IdAssignment::node_of(Ident id) const {
+  for (std::size_t v = 0; v < ids_.size(); ++v) {
+    if (ids_[v] == id) {
+      return static_cast<Node>(v);
+    }
+  }
+  return -1;
+}
+
+bool for_each_id_order(const Graph& g,
+                       const std::function<bool(const IdAssignment&)>& visit) {
+  const int n = g.num_nodes();
+  return for_each_permutation(n, [&](const std::vector<int>& perm) {
+    std::vector<Ident> ids(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      ids[static_cast<std::size_t>(v)] = perm[static_cast<std::size_t>(v)] + 1;
+    }
+    return visit(IdAssignment::from_vector(std::move(ids), n));
+  });
+}
+
+bool for_each_id_assignment(
+    const Graph& g, Ident bound,
+    const std::function<bool(const IdAssignment&)>& visit) {
+  const int n = g.num_nodes();
+  SHLCP_CHECK(bound >= n);
+  return for_each_subset(bound, n, [&](const std::vector<int>& subset) {
+    return for_each_permutation(n, [&](const std::vector<int>& perm) {
+      std::vector<Ident> ids(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) {
+        ids[static_cast<std::size_t>(v)] =
+            subset[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])] + 1;
+      }
+      return visit(IdAssignment::from_vector(std::move(ids), bound));
+    });
+  });
+}
+
+}  // namespace shlcp

@@ -1,0 +1,76 @@
+// Identifier assignments (Section 2.2 of the paper).
+//
+// An identifier assignment is an injective map V(G) -> [N] with
+// N = poly(n). The numeric values matter to id-using decoders; only the
+// relative order matters to order-invariant decoders; they are invisible
+// to anonymous decoders. The enumeration helpers below are therefore
+// organized by which equivalence class of assignments a decoder can
+// distinguish.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace shlcp {
+
+/// The paper's node identifier (a value in [1, N]); -1 marks "anonymous".
+using Ident = int;
+
+/// Injective identifier assignment for a fixed graph.
+class IdAssignment {
+ public:
+  IdAssignment() = default;
+
+  /// Identity-like assignment: node v gets identifier v + 1, N = n.
+  static IdAssignment consecutive(const Graph& g);
+
+  /// Assignment from an explicit vector (parallel to node indices);
+  /// validates injectivity and range [1, bound].
+  static IdAssignment from_vector(std::vector<Ident> ids, Ident bound);
+
+  /// Random injective assignment into [1, bound].
+  static IdAssignment random(const Graph& g, Ident bound, Rng& rng);
+
+  /// Identifier of node v.
+  [[nodiscard]] Ident id_of(Node v) const {
+    SHLCP_CHECK(0 <= v && static_cast<std::size_t>(v) < ids_.size());
+    return ids_[static_cast<std::size_t>(v)];
+  }
+
+  /// Node with identifier `id`, or -1 if no node has it.
+  [[nodiscard]] Node node_of(Ident id) const;
+
+  /// Upper bound N on identifier values (known to all nodes).
+  [[nodiscard]] Ident bound() const { return bound_; }
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(ids_.size()); }
+
+  /// The raw identifier vector, indexed by node.
+  [[nodiscard]] const std::vector<Ident>& raw() const { return ids_; }
+
+  friend bool operator==(const IdAssignment&, const IdAssignment&) = default;
+
+ private:
+  std::vector<Ident> ids_;
+  Ident bound_ = 0;
+};
+
+/// Enumerates all *order types* of identifier assignments: every
+/// permutation pi of [n], realized as ids id(v) = pi(v) + 1 with N = n.
+/// Sufficient to exercise any order-invariant decoder exhaustively.
+/// Return false from visit to stop; returns false iff stopped early.
+bool for_each_id_order(const Graph& g,
+                       const std::function<bool(const IdAssignment&)>& visit);
+
+/// Enumerates all injective assignments of `g`'s nodes into [1, bound]
+/// (i.e. every size-n subset of [bound] in every order). Count is
+/// bound!/(bound-n)! -- keep bound small. Return false to stop early.
+bool for_each_id_assignment(
+    const Graph& g, Ident bound,
+    const std::function<bool(const IdAssignment&)>& visit);
+
+}  // namespace shlcp

@@ -1,0 +1,46 @@
+#include "graph/labeling.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.h"
+
+namespace shlcp {
+
+std::string show_certificate(const Certificate& c) {
+  std::ostringstream os;
+  os << "(" << join(c.fields, ",") << "):" << c.bits;
+  return os.str();
+}
+
+int Labeling::max_bits() const {
+  int b = 0;
+  for (const auto& c : certs_) {
+    b = std::max(b, c.bits);
+  }
+  return b;
+}
+
+std::int64_t Labeling::total_bits() const {
+  std::int64_t total = 0;
+  for (const auto& c : certs_) {
+    total += c.bits;
+  }
+  return total;
+}
+
+std::size_t CertificateHash::operator()(const Certificate& c) const noexcept {
+  // FNV-1a over the fields and the bit count.
+  std::size_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::size_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::size_t>(c.bits));
+  for (const int f : c.fields) {
+    mix(static_cast<std::size_t>(static_cast<std::uint32_t>(f)));
+  }
+  return h;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,79 @@
+// Certificates and labelings (Section 2.2 of the paper).
+//
+// A labeling assigns every node a certificate of size f(n) bits. Concrete
+// LCPs in this library use *structured* certificates (tuples of small
+// integers: types, colors, identifiers, port pairs, component numbers). To
+// stay faithful to the paper's bit-size accounting while keeping decoding
+// readable, a Certificate is a tuple of integer fields together with the
+// number of bits its canonical binary encoding occupies; each LCP's prover
+// documents its field layout and computes the bit count.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace shlcp {
+
+/// A node certificate: an integer-field tuple plus its encoded bit size.
+struct Certificate {
+  /// Structured payload; semantics defined by the owning LCP.
+  std::vector<int> fields;
+  /// Size of the canonical binary encoding, in bits. Zero for the empty
+  /// certificate.
+  int bits = 0;
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+  friend auto operator<=>(const Certificate&, const Certificate&) = default;
+};
+
+/// Renders a certificate as "(f1,f2,...):bits" for diagnostics.
+std::string show_certificate(const Certificate& c);
+
+/// A labeling ell : V(G) -> certificates.
+class Labeling {
+ public:
+  Labeling() = default;
+
+  /// All-empty labeling for an n-node graph.
+  explicit Labeling(int n) : certs_(static_cast<std::size_t>(n)) {}
+
+  /// Builds from an explicit per-node certificate vector.
+  explicit Labeling(std::vector<Certificate> certs) : certs_(std::move(certs)) {}
+
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(certs_.size()); }
+
+  [[nodiscard]] const Certificate& at(Node v) const {
+    SHLCP_CHECK(0 <= v && static_cast<std::size_t>(v) < certs_.size());
+    return certs_[static_cast<std::size_t>(v)];
+  }
+
+  Certificate& at(Node v) {
+    SHLCP_CHECK(0 <= v && static_cast<std::size_t>(v) < certs_.size());
+    return certs_[static_cast<std::size_t>(v)];
+  }
+
+  /// Maximum certificate size over all nodes, in bits (the paper's f(n)).
+  [[nodiscard]] int max_bits() const;
+
+  /// Total certificate bits across the graph.
+  [[nodiscard]] std::int64_t total_bits() const;
+
+  [[nodiscard]] const std::vector<Certificate>& raw() const { return certs_; }
+
+  friend bool operator==(const Labeling&, const Labeling&) = default;
+
+ private:
+  std::vector<Certificate> certs_;
+};
+
+/// Hash functor so certificates can key unordered containers.
+struct CertificateHash {
+  std::size_t operator()(const Certificate& c) const noexcept;
+};
+
+}  // namespace shlcp

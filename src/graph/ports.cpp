@@ -1,0 +1,116 @@
+#include "graph/ports.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/combinatorics.h"
+
+namespace shlcp {
+
+PortAssignment PortAssignment::canonical(const Graph& g) {
+  PortAssignment pa;
+  pa.ports_.resize(static_cast<std::size_t>(g.num_nodes()));
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    auto& pv = pa.ports_[static_cast<std::size_t>(v)];
+    pv.resize(static_cast<std::size_t>(g.degree(v)));
+    std::iota(pv.begin(), pv.end(), 1);
+  }
+  return pa;
+}
+
+PortAssignment PortAssignment::random(const Graph& g, Rng& rng) {
+  PortAssignment pa = canonical(g);
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    rng.shuffle(pa.ports_[static_cast<std::size_t>(v)]);
+  }
+  return pa;
+}
+
+PortAssignment PortAssignment::from_lists(const Graph& g,
+                                          std::vector<std::vector<Port>> ports) {
+  SHLCP_CHECK(static_cast<int>(ports.size()) == g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    const auto& pv = ports[static_cast<std::size_t>(v)];
+    SHLCP_CHECK_MSG(static_cast<int>(pv.size()) == g.degree(v),
+                    "port list length must equal degree");
+    std::vector<Port> sorted = pv;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < static_cast<int>(sorted.size()); ++i) {
+      SHLCP_CHECK_MSG(sorted[static_cast<std::size_t>(i)] == i + 1,
+                      "ports at a node must be a bijection onto [d(v)]");
+    }
+  }
+  PortAssignment pa;
+  pa.ports_ = std::move(ports);
+  return pa;
+}
+
+Port PortAssignment::port(const Graph& g, Node v, Node u) const {
+  const auto nb = g.neighbors(v);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), u);
+  SHLCP_CHECK_MSG(it != nb.end() && *it == u, "port(): edge not present");
+  const auto idx = static_cast<std::size_t>(it - nb.begin());
+  return ports_[static_cast<std::size_t>(v)][idx];
+}
+
+Node PortAssignment::neighbor_at(const Graph& g, Node v, Port p) const {
+  SHLCP_CHECK_MSG(1 <= p && p <= g.degree(v), "port out of range");
+  const auto& pv = ports_[static_cast<std::size_t>(v)];
+  for (std::size_t i = 0; i < pv.size(); ++i) {
+    if (pv[i] == p) {
+      return g.neighbors(v)[i];
+    }
+  }
+  SHLCP_CHECK_MSG(false, "port assignment corrupt: port not found");
+  return -1;  // unreachable
+}
+
+std::uint64_t count_port_assignments(const Graph& g) {
+  const std::uint64_t cap = std::numeric_limits<std::uint64_t>::max() / 2;
+  std::uint64_t total = 1;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    const std::uint64_t f = factorial(std::min(g.degree(v), 20));
+    if (total > cap / std::max<std::uint64_t>(f, 1)) {
+      return cap;
+    }
+    total *= f;
+  }
+  return total;
+}
+
+bool for_each_port_assignment(
+    const Graph& g, const std::function<bool(const PortAssignment&)>& visit,
+    std::uint64_t limit) {
+  SHLCP_CHECK_MSG(count_port_assignments(g) <= limit,
+                  "too many port assignments to enumerate");
+  // Materialize, per node, all permutations of its ports; then walk the
+  // product space.
+  std::vector<std::vector<std::vector<Port>>> choices(
+      static_cast<std::size_t>(g.num_nodes()));
+  std::vector<int> radix(static_cast<std::size_t>(g.num_nodes()));
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    const int d = g.degree(v);
+    for_each_permutation(d, [&](const std::vector<int>& perm) {
+      std::vector<Port> pv(static_cast<std::size_t>(d));
+      for (int i = 0; i < d; ++i) {
+        pv[static_cast<std::size_t>(i)] = perm[static_cast<std::size_t>(i)] + 1;
+      }
+      choices[static_cast<std::size_t>(v)].push_back(std::move(pv));
+      return true;
+    });
+    radix[static_cast<std::size_t>(v)] =
+        static_cast<int>(choices[static_cast<std::size_t>(v)].size());
+  }
+  return for_each_product(radix, [&](const std::vector<int>& digits) {
+    std::vector<std::vector<Port>> lists(static_cast<std::size_t>(g.num_nodes()));
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      lists[static_cast<std::size_t>(v)] =
+          choices[static_cast<std::size_t>(v)]
+                 [static_cast<std::size_t>(digits[static_cast<std::size_t>(v)])];
+    }
+    return visit(PortAssignment::from_lists(g, std::move(lists)));
+  });
+}
+
+}  // namespace shlcp

@@ -1,0 +1,73 @@
+// Port assignments (Section 2.2 of the paper).
+//
+// A port assignment gives every node v a bijection between its incident
+// edges and the port numbers [1, d(v)]. Port numbers are how anonymous
+// nodes address their neighbors; the even-cycle LCP (Lemma 4.2) leans on
+// the pair (prt(u, e), prt(v, e)) as a name for the edge e that both
+// endpoints can compute.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace shlcp {
+
+/// Port numbers are 1-based, matching the paper ([Delta(G)] = {1..Delta}).
+using Port = int;
+
+/// A port assignment for a fixed graph. Stored per node as the list of
+/// ports parallel to Graph::neighbors(v) -- i.e. port_to(v)[i] is the port
+/// of the edge to the i-th (sorted) neighbor of v.
+class PortAssignment {
+ public:
+  PortAssignment() = default;
+
+  /// The canonical assignment: the i-th sorted neighbor gets port i+1.
+  static PortAssignment canonical(const Graph& g);
+
+  /// A uniformly random assignment (independent permutation per node).
+  static PortAssignment random(const Graph& g, Rng& rng);
+
+  /// Builds from explicit per-node port lists; validates bijectivity.
+  static PortAssignment from_lists(const Graph& g,
+                                   std::vector<std::vector<Port>> ports);
+
+  /// Port of the edge {v, u} at v. Requires the edge to exist.
+  [[nodiscard]] Port port(const Graph& g, Node v, Node u) const;
+
+  /// Neighbor of v reached through port p. Requires 1 <= p <= d(v).
+  [[nodiscard]] Node neighbor_at(const Graph& g, Node v, Port p) const;
+
+  /// The raw port list parallel to g.neighbors(v).
+  [[nodiscard]] const std::vector<Port>& ports_of(Node v) const {
+    SHLCP_CHECK(0 <= v && static_cast<std::size_t>(v) < ports_.size());
+    return ports_[static_cast<std::size_t>(v)];
+  }
+
+  /// Number of nodes this assignment covers.
+  [[nodiscard]] int num_nodes() const { return static_cast<int>(ports_.size()); }
+
+  friend bool operator==(const PortAssignment&, const PortAssignment&) = default;
+
+ private:
+  std::vector<std::vector<Port>> ports_;
+};
+
+/// Enumerates every port assignment of `g` (the product of permutations of
+/// [d(v)] over all v). The callback may return false to stop; the function
+/// returns false iff stopped early. Guarded to small graphs: the total
+/// count prod_v d(v)! must not exceed `limit` (default 10^7).
+bool for_each_port_assignment(
+    const Graph& g,
+    const std::function<bool(const PortAssignment&)>& visit,
+    std::uint64_t limit = 10'000'000);
+
+/// Number of distinct port assignments of g (prod_v d(v)!), saturating at
+/// uint64 max / 2 to avoid overflow.
+std::uint64_t count_port_assignments(const Graph& g);
+
+}  // namespace shlcp

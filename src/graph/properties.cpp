@@ -1,0 +1,244 @@
+#include "graph/properties.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "graph/algorithms.h"
+
+namespace shlcp {
+
+bool has_min_degree_one(const Graph& g) {
+  SHLCP_CHECK(g.num_nodes() >= 1);
+  return g.min_degree() == 1;
+}
+
+bool is_cycle(const Graph& g) {
+  if (g.num_nodes() < 3 || !is_connected(g)) {
+    return false;
+  }
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (g.degree(v) != 2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_even_cycle(const Graph& g) {
+  return is_cycle(g) && g.num_nodes() % 2 == 0;
+}
+
+std::vector<Node> shatter_points(const Graph& g) {
+  std::vector<Node> out;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    // Build G - N[v] and count its components.
+    std::vector<Node> keep;
+    const auto nb = g.neighbors(v);
+    for (Node u = 0; u < g.num_nodes(); ++u) {
+      if (u != v && !std::binary_search(nb.begin(), nb.end(), u)) {
+        keep.push_back(u);
+      }
+    }
+    if (keep.size() < 2) {
+      continue;
+    }
+    const Graph rest = g.induced_subgraph(keep);
+    if (num_components(rest) >= 2) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool has_shatter_point(const Graph& g) { return !shatter_points(g).empty(); }
+
+namespace {
+
+/// Tries to decompose g as a watermelon with the given ordered endpoints.
+std::optional<WatermelonDecomposition> decompose_with_endpoints(const Graph& g,
+                                                                Node v1,
+                                                                Node v2) {
+  if (v1 == v2 || g.has_edge(v1, v2)) {
+    return std::nullopt;  // paths must have length >= 2
+  }
+  // Every node other than the endpoints must have degree exactly 2, and
+  // the two endpoints must have equal degree k >= 1.
+  if (g.degree(v1) != g.degree(v2) || g.degree(v1) < 1) {
+    return std::nullopt;
+  }
+  for (Node x = 0; x < g.num_nodes(); ++x) {
+    if (x != v1 && x != v2 && g.degree(x) != 2) {
+      return std::nullopt;
+    }
+  }
+  WatermelonDecomposition dec;
+  dec.v1 = v1;
+  dec.v2 = v2;
+  std::vector<bool> used(static_cast<std::size_t>(g.num_nodes()), false);
+  used[static_cast<std::size_t>(v1)] = true;
+  used[static_cast<std::size_t>(v2)] = true;
+  for (const Node first : g.neighbors(v1)) {
+    // Walk the degree-2 chain from v1 through `first` until v2.
+    std::vector<Node> path{v1};
+    Node prev = v1;
+    Node cur = first;
+    while (cur != v2) {
+      if (cur == v1 || used[static_cast<std::size_t>(cur)] || g.degree(cur) != 2) {
+        return std::nullopt;
+      }
+      used[static_cast<std::size_t>(cur)] = true;
+      path.push_back(cur);
+      const auto nb = g.neighbors(cur);
+      const Node next = (nb[0] == prev) ? nb[1] : nb[0];
+      prev = cur;
+      cur = next;
+    }
+    path.push_back(v2);
+    if (path.size() < 3) {
+      return std::nullopt;  // length >= 2 edges
+    }
+    dec.paths.push_back(std::move(path));
+  }
+  // Every node must have been consumed (graph connected through the paths).
+  for (Node x = 0; x < g.num_nodes(); ++x) {
+    if (!used[static_cast<std::size_t>(x)]) {
+      return std::nullopt;
+    }
+  }
+  return dec;
+}
+
+}  // namespace
+
+std::optional<WatermelonDecomposition> watermelon_decomposition(const Graph& g) {
+  const int n = g.num_nodes();
+  if (n < 3 || !is_connected(g)) {
+    return std::nullopt;
+  }
+  // Candidate endpoints: the nodes of degree != 2 (there must be exactly
+  // zero or two of them).
+  std::vector<Node> special;
+  for (Node v = 0; v < n; ++v) {
+    if (g.degree(v) != 2) {
+      special.push_back(v);
+    }
+  }
+  if (special.size() == 2) {
+    return decompose_with_endpoints(g, special[0], special[1]);
+  }
+  if (special.empty()) {
+    // 2-regular connected = a cycle; a cycle on >= 4 nodes is a watermelon
+    // whose endpoints are any two nodes at distance >= 2. Use 0 and 2.
+    if (!is_cycle(g) || n < 4) {
+      return std::nullopt;
+    }
+    const auto dist = bfs_distances(g, 0);
+    for (Node v2 = 0; v2 < n; ++v2) {
+      if (dist[static_cast<std::size_t>(v2)] >= 2) {
+        return decompose_with_endpoints(g, 0, v2);
+      }
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+bool is_watermelon(const Graph& g) {
+  return watermelon_decomposition(g).has_value();
+}
+
+std::optional<std::vector<Node>> forgetful_escape_path(const Graph& g, Node v,
+                                                       Node u, int r) {
+  SHLCP_CHECK(r >= 1);
+  SHLCP_CHECK_MSG(g.has_edge(u, v), "u must be a neighbor of v");
+  // dist(., w) for every w in N^r(u); the path must avoid u and move away
+  // from every such w that is not on the path itself, by exactly one unit
+  // per step (distances change by at most 1, so "strictly increasing"
+  // forces +1 per step). See the header's reproduction note for why the
+  // path's own nodes are exempt.
+  const std::vector<Node> targets = ball(g, u, r);
+  std::vector<std::vector<int>> dist_to;
+  dist_to.reserve(targets.size());
+  for (const Node w : targets) {
+    dist_to.push_back(bfs_distances(g, w));
+  }
+
+  std::vector<Node> path{v};
+  std::vector<bool> on_path(static_cast<std::size_t>(g.num_nodes()), false);
+  on_path[static_cast<std::size_t>(v)] = true;
+
+  // Validates the strict-increase condition along the whole current path
+  // for one target w (used when finalizing, since exemption depends on
+  // the complete path).
+  auto target_ok = [&](std::size_t t) {
+    if (on_path[static_cast<std::size_t>(targets[t])]) {
+      return true;  // exempt: the path may pass through w
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      const int dc = dist_to[t][static_cast<std::size_t>(path[i])];
+      const int dn = dist_to[t][static_cast<std::size_t>(path[i + 1])];
+      if (dc == -1 || dn == -1 || dn != dc + 1) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  std::function<bool()> extend = [&]() -> bool {
+    if (static_cast<int>(path.size()) == r + 1) {
+      for (std::size_t t = 0; t < targets.size(); ++t) {
+        if (!target_ok(t)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    const Node cur = path.back();
+    for (const Node next : g.neighbors(cur)) {
+      if (next == u || on_path[static_cast<std::size_t>(next)]) {
+        continue;  // the escape avoids u and never revisits (it is a path)
+      }
+      // No pruning beyond simplicity: exemption of on-path targets depends
+      // on the completed path, so candidates are validated at the leaves.
+      // Path count is bounded by Delta^r, which is tiny at library scale.
+      path.push_back(next);
+      on_path[static_cast<std::size_t>(next)] = true;
+      if (extend()) {
+        return true;
+      }
+      on_path[static_cast<std::size_t>(next)] = false;
+      path.pop_back();
+    }
+    return false;
+  };
+  if (extend()) {
+    return path;
+  }
+  return std::nullopt;
+}
+
+bool is_r_forgetful(const Graph& g, int r) {
+  SHLCP_CHECK(r >= 1);
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    for (const Node u : g.neighbors(v)) {
+      if (!forgetful_escape_path(g, v, u, r).has_value()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int max_forgetfulness(const Graph& g, int r_max) {
+  int best = 0;
+  for (int r = 1; r <= r_max; ++r) {
+    if (is_r_forgetful(g, r)) {
+      best = r;
+    } else {
+      break;  // r-forgetful for larger r implies longer escapes; monotone
+    }
+  }
+  return best;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,82 @@
+// Recognizers for the graph classes the paper's theorems quantify over.
+//
+// - minimum degree one (class H1 of Theorem 1.1)
+// - even cycles (class H2 of Theorem 1.1)
+// - shatter points (Theorem 1.3): v such that G - N[v] is disconnected
+// - watermelon graphs (Theorem 1.4): two endpoints joined by >= 1
+//   internally disjoint paths of length >= 2
+// - r-forgetfulness (Section 1.3): from every node v arrived at from a
+//   neighbor u, a length-r escape path exists along which the distance to
+//   every w in N^r(u) increases monotonically.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace shlcp {
+
+/// True iff delta(G) = 1 (class H1 of Theorem 1.1). Requires n >= 1.
+bool has_min_degree_one(const Graph& g);
+
+/// True iff g is a cycle (connected, 2-regular).
+bool is_cycle(const Graph& g);
+
+/// True iff g is an even cycle (class H2 of Theorem 1.1).
+bool is_even_cycle(const Graph& g);
+
+/// All shatter points of g: nodes v such that G - N[v] has at least two
+/// connected components (Section 7.1). Sorted.
+std::vector<Node> shatter_points(const Graph& g);
+
+/// True iff g admits a shatter point.
+bool has_shatter_point(const Graph& g);
+
+/// A watermelon decomposition: endpoints and the internally disjoint
+/// endpoint-to-endpoint paths (each path listed from v1 to v2 inclusive).
+struct WatermelonDecomposition {
+  Node v1 = -1;
+  Node v2 = -1;
+  std::vector<std::vector<Node>> paths;
+};
+
+/// Recognizes watermelon graphs and returns a decomposition, or nullopt.
+/// Cycles on >= 4 nodes are watermelons (two paths between two nodes at
+/// distance >= 2); a cycle's decomposition uses nodes 0 and its antipode.
+std::optional<WatermelonDecomposition> watermelon_decomposition(const Graph& g);
+
+/// True iff g is a watermelon graph.
+bool is_watermelon(const Graph& g);
+
+/// The r-forgetful escape path from v (arrived at from neighbor u).
+///
+/// REPRODUCTION NOTE. The paper's literal definition ("for every
+/// w in N^r(u), dist(v_i, w) is monotonically increasing with i") is
+/// unsatisfiable for r >= 2: the first step v_1 is itself within N^2(u)
+/// (it is adjacent to v, which is adjacent to u), and the distance to
+/// w = v_1 drops from 1 to 0. We therefore implement the evident intent
+/// (Fig. 1, the Lemma 2.1 proof, and the Lemma 5.4 use "escape without
+/// going back through the r-neighborhood of u"): a path
+/// (v_0 = v, ..., v_r) that avoids u and such that for every
+/// w in N^r(u) NOT on the path, dist(v_i, w) increases strictly with i
+/// (equivalently, by exactly 1 per step). Under this reading long cycles
+/// are r-forgetful for r = 1 and, from girth/size thresholds, r >= 2,
+/// and large tori are r-forgetful everywhere -- while FINITE grids and
+/// trees are not (corners and leaves have no escape), so the paper's
+/// informal "applies to (regular) grids and trees" should be read as
+/// infinite/boundaryless structures; see EXPERIMENTS.md (E1).
+///
+/// Returns such a path, or nullopt. Requires {u, v} in E(G) and r >= 1.
+std::optional<std::vector<Node>> forgetful_escape_path(const Graph& g, Node v,
+                                                       Node u, int r);
+
+/// True iff g is r-forgetful: forgetful_escape_path exists for every
+/// ordered adjacent pair (v, u). Requires r >= 1.
+bool is_r_forgetful(const Graph& g, int r);
+
+/// Largest r in [1, r_max] such that g is r-forgetful; 0 if none.
+int max_forgetfulness(const Graph& g, int r_max);
+
+}  // namespace shlcp

@@ -1,0 +1,293 @@
+#include "lcp/checker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/algorithms.h"
+#include "util/combinatorics.h"
+#include "util/format.h"
+
+namespace shlcp {
+
+void CheckReport::merge(const CheckReport& other) {
+  cases += other.cases;
+  if (ok && !other.ok) {
+    ok = false;
+    failure = other.failure;
+  }
+}
+
+CheckReport check_completeness(const Lcp& lcp, const Instance& inst) {
+  CheckReport report;
+  report.cases = 1;
+  const auto labels = lcp.prove(inst.g, inst.ports, inst.ids);
+  if (!labels.has_value()) {
+    report.ok = false;
+    report.failure = format("prover declined a promise instance (n=%d, m=%d)",
+                            inst.num_nodes(), inst.g.num_edges());
+    return report;
+  }
+  const Instance labeled = inst.with_labels(*labels);
+  const auto verdicts = lcp.decoder().run(labeled);
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    if (!verdicts[static_cast<std::size_t>(v)]) {
+      report.ok = false;
+      report.failure =
+          format("node %d rejects the honest certificates; view:\n%s", v,
+                 lcp.decoder().input_view(labeled, v).to_string().c_str());
+      return report;
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Shared machinery of the exhaustive labeling sweeps: enumerate every
+/// labeling from the certificate space and call `judge` with the labeled
+/// instance; `judge` returns an empty string on pass or a failure message.
+CheckReport sweep_labelings(
+    const Lcp& lcp, const Instance& base, std::uint64_t limit,
+    const std::function<std::string(const Instance&)>& judge) {
+  CheckReport report;
+  const int n = base.num_nodes();
+  std::vector<std::vector<Certificate>> spaces;
+  spaces.reserve(static_cast<std::size_t>(n));
+  std::vector<int> radix;
+  radix.reserve(static_cast<std::size_t>(n));
+  for (Node v = 0; v < n; ++v) {
+    spaces.push_back(lcp.certificate_space(base.g, base.ids, v));
+    SHLCP_CHECK_MSG(!spaces.back().empty(),
+                    "certificate space must be non-empty");
+    radix.push_back(static_cast<int>(spaces.back().size()));
+  }
+  SHLCP_CHECK_MSG(labeling_space_size(lcp, base) <= limit,
+                  "labeling space too large for exhaustive sweep");
+  Instance work = base;
+  for_each_product(radix, [&](const std::vector<int>& digits) {
+    Labeling labels(n);
+    for (Node v = 0; v < n; ++v) {
+      labels.at(v) = spaces[static_cast<std::size_t>(v)]
+                           [static_cast<std::size_t>(digits[static_cast<std::size_t>(v)])];
+    }
+    work.labels = std::move(labels);
+    ++report.cases;
+    std::string fail = judge(work);
+    if (!fail.empty()) {
+      report.ok = false;
+      report.failure = std::move(fail);
+      return false;
+    }
+    return true;
+  });
+  return report;
+}
+
+/// Judge for strong soundness: accepting set must induce a k-colorable
+/// subgraph.
+std::string judge_strong(const Lcp& lcp, const Instance& labeled) {
+  const auto acc = lcp.decoder().accepting_set(labeled);
+  const Graph sub = labeled.g.induced_subgraph(acc);
+  if (is_k_colorable(sub, lcp.k())) {
+    return {};
+  }
+  std::string certs;
+  for (Node v = 0; v < labeled.num_nodes(); ++v) {
+    certs += format(" %d:%s", v, show_certificate(labeled.labels.at(v)).c_str());
+  }
+  return format(
+      "strong soundness violated: accepting set %s induces a non-%d-colorable "
+      "subgraph; certificates:%s\ngraph: %s",
+      show_vec(acc).c_str(), lcp.k(), certs.c_str(),
+      labeled.g.to_string().c_str());
+}
+
+/// Judge for plain soundness on a no-instance: someone must reject.
+std::string judge_plain(const Lcp& lcp, const Instance& labeled) {
+  if (!lcp.decoder().accepts_all(labeled)) {
+    return {};
+  }
+  return format("soundness violated: all nodes accept a no-instance (n=%d)",
+                labeled.num_nodes());
+}
+
+}  // namespace
+
+std::uint64_t labeling_space_size(const Lcp& lcp, const Instance& base) {
+  const std::uint64_t cap = std::numeric_limits<std::uint64_t>::max() / 2;
+  std::uint64_t total = 1;
+  for (Node v = 0; v < base.num_nodes(); ++v) {
+    const auto space = lcp.certificate_space(base.g, base.ids, v);
+    const auto size = static_cast<std::uint64_t>(space.size());
+    if (size == 0 || total > cap / size) {
+      return cap;
+    }
+    total *= size;
+  }
+  return total;
+}
+
+CheckReport check_strong_soundness_exhaustive(const Lcp& lcp,
+                                              const Instance& base,
+                                              std::uint64_t limit) {
+  return sweep_labelings(lcp, base, limit, [&](const Instance& labeled) {
+    return judge_strong(lcp, labeled);
+  });
+}
+
+CheckReport check_soundness_exhaustive(const Lcp& lcp, const Instance& base,
+                                       std::uint64_t limit) {
+  SHLCP_CHECK_MSG(!is_k_colorable(base.g, lcp.k()),
+                  "plain soundness check expects a no-instance");
+  return sweep_labelings(lcp, base, limit, [&](const Instance& labeled) {
+    return judge_plain(lcp, labeled);
+  });
+}
+
+CheckReport check_strong_soundness_random(const Lcp& lcp, const Instance& base,
+                                          int samples, Rng& rng) {
+  CheckReport report;
+  const int n = base.num_nodes();
+  std::vector<std::vector<Certificate>> spaces;
+  for (Node v = 0; v < n; ++v) {
+    spaces.push_back(lcp.certificate_space(base.g, base.ids, v));
+    SHLCP_CHECK(!spaces.back().empty());
+  }
+  const auto honest = lcp.prove(base.g, base.ports, base.ids);
+
+  Instance work = base;
+  for (int s = 0; s < samples; ++s) {
+    Labeling labels(n);
+    const bool mutate_honest = honest.has_value() && rng.next_coin();
+    if (mutate_honest) {
+      labels = *honest;
+      // Corrupt a random non-empty subset of nodes.
+      const int flips = rng.next_int(1, std::max(1, n / 2));
+      for (int f = 0; f < flips; ++f) {
+        const Node v = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+        const auto& space = spaces[static_cast<std::size_t>(v)];
+        labels.at(v) = space[rng.next_below(space.size())];
+      }
+    } else {
+      for (Node v = 0; v < n; ++v) {
+        const auto& space = spaces[static_cast<std::size_t>(v)];
+        labels.at(v) = space[rng.next_below(space.size())];
+      }
+    }
+    work.labels = std::move(labels);
+    ++report.cases;
+    std::string fail = judge_strong(lcp, work);
+    if (!fail.empty()) {
+      report.ok = false;
+      report.failure = std::move(fail);
+      return report;
+    }
+  }
+  return report;
+}
+
+ErasureReport check_erasure_completeness(const Lcp& lcp, const Instance& inst,
+                                         int f) {
+  const int n = inst.num_nodes();
+  SHLCP_CHECK(0 <= f && f <= n);
+  const auto honest = lcp.prove(inst.g, inst.ports, inst.ids);
+  SHLCP_CHECK_MSG(honest.has_value(),
+                  "erasure check needs an honestly certifiable instance");
+  const Instance base = inst.with_labels(*honest);
+
+  ErasureReport report;
+  std::uint64_t total_rejections = 0;
+  for_each_subset(n, f, [&](const std::vector<int>& erased) {
+    Instance damaged = base;
+    for (const int v : erased) {
+      damaged.labels.at(v) = Certificate{};
+    }
+    ++report.patterns;
+    const auto verdicts = lcp.decoder().run(damaged);
+    int rejections = 0;
+    for (const bool b : verdicts) {
+      rejections += b ? 0 : 1;
+    }
+    total_rejections += static_cast<std::uint64_t>(rejections);
+    if (rejections == 0) {
+      ++report.still_accepted;
+    }
+    return true;
+  });
+  report.mean_rejections =
+      report.patterns == 0
+          ? 0.0
+          : static_cast<double>(total_rejections) /
+                static_cast<double>(report.patterns);
+  return report;
+}
+
+CheckReport check_anonymous(const Decoder& decoder, const Instance& labeled,
+                            int trials, Rng& rng) {
+  CheckReport report;
+  // Anonymous decoders consume anonymized views by construction, so the
+  // check is only informative for id-consuming decoders; it still verifies
+  // the claimed invariance either way by re-running under fresh ids.
+  const auto baseline = decoder.run(labeled);
+  for (int t = 0; t < trials; ++t) {
+    Instance remapped = labeled;
+    remapped.ids =
+        IdAssignment::random(labeled.g, labeled.ids.bound(), rng);
+    ++report.cases;
+    const auto verdicts = decoder.run(remapped);
+    if (verdicts != baseline) {
+      report.ok = false;
+      report.failure = format(
+          "decoder %s is identifier-sensitive: verdicts changed under an id "
+          "reassignment (trial %d)",
+          decoder.name().c_str(), t);
+      return report;
+    }
+  }
+  return report;
+}
+
+CheckReport check_order_invariant(const Decoder& decoder,
+                                  const Instance& labeled, int trials,
+                                  Rng& rng) {
+  CheckReport report;
+  const auto baseline = decoder.run(labeled);
+  const int n = labeled.num_nodes();
+  for (int t = 0; t < trials; ++t) {
+    // Order-preserving remap: draw n fresh ids from a stretched space and
+    // assign them in the same relative order as the originals.
+    const Ident stretched = std::max<Ident>(labeled.ids.bound() * 4, n * 4);
+    std::vector<Ident> fresh;
+    {
+      IdAssignment draw = IdAssignment::random(labeled.g, stretched, rng);
+      fresh = draw.raw();
+      std::sort(fresh.begin(), fresh.end());
+    }
+    // Rank of each node's original id.
+    std::vector<std::pair<Ident, Node>> ranked;
+    for (Node v = 0; v < n; ++v) {
+      ranked.emplace_back(labeled.ids.id_of(v), v);
+    }
+    std::sort(ranked.begin(), ranked.end());
+    std::vector<Ident> ids(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      ids[static_cast<std::size_t>(ranked[static_cast<std::size_t>(i)].second)] =
+          fresh[static_cast<std::size_t>(i)];
+    }
+    Instance remapped = labeled;
+    remapped.ids = IdAssignment::from_vector(std::move(ids), stretched);
+    ++report.cases;
+    const auto verdicts = decoder.run(remapped);
+    if (verdicts != baseline) {
+      report.ok = false;
+      report.failure = format(
+          "decoder %s is not order-invariant: verdicts changed under an "
+          "order-preserving id remap (trial %d)",
+          decoder.name().c_str(), t);
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,99 @@
+// Mechanical verification of the LCP properties (Sections 2.2-2.5).
+//
+// - Completeness: the honest prover's certificates are accepted by every
+//   node of a yes-instance.
+// - Strong soundness: for EVERY labeling, the subgraph induced by the
+//   accepting nodes is k-colorable. Checked exhaustively over the LCP's
+//   declared certificate space (exact for small instances) or by seeded
+//   randomized adversaries (for larger ones).
+// - Soundness: on a no-instance, every labeling leaves at least one
+//   rejecting node (implied by strong soundness; also checkable directly).
+// - Anonymity / order-invariance: decoder verdicts invariant under
+//   arbitrary / order-preserving identifier remappings.
+//
+// Every checker returns a CheckReport carrying the first counterexample
+// found, rendered with enough detail to replay it.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lcp/decoder.h"
+#include "util/rng.h"
+
+namespace shlcp {
+
+/// Outcome of a property check.
+struct CheckReport {
+  /// True iff the property held on everything examined.
+  bool ok = true;
+  /// Number of labelings / instances examined.
+  std::uint64_t cases = 0;
+  /// Human-readable description of the first counterexample (empty if ok).
+  std::string failure;
+
+  /// Merges another report into this one (AND of ok, sum of cases, first
+  /// failure wins).
+  void merge(const CheckReport& other);
+};
+
+/// Completeness on a single instance whose graph lies in the promise
+/// class: the honest prover must produce certificates accepted by all
+/// nodes. Fails the report if the prover declines a promise instance.
+CheckReport check_completeness(const Lcp& lcp, const Instance& inst);
+
+/// Exhaustive strong (promise) soundness for the fixed (g, ports, ids) of
+/// `base`: enumerates every labeling from the LCP's certificate space and
+/// verifies the accepting set induces a k-colorable subgraph. The total
+/// number of labelings must not exceed `limit`.
+CheckReport check_strong_soundness_exhaustive(const Lcp& lcp,
+                                              const Instance& base,
+                                              std::uint64_t limit = 20'000'000);
+
+/// Randomized strong soundness: samples labelings (uniform over the
+/// certificate space, plus mutations of the honest labeling when the
+/// prover accepts the instance).
+CheckReport check_strong_soundness_random(const Lcp& lcp, const Instance& base,
+                                          int samples, Rng& rng);
+
+/// Exhaustive plain soundness on a no-instance (non-k-colorable graph):
+/// for every labeling some node rejects.
+CheckReport check_soundness_exhaustive(const Lcp& lcp, const Instance& base,
+                                       std::uint64_t limit = 20'000'000);
+
+/// Verdicts invariant under `trials` random identifier reassignments.
+CheckReport check_anonymous(const Decoder& decoder, const Instance& labeled,
+                            int trials, Rng& rng);
+
+/// Verdicts invariant under `trials` random order-preserving identifier
+/// reassignments into a larger id space.
+CheckReport check_order_invariant(const Decoder& decoder,
+                                  const Instance& labeled, int trials,
+                                  Rng& rng);
+
+/// Number of labelings the exhaustive checkers would enumerate for `base`
+/// (product of per-node certificate-space sizes, saturating).
+std::uint64_t labeling_space_size(const Lcp& lcp, const Instance& base);
+
+/// Resilient-labeling-scheme contrast (Section 1.2 / [FOS22]). Erases the
+/// certificates of every f-subset of nodes (replaced by the empty
+/// certificate) of an honestly-labeled instance and counts the patterns
+/// that keep unanimous acceptance, plus the average number of rejecting
+/// nodes. Resilient schemes demand completeness under erasure; the
+/// paper's LCPs trade that away for strong soundness, and this report
+/// quantifies by how much.
+struct ErasureReport {
+  /// Erasure patterns tried (C(n, f)).
+  std::uint64_t patterns = 0;
+  /// Patterns after which every node still accepts.
+  std::uint64_t still_accepted = 0;
+  /// Mean number of rejecting nodes over all patterns.
+  double mean_rejections = 0.0;
+};
+
+/// Requires the honest prover to accept `inst`'s frame and 0 <= f <= n.
+ErasureReport check_erasure_completeness(const Lcp& lcp, const Instance& inst,
+                                         int f);
+
+}  // namespace shlcp

@@ -1,0 +1,40 @@
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+std::vector<bool> Decoder::run(const Instance& inst) const {
+  std::vector<bool> verdicts(static_cast<std::size_t>(inst.num_nodes()));
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    verdicts[static_cast<std::size_t>(v)] = accept(input_view(inst, v));
+  }
+  return verdicts;
+}
+
+std::vector<Node> Decoder::accepting_set(const Instance& inst) const {
+  const auto verdicts = run(inst);
+  std::vector<Node> out;
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    if (verdicts[static_cast<std::size_t>(v)]) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool Decoder::accepts_all(const Instance& inst) const {
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    if (!accept(input_view(inst, v))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Instance prove_instance(const Lcp& lcp, const Instance& inst) {
+  auto labels = lcp.prove(inst.g, inst.ports, inst.ids);
+  SHLCP_CHECK_MSG(labels.has_value(),
+                  "prove_instance: honest prover declined the instance");
+  return inst.with_labels(std::move(*labels));
+}
+
+}  // namespace shlcp

@@ -1,0 +1,122 @@
+// Decoders and locally checkable proofs (Sections 2.2-2.5 of the paper).
+//
+// A binary Decoder is an r-round local algorithm mapping views to
+// accept/reject. An Lcp bundles a decoder with its honest prover (the
+// certificate construction used in the completeness proof), the promise
+// class H it targets, and an adversarial certificate space used by the
+// exhaustive strong-soundness checker and the AViews enumerator.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lcp/instance.h"
+#include "views/view.h"
+
+namespace shlcp {
+
+/// An r-round binary decoder: a computable map from views to {0, 1}.
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+
+  /// The number of verification rounds r (the view radius).
+  [[nodiscard]] virtual int radius() const = 0;
+
+  /// True iff the decoder ignores identifiers entirely (Section 2.2). The
+  /// framework feeds anonymous decoders id-stripped views so that view
+  /// dedup in the neighborhood graph is modulo identifiers.
+  [[nodiscard]] virtual bool anonymous() const = 0;
+
+  /// Decoder name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The verdict at the center of `view`.
+  [[nodiscard]] virtual bool accept(const View& view) const = 0;
+
+  /// Runs the decoder at every node of `inst`; out[v] is v's verdict.
+  [[nodiscard]] std::vector<bool> run(const Instance& inst) const;
+
+  /// Nodes accepting in `inst`, sorted.
+  [[nodiscard]] std::vector<Node> accepting_set(const Instance& inst) const;
+
+  /// True iff every node accepts.
+  [[nodiscard]] bool accepts_all(const Instance& inst) const;
+
+  /// The view this decoder consumes at node v of inst (anonymized iff the
+  /// decoder is anonymous).
+  [[nodiscard]] View input_view(const Instance& inst, Node v) const {
+    return inst.view_of(v, radius(), anonymous());
+  }
+};
+
+/// A locally checkable proof for k-col restricted to a promise class H:
+/// decoder + honest prover + promise predicate + adversarial certificate
+/// space.
+class Lcp {
+ public:
+  virtual ~Lcp() = default;
+
+  /// Number of colors k of the certified language k-col (2 throughout the
+  /// paper's constructions).
+  [[nodiscard]] virtual int k() const { return 2; }
+
+  /// The verification decoder D.
+  [[nodiscard]] virtual const Decoder& decoder() const = 0;
+
+  /// The honest prover: certificates that make every node accept on a
+  /// yes-instance from H. Returns nullopt when (g, ports, ids) is outside
+  /// the promise class (behavior is then unconstrained by the model).
+  [[nodiscard]] virtual std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment& ports,
+      const IdAssignment& ids) const = 0;
+
+  /// The promise predicate: G in H. Yes-instances are H; no-instances are
+  /// the non-k-colorable graphs (Section 2.5).
+  [[nodiscard]] virtual bool in_promise(const Graph& g) const = 0;
+
+  /// Adversarial certificate candidates for node v: a finite set covering
+  /// every certificate that could make any node's verdict differ from a
+  /// default reject. Used by exhaustive strong-soundness checking and the
+  /// AViews builder; implementations document completeness of the space.
+  [[nodiscard]] virtual std::vector<Certificate> certificate_space(
+      const Graph& g, const IdAssignment& ids, Node v) const = 0;
+
+  /// Name for reports; defaults to the decoder's name.
+  [[nodiscard]] virtual std::string name() const { return decoder().name(); }
+};
+
+/// Convenience: run `lcp`'s honest prover on `inst` and return the labeled
+/// instance; requires the prover to succeed.
+Instance prove_instance(const Lcp& lcp, const Instance& inst);
+
+/// A decoder defined by a lambda; handy in tests and for the cheating
+/// decoders of the lower-bound pipeline.
+class LambdaDecoder final : public Decoder {
+ public:
+  LambdaDecoder(int radius, bool anonymous, std::string name,
+                std::function<bool(const View&)> fn)
+      : radius_(radius),
+        anonymous_(anonymous),
+        name_(std::move(name)),
+        fn_(std::move(fn)) {}
+
+  [[nodiscard]] int radius() const override { return radius_; }
+  [[nodiscard]] bool anonymous() const override { return anonymous_; }
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool accept(const View& view) const override {
+    return fn_(view);
+  }
+
+ private:
+  int radius_;
+  bool anonymous_;
+  std::string name_;
+  std::function<bool(const View&)> fn_;
+};
+
+}  // namespace shlcp

@@ -1,0 +1,105 @@
+#include "lcp/enumerate.h"
+
+#include "graph/algorithms.h"
+#include "util/combinatorics.h"
+
+namespace shlcp {
+
+namespace {
+
+/// Runs `body` for every (ports, ids) frame of `g` selected by `options`.
+bool for_each_frame(const Graph& g, const EnumOptions& options,
+                    const std::function<bool(const PortAssignment&,
+                                             const IdAssignment&)>& body) {
+  const auto with_ports = [&](const PortAssignment& ports) {
+    if (options.all_id_orders) {
+      return for_each_id_order(
+          g, [&](const IdAssignment& ids) { return body(ports, ids); });
+    }
+    return body(ports, IdAssignment::consecutive(g));
+  };
+  if (options.all_ports) {
+    return for_each_port_assignment(g, with_ports);
+  }
+  return with_ports(PortAssignment::canonical(g));
+}
+
+}  // namespace
+
+bool for_each_labeled_instance(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumOptions& options,
+    const std::function<bool(const Instance&)>& visit) {
+  for (const Graph& g : graphs) {
+    const bool keep_going = for_each_frame(
+        g, options, [&](const PortAssignment& ports, const IdAssignment& ids) {
+          // Per-node certificate spaces for this frame.
+          const int n = g.num_nodes();
+          std::vector<std::vector<Certificate>> spaces;
+          std::vector<int> radix;
+          std::uint64_t total = 1;
+          for (Node v = 0; v < n; ++v) {
+            spaces.push_back(lcp.certificate_space(g, ids, v));
+            SHLCP_CHECK(!spaces.back().empty());
+            radix.push_back(static_cast<int>(spaces.back().size()));
+            total *= static_cast<std::uint64_t>(spaces.back().size());
+            SHLCP_CHECK_MSG(total <= options.max_labelings_per_frame,
+                            "labeling space exceeds max_labelings_per_frame");
+          }
+          Instance inst;
+          inst.g = g;
+          inst.ports = ports;
+          inst.ids = ids;
+          return for_each_product(radix, [&](const std::vector<int>& digits) {
+            Labeling labels(n);
+            for (Node v = 0; v < n; ++v) {
+              labels.at(v) =
+                  spaces[static_cast<std::size_t>(v)]
+                        [static_cast<std::size_t>(digits[static_cast<std::size_t>(v)])];
+            }
+            inst.labels = std::move(labels);
+            return visit(inst);
+          });
+        });
+    if (!keep_going) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool for_each_proved_instance(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumOptions& options,
+    const std::function<bool(const Instance&)>& visit) {
+  for (const Graph& g : graphs) {
+    const bool keep_going = for_each_frame(
+        g, options, [&](const PortAssignment& ports, const IdAssignment& ids) {
+          auto labels = lcp.prove(g, ports, ids);
+          if (!labels.has_value()) {
+            return true;
+          }
+          Instance inst;
+          inst.g = g;
+          inst.ports = ports;
+          inst.ids = ids;
+          inst.labels = std::move(*labels);
+          return visit(inst);
+        });
+    if (!keep_going) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Graph> filter_yes_graphs(const std::vector<Graph>& candidates,
+                                     int k) {
+  std::vector<Graph> out;
+  for (const Graph& g : candidates) {
+    if (is_k_colorable(g, k)) {
+      out.push_back(g);
+    }
+  }
+  return out;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,51 @@
+// Streams of labeled instances for the exhaustive engines.
+//
+// Lemma 3.1's algorithm "iterates over all possible labeled yes-instances
+// (G, prt, Id, ell) such that G is of size at most n". This header
+// provides that iteration, factored so each dimension (graphs, ports,
+// identifier orders, labelings) can be toggled between exhaustive and
+// canonical-only -- e.g. anonymous decoders do not need the id dimension,
+// and vertex-transitive experiments can fix ports.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "lcp/decoder.h"
+
+namespace shlcp {
+
+/// Options controlling which dimensions are enumerated exhaustively.
+struct EnumOptions {
+  /// Enumerate every port assignment (else canonical ports only).
+  bool all_ports = false;
+  /// Enumerate every identifier order type (else consecutive ids only).
+  bool all_id_orders = false;
+  /// Upper bound on labelings per (graph, ports, ids) frame; the stream
+  /// throws if the LCP's certificate space exceeds it.
+  std::uint64_t max_labelings_per_frame = 20'000'000;
+};
+
+/// Visits labeled instances built from each graph in `graphs` crossed with
+/// the enabled dimensions and every labeling from `lcp.certificate_space`.
+/// Return false from `visit` to stop early; returns false iff stopped.
+bool for_each_labeled_instance(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumOptions& options,
+    const std::function<bool(const Instance&)>& visit);
+
+/// Visits only the *honestly labeled* instances: each (graph, ports, ids)
+/// frame with the prover's certificates (skipping frames the prover
+/// declines). This is the cheap stream for completeness sweeps and for
+/// seeding the neighborhood graph with the certificates that matter.
+bool for_each_proved_instance(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumOptions& options,
+    const std::function<bool(const Instance&)>& visit);
+
+/// Collects all k-colorable graphs among `candidates` (utility for
+/// assembling yes-instance families).
+std::vector<Graph> filter_yes_graphs(const std::vector<Graph>& candidates,
+                                     int k);
+
+}  // namespace shlcp

@@ -1,0 +1,40 @@
+#include "lcp/instance.h"
+
+#include "views/extract.h"
+
+namespace shlcp {
+
+Instance Instance::canonical(Graph graph) {
+  Instance inst;
+  inst.ports = PortAssignment::canonical(graph);
+  inst.ids = IdAssignment::consecutive(graph);
+  inst.labels = Labeling(graph.num_nodes());
+  inst.g = std::move(graph);
+  return inst;
+}
+
+Instance Instance::randomized(Graph graph, Ident id_bound, Rng& rng) {
+  Instance inst;
+  inst.ports = PortAssignment::random(graph, rng);
+  inst.ids = IdAssignment::random(graph, id_bound, rng);
+  inst.labels = Labeling(graph.num_nodes());
+  inst.g = std::move(graph);
+  return inst;
+}
+
+View Instance::view_of(Node v, int r, bool anonymous) const {
+  return extract_view(g, ports, anonymous ? nullptr : &ids, labels, r, v);
+}
+
+std::vector<View> Instance::all_views(int r, bool anonymous) const {
+  return extract_all_views(g, ports, anonymous ? nullptr : &ids, labels, r);
+}
+
+Instance Instance::with_labels(Labeling new_labels) const {
+  SHLCP_CHECK(new_labels.num_nodes() == g.num_nodes());
+  Instance copy = *this;
+  copy.labels = std::move(new_labels);
+  return copy;
+}
+
+}  // namespace shlcp

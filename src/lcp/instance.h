@@ -1,0 +1,45 @@
+// A fully specified network instance: graph + port assignment + identifier
+// assignment + labeling. This is the paper's "labeled instance"
+// (G, prt, Id, ell); when the graph satisfies the target language it is a
+// *labeled yes-instance* (Section 3).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ids.h"
+#include "graph/labeling.h"
+#include "graph/ports.h"
+#include "views/view.h"
+
+namespace shlcp {
+
+/// Bundles (G, prt, Id, ell). Value type; copy freely.
+struct Instance {
+  Graph g;
+  PortAssignment ports;
+  IdAssignment ids;
+  Labeling labels;
+
+  /// Canonical instance over `graph`: canonical ports, consecutive ids,
+  /// empty labels.
+  static Instance canonical(Graph graph);
+
+  /// Random ports and random ids in [1, id_bound]; empty labels.
+  static Instance randomized(Graph graph, Ident id_bound, Rng& rng);
+
+  /// Number of nodes.
+  [[nodiscard]] int num_nodes() const { return g.num_nodes(); }
+
+  /// Radius-r view of v; `anonymous` strips identifiers.
+  [[nodiscard]] View view_of(Node v, int r, bool anonymous) const;
+
+  /// Views of all nodes.
+  [[nodiscard]] std::vector<View> all_views(int r, bool anonymous) const;
+
+  /// Copy of this instance with a different labeling.
+  [[nodiscard]] Instance with_labels(Labeling new_labels) const;
+};
+
+}  // namespace shlcp

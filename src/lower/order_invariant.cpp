@@ -1,0 +1,50 @@
+#include "lower/order_invariant.h"
+
+#include <algorithm>
+
+namespace shlcp {
+
+std::optional<std::vector<Ident>> find_uniform_id_set(const TypeOracle& oracle,
+                                                      Ident id_space,
+                                                      int target_size,
+                                                      Ident bound) {
+  const auto coloring = oracle.as_coloring(bound);
+  const auto subset = find_monochromatic_subset(id_space, oracle.arity(),
+                                                coloring, target_size);
+  if (!subset.has_value()) {
+    return std::nullopt;
+  }
+  std::vector<Ident> ids;
+  ids.reserve(subset->size());
+  for (const int e : *subset) {
+    ids.push_back(e + 1);
+  }
+  return ids;
+}
+
+OrderInvariantWrapper::OrderInvariantWrapper(const Decoder& inner,
+                                             std::vector<Ident> uniform_set,
+                                             Ident bound)
+    : inner_(&inner), uniform_set_(std::move(uniform_set)), bound_(bound) {
+  SHLCP_CHECK(!uniform_set_.empty());
+  SHLCP_CHECK(std::is_sorted(uniform_set_.begin(), uniform_set_.end()));
+  SHLCP_CHECK(std::adjacent_find(uniform_set_.begin(), uniform_set_.end()) ==
+              uniform_set_.end());
+  SHLCP_CHECK(uniform_set_.back() <= bound_);
+}
+
+bool OrderInvariantWrapper::accept(const View& view) const {
+  SHLCP_CHECK_MSG(!view.anonymous(), "wrapper consumes identified views");
+  std::vector<Ident> sorted = view.ids;
+  std::sort(sorted.begin(), sorted.end());
+  SHLCP_CHECK_MSG(sorted.size() <= uniform_set_.size(),
+                  "uniform set smaller than the view");
+  std::vector<std::pair<Ident, Ident>> map;
+  map.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    map.emplace_back(sorted[i], uniform_set_[i]);
+  }
+  return inner_->accept(view.with_remapped_ids(map, bound_));
+}
+
+}  // namespace shlcp

@@ -1,0 +1,56 @@
+// The order-invariance reduction (Lemma 6.2), finite analogue.
+//
+// Given an identifier-using decoder D of bounded view size, color every
+// s-subset of the identifier space by D's type (ramsey/types.h) and find a
+// monochromatic set B by Ramsey search. The synthesized decoder D'
+// re-identifies every view it sees: the i-th smallest identifier present
+// becomes the i-th element of B, then D runs. D' is order-invariant by
+// construction, and on views whose identifiers already lie inside B it
+// agrees with D on every probe structure (both tuples are s-subsets of
+// the monochromatic B, so they have the same type). The paper pads the
+// instance with isolated nodes to justify the enlarged identifier space;
+// here the space bound is explicit.
+
+#pragma once
+
+#include "lcp/decoder.h"
+#include "ramsey/types.h"
+
+namespace shlcp {
+
+/// Ramsey search for an identifier set of `target_size` over the space
+/// [1, id_space] on which every arity-sized tuple has the same decoder
+/// type (relative to the oracle's probes). `bound` is the N announced to
+/// the decoder during probing. Returns the set (1-based identifiers) or
+/// nullopt.
+std::optional<std::vector<Ident>> find_uniform_id_set(const TypeOracle& oracle,
+                                                      Ident id_space,
+                                                      int target_size,
+                                                      Ident bound);
+
+/// The synthesized order-invariant decoder D'.
+class OrderInvariantWrapper final : public Decoder {
+ public:
+  /// `uniform_set` must be strictly increasing and at least as large as
+  /// any view D' will see; `bound` is the id bound fed to the inner
+  /// decoder after remapping.
+  OrderInvariantWrapper(const Decoder& inner, std::vector<Ident> uniform_set,
+                        Ident bound);
+
+  [[nodiscard]] int radius() const override { return inner_->radius(); }
+  [[nodiscard]] bool anonymous() const override { return false; }
+  [[nodiscard]] std::string name() const override {
+    return "order-invariant(" + inner_->name() + ")";
+  }
+
+  /// Remaps the view's identifiers rank-wise into the uniform set and
+  /// consults the inner decoder.
+  [[nodiscard]] bool accept(const View& view) const override;
+
+ private:
+  const Decoder* inner_;
+  std::vector<Ident> uniform_set_;
+  Ident bound_;
+};
+
+}  // namespace shlcp

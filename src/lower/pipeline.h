@@ -1,0 +1,56 @@
+// End-to-end Theorem 1.5 demonstrator.
+//
+// Theorem 1.5 is a universal impossibility ("no strong and hiding
+// order-invariant LCP exists on r-forgetful classes"), so it cannot be
+// "run" on all decoders; what can be run is its engine, against concrete
+// candidate decoders:
+//
+//   1. build (a subgraph of) V(D, n) from supplied labeled yes-instances;
+//   2. find an odd cycle (the Lemma 3.2 hiding witness);
+//   3. attempt to realize the cycle's views as one instance G_bad by the
+//      Lemma 5.1 identifier merge;
+//   4. verify the realization (views survive inside G_bad, decoder
+//      accepts) and test whether the accepting set of G_bad induces an
+//      odd cycle -- a mechanical strong-soundness violation.
+//
+// For a genuinely strong LCP the pipeline MUST die at step 3 or 4 (the
+// odd cycle is not realizable); for decoders that are hiding but not
+// strong it runs to completion and outputs the counterexample. Both
+// outcomes are asserted in tests/lower_pipeline_test.cpp.
+
+#pragma once
+
+#include "lower/realize.h"
+#include "nbhd/nbhd_graph.h"
+
+namespace shlcp {
+
+/// Outcome of one pipeline run.
+struct PipelineResult {
+  /// Step 2: an odd cycle existed in the built neighborhood subgraph.
+  bool hiding_witness_found = false;
+  /// The odd cycle as view indices into `nbhd` (first == last).
+  std::vector<int> odd_cycle;
+  /// Step 3: the merge succeeded.
+  bool realized = false;
+  /// Why the merge failed (the escape hatch of honestly-strong LCPs).
+  std::string realize_conflict;
+  /// Step 4a: every cycle view survived inside G_bad and is accepted.
+  bool realization_verified = false;
+  std::string verify_failure;
+  /// Step 4b: the accepting set of G_bad induces a non-bipartite
+  /// subgraph, i.e. strong soundness is violated.
+  bool strong_soundness_violated = false;
+  /// The built neighborhood subgraph and (when realized) G_bad.
+  NbhdGraph nbhd;
+  Instance g_bad;
+};
+
+/// Runs the pipeline for a 2-col decoder over explicit labeled
+/// yes-instances (each instance's graph must be bipartite). `id_bound`
+/// is the identifier budget N for G_bad.
+PipelineResult run_theorem15_pipeline(const Decoder& decoder,
+                                      const std::vector<Instance>& instances,
+                                      Ident id_bound);
+
+}  // namespace shlcp

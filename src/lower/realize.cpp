@@ -1,0 +1,152 @@
+#include "lower/realize.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/format.h"
+
+namespace shlcp {
+
+MergeResult merge_views_by_id(const std::vector<View>& views, Ident id_bound) {
+  MergeResult out;
+
+  // Collect all identifiers.
+  std::set<Ident> ids;
+  for (const View& v : views) {
+    SHLCP_CHECK_MSG(!v.anonymous(), "merge requires identified views");
+    for (const Ident id : v.ids) {
+      SHLCP_CHECK_MSG(1 <= id && id <= id_bound, "id out of bound");
+      ids.insert(id);
+    }
+  }
+  std::vector<Ident> id_list(ids.begin(), ids.end());
+  std::map<Ident, Node> node_of;
+  for (std::size_t i = 0; i < id_list.size(); ++i) {
+    node_of[id_list[i]] = static_cast<Node>(i);
+  }
+
+  Graph g(static_cast<int>(id_list.size()));
+  // Edge bookkeeping: port at each side, plus which view established it.
+  std::map<std::pair<Ident, Ident>, Port> port_claim;
+  std::map<Ident, Certificate> label_claim;
+  std::map<Ident, bool> label_known;
+
+  auto fail = [&out](std::string why) {
+    out.ok = false;
+    out.conflict = std::move(why);
+    return out;
+  };
+
+  for (const View& v : views) {
+    // Labels: every node of the view claims its certificate.
+    for (Node x = 0; x < v.num_nodes(); ++x) {
+      const Ident id = v.ids[static_cast<std::size_t>(x)];
+      const Certificate& cert = v.labels[static_cast<std::size_t>(x)];
+      const auto it = label_claim.find(id);
+      if (it == label_claim.end()) {
+        label_claim[id] = cert;
+      } else if (!(it->second == cert)) {
+        return fail(format("label conflict at id %d", id));
+      }
+    }
+    // Edges with ports.
+    for (const Edge& e : v.g.edges()) {
+      const Ident a = v.ids[static_cast<std::size_t>(e.u)];
+      const Ident b = v.ids[static_cast<std::size_t>(e.v)];
+      const Port pa = v.port(e.u, e.v);
+      const Port pb = v.port(e.v, e.u);
+      const auto ita = port_claim.find({a, b});
+      if (ita == port_claim.end()) {
+        port_claim[{a, b}] = pa;
+        port_claim[{b, a}] = pb;
+        g.add_edge_if_absent(node_of.at(a), node_of.at(b));
+      } else {
+        if (ita->second != pa || port_claim.at({b, a}) != pb) {
+          return fail(format("port conflict on edge {%d, %d}", a, b));
+        }
+      }
+    }
+  }
+
+  // Port lists must be bijections onto [d(v)]; interior nodes of the views
+  // pin every incident edge, boundary nodes may come out partial -- fill
+  // remaining ports arbitrarily but consistently.
+  std::vector<std::vector<Port>> port_lists(
+      static_cast<std::size_t>(g.num_nodes()));
+  for (Node x = 0; x < g.num_nodes(); ++x) {
+    const Ident id = id_list[static_cast<std::size_t>(x)];
+    const auto nb = g.neighbors(x);
+    std::vector<Port> pl(nb.size(), 0);
+    std::set<Port> used;
+    for (std::size_t t = 0; t < nb.size(); ++t) {
+      const Ident other = id_list[static_cast<std::size_t>(nb[t])];
+      const auto it = port_claim.find({id, other});
+      SHLCP_CHECK(it != port_claim.end());
+      const Port p = it->second;
+      if (p > static_cast<int>(nb.size())) {
+        return fail(format(
+            "port %d at id %d exceeds its merged degree %zu", p, id, nb.size()));
+      }
+      if (!used.insert(p).second) {
+        return fail(format("duplicate port %d at id %d", p, id));
+      }
+      pl[t] = p;
+    }
+    port_lists[static_cast<std::size_t>(x)] = std::move(pl);
+  }
+
+  out.ok = true;
+  out.instance.g = std::move(g);
+  out.instance.ports =
+      PortAssignment::from_lists(out.instance.g, std::move(port_lists));
+  std::vector<Ident> id_vec = id_list;
+  out.instance.ids = IdAssignment::from_vector(std::move(id_vec), id_bound);
+  Labeling labels(out.instance.g.num_nodes());
+  for (Node x = 0; x < out.instance.g.num_nodes(); ++x) {
+    const Ident id = id_list[static_cast<std::size_t>(x)];
+    const auto it = label_claim.find(id);
+    if (it != label_claim.end()) {
+      labels.at(x) = it->second;
+    }
+  }
+  out.instance.labels = std::move(labels);
+  out.id_of_node = id_list;
+  out.node_of_id = std::move(node_of);
+  return out;
+}
+
+CheckReport verify_realization(const Decoder& decoder, const Instance& g_bad,
+                               const std::vector<View>& h_views) {
+  CheckReport report;
+  for (const View& h : h_views) {
+    ++report.cases;
+    const Ident center_id = h.center_id();
+    const Node node = g_bad.ids.node_of(center_id);
+    if (node == -1) {
+      report.ok = false;
+      report.failure = format("center id %d missing from G_bad", center_id);
+      return report;
+    }
+    const View rebuilt = g_bad.view_of(node, h.radius, /*anonymous=*/false);
+    if (!(rebuilt == h)) {
+      report.ok = false;
+      report.failure = format(
+          "view of id %d changed inside G_bad:\noriginal:\n%s\nrebuilt:\n%s",
+          center_id, h.to_string().c_str(), rebuilt.to_string().c_str());
+      return report;
+    }
+    View input = rebuilt;
+    if (decoder.anonymous()) {
+      input = input.anonymized();
+    }
+    if (!decoder.accept(input)) {
+      report.ok = false;
+      report.failure =
+          format("decoder rejects the realized view of id %d", center_id);
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,52 @@
+// Realizing view collections as concrete instances (Lemma 5.1).
+//
+// Given views mu_i centered at distinct identifiers, Lemma 5.1 builds
+// G_bad by taking their disjoint union and identifying nodes with equal
+// identifiers; edges, ports, and labels transfer from the views. The
+// merge is well-defined exactly when the views are pairwise compatible in
+// the Section 5.1 sense; merge_views_by_id performs the union and reports
+// the first hard conflict (label or port disagreement, or a visibility
+// contradiction) if the input is not compatible.
+//
+// The correctness criterion that matters downstream -- and that
+// verify_realization checks mechanically -- is the lemma's conclusion:
+// for each input view whose center the adversary needs accepted, the
+// center's view re-extracted inside G_bad equals the input view, so the
+// decoder's verdict there is the recorded accepting verdict.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "lcp/checker.h"
+#include "lcp/instance.h"
+
+namespace shlcp {
+
+/// Result of a merge attempt.
+struct MergeResult {
+  /// True iff the union was conflict-free.
+  bool ok = false;
+  /// First conflict description when !ok.
+  std::string conflict;
+  /// The built instance (meaningful when ok). Labels/ports of nodes no
+  /// view describes completely are filled with defaults.
+  Instance instance;
+  /// Identifier of each node of `instance`.
+  std::vector<Ident> id_of_node;
+  /// Node of `instance` holding each identifier.
+  std::map<Ident, Node> node_of_id;
+};
+
+/// Merges non-anonymous views by identifying equal identifiers.
+/// `id_bound` is the N of the resulting instance (must dominate every id).
+MergeResult merge_views_by_id(const std::vector<View>& views, Ident id_bound);
+
+/// Lemma 5.1's conclusion, checked: for every view in `h_views`, the view
+/// of its center identifier inside `g_bad` equals it (hence the decoder
+/// accepts there). Reports the first mismatch.
+CheckReport verify_realization(const Decoder& decoder, const Instance& g_bad,
+                               const std::vector<View>& h_views);
+
+}  // namespace shlcp

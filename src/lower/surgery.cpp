@@ -1,0 +1,209 @@
+#include "lower/surgery.h"
+
+#include <map>
+#include <set>
+
+#include "lower/walks.h"
+#include "util/format.h"
+#include "views/extract.h"
+
+namespace shlcp {
+
+SurgeryResult expand_odd_cycle(const NbhdGraph& nbhd,
+                               const std::vector<Instance>& instances,
+                               const std::vector<int>& cycle, int radius) {
+  SurgeryResult result;
+  if (cycle.size() < 2 || cycle.front() != cycle.back() ||
+      cycle.size() % 2 != 0) {
+    result.failure = "input must be an odd closed cycle (first == last)";
+    return result;
+  }
+
+  result.walk.push_back(nbhd.view(cycle[0]));
+  for (std::size_t i = 0; i + 1 < cycle.size(); ++i) {
+    const int a = cycle[i];
+    const int b = cycle[i + 1];
+    const Provenance* prov = nbhd.edge_provenance(a, b);
+    if (prov == nullptr) {
+      result.failure = format("no provenance for V-edge {%d, %d}", a, b);
+      return result;
+    }
+    SHLCP_CHECK(prov->instance >= 0 &&
+                prov->instance < static_cast<int>(instances.size()));
+    const Instance& inst = instances[static_cast<std::size_t>(prov->instance)];
+    // Orient: prov.node realizes view min(a, b).
+    const Node u = (a <= b) ? prov->node : prov->other;
+    const Node v = (a <= b) ? prov->other : prov->node;
+
+    // Lemma 5.4 detour: closed at u, starting with the edge u -> v.
+    const auto detour = forgetting_detour(inst, u, v, radius);
+    if (!detour.has_value()) {
+      result.failure = format(
+          "no forgetting detour in witness instance %d for edge {%d, %d}: "
+          "the instance is not %d-forgetful at that edge (or lacks a far "
+          "node / minimum degree 2)",
+          prov->instance, a, b, radius);
+      return result;
+    }
+    ++result.detours;
+    // Append lift(detour)[1..] (ends back at view a), then step to b.
+    const auto lifted = lift_walk(inst, *detour, radius,
+                                  result.walk.front().anonymous());
+    for (std::size_t t = 1; t < lifted.size(); ++t) {
+      result.walk.push_back(lifted[t]);
+    }
+    result.walk.push_back(inst.view_of(v, radius,
+                                       result.walk.front().anonymous()));
+  }
+
+  // Sanity: odd closed walk over views.
+  if (!(result.walk.front() == result.walk.back())) {
+    result.failure = "expanded walk failed to close";
+    return result;
+  }
+  if ((result.walk.size() - 1) % 2 != 1) {
+    result.failure = "expanded walk lost its odd parity";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+namespace {
+
+/// Collects, per identifier, the walk positions whose views contain it.
+std::map<Ident, std::vector<std::size_t>> positions_by_id(
+    const std::vector<View>& walk) {
+  std::map<Ident, std::vector<std::size_t>> out;
+  for (std::size_t p = 0; p + 1 < walk.size(); ++p) {  // skip repeated last
+    for (const Ident id : walk[p].ids) {
+      out[id].push_back(p);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string check_walk_id_consistency(const std::vector<View>& walk) {
+  SHLCP_CHECK(!walk.empty());
+  SHLCP_CHECK_MSG(!walk.front().anonymous(),
+                  "identifier consistency needs identified views");
+  const auto by_id = positions_by_id(walk);
+  for (const auto& [id, positions] : by_id) {
+    // Components of S(id) along the walk: consecutive walk positions both
+    // containing id belong to one component (the walk is a path through
+    // H; V-adjacency beyond consecutive positions only helps, so
+    // consecutive grouping over-approximates the component count, which
+    // makes this check CONSERVATIVE in the right direction: we verify
+    // consistency within the groups we know are connected).
+    std::vector<std::vector<std::size_t>> components;
+    for (const std::size_t p : positions) {
+      if (!components.empty() && components.back().back() + 1 == p) {
+        components.back().push_back(p);
+      } else {
+        components.push_back({p});
+      }
+    }
+    // The closing wrap: first and last groups join if positions 0 and
+    // end-1 both contain the id.
+    if (components.size() > 1 && components.front().front() == 0 &&
+        components.back().back() == walk.size() - 2) {
+      for (const std::size_t p : components.front()) {
+        components.back().push_back(p);
+      }
+      components.erase(components.begin());
+    }
+    for (const auto& comp : components) {
+      // All views in the component agree on id's certificate; interior
+      // occurrences agree on the radius-1 view.
+      const View* anchor_interior = nullptr;
+      const Certificate* cert = nullptr;
+      Node anchor_node = -1;
+      for (const std::size_t p : comp) {
+        const View& view = walk[p];
+        const Node x = view.local_node_of_id(id);
+        SHLCP_CHECK(x != -1);
+        const Certificate& c = view.labels[static_cast<std::size_t>(x)];
+        if (cert == nullptr) {
+          cert = &c;
+        } else if (!(*cert == c)) {
+          return format("id %d: certificate clash inside one component", id);
+        }
+        if (view.dist[static_cast<std::size_t>(x)] < view.radius) {
+          if (anchor_interior == nullptr) {
+            anchor_interior = &view;
+            anchor_node = x;
+          } else if (!(subview_radius1(*anchor_interior, anchor_node) ==
+                       subview_radius1(view, x))) {
+            return format(
+                "id %d: interior radius-1 views clash inside one component",
+                id);
+          }
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<View> separate_id_components(const std::vector<View>& walk,
+                                         Ident* new_bound) {
+  SHLCP_CHECK(!walk.empty());
+  SHLCP_CHECK(!walk.front().anonymous());
+  const auto by_id = positions_by_id(walk);
+
+  // Component index per (id, walk position), using the same conservative
+  // consecutive-plus-wraparound grouping as the consistency check.
+  std::map<std::pair<Ident, std::size_t>, int> comp_of;
+  std::map<Ident, int> comp_count;
+  Ident max_old = 0;
+  for (const auto& [id, positions] : by_id) {
+    max_old = std::max(max_old, id);
+    std::vector<std::vector<std::size_t>> components;
+    for (const std::size_t p : positions) {
+      if (!components.empty() && components.back().back() + 1 == p) {
+        components.back().push_back(p);
+      } else {
+        components.push_back({p});
+      }
+    }
+    if (components.size() > 1 && components.front().front() == 0 &&
+        components.back().back() == walk.size() - 2) {
+      for (const std::size_t p : components.front()) {
+        components.back().push_back(p);
+      }
+      components.erase(components.begin());
+    }
+    comp_count[id] = static_cast<int>(components.size());
+    for (std::size_t c = 0; c < components.size(); ++c) {
+      for (const std::size_t p : components[c]) {
+        comp_of[{id, p}] = static_cast<int>(c);
+      }
+    }
+  }
+
+  // Paper's block construction: identifier i's component c becomes
+  // (i - 1) * W + c + 1 with W = |walk| (>= the number of components of
+  // any S(i)), preserving relative order between different old ids.
+  const Ident window = static_cast<Ident>(walk.size());
+  SHLCP_CHECK(new_bound != nullptr);
+  *new_bound = max_old * window;
+
+  std::vector<View> out;
+  out.reserve(walk.size());
+  for (std::size_t p = 0; p < walk.size(); ++p) {
+    // The repeated closing view reuses position 0's mapping.
+    const std::size_t pos = (p + 1 == walk.size()) ? 0 : p;
+    std::vector<std::pair<Ident, Ident>> map;
+    for (const Ident id : walk[p].ids) {
+      const auto it = comp_of.find({id, pos});
+      SHLCP_CHECK(it != comp_of.end());
+      map.emplace_back(id, (id - 1) * window + it->second + 1);
+    }
+    out.push_back(walk[p].with_remapped_ids(map, *new_bound));
+  }
+  return out;
+}
+
+}  // namespace shlcp

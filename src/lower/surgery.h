@@ -1,0 +1,71 @@
+// The walk surgery of Lemma 5.4: expanding an odd cycle of V(D, n) into
+// an odd closed walk whose per-identifier view sets are consistent.
+//
+// An odd cycle C of V(D, n) mixes views from different witness instances,
+// and realizing it directly usually fails: the same identifier appears in
+// views that disagree about its surroundings. Lemma 5.4 fixes this by
+// replacing every edge e = {mu_1, mu_2} of C with a closed detour W_e
+// inside the yes-instance G_e witnessing that edge: the walk escapes
+// along an r-forgetful path, travels to a node whose radius-r view is
+// disjoint from both endpoints' views, and returns -- so that by the time
+// the walk leaves G_e, everything it saw there has been "forgotten", and
+// each identifier's views come from at most two adjacent instances.
+//
+// expand_odd_cycle performs exactly that, using the provenance recorded
+// by NbhdGraph::absorb to map V-edges back to instances, and
+// check_walk_id_consistency verifies the property the detours buy:
+// within every connected component of S(i) (the walk views containing
+// identifier i), all views agree on i's certificate, and its radius-1
+// surroundings agree wherever i is interior.
+
+#pragma once
+
+#include <string>
+
+#include "nbhd/nbhd_graph.h"
+
+namespace shlcp {
+
+/// Outcome of the Lemma 5.4 expansion.
+struct SurgeryResult {
+  bool ok = false;
+  std::string failure;
+  /// The expanded odd closed view walk W' (first == last when ok).
+  std::vector<View> walk;
+  /// Number of detours spliced (= the cycle's edge count).
+  int detours = 0;
+};
+
+/// Expands the odd cycle `cycle` (view indices into `nbhd`, first ==
+/// last) by splicing a forgetting detour from the witnessing instance of
+/// every edge. `instances` must be the list absorbed into `nbhd`, in
+/// absorption order; `radius` is the decoder's r. Fails when some
+/// witnessing instance lacks the Lemma 5.4 ingredients (not r-forgetful
+/// at the edge, no far node, minimum degree < 2) -- which is precisely
+/// the situation of non-r-forgetful promise classes.
+SurgeryResult expand_odd_cycle(const NbhdGraph& nbhd,
+                               const std::vector<Instance>& instances,
+                               const std::vector<int>& cycle, int radius);
+
+/// The consistency property the surgery establishes (a necessary
+/// condition for component-wise realizability, checked mechanically):
+/// for every identifier i, within each connected component of the walk
+/// views containing i, all views agree on i's certificate, and pairs of
+/// views where i is interior agree on its radius-1 view. Returns an
+/// empty string on success, else a description of the first clash.
+std::string check_walk_id_consistency(const std::vector<View>& walk);
+
+/// Lemma 5.2/5.3's identifier separation: each connected component of
+/// S(i) (the walk positions whose views contain identifier i) receives
+/// its own fresh identifier, drawn from the paper's order-preserving
+/// block construction I_i = [(i-1)W + 1, iW] with W = |walk| -- so
+/// relative identifier order is preserved (old i < j implies every
+/// replacement of i is below every replacement of j) and the Lemma 5.1
+/// merge no longer conflates distinct occurrences of one identifier.
+/// Outputs the rewritten walk; `new_bound` receives the enlarged N
+/// (old bound times W), mirroring the paper's padding with isolated
+/// nodes. Requires identified views.
+std::vector<View> separate_id_components(const std::vector<View>& walk,
+                                         Ident* new_bound);
+
+}  // namespace shlcp

@@ -1,0 +1,182 @@
+#include "lower/walks.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+
+namespace shlcp {
+
+std::vector<View> lift_walk(const Instance& inst, const std::vector<Node>& walk,
+                            int radius, bool anonymous) {
+  SHLCP_CHECK(is_walk(inst.g, walk));
+  std::vector<View> out;
+  out.reserve(walk.size());
+  for (const Node v : walk) {
+    out.push_back(inst.view_of(v, radius, anonymous));
+  }
+  return out;
+}
+
+bool is_non_backtracking_walk(const std::vector<View>& walk, bool closed) {
+  const std::size_t n = walk.size();
+  if (n < 3) {
+    return true;
+  }
+  auto center_id = [&](std::size_t i) { return walk[i].center_id(); };
+  for (std::size_t i = 0; i < n; ++i) {
+    SHLCP_CHECK_MSG(!walk[i].anonymous(),
+                    "non-backtracking is defined via center identifiers");
+  }
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (center_id(i - 1) == center_id(i + 1)) {
+      return false;
+    }
+  }
+  if (closed) {
+    SHLCP_CHECK(walk.front().center_id() == walk.back().center_id());
+    // Wrap-around triples: (n-2, n-1==0, 1).
+    if (n >= 3 && center_id(n - 2) == center_id(1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::vector<Node>> non_backtracking_path(const Graph& g,
+                                                       Node from, Node to,
+                                                       Node ban_first,
+                                                       Node ban_last) {
+  g.check_node(from);
+  g.check_node(to);
+  // States are directed edges (prev, cur); start states are (from, w) for
+  // every neighbor w != ban_first. BFS, reconstruct on reaching `to`.
+  struct State {
+    Node prev;
+    Node cur;
+  };
+  const int n = g.num_nodes();
+  auto key = [n](Node prev, Node cur) {
+    return static_cast<std::size_t>(prev) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(cur);
+  };
+  if (from == to) {
+    return std::vector<Node>{from};
+  }
+  std::vector<std::pair<Node, Node>> parent(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n), {-2, -2});
+  std::deque<State> queue;
+  for (const Node w : g.neighbors(from)) {
+    if (w == ban_first) {
+      continue;
+    }
+    parent[key(from, w)] = {-1, -1};
+    queue.push_back(State{from, w});
+  }
+  while (!queue.empty()) {
+    const State s = queue.front();
+    queue.pop_front();
+    if (s.cur == to && s.prev != ban_last) {
+      // Reconstruct.
+      std::vector<Node> path{s.cur};
+      Node prev = s.prev;
+      Node cur = s.cur;
+      while (prev != -1) {
+        path.push_back(prev);
+        const auto p = parent[key(prev, cur)];
+        cur = prev;
+        prev = p.first;
+      }
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const Node w : g.neighbors(s.cur)) {
+      if (w == s.prev) {
+        continue;  // no immediate reversal
+      }
+      if (parent[key(s.cur, w)].first != -2) {
+        continue;
+      }
+      parent[key(s.cur, w)] = {s.prev, s.cur};
+      queue.push_back(State{s.cur, w});
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Node>> forgetting_detour(const Instance& inst,
+                                                   Node u, Node v, int r) {
+  const Graph& g = inst.g;
+  SHLCP_CHECK(g.has_edge(u, v));
+  SHLCP_CHECK(r >= 1);
+  if (g.min_degree() < 2) {
+    return std::nullopt;
+  }
+  // Step 3 ingredient: the escape path away from v with respect to u.
+  const auto escape = forgetful_escape_path(g, v, u, r);
+  if (!escape.has_value()) {
+    return std::nullopt;
+  }
+  // Far node whose radius-r ball avoids both N^r(u) and N^r(v).
+  const auto du = bfs_distances(g, u);
+  const auto dv = bfs_distances(g, v);
+  Node far = -1;
+  for (Node w = 0; w < g.num_nodes(); ++w) {
+    if (du[static_cast<std::size_t>(w)] > 2 * r &&
+        dv[static_cast<std::size_t>(w)] > 2 * r) {
+      far = w;
+      break;
+    }
+  }
+  if (far == -1) {
+    return std::nullopt;
+  }
+  // Assemble: u -> v -> escape[1..r] -> (non-backtracking to far) ->
+  // (non-backtracking back to u), never immediately reversing.
+  std::vector<Node> walk{u};
+  for (const Node x : *escape) {
+    walk.push_back(x);  // escape[0] == v
+  }
+  const Node vr = walk.back();
+  const Node vr_prev = walk[walk.size() - 2];
+  const auto to_far = non_backtracking_path(g, vr, far, vr_prev);
+  if (!to_far.has_value()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 1; i < to_far->size(); ++i) {
+    walk.push_back((*to_far)[i]);
+  }
+  // Return leg: avoid immediately reversing the arrival edge, and avoid
+  // arriving at u from v (the closed walk's wrap-around successor is v,
+  // so a v -> u final step would backtrack).
+  const Node arrive_prev =
+      walk.size() >= 2 ? walk[walk.size() - 2] : static_cast<Node>(-1);
+  const auto back =
+      non_backtracking_path(g, walk.back(), u, arrive_prev, /*ban_last=*/v);
+  if (!back.has_value()) {
+    return std::nullopt;
+  }
+  for (std::size_t i = 1; i < back->size(); ++i) {
+    walk.push_back((*back)[i]);
+  }
+  if (!is_walk(g, walk) || walk.front() != walk.back()) {
+    return std::nullopt;
+  }
+  return walk;
+}
+
+std::vector<Node> splice_closed_walk(const std::vector<Node>& walk,
+                                     std::size_t i,
+                                     const std::vector<Node>& detour) {
+  SHLCP_CHECK(i < walk.size());
+  SHLCP_CHECK(!detour.empty() && detour.front() == detour.back());
+  SHLCP_CHECK(detour.front() == walk[i]);
+  std::vector<Node> out;
+  out.insert(out.end(), walk.begin(), walk.begin() + static_cast<long>(i));
+  out.insert(out.end(), detour.begin(), detour.end());
+  out.insert(out.end(), walk.begin() + static_cast<long>(i) + 1, walk.end());
+  return out;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,58 @@
+// Walk machinery of Section 5.2: lifting node walks into view walks,
+// non-backtracking checks, and the forgetting detour of Lemma 5.4.
+//
+// Lemma 5.4 replaces each edge of an odd walk in V(D, n) with a closed
+// walk W_e inside a witnessing yes-instance G_e that (1) starts with the
+// edge u-v, (2) escapes v along an r-forgetful path, (3) travels to a node
+// whose radius-r view shares nothing with the views of u and v, and (4)
+// returns without backtracking. forgetting_detour builds exactly that
+// walk; its properties (closed, even, non-backtracking, reaching a
+// disjoint view) are what the tests and bench_lower_bound assert, which
+// also pins down where each hypothesis of Theorem 1.5 (r-forgetfulness,
+// minimum degree 2, a second cycle) enters.
+
+#pragma once
+
+#include <optional>
+
+#include "lcp/instance.h"
+
+namespace shlcp {
+
+/// Lifts a node walk of `inst` to the corresponding view walk.
+std::vector<View> lift_walk(const Instance& inst, const std::vector<Node>& walk,
+                            int radius, bool anonymous);
+
+/// Section 5.2's non-backtracking predicate on a view walk: for every
+/// interior view, the predecessor's and successor's center identifiers
+/// differ; for a closed walk the wrap-around triples are included.
+/// Requires non-anonymous views.
+bool is_non_backtracking_walk(const std::vector<View>& walk, bool closed);
+
+/// A walk in `g` from `from` to `to` that never immediately reverses an
+/// edge; `ban_first` forbids the first step from going to that node
+/// (models "without going through v_{r-1}"), and `ban_last` forbids
+/// arriving at `to` from that node (used to keep a closed walk
+/// non-backtracking across its wrap-around). BFS over directed edge
+/// states; nullopt if impossible.
+std::optional<std::vector<Node>> non_backtracking_path(const Graph& g,
+                                                       Node from, Node to,
+                                                       Node ban_first = -1,
+                                                       Node ban_last = -1);
+
+/// The Lemma 5.4 closed walk W_e for the edge {u, v} of `inst.g`:
+///   u -> v -> (r-forgetful escape path from v w.r.t. u) -> far node w
+///   whose N^r(w) avoids N^r(u) and N^r(v) -> back to u, all without
+///   backtracking. Requires delta(G) >= 2. Returns nullopt when any
+///   ingredient is missing (not r-forgetful at (v, u), no sufficiently far
+///   node, or no return path).
+std::optional<std::vector<Node>> forgetting_detour(const Instance& inst,
+                                                   Node u, Node v, int r);
+
+/// Splices `detour` (a closed walk at `walk[i]`) into `walk` before
+/// position i+1; the result is a walk when both inputs are.
+std::vector<Node> splice_closed_walk(const std::vector<Node>& walk,
+                                     std::size_t i,
+                                     const std::vector<Node>& detour);
+
+}  // namespace shlcp

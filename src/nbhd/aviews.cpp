@@ -1,0 +1,37 @@
+#include "nbhd/aviews.h"
+
+namespace shlcp {
+
+NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
+                           const EnumOptions& options) {
+  NbhdGraph nbhd;
+  const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
+  for_each_labeled_instance(lcp, yes_graphs, options,
+                            [&](const Instance& inst) {
+                              nbhd.absorb(lcp.decoder(), inst, lcp.k());
+                              return true;
+                            });
+  return nbhd;
+}
+
+NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
+                       const EnumOptions& options) {
+  NbhdGraph nbhd;
+  const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
+  for_each_proved_instance(lcp, yes_graphs, options, [&](const Instance& inst) {
+    nbhd.absorb(lcp.decoder(), inst, lcp.k());
+    return true;
+  });
+  return nbhd;
+}
+
+NbhdGraph build_from_instances(const Decoder& decoder,
+                               const std::vector<Instance>& instances, int k) {
+  NbhdGraph nbhd;
+  for (const Instance& inst : instances) {
+    nbhd.absorb(decoder, inst, k);
+  }
+  return nbhd;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,37 @@
+#include "nbhd/extractor.h"
+
+namespace shlcp {
+
+std::optional<Extractor> Extractor::build(const Decoder& decoder,
+                                          NbhdGraph nbhd, int k) {
+  auto coloring = nbhd.k_coloring_of_views(k);
+  if (!coloring.has_value()) {
+    return std::nullopt;
+  }
+  return Extractor(decoder, std::move(nbhd), std::move(*coloring), k);
+}
+
+std::optional<int> Extractor::extract(const View& view) const {
+  const int idx = nbhd_.index_of(view);
+  if (idx == -1) {
+    return std::nullopt;
+  }
+  return colors_[static_cast<std::size_t>(idx)];
+}
+
+std::optional<std::vector<int>> Extractor::run(const Instance& inst) const {
+  SHLCP_CHECK_MSG(decoder_->accepts_all(inst),
+                  "extraction is defined on accepted certificates");
+  std::vector<int> out(static_cast<std::size_t>(inst.num_nodes()));
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    const auto color =
+        extract(inst.view_of(v, decoder_->radius(), decoder_->anonymous()));
+    if (!color.has_value()) {
+      return std::nullopt;
+    }
+    out[static_cast<std::size_t>(v)] = *color;
+  }
+  return out;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,57 @@
+// The extractor decoder D' of Lemma 3.2 (converse direction).
+//
+// Given a decoder D and a k-colorable neighborhood graph V(D, n), the
+// extractor colors V(D, n) once (deterministically, lexicographically
+// first in registration order) and then answers view queries by lookup:
+// each node of an accepted instance recomputes V(D, n), finds its own
+// view, and outputs that view's color. On every instance whose views all
+// appear in the supplied neighborhood graph and whose nodes all accept,
+// the output is a proper k-coloring -- which is exactly what it means for
+// D to NOT hide a k-coloring relative to that n.
+//
+// For hiding decoders the construction fails at the first step: the
+// neighborhood graph has no proper k-coloring (constructor reports it).
+
+#pragma once
+
+#include <optional>
+
+#include "nbhd/nbhd_graph.h"
+
+namespace shlcp {
+
+/// The extractor local algorithm. Non-owning reference semantics for the
+/// decoder; the neighborhood graph is copied in.
+class Extractor {
+ public:
+  /// Attempts to build the extractor; nullopt iff `nbhd`'s view graph is
+  /// not k-colorable (i.e. a hiding witness exists inside it).
+  static std::optional<Extractor> build(const Decoder& decoder, NbhdGraph nbhd,
+                                        int k);
+
+  /// Color of the node whose (decoder-appropriate) view is `view`, or
+  /// nullopt when the view is unknown to the neighborhood graph (the
+  /// instance exceeds the n this extractor was compiled for).
+  [[nodiscard]] std::optional<int> extract(const View& view) const;
+
+  /// Runs the extractor at every node of an instance; nullopt when some
+  /// node's view is unknown. Requires the decoder to accept everywhere
+  /// (certificates must be convincing before extraction is meaningful).
+  [[nodiscard]] std::optional<std::vector<int>> run(const Instance& inst) const;
+
+  /// The underlying coloring of the neighborhood graph.
+  [[nodiscard]] const std::vector<int>& view_colors() const { return colors_; }
+
+ private:
+  Extractor(const Decoder& decoder, NbhdGraph nbhd, std::vector<int> colors,
+            int k)
+      : decoder_(&decoder), nbhd_(std::move(nbhd)), colors_(std::move(colors)),
+        k_(k) {}
+
+  const Decoder* decoder_;
+  NbhdGraph nbhd_;
+  std::vector<int> colors_;
+  int k_;
+};
+
+}  // namespace shlcp

@@ -1,0 +1,89 @@
+#include "nbhd/nbhd_graph.h"
+
+namespace shlcp {
+
+int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
+                      bool require_yes) {
+  if (require_yes) {
+    SHLCP_CHECK_MSG(is_k_colorable(inst.g, k),
+                    "V(D, n) is built from yes-instances only");
+  }
+  const int instance_index = next_instance_++;
+  const int r = decoder.radius();
+  const bool anon = decoder.anonymous();
+
+  // Register the accepting views and remember each node's index (or -1).
+  std::vector<int> node_view(static_cast<std::size_t>(inst.num_nodes()), -1);
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    View view = inst.view_of(v, r, anon);
+    if (!decoder.accept(view)) {
+      continue;
+    }
+    const std::string key = canonical_key(view);
+    auto [it, fresh] = index_.try_emplace(key, static_cast<int>(views_.size()));
+    if (fresh) {
+      views_.push_back(std::move(view));
+      view_prov_.push_back(Provenance{instance_index, v, -1});
+      adj_.add_node();
+    }
+    node_view[static_cast<std::size_t>(v)] = it->second;
+  }
+
+  // Yes-instance-compatibility edges between accepting views.
+  for (const Edge& e : inst.g.edges()) {
+    const int a = node_view[static_cast<std::size_t>(e.u)];
+    const int b = node_view[static_cast<std::size_t>(e.v)];
+    if (a == -1 || b == -1) {
+      continue;
+    }
+    if (a == b) {
+      if (!adj_.has_edge(a, a)) {
+        adj_.add_loop(a);
+      }
+    } else if (!adj_.has_edge(a, b)) {
+      adj_.add_edge(a, b);
+    }
+    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (edge_prov_.find(key) == edge_prov_.end()) {
+      // Store endpoints so that `node` realizes view min(a, b).
+      const bool swap = a > b;
+      edge_prov_[key] =
+          Provenance{instance_index, swap ? e.v : e.u, swap ? e.u : e.v};
+    }
+  }
+  return instance_index;
+}
+
+const View& NbhdGraph::view(int i) const {
+  SHLCP_CHECK(0 <= i && i < num_views());
+  return views_[static_cast<std::size_t>(i)];
+}
+
+const Provenance& NbhdGraph::view_provenance(int i) const {
+  SHLCP_CHECK(0 <= i && i < num_views());
+  return view_prov_[static_cast<std::size_t>(i)];
+}
+
+const Provenance* NbhdGraph::edge_provenance(int a, int b) const {
+  const auto it = edge_prov_.find({std::min(a, b), std::max(a, b)});
+  return it == edge_prov_.end() ? nullptr : &it->second;
+}
+
+int NbhdGraph::index_of(const View& v) const {
+  const auto it = index_.find(canonical_key(v));
+  return it == index_.end() ? -1 : it->second;
+}
+
+std::optional<std::vector<int>> NbhdGraph::odd_cycle() const {
+  auto res = check_bipartite(adj_);
+  if (res.bipartite()) {
+    return std::nullopt;
+  }
+  return res.odd_cycle;
+}
+
+std::optional<std::vector<int>> NbhdGraph::k_coloring_of_views(int k) const {
+  return k_coloring(adj_, k);
+}
+
+}  // namespace shlcp

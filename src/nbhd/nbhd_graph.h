@@ -1,0 +1,100 @@
+// The accepting neighborhood graph V(D, n) (Section 3 of the paper).
+//
+// Nodes are the accepting views of the decoder D over labeled
+// yes-instances; edges join yes-instance-compatible views (views realized
+// at two adjacent nodes of one labeled yes-instance). Lemma 3.2 is the
+// punchline: D hides a k-coloring iff V(D, n) is NOT k-colorable for some
+// n -- an odd cycle in V(D, n) is a hiding certificate for k = 2, and a
+// proper k-coloring of V(D, n) compiles into the extractor decoder D'
+// (see nbhd/extractor.h).
+//
+// Views of adjacent nodes with the *same* canonical form produce a
+// self-loop here; a loop is a 1-cycle and correctly counts as
+// non-k-colorable for every k (two adjacent nodes that look identical can
+// never be consistently split by any local decoder).
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "lcp/decoder.h"
+#include "views/canonical.h"
+
+namespace shlcp {
+
+/// Where a view / compatibility edge was first seen: an instance index
+/// (assigned by absorption order) and the node(s) realizing it. The
+/// Section 5 surgery uses this to go back from V(D, n) into concrete
+/// yes-instances (the graphs G_e of Lemma 5.4).
+struct Provenance {
+  int instance = -1;
+  Node node = -1;       // center realizing the view
+  Node other = -1;      // for edges: the adjacent center
+};
+
+/// An incrementally-built accepting neighborhood graph.
+class NbhdGraph {
+ public:
+  /// Absorbs one labeled instance: registers the accepting views of
+  /// `decoder` (anonymized when the decoder is anonymous) and the edges
+  /// between accepting views of adjacent nodes. When `require_yes` is
+  /// true (the default -- V(D, n) is defined over yes-instances only) the
+  /// graph must be k-colorable; pass the language's k. Returns the
+  /// instance index assigned for provenance.
+  int absorb(const Decoder& decoder, const Instance& inst, int k,
+             bool require_yes = true);
+
+  /// Number of distinct accepting views registered.
+  [[nodiscard]] int num_views() const { return static_cast<int>(views_.size()); }
+
+  /// The i-th registered view (registration order).
+  [[nodiscard]] const View& view(int i) const;
+
+  /// Index of `v` in the registry, or -1.
+  [[nodiscard]] int index_of(const View& v) const;
+
+  /// The view-adjacency graph (indices parallel to view()).
+  [[nodiscard]] const Graph& graph() const { return adj_; }
+
+  /// Number of yes-instance-compatibility edges.
+  [[nodiscard]] int num_edges() const { return adj_.num_edges(); }
+
+  /// Lemma 3.2 for k = 2: the decoder hides a 2-coloring iff this returns
+  /// a non-bipartite witness. Returns the odd cycle over view indices if
+  /// one exists.
+  [[nodiscard]] std::optional<std::vector<int>> odd_cycle() const;
+
+  /// Proper k-coloring of the view graph in registration order
+  /// (deterministic; the "lexicographically first" coloring Lemma 3.2
+  /// uses), or nullopt if none exists.
+  [[nodiscard]] std::optional<std::vector<int>> k_coloring_of_views(int k) const;
+
+  /// True iff the view graph is k-colorable (no hiding witness found).
+  [[nodiscard]] bool k_colorable(int k) const {
+    return k_coloring_of_views(k).has_value();
+  }
+
+  /// First-seen provenance of view i.
+  [[nodiscard]] const Provenance& view_provenance(int i) const;
+
+  /// First-seen provenance of the edge {a, b}, or nullptr if absent.
+  [[nodiscard]] const Provenance* edge_provenance(int a, int b) const;
+
+  /// Number of instances absorbed so far.
+  [[nodiscard]] int num_instances_absorbed() const { return next_instance_; }
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<View> views_;
+  std::vector<Provenance> view_prov_;
+  std::map<std::pair<int, int>, Provenance> edge_prov_;
+  Graph adj_;
+  int next_instance_ = 0;
+};
+
+}  // namespace shlcp

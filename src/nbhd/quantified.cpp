@@ -1,0 +1,73 @@
+#include "nbhd/quantified.h"
+
+#include "graph/algorithms.h"
+
+namespace shlcp {
+
+ComponentAnalysis analyze_components(const NbhdGraph& nbhd) {
+  ComponentAnalysis out;
+  const Graph& g = nbhd.graph();
+  out.component_of_view = connected_components(g);
+  out.num_components = num_components(g);
+  out.component_bipartite.assign(static_cast<std::size_t>(out.num_components),
+                                 true);
+  // Bipartiteness per component: collect nodes per component and test the
+  // induced subgraphs (loops handled by check_bipartite).
+  std::vector<std::vector<Node>> members(
+      static_cast<std::size_t>(out.num_components));
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    members[static_cast<std::size_t>(out.component_of_view[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  for (int c = 0; c < out.num_components; ++c) {
+    const Graph sub = g.induced_subgraph(members[static_cast<std::size_t>(c)]);
+    out.component_bipartite[static_cast<std::size_t>(c)] = is_bipartite(sub);
+  }
+  return out;
+}
+
+double hidden_fraction(const NbhdGraph& nbhd, const Decoder& decoder,
+                       const Instance& inst) {
+  SHLCP_CHECK_MSG(decoder.accepts_all(inst),
+                  "hidden_fraction is defined on accepted instances");
+  const ComponentAnalysis analysis = analyze_components(nbhd);
+  int obstructed = 0;
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    const int idx = nbhd.index_of(decoder.input_view(inst, v));
+    if (idx == -1) {
+      continue;  // view unknown to this (sub)graph: cannot claim obstruction
+    }
+    const int comp = analysis.component_of_view[static_cast<std::size_t>(idx)];
+    if (!analysis.component_bipartite[static_cast<std::size_t>(comp)]) {
+      ++obstructed;
+    }
+  }
+  return static_cast<double>(obstructed) /
+         static_cast<double>(inst.num_nodes());
+}
+
+double self_conflicting_fraction(const NbhdGraph& nbhd, const Decoder& decoder,
+                                 const Instance& inst) {
+  SHLCP_CHECK_MSG(decoder.accepts_all(inst),
+                  "self_conflicting_fraction is defined on accepted instances");
+  int conflicted = 0;
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    const int idx = nbhd.index_of(decoder.input_view(inst, v));
+    if (idx != -1 && nbhd.graph().has_edge(idx, idx)) {
+      ++conflicted;
+    }
+  }
+  return static_cast<double>(conflicted) /
+         static_cast<double>(inst.num_nodes());
+}
+
+std::optional<int> chromatic_threshold(const NbhdGraph& nbhd, int k_max) {
+  for (int k = 1; k <= k_max; ++k) {
+    if (nbhd.k_colorable(k)) {
+      return k;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace shlcp

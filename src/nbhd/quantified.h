@@ -1,0 +1,71 @@
+// Quantified hiding (the paper's Section 1.1 future-work direction).
+//
+// The paper's hiding notion is satisfied as soon as a single node's color
+// cannot be extracted; it explicitly proposes studying the *quantified*
+// version: what fraction of nodes fail? This module measures it through
+// the neighborhood-graph lens:
+//
+//  * The components of V(D, n) partition the accepting views. On a
+//    2-colorable component, an extractor has exactly two consistent
+//    colorings (a global flip); on a NON-bipartite component there is no
+//    consistent coloring at all -- every decoder D' must output a wrong
+//    color somewhere among instances realizing that component. A node
+//    whose view lies in a non-bipartite component is called *obstructed*.
+//  * hidden_fraction(instance) = fraction of obstructed nodes. The
+//    degree-one LCP hides "at a single node" (tiny fractions); the
+//    even-cycle LCP hides "everywhere" (fraction 1 on matched-port
+//    instances); the revealing LCP never obstructs (fraction 0).
+//
+// Also answers the Section 1.3 remark on hiding K-colorings while
+// certifying k: D hides a K-coloring iff V(D, n) is not K-colorable
+// (same Lemma 3.2 proof), so the *chromatic threshold* of V(D, n) -- the
+// least K for which V is K-colorable -- delimits exactly which
+// K-colorings stay hidden. A self-loop pushes the threshold to infinity.
+
+#pragma once
+
+#include <optional>
+
+#include "nbhd/nbhd_graph.h"
+
+namespace shlcp {
+
+/// Per-component analysis of a neighborhood graph.
+struct ComponentAnalysis {
+  /// Component index of each view.
+  std::vector<int> component_of_view;
+  /// Per component: is it 2-colorable (no odd cycle, no loop)?
+  std::vector<bool> component_bipartite;
+  /// Number of components.
+  int num_components = 0;
+};
+
+/// Computes components and their bipartiteness.
+ComponentAnalysis analyze_components(const NbhdGraph& nbhd);
+
+/// Fraction of `inst`'s nodes whose view lies in a non-bipartite
+/// component of `nbhd` (obstructed nodes). This is a component-level
+/// UPPER bound: "an extractor must fail SOMEWHERE among instances
+/// realizing this component" -- for the degree-one LCP the whole witness
+/// graph is one odd component, so the fraction is 1 even though only one
+/// node per instance is genuinely undecidable. Views absent from `nbhd`
+/// count as unobstructed; requires the decoder to accept everywhere.
+double hidden_fraction(const NbhdGraph& nbhd, const Decoder& decoder,
+                       const Instance& inst);
+
+/// The sharp per-node measure: fraction of `inst`'s nodes whose view
+/// carries a SELF-LOOP in `nbhd` -- two *adjacent* nodes share that very
+/// view, so any decoder output miscolors one endpoint of such an edge.
+/// This separates the paper's two hiding strengths exactly: the
+/// degree-one LCP has no self-conflicting views (hiding at one node,
+/// fraction 0), while the even-cycle LCP on matched-port instances is
+/// self-conflicting everywhere (hiding "from all nodes", fraction 1).
+double self_conflicting_fraction(const NbhdGraph& nbhd, const Decoder& decoder,
+                                 const Instance& inst);
+
+/// The least K in [1, k_max] such that the view graph is K-colorable, or
+/// nullopt if none (e.g. a self-loop defeats every K). By Lemma 3.2 the
+/// decoder hides K-colorings exactly for the K below the threshold.
+std::optional<int> chromatic_threshold(const NbhdGraph& nbhd, int k_max);
+
+}  // namespace shlcp

@@ -1,0 +1,124 @@
+#include "ramsey/ramsey.h"
+
+#include "util/combinatorics.h"
+
+namespace shlcp {
+
+namespace {
+
+/// Checks that adding `next` to the monochromatic set `chosen` (with the
+/// established color `color`, or establishes it) keeps all s-subsets
+/// containing `next` monochromatic. Returns the (possibly newly
+/// established) color, or nullopt on a clash.
+std::optional<int> extend_color(const std::vector<int>& chosen, int next,
+                                int s, const SubsetColoring& coloring,
+                                std::optional<int> color) {
+  if (static_cast<int>(chosen.size()) + 1 < s) {
+    return color.has_value() ? color : std::optional<int>(0x7fffffff);
+  }
+  // All (s-1)-subsets of `chosen`, each extended by `next`.
+  std::optional<int> current = color;
+  const bool complete = for_each_subset(
+      static_cast<int>(chosen.size()), s - 1, [&](const std::vector<int>& idx) {
+        std::vector<int> subset;
+        subset.reserve(static_cast<std::size_t>(s));
+        for (const int i : idx) {
+          subset.push_back(chosen[static_cast<std::size_t>(i)]);
+        }
+        subset.push_back(next);  // chosen is increasing and next is larger
+        const int c = coloring(subset);
+        if (!current.has_value() || *current == 0x7fffffff) {
+          current = c;
+          return true;
+        }
+        return c == *current;
+      });
+  if (!complete) {
+    return std::nullopt;
+  }
+  return current;
+}
+
+bool search(int n, int s, const SubsetColoring& coloring, int target,
+            std::vector<int>& chosen, std::optional<int>& color, int from) {
+  if (static_cast<int>(chosen.size()) == target) {
+    return true;
+  }
+  for (int next = from; next < n; ++next) {
+    // Prune: not enough elements left.
+    if (n - next < target - static_cast<int>(chosen.size())) {
+      return false;
+    }
+    const auto extended = extend_color(chosen, next, s, coloring, color);
+    if (!extended.has_value()) {
+      continue;
+    }
+    const std::optional<int> saved = color;
+    color = (*extended == 0x7fffffff) ? std::nullopt
+                                      : std::optional<int>(*extended);
+    chosen.push_back(next);
+    if (search(n, s, coloring, target, chosen, color, next + 1)) {
+      return true;
+    }
+    chosen.pop_back();
+    color = saved;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> find_monochromatic_subset(
+    int n, int s, const SubsetColoring& coloring, int target_size) {
+  SHLCP_CHECK(1 <= s && s <= target_size && target_size <= n);
+  std::vector<int> chosen;
+  std::optional<int> color;
+  if (search(n, s, coloring, target_size, chosen, color, 0)) {
+    return chosen;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> largest_monochromatic_subset(int n, int s,
+                                              const SubsetColoring& coloring) {
+  SHLCP_CHECK(s >= 1 && n >= s);
+  for (int target = n; target >= s; --target) {
+    auto found = find_monochromatic_subset(n, s, coloring, target);
+    if (found.has_value()) {
+      return *found;
+    }
+  }
+  // A single s-subset is trivially monochromatic.
+  std::vector<int> base(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    base[static_cast<std::size_t>(i)] = i;
+  }
+  return base;
+}
+
+std::optional<int> monochromatic_color(const std::vector<int>& set, int s,
+                                       const SubsetColoring& coloring) {
+  if (static_cast<int>(set.size()) < s) {
+    return 0;
+  }
+  std::optional<int> color;
+  const bool mono = for_each_subset(
+      static_cast<int>(set.size()), s, [&](const std::vector<int>& idx) {
+        std::vector<int> subset;
+        for (const int i : idx) {
+          subset.push_back(set[static_cast<std::size_t>(i)]);
+        }
+        const int c = coloring(subset);
+        if (!color.has_value()) {
+          color = c;
+          return true;
+        }
+        return c == *color;
+      });
+  if (!mono) {
+    return std::nullopt;
+  }
+  return color;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,39 @@
+// Finite Ramsey search (Lemma 6.1 as used by Lemma 6.2).
+//
+// Ramsey's theorem guarantees an infinite monochromatic set; the finite
+// analogue the reproduction runs is: given a coloring of the s-subsets of
+// [0, n), find a subset Y of a requested size all of whose s-subsets share
+// one color. Exhaustive backtracking -- exponential in the worst case but
+// the Lemma 6.2 experiments use s <= 3 and n <= ~20, where it is instant.
+
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace shlcp {
+
+/// A coloring of s-subsets: receives a strictly increasing vector of size
+/// s, returns a color (any int).
+using SubsetColoring = std::function<int(const std::vector<int>&)>;
+
+/// Finds a subset Y of [0, n) with |Y| == target_size whose s-subsets are
+/// all colored alike, or nullopt. Deterministic (lexicographically first
+/// such Y). Requires 1 <= s <= target_size <= n.
+std::optional<std::vector<int>> find_monochromatic_subset(
+    int n, int s, const SubsetColoring& coloring, int target_size);
+
+/// Largest monochromatic subset found by exhaustive search (ties broken
+/// lexicographically). Requires s >= 1, n >= s.
+std::vector<int> largest_monochromatic_subset(int n, int s,
+                                              const SubsetColoring& coloring);
+
+/// Verifies that every s-subset of `set` has the same color; returns that
+/// color, or nullopt if not monochromatic (or |set| < s, in which case 0).
+std::optional<int> monochromatic_color(const std::vector<int>& set, int s,
+                                       const SubsetColoring& coloring);
+
+}  // namespace shlcp

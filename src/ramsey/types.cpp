@@ -1,0 +1,73 @@
+#include "ramsey/types.h"
+
+#include <algorithm>
+
+namespace shlcp {
+
+TypeOracle::TypeOracle(const Decoder& decoder, std::vector<View> probes)
+    : decoder_(&decoder), probes_(std::move(probes)) {
+  SHLCP_CHECK(!probes_.empty());
+  SHLCP_CHECK_MSG(static_cast<int>(probes_.size()) <= 30,
+                  "types are packed into an int verdict vector");
+  arity_ = 0;
+  for (const View& probe : probes_) {
+    for (const Ident id : probe.ids) {
+      SHLCP_CHECK_MSG(id >= 1, "probes use rank identifiers 1..s");
+      arity_ = std::max(arity_, id);
+    }
+    // Each rank must appear at most once per probe (injectivity).
+    std::vector<Ident> sorted = probe.ids;
+    std::sort(sorted.begin(), sorted.end());
+    SHLCP_CHECK(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+  }
+}
+
+int TypeOracle::type_of(const std::vector<Ident>& ids, Ident bound) const {
+  SHLCP_CHECK(static_cast<int>(ids.size()) == arity_);
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    SHLCP_CHECK_MSG(ids[i] < ids[i + 1], "tuple must be strictly increasing");
+  }
+  int verdicts = 0;
+  for (std::size_t p = 0; p < probes_.size(); ++p) {
+    const View& probe = probes_[p];
+    std::vector<std::pair<Ident, Ident>> map;
+    for (const Ident rank : probe.ids) {
+      map.emplace_back(rank, ids[static_cast<std::size_t>(rank - 1)]);
+    }
+    const View substituted = probe.with_remapped_ids(map, bound);
+    if (decoder_->accept(substituted)) {
+      verdicts |= (1 << p);
+    }
+  }
+  return verdicts;
+}
+
+SubsetColoring TypeOracle::as_coloring(Ident bound, Ident offset) const {
+  return [this, bound, offset](const std::vector<int>& subset) {
+    std::vector<Ident> ids;
+    ids.reserve(subset.size());
+    for (const int e : subset) {
+      ids.push_back(e + 1 + offset);
+    }
+    return type_of(ids, bound);
+  };
+}
+
+std::vector<View> probes_from_instance(const Instance& inst, int radius) {
+  std::vector<View> probes;
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    View view = inst.view_of(v, radius, /*anonymous=*/false);
+    // Replace identifiers by their ranks within the view.
+    std::vector<Ident> sorted = view.ids;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<std::pair<Ident, Ident>> map;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      map.emplace_back(sorted[i], static_cast<Ident>(i + 1));
+    }
+    probes.push_back(view.with_remapped_ids(map, static_cast<Ident>(sorted.size())));
+  }
+  return probes;
+}
+
+}  // namespace shlcp

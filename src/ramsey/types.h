@@ -1,0 +1,55 @@
+// Decoder types (Section 6 of the paper).
+//
+// Lemma 6.2 views a decoder's input as a pair (X, S): the identifier
+// assignment X of the view and the identifier-free structure S. For a
+// fixed finite list of probe structures, the "type" of an identifier
+// tuple X is the verdict vector the decoder produces across the probes
+// with X substituted in -- a coloring of s-subsets of the identifier
+// space, which is exactly what the Ramsey search of ramsey/ramsey.h
+// consumes.
+//
+// Probes are Views whose identifiers are the placeholder ranks 1..s; a
+// sorted identifier tuple (x_1 < ... < x_s) is substituted rank-wise.
+
+#pragma once
+
+#include "lcp/decoder.h"
+#include "ramsey/ramsey.h"
+#include "views/view.h"
+
+namespace shlcp {
+
+/// Evaluates a decoder's type over probe views.
+class TypeOracle {
+ public:
+  /// Every probe must use exactly the identifiers 1..s (each at most
+  /// once; s is the maximum over probes of the largest rank used).
+  TypeOracle(const Decoder& decoder, std::vector<View> probes);
+
+  /// Number of identifier slots s.
+  [[nodiscard]] int arity() const { return arity_; }
+
+  /// The type of the sorted identifier tuple: bit i is the decoder's
+  /// verdict on probe i with ids[rank] substituted. `bound` is the id
+  /// bound N announced to the decoder. Requires ids strictly increasing
+  /// of size arity().
+  [[nodiscard]] int type_of(const std::vector<Ident>& ids, Ident bound) const;
+
+  /// The induced subset coloring over [0, n): subset elements e are mapped
+  /// to identifiers e + 1 (use `offset` to shift into a larger id space).
+  [[nodiscard]] SubsetColoring as_coloring(Ident bound, Ident offset = 0) const;
+
+  [[nodiscard]] const std::vector<View>& probes() const { return probes_; }
+
+ private:
+  const Decoder* decoder_;
+  std::vector<View> probes_;
+  int arity_;
+};
+
+/// Builds probe views from a labeled instance: the views of all nodes,
+/// with identifiers replaced by their ranks (1 = smallest id in that
+/// view). All probes are padded to the same arity (the max view size).
+std::vector<View> probes_from_instance(const Instance& inst, int radius);
+
+}  // namespace shlcp

@@ -1,0 +1,138 @@
+#include "sim/engine.h"
+
+#include "sim/gather.h"
+
+namespace shlcp {
+
+SyncEngine::SyncEngine(const Instance& inst) : inst_(inst) {
+  kb_.resize(static_cast<std::size_t>(inst.num_nodes()));
+}
+
+void SyncEngine::run(int rounds) {
+  SHLCP_CHECK(rounds >= 0);
+  const Graph& g = inst_.g;
+  for (int round = 0; round < rounds; ++round) {
+    const int global_round = stats_.rounds + round + 1;
+    // Compute all outgoing messages from the current state, then deliver
+    // (synchronous semantics: sends happen before any receive).
+    std::vector<std::vector<std::pair<Node, Message>>> outbox(
+        static_cast<std::size_t>(g.num_nodes()));
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      if (global_round == 1) {
+        // Round 1: announce (id, certificate, own port) over each edge.
+        for (const Node w : g.neighbors(v)) {
+          NodeRecord r;
+          r.id = inst_.ids.id_of(v);
+          r.cert = inst_.labels.at(v);
+          r.complete = false;
+          // Carry only the sender's own port on this edge as a stub; the
+          // receiver combines it with the port the message arrives on.
+          r.edges.push_back(EdgeInfo{inst_.ports.port(g, v, w), -1, 0});
+          Message m;
+          m.records.push_back(std::move(r));
+          outbox[static_cast<std::size_t>(v)].emplace_back(w, std::move(m));
+        }
+      } else {
+        const Message m = kb_[static_cast<std::size_t>(v)].to_message();
+        for (const Node w : g.neighbors(v)) {
+          outbox[static_cast<std::size_t>(v)].emplace_back(w, m);
+        }
+      }
+    }
+    // Deliver.
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      for (auto& [to, m] : outbox[static_cast<std::size_t>(v)]) {
+        stats_.messages += 1;
+        stats_.bytes += m.byte_size();
+        if (global_round == 1) {
+          // The receiver learns the sender's partial record and, from the
+          // edge stub, one entry of its own complete record.
+          Knowledge& kb = kb_[static_cast<std::size_t>(to)];
+          NodeRecord sender = m.records[0];
+          const EdgeInfo stub = sender.edges[0];
+          sender.edges.clear();
+          kb.merge_record(sender);
+          // Accumulate our own record; mark complete once all incident
+          // edges have been heard (synchronously: end of round 1).
+          NodeRecord self;
+          const NodeRecord* existing = kb.find(inst_.ids.id_of(to));
+          if (existing != nullptr) {
+            self = *existing;
+          } else {
+            self.id = inst_.ids.id_of(to);
+            self.cert = inst_.labels.at(to);
+          }
+          // The arrival port is local knowledge of the receiver; the
+          // stub carries the sender's port; together they describe the
+          // shared edge from the receiver's perspective.
+          self.edges.push_back(EdgeInfo{inst_.ports.port(g, to, v),
+                                        m.records[0].id, stub.self_port});
+          self.complete =
+              static_cast<int>(self.edges.size()) == g.degree(to);
+          // Replace by force: merge_record would not upgrade edge lists of
+          // partial records.
+          Knowledge fresh;
+          for (const NodeRecord* r : kb.all()) {
+            if (r->id != self.id) {
+              fresh.merge_record(*r);
+            }
+          }
+          fresh.merge_record(self);
+          kb = std::move(fresh);
+        } else {
+          kb_[static_cast<std::size_t>(to)].merge(m);
+        }
+      }
+    }
+    if (global_round == 1) {
+      // Isolated nodes and degree-0 corner cases: ensure every node holds
+      // its own (complete) record after round 1.
+      for (Node v = 0; v < g.num_nodes(); ++v) {
+        Knowledge& kb = kb_[static_cast<std::size_t>(v)];
+        const NodeRecord* self = kb.find(inst_.ids.id_of(v));
+        if (self == nullptr || !self->complete) {
+          if (g.degree(v) == 0) {
+            NodeRecord r;
+            r.id = inst_.ids.id_of(v);
+            r.cert = inst_.labels.at(v);
+            r.complete = true;
+            kb.merge_record(r);
+          }
+        }
+      }
+    }
+  }
+  stats_.rounds += rounds;
+}
+
+const Knowledge& SyncEngine::knowledge(Node v) const {
+  inst_.g.check_node(v);
+  return kb_[static_cast<std::size_t>(v)];
+}
+
+View SyncEngine::view_of(Node v, int r) const {
+  SHLCP_CHECK_MSG(r == stats_.rounds, "run exactly r rounds first");
+  return reconstruct_view(kb_[static_cast<std::size_t>(v)],
+                          inst_.ids.id_of(v), r, inst_.ids.bound());
+}
+
+std::vector<bool> run_decoder_distributed(const Decoder& decoder,
+                                          const Instance& inst,
+                                          SimStats* stats) {
+  SyncEngine engine(inst);
+  engine.run(decoder.radius());
+  std::vector<bool> verdicts(static_cast<std::size_t>(inst.num_nodes()));
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    View view = engine.view_of(v, decoder.radius());
+    if (decoder.anonymous()) {
+      view = view.anonymized();
+    }
+    verdicts[static_cast<std::size_t>(v)] = decoder.accept(view);
+  }
+  if (stats != nullptr) {
+    *stats = engine.stats();
+  }
+  return verdicts;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,65 @@
+// Synchronous LOCAL execution engine.
+//
+// Runs the full-information protocol of sim/message.h on an Instance for
+// r rounds and reconstructs each node's radius-r view from its gathered
+// knowledge. The module's correctness claim -- asserted by
+// tests/sim_test.cpp on many graph families -- is that the reconstructed
+// view equals views/extract.h's direct extraction at every node, i.e. the
+// paper's "the verifier sees everything up to r hops" abstraction and an
+// actual r-round message-passing execution coincide.
+//
+// Anonymous decoders are handled exactly as in Decoder::run: the engine
+// simulates on the identified network (identifiers are what makes
+// knowledge merging well-defined) and strips identifiers from the view
+// before handing it to an anonymous decoder.
+
+#pragma once
+
+#include <cstdint>
+
+#include "lcp/decoder.h"
+#include "sim/message.h"
+
+namespace shlcp {
+
+/// Traffic accounting for one execution.
+struct SimStats {
+  int rounds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Synchronous engine over a fixed instance.
+class SyncEngine {
+ public:
+  explicit SyncEngine(const Instance& inst);
+
+  /// Runs `rounds` >= 1 rounds of the full-information protocol,
+  /// extending the current state (call once; repeated calls continue).
+  void run(int rounds);
+
+  /// Rounds executed so far.
+  [[nodiscard]] int rounds_run() const { return stats_.rounds; }
+
+  [[nodiscard]] const SimStats& stats() const { return stats_; }
+
+  /// Node v's knowledge base.
+  [[nodiscard]] const Knowledge& knowledge(Node v) const;
+
+  /// Reconstructs node v's radius-r view from its knowledge; requires
+  /// r == rounds_run().
+  [[nodiscard]] View view_of(Node v, int r) const;
+
+ private:
+  const Instance& inst_;
+  std::vector<Knowledge> kb_;
+  SimStats stats_;
+};
+
+/// Runs `decoder` distributedly on `inst` (decoder.radius() rounds of
+/// message passing, then local verdicts); fills `stats` if non-null.
+std::vector<bool> run_decoder_distributed(const Decoder& decoder,
+                                          const Instance& inst,
+                                          SimStats* stats = nullptr);
+
+}  // namespace shlcp

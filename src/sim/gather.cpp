@@ -1,0 +1,104 @@
+#include "sim/gather.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "util/check.h"
+
+namespace shlcp {
+
+View reconstruct_view(const Knowledge& kb, Ident center_id, int r,
+                      Ident id_bound) {
+  SHLCP_CHECK(r >= 1);
+  const NodeRecord* center = kb.find(center_id);
+  SHLCP_CHECK_MSG(center != nullptr && center->complete,
+                  "center record must be complete");
+
+  // BFS over complete records, collecting reachable identifiers up to
+  // distance r. Edges are only expanded out of complete records (interior
+  // nodes); this reproduces the view's visibility rule.
+  std::map<Ident, int> dist;
+  dist[center_id] = 0;
+  std::deque<Ident> queue{center_id};
+  while (!queue.empty()) {
+    const Ident cur = queue.front();
+    queue.pop_front();
+    const int d = dist.at(cur);
+    if (d >= r) {
+      continue;
+    }
+    const NodeRecord* rec = kb.find(cur);
+    SHLCP_CHECK_MSG(rec != nullptr && rec->complete,
+                    "interior record missing from knowledge");
+    for (const EdgeInfo& e : rec->edges) {
+      if (dist.find(e.far_id) == dist.end()) {
+        dist[e.far_id] = d + 1;
+        queue.push_back(e.far_id);
+      }
+    }
+  }
+
+  // Local indices in increasing identifier order (any deterministic order
+  // works; View equality is structural).
+  std::vector<Ident> locals;
+  locals.reserve(dist.size());
+  for (const auto& [id, d] : dist) {
+    locals.push_back(id);
+  }
+  std::map<Ident, int> local_of;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    local_of[locals[i]] = static_cast<int>(i);
+  }
+
+  View view;
+  view.radius = r;
+  view.id_bound = id_bound;
+  view.center = local_of.at(center_id);
+  view.g = Graph(static_cast<int>(locals.size()));
+  view.dist.resize(locals.size());
+  view.ids.resize(locals.size());
+  view.labels.resize(locals.size());
+  view.ports.resize(locals.size());
+
+  // Collect the visible edges with their ports from complete interior
+  // records. Ports are stored per (local node, local neighbor).
+  std::map<std::pair<int, int>, Port> port_of;
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const Ident id = locals[i];
+    view.dist[i] = dist.at(id);
+    const NodeRecord* rec = kb.find(id);
+    SHLCP_CHECK(rec != nullptr);
+    view.ids[i] = id;
+    view.labels[i] = rec->cert;
+    if (!rec->complete || dist.at(id) >= r) {
+      continue;  // boundary: its own edge list is not part of the view
+    }
+    for (const EdgeInfo& e : rec->edges) {
+      const auto it = local_of.find(e.far_id);
+      SHLCP_CHECK_MSG(it != local_of.end(),
+                      "edge endpoint missing from the collected ball");
+      const int a = static_cast<int>(i);
+      const int b = it->second;
+      if (!view.g.has_edge(a, b)) {
+        view.g.add_edge(a, b);
+      }
+      port_of[{a, b}] = e.self_port;
+      port_of[{b, a}] = e.far_port;
+    }
+  }
+
+  for (int x = 0; x < view.g.num_nodes(); ++x) {
+    const auto nb = view.g.neighbors(x);
+    auto& px = view.ports[static_cast<std::size_t>(x)];
+    px.resize(nb.size());
+    for (std::size_t t = 0; t < nb.size(); ++t) {
+      const auto it = port_of.find({x, nb[t]});
+      SHLCP_CHECK_MSG(it != port_of.end(), "port missing for visible edge");
+      px[t] = it->second;
+    }
+  }
+  return view;
+}
+
+}  // namespace shlcp

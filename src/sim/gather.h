@@ -1,0 +1,25 @@
+// View reconstruction from gathered knowledge.
+//
+// After r rounds of the full-information protocol, a node's Knowledge
+// holds complete records of every node within distance r - 1 and partial
+// records of the distance-r boundary. reconstruct_view turns that
+// knowledge back into the paper's radius-r view: nodes are the known
+// identifiers reachable within r hops of the center through complete
+// records; an edge is present iff some complete record lists it -- which
+// is exactly the "min endpoint distance <= r - 1" visibility rule, because
+// complete records are precisely the interior nodes.
+
+#pragma once
+
+#include "sim/message.h"
+#include "views/view.h"
+
+namespace shlcp {
+
+/// Rebuilds the radius-r view of the node with identifier `center_id`
+/// from its knowledge base. `id_bound` is the N every node knows.
+/// Requires the center's record to be complete (i.e. r >= 1).
+View reconstruct_view(const Knowledge& kb, Ident center_id, int r,
+                      Ident id_bound);
+
+}  // namespace shlcp

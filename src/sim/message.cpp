@@ -1,0 +1,66 @@
+#include "sim/message.h"
+
+#include <algorithm>
+
+namespace shlcp {
+
+std::size_t encoded_size(const NodeRecord& record) {
+  // id + completeness flag + certificate (bit count + field count +
+  // fields) + edge count + 3 ints per edge.
+  return 4 + 1 + 4 + 4 + 4 * record.cert.fields.size() + 4 +
+         12 * record.edges.size();
+}
+
+std::size_t Message::byte_size() const {
+  std::size_t total = 4;  // record count
+  for (const auto& r : records) {
+    total += encoded_size(r);
+  }
+  return total;
+}
+
+void Knowledge::merge_record(const NodeRecord& record) {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), record.id,
+      [](const NodeRecord& r, Ident id) { return r.id < id; });
+  if (it == records_.end() || it->id != record.id) {
+    records_.insert(it, record);
+    return;
+  }
+  if (!it->complete && record.complete) {
+    *it = record;
+  }
+}
+
+void Knowledge::merge(const Message& message) {
+  for (const auto& r : message.records) {
+    merge_record(r);
+  }
+}
+
+const NodeRecord* Knowledge::find(Ident id) const {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), id,
+      [](const NodeRecord& r, Ident want) { return r.id < want; });
+  if (it == records_.end() || it->id != id) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+std::vector<const NodeRecord*> Knowledge::all() const {
+  std::vector<const NodeRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) {
+    out.push_back(&r);
+  }
+  return out;
+}
+
+Message Knowledge::to_message() const {
+  Message m;
+  m.records = records_;
+  return m;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,48 @@
+#include "util/bitstream.h"
+
+namespace shlcp {
+
+void BitWriter::write(std::uint32_t value, int width) {
+  SHLCP_CHECK(0 <= width && width <= 32);
+  SHLCP_CHECK_MSG(width == 32 || value < (1ULL << width),
+                  "value does not fit the declared width");
+  for (int i = width - 1; i >= 0; --i) {
+    const int bit = static_cast<int>((value >> i) & 1u);
+    const int byte_index = size_bits_ / 8;
+    const int bit_index = 7 - (size_bits_ % 8);
+    if (byte_index == static_cast<int>(bytes_.size())) {
+      bytes_.push_back(0);
+    }
+    if (bit != 0) {
+      bytes_[static_cast<std::size_t>(byte_index)] |=
+          static_cast<std::uint8_t>(1u << bit_index);
+    }
+    ++size_bits_;
+  }
+}
+
+std::uint32_t BitReader::read(int width) {
+  SHLCP_CHECK(0 <= width && width <= 32);
+  SHLCP_CHECK_MSG(cursor_ + width <= size_bits_, "bitstream exhausted");
+  std::uint32_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    const int byte_index = cursor_ / 8;
+    const int bit_index = 7 - (cursor_ % 8);
+    const int bit =
+        ((*bytes_)[static_cast<std::size_t>(byte_index)] >> bit_index) & 1;
+    value = (value << 1) | static_cast<std::uint32_t>(bit);
+    ++cursor_;
+  }
+  return value;
+}
+
+int bit_width_for(int bound) {
+  SHLCP_CHECK(bound >= 0);
+  int width = 1;
+  while ((1LL << width) <= bound) {
+    ++width;
+  }
+  return width;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,61 @@
+// Bit-level streams for certificate encoding.
+//
+// Certificates in this library are structured field tuples whose declared
+// `bits` sizes drive all the f(n) accounting the paper's statements are
+// about. This module closes the loop: BitWriter/BitReader provide exact
+// bit-granular packing, and certificate_codec.h uses them to serialize
+// every scheme's certificates into real bitstrings of exactly the
+// declared width, round-trip them, and thereby validate that the
+// declared sizes are honest (tests/bitstream_test.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace shlcp {
+
+/// Append-only bit buffer, most significant bit of each value first.
+class BitWriter {
+ public:
+  /// Appends the `width` low bits of `value`. Requires 0 <= width <= 32
+  /// and value < 2^width.
+  void write(std::uint32_t value, int width);
+
+  /// Bits written so far.
+  [[nodiscard]] int size_bits() const { return size_bits_; }
+
+  /// The packed bytes (last byte zero-padded).
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int size_bits_ = 0;
+};
+
+/// Sequential reader over a BitWriter's output.
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& bytes, int size_bits)
+      : bytes_(&bytes), size_bits_(size_bits) {}
+
+  /// Reads `width` bits; throws past the end.
+  std::uint32_t read(int width);
+
+  /// Bits remaining.
+  [[nodiscard]] int remaining() const { return size_bits_ - cursor_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  int size_bits_;
+  int cursor_ = 0;
+};
+
+/// Number of bits needed to store values in [0, bound] (>= 1).
+int bit_width_for(int bound);
+
+}  // namespace shlcp

@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <sstream>
+
+namespace shlcp::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& msg) {
+  std::ostringstream os;
+  os << "SHLCP_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " -- " << msg;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace shlcp::detail

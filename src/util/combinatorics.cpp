@@ -1,0 +1,124 @@
+#include "util/combinatorics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace shlcp {
+
+bool for_each_permutation(
+    int n, const std::function<bool(const std::vector<int>&)>& visit) {
+  SHLCP_CHECK(n >= 0);
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  do {
+    if (!visit(p)) {
+      return false;
+    }
+  } while (std::next_permutation(p.begin(), p.end()));
+  return true;
+}
+
+bool for_each_product(
+    const std::vector<int>& radix,
+    const std::function<bool(const std::vector<int>&)>& visit) {
+  for (const int r : radix) {
+    SHLCP_CHECK_MSG(r >= 1, "every radix must be positive");
+  }
+  std::vector<int> digits(radix.size(), 0);
+  for (;;) {
+    if (!visit(digits)) {
+      return false;
+    }
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < digits.size()) {
+      if (++digits[i] < radix[i]) {
+        break;
+      }
+      digits[i] = 0;
+      ++i;
+    }
+    if (i == digits.size()) {
+      return true;
+    }
+  }
+}
+
+bool for_each_subset(
+    int n, int k, const std::function<bool(const std::vector<int>&)>& visit) {
+  SHLCP_CHECK(0 <= k && k <= n);
+  std::vector<int> s(static_cast<std::size_t>(k));
+  std::iota(s.begin(), s.end(), 0);
+  for (;;) {
+    if (!visit(s)) {
+      return false;
+    }
+    // Advance to next k-subset in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && s[static_cast<std::size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      return true;
+    }
+    ++s[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      s[static_cast<std::size_t>(j)] = s[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+}
+
+bool for_each_subset_any_size(
+    int n, const std::function<bool(const std::vector<int>&)>& visit) {
+  SHLCP_CHECK(0 <= n && n <= 30);
+  const std::uint32_t limit = 1u << n;
+  std::vector<int> s;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    s.clear();
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) {
+        s.push_back(i);
+      }
+    }
+    if (!visit(s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t factorial(int n) {
+  SHLCP_CHECK(0 <= n && n <= 20);
+  std::uint64_t f = 1;
+  for (int i = 2; i <= n; ++i) {
+    f *= static_cast<std::uint64_t>(i);
+  }
+  return f;
+}
+
+std::uint64_t binomial(int n, int k) {
+  SHLCP_CHECK(n >= 0);
+  if (k < 0 || k > n) {
+    return 0;
+  }
+  k = std::min(k, n - k);
+  std::uint64_t r = 1;
+  for (int i = 1; i <= k; ++i) {
+    r = r * static_cast<std::uint64_t>(n - k + i) /
+        static_cast<std::uint64_t>(i);
+  }
+  return r;
+}
+
+std::vector<std::vector<int>> all_permutations(int n) {
+  SHLCP_CHECK_MSG(n <= 8, "materializing permutations is capped at n = 8");
+  std::vector<std::vector<int>> out;
+  out.reserve(factorial(n));
+  for_each_permutation(n, [&](const std::vector<int>& p) {
+    out.push_back(p);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace shlcp

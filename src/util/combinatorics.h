@@ -1,0 +1,52 @@
+// Small exact combinatorial enumerators used by the exhaustive checkers.
+//
+// All enumerators are callback-driven (no materialized vectors of vectors
+// unless asked for) so the exhaustive soundness / neighborhood-graph
+// builders can stream through label assignments and port assignments with
+// zero allocation per item. Callbacks returning `false` stop the
+// enumeration early.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace shlcp {
+
+/// Visits every permutation of [0, n) in lexicographic order.
+/// `visit` receives the permutation; return false to stop. Returns false
+/// iff the enumeration was stopped early.
+bool for_each_permutation(int n,
+                          const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Visits every element of the product space prod_i [0, radix[i]).
+/// `visit` receives the current digit vector. Empty product (all-zero
+/// length) visits the single empty tuple. Return false from visit to stop.
+bool for_each_product(const std::vector<int>& radix,
+                      const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Visits every k-subset of [0, n) in lexicographic order, as a sorted
+/// vector of ints. Return false from visit to stop early.
+bool for_each_subset(int n, int k,
+                     const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Visits every subset of [0, n) (all sizes), encoded as a sorted vector.
+/// Requires n <= 30. Return false from visit to stop early.
+bool for_each_subset_any_size(
+    int n, const std::function<bool(const std::vector<int>&)>& visit);
+
+/// Number of permutations of n elements; requires 0 <= n <= 20.
+std::uint64_t factorial(int n);
+
+/// Binomial coefficient C(n, k); saturating at uint64 max is not handled,
+/// so keep n small (n <= 60 is always safe for k <= 5).
+std::uint64_t binomial(int n, int k);
+
+/// All permutations of [0, n) materialized. Requires n <= 8 (guard against
+/// accidental blowup).
+std::vector<std::vector<int>> all_permutations(int n);
+
+}  // namespace shlcp

@@ -1,0 +1,28 @@
+#include "util/format.h"
+
+#include <cstdio>
+
+namespace shlcp {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string show_vec(const std::vector<int>& v) {
+  return "[" + join(v, ", ") + "]";
+}
+
+}  // namespace shlcp

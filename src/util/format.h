@@ -1,0 +1,42 @@
+// Minimal string formatting helpers for reports and error messages.
+//
+// We avoid std::format (not consistently available on the target
+// toolchain) and iostream state juggling; these helpers cover the small
+// surface the library needs: joining containers and a printf-like
+// format() returning std::string.
+
+#pragma once
+
+#include <cstdarg>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace shlcp {
+
+/// printf-style formatting into a std::string.
+/// Attribute-checked so mismatched format arguments fail at compile time.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+std::string format(const char* fmt, ...);
+
+/// Joins the elements of `items` with `sep`, using operator<< per element.
+template <typename Container>
+std::string join(const Container& items, const std::string& sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) {
+      os << sep;
+    }
+    first = false;
+    os << item;
+  }
+  return os.str();
+}
+
+/// Human-friendly rendering of an integer vector, e.g. "[1, 2, 3]".
+std::string show_vec(const std::vector<int>& v);
+
+}  // namespace shlcp

@@ -1,0 +1,15 @@
+#include "util/rng.h"
+
+#include <numeric>
+
+namespace shlcp {
+
+std::vector<int> random_permutation(int n, Rng& rng) {
+  SHLCP_CHECK(n >= 0);
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  rng.shuffle(p);
+  return p;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,96 @@
+#include "views/canonical.h"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <functional>
+
+namespace shlcp {
+
+std::vector<Node> canonical_order(const View& v) {
+  const int k = v.num_nodes();
+  std::vector<Node> order;
+  order.reserve(static_cast<std::size_t>(k));
+  std::vector<int> index(static_cast<std::size_t>(k), -1);
+  std::deque<Node> queue;
+  index[static_cast<std::size_t>(v.center)] = 0;
+  order.push_back(v.center);
+  queue.push_back(v.center);
+  while (!queue.empty()) {
+    const Node x = queue.front();
+    queue.pop_front();
+    // Visit x's visible edges in increasing port order.
+    const auto nb = v.g.neighbors(x);
+    const auto& px = v.ports[static_cast<std::size_t>(x)];
+    std::vector<std::pair<Port, Node>> by_port;
+    by_port.reserve(nb.size());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      by_port.emplace_back(px[i], nb[i]);
+    }
+    std::sort(by_port.begin(), by_port.end());
+    for (const auto& [p, y] : by_port) {
+      if (index[static_cast<std::size_t>(y)] == -1) {
+        index[static_cast<std::size_t>(y)] = static_cast<int>(order.size());
+        order.push_back(y);
+        queue.push_back(y);
+      }
+    }
+  }
+  SHLCP_CHECK_MSG(static_cast<int>(order.size()) == k,
+                  "view graph must be connected from the center");
+  return order;
+}
+
+std::vector<std::int64_t> canonical_code(const View& v) {
+  const auto order = canonical_order(v);
+  const int k = v.num_nodes();
+  std::vector<int> index(static_cast<std::size_t>(k), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    index[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  std::vector<std::int64_t> code;
+  code.reserve(static_cast<std::size_t>(8 * k + 16));
+  code.push_back(v.radius);
+  code.push_back(v.id_bound);
+  code.push_back(k);
+  for (const Node x : order) {
+    code.push_back(v.dist[static_cast<std::size_t>(x)]);
+    code.push_back(v.ids[static_cast<std::size_t>(x)]);
+    const auto& cert = v.labels[static_cast<std::size_t>(x)];
+    code.push_back(cert.bits);
+    code.push_back(static_cast<std::int64_t>(cert.fields.size()));
+    for (const int f : cert.fields) {
+      code.push_back(f);
+    }
+    // Edges of x in increasing port order: (port here, canonical index of
+    // the neighbor, port there).
+    const auto nb = v.g.neighbors(x);
+    const auto& px = v.ports[static_cast<std::size_t>(x)];
+    std::vector<std::pair<Port, Node>> by_port;
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      by_port.emplace_back(px[i], nb[i]);
+    }
+    std::sort(by_port.begin(), by_port.end());
+    code.push_back(static_cast<std::int64_t>(by_port.size()));
+    for (const auto& [p, y] : by_port) {
+      code.push_back(p);
+      code.push_back(index[static_cast<std::size_t>(y)]);
+      code.push_back(v.port(y, x));
+    }
+  }
+  return code;
+}
+
+std::string canonical_key(const View& v) {
+  const auto code = canonical_code(v);
+  std::string key;
+  key.resize(code.size() * sizeof(std::int64_t));
+  std::memcpy(key.data(), code.data(), key.size());
+  return key;
+}
+
+std::size_t ViewHash::operator()(const View& v) const {
+  return std::hash<std::string>{}(canonical_key(v));
+}
+
+}  // namespace shlcp

@@ -1,0 +1,48 @@
+// Canonical encoding of views.
+//
+// Port assignments make port-preserving isomorphisms rigid: at every node
+// the incident (visible) edges carry distinct port numbers, so a
+// center-fixing, port-preserving map is forced along every walk from the
+// center. A deterministic BFS that explores edges in increasing port order
+// therefore assigns every view a canonical node ordering, and serializing
+// the view along that ordering yields an *exact* canonical form: two views
+// are isomorphic (center, distances, ports, ids, labels all preserved) iff
+// their codes are equal.
+//
+// This is the workhorse behind View equality, the AViews set of Lemma 3.1
+// (dedupe of accepting views), and the node set of the accepting
+// neighborhood graph V(D, n).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "views/view.h"
+
+namespace shlcp {
+
+/// The canonical code of a view: a flat integer sequence, equal iff the
+/// views are equal. Disconnected view graphs are not valid views (every
+/// node of G_v^r is reachable from the center); checked.
+std::vector<std::int64_t> canonical_code(const View& v);
+
+/// Canonical code packed into a string (for use as a hash-map key).
+std::string canonical_key(const View& v);
+
+/// The canonical local ordering itself: order[i] = local node visited i-th
+/// by the port-ordered BFS (order[0] == center).
+std::vector<Node> canonical_order(const View& v);
+
+/// Hash functor over views (hashes the canonical key).
+struct ViewHash {
+  std::size_t operator()(const View& v) const;
+};
+
+/// Equality functor matching ViewHash.
+struct ViewEq {
+  bool operator()(const View& a, const View& b) const { return a == b; }
+};
+
+}  // namespace shlcp

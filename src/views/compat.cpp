@@ -1,0 +1,47 @@
+#include "views/compat.h"
+
+#include "util/check.h"
+#include "views/extract.h"
+
+namespace shlcp {
+
+bool node_compatible(const View& mu1, Node u, const View& mu2) {
+  SHLCP_CHECK_MSG(mu1.radius == mu2.radius,
+                  "compatibility requires equal radii");
+  SHLCP_CHECK_MSG(!mu1.anonymous() && !mu2.anonymous(),
+                  "compatibility is defined on identified views");
+  mu1.g.check_node(u);
+
+  // Condition 1: u carries the identifier of mu2's center.
+  if (mu1.ids[static_cast<std::size_t>(u)] != mu2.center_id()) {
+    return false;
+  }
+
+  // Condition 2: interior nodes sharing an identifier have identical
+  // radius-1 views.
+  const int r = mu1.radius;
+  for (Node w1 = 0; w1 < mu1.num_nodes(); ++w1) {
+    if (mu1.dist[static_cast<std::size_t>(w1)] >= r) {
+      continue;
+    }
+    const Ident id1 = mu1.ids[static_cast<std::size_t>(w1)];
+    const Node w2 = mu2.local_node_of_id(id1);
+    if (w2 == -1 || mu2.dist[static_cast<std::size_t>(w2)] >= r) {
+      continue;
+    }
+    if (subview_radius1(mu1, w1) != subview_radius1(mu2, w2)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool compatible_at_id(const View& mu1, Ident id, const View& mu2) {
+  const Node u = mu1.local_node_of_id(id);
+  if (u == -1) {
+    return false;
+  }
+  return node_compatible(mu1, u, mu2);
+}
+
+}  // namespace shlcp

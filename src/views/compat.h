@@ -1,0 +1,30 @@
+// Compatibility between views (Section 5.1 of the paper).
+//
+// Distinct from the *yes-instance-compatibility* of Section 3 (which is an
+// existential statement over instances and is handled by the neighborhood-
+// graph builder). Here, a node u inside view mu1 is compatible with view
+// mu2 when (1) u carries the identifier of mu2's center, and (2) every
+// interior node of mu1 whose identifier also appears on an interior node
+// of mu2 has an identical radius-1 view in both (graph structure, ports,
+// identifiers, and labels). Fig. 7 of the paper illustrates the predicate.
+//
+// This is the glue condition of the realizability machinery: Lemma 5.1
+// merges views that pairwise agree in this sense into a single instance
+// G_bad.
+
+#pragma once
+
+#include "views/view.h"
+
+namespace shlcp {
+
+/// True iff local node `u` of `mu1` is compatible with `mu2`.
+/// Requires both views non-anonymous and of equal radius.
+bool node_compatible(const View& mu1, Node u, const View& mu2);
+
+/// True iff `mu1` is compatible with `mu2` with respect to some node
+/// carrying identifier `id` (the phrasing used in the realizability
+/// definition). False when `mu1` has no node with that identifier.
+bool compatible_at_id(const View& mu1, Ident id, const View& mu2);
+
+}  // namespace shlcp

@@ -1,0 +1,149 @@
+#include "views/extract.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace shlcp {
+
+View extract_view(const Graph& g, const PortAssignment& ports,
+                  const IdAssignment* ids, const Labeling& labels, int r,
+                  Node v) {
+  SHLCP_CHECK(r >= 0);
+  g.check_node(v);
+  SHLCP_CHECK(labels.num_nodes() == g.num_nodes());
+  SHLCP_CHECK(ports.num_nodes() == g.num_nodes());
+  if (ids != nullptr) {
+    SHLCP_CHECK(ids->num_nodes() == g.num_nodes());
+  }
+
+  const auto dist = bfs_distances(g, v);
+  // Local index map: nodes of N^r(v) in increasing global order.
+  std::vector<Node> locals;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (dist[static_cast<std::size_t>(u)] != -1 &&
+        dist[static_cast<std::size_t>(u)] <= r) {
+      locals.push_back(u);
+    }
+  }
+  std::vector<int> local_of(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    local_of[static_cast<std::size_t>(locals[i])] = static_cast<int>(i);
+  }
+
+  View view;
+  view.radius = r;
+  view.center = local_of[static_cast<std::size_t>(v)];
+  view.id_bound = (ids != nullptr) ? ids->bound() : 0;
+  view.g = Graph(static_cast<int>(locals.size()));
+  view.dist.resize(locals.size());
+  view.ids.resize(locals.size());
+  view.labels.resize(locals.size());
+  view.ports.resize(locals.size());
+
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const Node u = locals[i];
+    view.dist[i] = dist[static_cast<std::size_t>(u)];
+    view.ids[i] = (ids != nullptr) ? ids->id_of(u) : -1;
+    view.labels[i] = labels.at(u);
+  }
+
+  // Visibility rule: edge {x, y} visible iff min(dist) <= r - 1.
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const Node x = locals[i];
+    for (const Node y : g.neighbors(x)) {
+      if (x >= y) {
+        continue;  // handle each global edge once (loops: x == y skipped;
+                   // the paper's constructions never use loops in views)
+      }
+      const int j = local_of[static_cast<std::size_t>(y)];
+      if (j == -1) {
+        continue;
+      }
+      const int dx = dist[static_cast<std::size_t>(x)];
+      const int dy = dist[static_cast<std::size_t>(y)];
+      if (std::min(dx, dy) <= r - 1) {
+        view.g.add_edge(static_cast<Node>(i), j);
+      }
+    }
+  }
+
+  // Ports parallel to the *view* adjacency lists, holding original port
+  // numbers.
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const Node x = locals[i];
+    const auto local_nb = view.g.neighbors(static_cast<Node>(i));
+    auto& px = view.ports[i];
+    px.resize(local_nb.size());
+    for (std::size_t t = 0; t < local_nb.size(); ++t) {
+      const Node y_global = locals[static_cast<std::size_t>(local_nb[t])];
+      px[t] = ports.port(g, x, y_global);
+    }
+  }
+  return view;
+}
+
+std::vector<View> extract_all_views(const Graph& g, const PortAssignment& ports,
+                                    const IdAssignment* ids,
+                                    const Labeling& labels, int r) {
+  std::vector<View> out;
+  out.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    out.push_back(extract_view(g, ports, ids, labels, r, v));
+  }
+  return out;
+}
+
+View subview_radius1(const View& view, Node x) {
+  view.g.check_node(x);
+  SHLCP_CHECK_MSG(view.dist[static_cast<std::size_t>(x)] < view.radius,
+                  "subview_radius1 requires an interior node");
+  // All of x's original edges are visible in `view` (its distance from the
+  // view center is < r), so extracting at radius 1 inside the view graph
+  // is exactly x's radius-1 view in the original instance.
+  const auto nb = view.g.neighbors(x);
+
+  View sub;
+  sub.radius = 1;
+  sub.id_bound = view.id_bound;
+  // Local nodes: x then its neighbors in increasing local index order.
+  std::vector<Node> locals{x};
+  for (const Node y : nb) {
+    locals.push_back(y);
+  }
+  std::vector<int> local_of(static_cast<std::size_t>(view.num_nodes()), -1);
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    local_of[static_cast<std::size_t>(locals[i])] = static_cast<int>(i);
+  }
+  sub.center = 0;
+  sub.g = Graph(static_cast<int>(locals.size()));
+  sub.dist.resize(locals.size());
+  sub.ids.resize(locals.size());
+  sub.labels.resize(locals.size());
+  sub.ports.resize(locals.size());
+  for (std::size_t i = 0; i < locals.size(); ++i) {
+    const Node u = locals[i];
+    sub.dist[i] = (i == 0) ? 0 : 1;
+    sub.ids[i] = view.ids[static_cast<std::size_t>(u)];
+    sub.labels[i] = view.labels[static_cast<std::size_t>(u)];
+  }
+  // Radius-1 visibility: only edges incident to the center.
+  for (std::size_t t = 0; t < nb.size(); ++t) {
+    sub.g.add_edge(0, static_cast<Node>(t + 1));
+  }
+  // Ports: center's ports to each neighbor, and each neighbor's port back.
+  auto& pc = sub.ports[0];
+  pc.resize(nb.size());
+  const auto sub_nb = sub.g.neighbors(0);
+  for (std::size_t t = 0; t < sub_nb.size(); ++t) {
+    const Node y_local_sub = sub_nb[t];
+    const Node y_view = locals[static_cast<std::size_t>(y_local_sub)];
+    pc[t] = view.port(x, y_view);
+    auto& py = sub.ports[static_cast<std::size_t>(y_local_sub)];
+    py.resize(1);
+    py[0] = view.port(y_view, x);
+  }
+  return sub;
+}
+
+}  // namespace shlcp

@@ -1,0 +1,32 @@
+// Extraction of radius-r views from a (graph, ports, ids, labeling)
+// instance, with the paper's exact visibility rule (Section 2.2, Fig. 2):
+// nodes of the view are N^r(v); an edge is visible iff at least one of its
+// endpoints is at distance <= r - 1 from the center.
+
+#pragma once
+
+#include <vector>
+
+#include "views/view.h"
+
+namespace shlcp {
+
+/// Extracts the radius-r view of node `v`. Pass `ids == nullptr` for an
+/// anonymous view (all identifiers -1, id_bound 0). Requires r >= 0; the
+/// r = 0 view is the single center node with its certificate.
+View extract_view(const Graph& g, const PortAssignment& ports,
+                  const IdAssignment* ids, const Labeling& labels, int r,
+                  Node v);
+
+/// Views of every node, indexed by node.
+std::vector<View> extract_all_views(const Graph& g, const PortAssignment& ports,
+                                    const IdAssignment* ids,
+                                    const Labeling& labels, int r);
+
+/// The radius-1 view of a non-boundary node *inside an existing view*.
+/// Requires dist(center, x) < view.radius so that all of x's edges are
+/// visible; the result is exactly x's radius-1 view in the original graph.
+/// Used by the Section 5.1 compatibility predicate.
+View subview_radius1(const View& view, Node x);
+
+}  // namespace shlcp

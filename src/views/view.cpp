@@ -1,0 +1,92 @@
+#include "views/view.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.h"
+#include "views/canonical.h"
+
+namespace shlcp {
+
+Port View::port(Node x, Node y) const {
+  const auto nb = g.neighbors(x);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), y);
+  SHLCP_CHECK_MSG(it != nb.end() && *it == y, "View::port: edge not visible");
+  return ports[static_cast<std::size_t>(x)]
+              [static_cast<std::size_t>(it - nb.begin())];
+}
+
+Node View::neighbor_at(Node x, Port p) const {
+  const auto& px = ports[static_cast<std::size_t>(x)];
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    if (px[i] == p) {
+      return g.neighbors(x)[i];
+    }
+  }
+  return -1;
+}
+
+bool View::anonymous() const {
+  return std::all_of(ids.begin(), ids.end(),
+                     [](Ident id) { return id == -1; });
+}
+
+View View::anonymized() const {
+  View copy = *this;
+  std::fill(copy.ids.begin(), copy.ids.end(), -1);
+  copy.id_bound = 0;
+  return copy;
+}
+
+View View::with_remapped_ids(const std::vector<std::pair<Ident, Ident>>& map,
+                             Ident new_bound) const {
+  View copy = *this;
+  for (auto& id : copy.ids) {
+    if (id == -1) {
+      continue;
+    }
+    bool found = false;
+    for (const auto& [from, to] : map) {
+      if (from == id) {
+        id = to;
+        found = true;
+        break;
+      }
+    }
+    SHLCP_CHECK_MSG(found, "with_remapped_ids: id missing from map");
+  }
+  copy.id_bound = new_bound;
+  return copy;
+}
+
+Node View::local_node_of_id(Ident id) const {
+  for (std::size_t x = 0; x < ids.size(); ++x) {
+    if (ids[x] == id) {
+      return static_cast<Node>(x);
+    }
+  }
+  return -1;
+}
+
+std::string View::to_string() const {
+  std::ostringstream os;
+  os << "View(r=" << radius << ", center=" << center << ", N=" << id_bound
+     << ")";
+  for (Node x = 0; x < num_nodes(); ++x) {
+    os << "\n  node " << x << " d=" << dist[static_cast<std::size_t>(x)]
+       << " id=" << ids[static_cast<std::size_t>(x)]
+       << " cert=" << show_certificate(labels[static_cast<std::size_t>(x)])
+       << " edges:";
+    const auto nb = g.neighbors(x);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      os << " (" << ports[static_cast<std::size_t>(x)][i] << ")->" << nb[i];
+    }
+  }
+  return os.str();
+}
+
+bool operator==(const View& a, const View& b) {
+  return canonical_code(a) == canonical_code(b);
+}
+
+}  // namespace shlcp

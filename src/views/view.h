@@ -1,0 +1,103 @@
+// Radius-r views (Section 2.2 of the paper).
+//
+// view_r(G, prt, Id, I)(v) is the tuple (G_v^r, prt|, Id|, I|) where G_v^r
+// is the subgraph induced by the union of all paths of length <= r
+// starting at v. Concretely: the node set is N^r(v) and an edge {x, y} of
+// G is visible iff min(dist(v,x), dist(v,y)) <= r - 1 -- the full
+// structure up to r-1 hops, but *no* connections between two nodes both at
+// distance exactly r (Fig. 2 of the paper shows such an invisible edge).
+//
+// A View stores the view graph with dense local indices, the distance of
+// each local node from the center, the original port numbers of the
+// visible edges, the identifiers (or -1 throughout for anonymous views),
+// the certificates, and the identifier bound N that the input function
+// I(v) = (N, ell(v)) carries.
+//
+// Equality of views is structural: two views are equal iff there is an
+// isomorphism between their view graphs preserving the center, distances,
+// ports, identifiers, and labels. Because ports totally order the edges at
+// every node, such an isomorphism is unique when it exists, and a
+// deterministic port-ordered BFS yields an exact canonical form (see
+// views/canonical.h).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/ids.h"
+#include "graph/labeling.h"
+#include "graph/ports.h"
+
+namespace shlcp {
+
+/// A radius-r view. Local node indices 0..k-1 index into all parallel
+/// vectors; `center` is a local index. See file comment for semantics.
+struct View {
+  /// The view graph G_v^r (local indices).
+  Graph g;
+  /// Local index of the center node.
+  Node center = 0;
+  /// View radius r.
+  int radius = 0;
+  /// Distance from the center, per local node (0..r).
+  std::vector<int> dist;
+  /// Port lists parallel to g.neighbors(x) for each local node x, holding
+  /// the *original* port numbers (a boundary node's visible ports need not
+  /// form a prefix of [d(x)]).
+  std::vector<std::vector<Port>> ports;
+  /// Identifiers per local node; all -1 in an anonymous view.
+  std::vector<Ident> ids;
+  /// Certificates per local node.
+  std::vector<Certificate> labels;
+  /// The identifier bound N known to every node (0 in anonymous views).
+  Ident id_bound = 0;
+
+  /// Number of nodes in the view.
+  [[nodiscard]] int num_nodes() const { return g.num_nodes(); }
+
+  /// Degree of the center in the original graph (all center edges are
+  /// visible for r >= 1).
+  [[nodiscard]] int center_degree() const { return g.degree(center); }
+
+  /// Identifier of the center.
+  [[nodiscard]] Ident center_id() const {
+    return ids[static_cast<std::size_t>(center)];
+  }
+
+  /// Certificate of the center.
+  [[nodiscard]] const Certificate& center_label() const {
+    return labels[static_cast<std::size_t>(center)];
+  }
+
+  /// Port at local node x of the visible edge {x, y}.
+  [[nodiscard]] Port port(Node x, Node y) const;
+
+  /// Local neighbor of x through port p, or -1 if no *visible* edge at x
+  /// carries port p.
+  [[nodiscard]] Node neighbor_at(Node x, Port p) const;
+
+  /// True iff no identifiers are present.
+  [[nodiscard]] bool anonymous() const;
+
+  /// Copy with all identifiers erased (and id_bound zeroed).
+  [[nodiscard]] View anonymized() const;
+
+  /// Copy with identifiers remapped through `map` (old id -> new id) and a
+  /// new bound. Every present id must be a key of the map.
+  [[nodiscard]] View with_remapped_ids(
+      const std::vector<std::pair<Ident, Ident>>& map, Ident new_bound) const;
+
+  /// Local node holding identifier `id`, or -1.
+  [[nodiscard]] Node local_node_of_id(Ident id) const;
+
+  /// Human-readable multi-line rendering for diagnostics.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Structural equality via canonical encodings (see views/canonical.h).
+bool operator==(const View& a, const View& b);
+inline bool operator!=(const View& a, const View& b) { return !(a == b); }
+
+}  // namespace shlcp

@@ -1,0 +1,264 @@
+// Unit tests for graph generators: structural invariants of every family,
+// parameterized over sizes, plus ports and identifier assignments.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/ids.h"
+#include "graph/ports.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+TEST(GeneratorsTest, Path) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(GeneratorsTest, SingleNodePath) {
+  const Graph g = make_path(1);
+  EXPECT_EQ(g.num_nodes(), 1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+class CycleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleTest, Structure) {
+  const int n = GetParam();
+  const Graph g = make_cycle(n);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_EQ(g.num_edges(), n);
+  EXPECT_EQ(g.min_degree(), 2);
+  EXPECT_EQ(g.max_degree(), 2);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(is_bipartite(g), n % 2 == 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CycleTest,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 11, 12));
+
+TEST(GeneratorsTest, Star) {
+  const Graph g = make_star(5);
+  EXPECT_EQ(g.num_nodes(), 6);
+  EXPECT_EQ(g.degree(0), 5);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(GeneratorsTest, Complete) {
+  const Graph g = make_complete(5);
+  EXPECT_EQ(g.num_edges(), 10);
+  EXPECT_EQ(chromatic_number(g), 5);
+}
+
+TEST(GeneratorsTest, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(2), 2);
+}
+
+TEST(GeneratorsTest, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.min_degree(), 2);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(GeneratorsTest, Torus) {
+  const Graph g = make_torus(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12);
+  EXPECT_EQ(g.min_degree(), 4);
+  EXPECT_EQ(g.max_degree(), 4);
+  EXPECT_TRUE(is_connected(g));
+  // Odd dimension makes the torus non-bipartite.
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_TRUE(is_bipartite(make_torus(4, 6)));
+}
+
+TEST(GeneratorsTest, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.num_nodes(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  EXPECT_EQ(g.min_degree(), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(GeneratorsTest, Watermelon) {
+  const Graph g = make_watermelon({2, 3, 4});
+  // 2 endpoints + (1 + 2 + 3) interior nodes.
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.num_edges(), 2 + 3 + 4);
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(g.degree(1), 3);
+  // Mixed parities: not bipartite (cycle of length 2 + 3 = 5).
+  EXPECT_FALSE(is_bipartite(g));
+  EXPECT_TRUE(is_bipartite(make_watermelon({2, 4, 6})));
+  EXPECT_TRUE(is_bipartite(make_watermelon({3, 5})));
+}
+
+TEST(GeneratorsTest, Theta) {
+  const Graph g = make_theta(2, 2, 2);
+  EXPECT_EQ(g.num_nodes(), 5);
+  EXPECT_EQ(cycle_space_dimension(g), 2);
+}
+
+TEST(GeneratorsTest, DoubleBroom) {
+  const Graph g = make_double_broom(3, 2, 3);
+  EXPECT_EQ(g.num_nodes(), 8);
+  EXPECT_EQ(g.degree(0), 3);  // spine end + 2 leaves
+  EXPECT_EQ(g.degree(2), 4);  // other spine end + 3 leaves
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(g.min_degree(), 1);
+}
+
+class RandomTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeTest, IsTree) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  for (int n : {1, 2, 3, 5, 9, 17}) {
+    const Graph g = make_random_tree(n, rng);
+    EXPECT_EQ(g.num_nodes(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_bipartite(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTreeTest, ::testing::Range(1, 6));
+
+TEST(GeneratorsTest, RandomBipartite) {
+  Rng rng(123);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = make_random_bipartite(10, 5, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_bipartite(g));
+    EXPECT_GE(g.num_edges(), 9);
+  }
+}
+
+TEST(GeneratorsTest, RandomNonBipartite) {
+  Rng rng(321);
+  for (int rep = 0; rep < 10; ++rep) {
+    const Graph g = make_random_nonbipartite(9, 3, rng);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_FALSE(is_bipartite(g));
+  }
+}
+
+TEST(GeneratorsTest, ForEachGraphCount) {
+  int count = 0;
+  for_each_graph(3, [&](const Graph&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 8);  // 2^C(3,2)
+}
+
+TEST(GeneratorsTest, ForEachConnectedGraphCount) {
+  int count = 0;
+  for_each_connected_graph(4, [&](const Graph& g) {
+    EXPECT_TRUE(is_connected(g));
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 38);  // labeled connected graphs on 4 nodes
+}
+
+TEST(PortsTest, CanonicalBijective) {
+  const Graph g = make_star(3);
+  const auto pa = PortAssignment::canonical(g);
+  EXPECT_EQ(pa.ports_of(0), (std::vector<Port>{1, 2, 3}));
+  EXPECT_EQ(pa.port(g, 0, 2), 2);
+  EXPECT_EQ(pa.neighbor_at(g, 0, 3), 3);
+  EXPECT_EQ(pa.port(g, 1, 0), 1);
+}
+
+TEST(PortsTest, RandomStillBijective) {
+  Rng rng(5);
+  const Graph g = make_complete(5);
+  const auto pa = PortAssignment::random(g, rng);
+  for (Node v = 0; v < 5; ++v) {
+    std::vector<Port> ports = pa.ports_of(v);
+    std::sort(ports.begin(), ports.end());
+    EXPECT_EQ(ports, (std::vector<Port>{1, 2, 3, 4}));
+  }
+}
+
+TEST(PortsTest, FromListsValidates) {
+  const Graph g = make_path(3);
+  EXPECT_THROW(
+      PortAssignment::from_lists(g, {{1}, {1, 1}, {1}}),
+      CheckError);
+  EXPECT_NO_THROW(PortAssignment::from_lists(g, {{1}, {2, 1}, {1}}));
+}
+
+TEST(PortsTest, EnumerationCount) {
+  const Graph g = make_path(4);  // degrees 1,2,2,1 -> 1*2*2*1 = 4
+  EXPECT_EQ(count_port_assignments(g), 4u);
+  int count = 0;
+  for_each_port_assignment(g, [&](const PortAssignment&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 4);
+}
+
+TEST(IdsTest, ConsecutiveAndLookup) {
+  const Graph g = make_path(4);
+  const auto ids = IdAssignment::consecutive(g);
+  EXPECT_EQ(ids.id_of(2), 3);
+  EXPECT_EQ(ids.node_of(3), 2);
+  EXPECT_EQ(ids.node_of(9), -1);
+  EXPECT_EQ(ids.bound(), 4);
+}
+
+TEST(IdsTest, FromVectorValidatesInjectivity) {
+  EXPECT_THROW(IdAssignment::from_vector({1, 1, 2}, 5), CheckError);
+  EXPECT_THROW(IdAssignment::from_vector({0, 1, 2}, 5), CheckError);
+  EXPECT_THROW(IdAssignment::from_vector({1, 2, 9}, 5), CheckError);
+  EXPECT_NO_THROW(IdAssignment::from_vector({5, 1, 3}, 5));
+}
+
+TEST(IdsTest, RandomInjective) {
+  Rng rng(17);
+  const Graph g = make_cycle(6);
+  const auto ids = IdAssignment::random(g, 20, rng);
+  std::vector<Ident> raw = ids.raw();
+  std::sort(raw.begin(), raw.end());
+  EXPECT_EQ(std::adjacent_find(raw.begin(), raw.end()), raw.end());
+  EXPECT_GE(raw.front(), 1);
+  EXPECT_LE(raw.back(), 20);
+}
+
+TEST(IdsTest, OrderEnumerationCount) {
+  const Graph g = make_path(4);
+  int count = 0;
+  for_each_id_order(g, [&](const IdAssignment&) {
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 24);
+}
+
+TEST(IdsTest, FullEnumerationCount) {
+  const Graph g = make_path(3);
+  int count = 0;
+  for_each_id_assignment(g, 4, [&](const IdAssignment& ids) {
+    EXPECT_EQ(ids.bound(), 4);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 24);  // 4 * 3 * 2
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,316 @@
+// Unit tests for the graph substrate: Graph operations and the exact
+// algorithms (bipartiteness with odd-cycle witnesses, k-coloring,
+// distances, components, paths, cycle finding).
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.num_nodes(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, AddAndQueryEdges) {
+  Graph g(4);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.degree(1), 0);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  const auto nb = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+TEST(GraphTest, DuplicateEdgeRejected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), CheckError);
+  EXPECT_TRUE(g.add_edge_if_absent(0, 2));
+  EXPECT_FALSE(g.add_edge_if_absent(0, 2));
+}
+
+TEST(GraphTest, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_THROW(g.remove_edge(0, 1), CheckError);
+}
+
+TEST(GraphTest, Loop) {
+  Graph g(2);
+  g.add_loop(0);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphTest, MinMaxDegree) {
+  const Graph g = make_star(4);
+  EXPECT_EQ(g.min_degree(), 1);
+  EXPECT_EQ(g.max_degree(), 4);
+}
+
+TEST(GraphTest, EdgesList) {
+  Graph g(3);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{0, 2}));
+  EXPECT_EQ(edges[1], (Edge{1, 2}));
+}
+
+TEST(GraphTest, InducedSubgraph) {
+  const Graph g = make_cycle(5);
+  std::vector<Node> keep{0, 1, 2, 4};
+  std::vector<Node> old_of_new;
+  const Graph sub = g.induced_subgraph(keep, &old_of_new);
+  EXPECT_EQ(sub.num_nodes(), 4);
+  // Edges kept: 0-1, 1-2, 4-0 (as local 3-0).
+  EXPECT_EQ(sub.num_edges(), 3);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_TRUE(sub.has_edge(0, 3));
+  EXPECT_EQ(old_of_new, keep);
+}
+
+TEST(GraphTest, Equality) {
+  EXPECT_EQ(make_path(4), make_path(4));
+  EXPECT_FALSE(make_path(4) == make_cycle(4));
+}
+
+TEST(AlgorithmsTest, BfsDistancesPath) {
+  const Graph g = make_path(5);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(AlgorithmsTest, BfsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(AlgorithmsTest, BfsMultiSource) {
+  const Graph g = make_path(7);
+  const auto d = bfs_distances_multi(g, {0, 6});
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[5], 1);
+}
+
+TEST(AlgorithmsTest, Components) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(3, 4);
+  EXPECT_EQ(num_components(g), 3);
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(make_cycle(4)));
+}
+
+TEST(AlgorithmsTest, BipartitePath) {
+  const auto res = check_bipartite(make_path(6));
+  ASSERT_TRUE(res.bipartite());
+  for (int i = 0; i + 1 < 6; ++i) {
+    EXPECT_NE(res.coloring[static_cast<std::size_t>(i)],
+              res.coloring[static_cast<std::size_t>(i + 1)]);
+  }
+}
+
+TEST(AlgorithmsTest, OddCycleWitness) {
+  const auto res = check_bipartite(make_cycle(5));
+  ASSERT_FALSE(res.bipartite());
+  const auto& cycle = res.odd_cycle;
+  ASSERT_GE(cycle.size(), 4u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+  EXPECT_EQ((cycle.size() - 1) % 2, 1u);  // odd number of edges
+  EXPECT_TRUE(is_walk(make_cycle(5), cycle));
+}
+
+TEST(AlgorithmsTest, OddCycleWitnessInBiggerGraph) {
+  // A bipartite component plus a triangle hanging off a path.
+  Graph g(7);
+  g.add_edge(0, 1);  // bipartite piece
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(6, 4);  // triangle 4-5-6
+  const auto res = check_bipartite(g);
+  ASSERT_FALSE(res.bipartite());
+  EXPECT_TRUE(is_odd_closed_walk(g, res.odd_cycle));
+}
+
+TEST(AlgorithmsTest, SelfLoopIsOddCycle) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_loop(1);
+  const auto res = check_bipartite(g);
+  EXPECT_FALSE(res.bipartite());
+}
+
+TEST(AlgorithmsTest, KColoringBasics) {
+  EXPECT_TRUE(k_coloring(make_cycle(6), 2).has_value());
+  EXPECT_FALSE(k_coloring(make_cycle(5), 2).has_value());
+  EXPECT_TRUE(k_coloring(make_cycle(5), 3).has_value());
+  EXPECT_FALSE(k_coloring(make_complete(4), 3).has_value());
+  EXPECT_TRUE(k_coloring(make_complete(4), 4).has_value());
+}
+
+TEST(AlgorithmsTest, KColoringIsProper) {
+  const Graph g = make_complete_bipartite(3, 4);
+  const auto col = k_coloring(g, 2);
+  ASSERT_TRUE(col.has_value());
+  for (const Edge& e : g.edges()) {
+    EXPECT_NE((*col)[static_cast<std::size_t>(e.u)],
+              (*col)[static_cast<std::size_t>(e.v)]);
+  }
+}
+
+TEST(AlgorithmsTest, KColoringDeterministic) {
+  // The coloring is a pure function of the graph (fixed DSATUR
+  // tie-breaking) -- Lemma 3.2's extractor depends on this.
+  const auto a = k_coloring(make_path(4), 2);
+  const auto b = k_coloring(make_path(4), 2);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+  const auto c = k_coloring(make_grid(3, 3), 3);
+  const auto d = k_coloring(make_grid(3, 3), 3);
+  EXPECT_EQ(*c, *d);
+}
+
+TEST(AlgorithmsTest, ChromaticNumber) {
+  EXPECT_EQ(chromatic_number(make_path(5)), 2);
+  EXPECT_EQ(chromatic_number(make_cycle(5)), 3);
+  EXPECT_EQ(chromatic_number(make_complete(5)), 5);
+  EXPECT_EQ(chromatic_number(make_grid(3, 3)), 2);
+}
+
+TEST(AlgorithmsTest, Diameter) {
+  EXPECT_EQ(diameter(make_path(6)), 5);
+  EXPECT_EQ(diameter(make_cycle(8)), 4);
+  EXPECT_EQ(diameter(make_complete(4)), 1);
+  EXPECT_EQ(diameter(make_grid(3, 4)), 5);
+}
+
+TEST(AlgorithmsTest, ShortestPath) {
+  const Graph g = make_cycle(6);
+  const auto path = shortest_path(g, 0, 3);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 4u);
+  EXPECT_EQ(path->front(), 0);
+  EXPECT_EQ(path->back(), 3);
+  EXPECT_TRUE(is_walk(g, *path));
+}
+
+TEST(AlgorithmsTest, ShortestPathAvoiding) {
+  const Graph g = make_cycle(6);
+  // Avoid node 1: the path 0..3 must go the other way around.
+  const auto path = shortest_path_avoiding(g, 0, 3, {1});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 4u);
+  EXPECT_EQ((*path)[1], 5);
+  // Avoiding both neighbors of 0 disconnects it.
+  EXPECT_FALSE(shortest_path_avoiding(g, 0, 3, {1, 5}).has_value());
+}
+
+TEST(AlgorithmsTest, CycleSpaceDimension) {
+  EXPECT_EQ(cycle_space_dimension(make_path(5)), 0);
+  EXPECT_EQ(cycle_space_dimension(make_cycle(5)), 1);
+  EXPECT_EQ(cycle_space_dimension(make_theta(2, 2, 2)), 2);
+  EXPECT_EQ(cycle_space_dimension(make_grid(3, 3)), 4);
+}
+
+TEST(AlgorithmsTest, FindCycleInComponent) {
+  const auto cycle = find_cycle_in_component(make_cycle(7), 2);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->front(), cycle->back());
+  EXPECT_GE(cycle->size(), 4u);
+  EXPECT_TRUE(is_walk(make_cycle(7), *cycle));
+
+  EXPECT_FALSE(find_cycle_in_component(make_path(7), 2).has_value());
+}
+
+TEST(AlgorithmsTest, FindCycleDistinctNodes) {
+  const Graph g = make_theta(2, 3, 4);
+  const auto cycle = find_cycle_in_component(g, 0);
+  ASSERT_TRUE(cycle.has_value());
+  // All nodes distinct except the endpoints.
+  std::vector<Node> interior(cycle->begin(), cycle->end() - 1);
+  std::sort(interior.begin(), interior.end());
+  EXPECT_EQ(std::adjacent_find(interior.begin(), interior.end()),
+            interior.end());
+}
+
+TEST(AlgorithmsTest, Ball) {
+  const Graph g = make_path(7);
+  EXPECT_EQ(ball(g, 3, 0), (std::vector<Node>{3}));
+  EXPECT_EQ(ball(g, 3, 2), (std::vector<Node>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(ball(g, 0, 10).size(), 7u);
+}
+
+TEST(AlgorithmsTest, WalkPredicates) {
+  const Graph g = make_cycle(4);
+  EXPECT_TRUE(is_walk(g, {0, 1, 2, 3, 0}));
+  EXPECT_FALSE(is_walk(g, {0, 2}));
+  EXPECT_FALSE(is_odd_closed_walk(g, {0, 1, 2, 3, 0}));
+  // Closed walks in bipartite graphs are always even.
+  EXPECT_FALSE(is_odd_closed_walk(g, {0, 1, 2, 3, 0, 1, 0}));
+  const Graph tri = make_cycle(3);
+  EXPECT_TRUE(is_odd_closed_walk(tri, {0, 1, 2, 0}));
+  EXPECT_TRUE(is_odd_closed_walk(tri, {0, 1, 0, 1, 2, 0}));
+}
+
+// Property sweep: random graphs' 2-coloring results agree with the
+// odd-cycle witness, and witnesses are genuine.
+class RandomGraphBipartiteTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomGraphBipartiteTest, WitnessesAreConsistent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int rep = 0; rep < 20; ++rep) {
+    const int n = rng.next_int(2, 12);
+    const Graph g = make_random_graph(n, 1, 3, rng);
+    const auto res = check_bipartite(g);
+    if (res.bipartite()) {
+      for (const Edge& e : g.edges()) {
+        EXPECT_NE(res.coloring[static_cast<std::size_t>(e.u)],
+                  res.coloring[static_cast<std::size_t>(e.v)]);
+      }
+      EXPECT_TRUE(is_k_colorable(g, 2));
+    } else {
+      EXPECT_TRUE(is_odd_closed_walk(g, res.odd_cycle));
+      EXPECT_FALSE(is_k_colorable(g, 2));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphBipartiteTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,120 @@
+// End-to-end Theorem 1.5 pipeline (experiment E10): against the cheating
+// watermelon decoder (no far-port reality check) the pipeline runs odd
+// cycle -> realization -> verified strong-soundness violation; against
+// the honest strong LCPs the realization step must fail -- the mechanical
+// reason why watermelon and shatter graphs escape the impossibility.
+
+#include <gtest/gtest.h>
+
+#include "certify/shatter.h"
+#include "certify/watermelon.h"
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+#include "lower/pipeline.h"
+#include "nbhd/witness.h"
+
+namespace shlcp {
+namespace {
+
+TEST(PipelineTest, CheatingDecoderDefeatedEndToEnd) {
+  const WatermelonLcp cheat(WatermelonVariant::kNoPortCheck);
+  const auto result = run_theorem15_pipeline(
+      cheat.decoder(), no_port_check_witnesses(), /*id_bound=*/99);
+
+  EXPECT_TRUE(result.hiding_witness_found)
+      << "the window instances must produce an odd view cycle";
+  EXPECT_TRUE(result.realized) << result.realize_conflict;
+  EXPECT_TRUE(result.realization_verified) << result.verify_failure;
+  EXPECT_TRUE(result.strong_soundness_violated);
+
+  // The counterexample instance really is non-bipartite on its accepting
+  // set and every certificate is a legal watermelon certificate.
+  const auto acc = cheat.decoder().accepting_set(result.g_bad);
+  EXPECT_FALSE(is_bipartite(result.g_bad.g.induced_subgraph(acc)));
+  EXPECT_GE(result.g_bad.num_nodes(), 5);
+}
+
+TEST(PipelineTest, StandardWatermelonSurvives) {
+  // Same pipeline, honest decoder, the paper's hiding witnesses: the odd
+  // cycle exists (hiding!) but no candidate walk realizes -- Theorem 1.4
+  // coexists with Theorem 1.5 because these yes-instances are not the
+  // r-forgetful min-degree-2 graphs the impossibility needs.
+  const WatermelonLcp standard(WatermelonVariant::kStandard);
+  const auto result = run_theorem15_pipeline(standard.decoder(),
+                                             watermelon_witnesses(), 99);
+  EXPECT_TRUE(result.hiding_witness_found);
+  EXPECT_FALSE(result.strong_soundness_violated);
+  EXPECT_FALSE(result.realized && result.realization_verified);
+  EXPECT_FALSE(result.realize_conflict.empty());
+}
+
+TEST(PipelineTest, RepairedShatterSurvives) {
+  const ShatterLcp lcp(ShatterVariant::kVectorOnPoint);
+  const auto result = run_theorem15_pipeline(
+      lcp.decoder(), shatter_witnesses(/*vector_on_point=*/true), 8);
+  EXPECT_TRUE(result.hiding_witness_found);
+  EXPECT_FALSE(result.strong_soundness_violated);
+}
+
+TEST(PipelineTest, LiteralShatterAlsoDefeatable) {
+  // The literal shatter decoder is hiding AND not strongly sound; feed
+  // the pipeline instances containing the counterexample structure: C5
+  // with pendant claimants, certified as in the test of
+  // certify_shatter_test.cpp, plus bipartite instances carrying the same
+  // views. Rather than reconstruct those by hand here, verify the weaker
+  // mechanical fact: the violation instance from the shatter test is
+  // accepted on an odd cycle, i.e. Lemma 5.1's conclusion holds for the
+  // hand-built G_bad.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  g.add_edge(1, 5);
+  g.add_edge(4, 6);
+  Instance inst = Instance::canonical(g);
+  const Ident claimed = inst.ids.id_of(5);
+  const Ident bound = inst.ids.bound();
+  Labeling labels(7);
+  labels.at(1) = make_shatter_type1(claimed, {0, 1}, bound);
+  labels.at(4) = make_shatter_type1(claimed, {0, 0}, bound);
+  labels.at(0) = make_shatter_type2(claimed, 1, 0, bound, 2);
+  labels.at(2) = make_shatter_type2(claimed, 2, 1, bound, 2);
+  labels.at(3) = make_shatter_type2(claimed, 2, 0, bound, 2);
+  labels.at(5) = make_shatter_type0(claimed, {}, bound);
+  labels.at(6) = make_shatter_type0(claimed, {}, bound);
+  inst.labels = std::move(labels);
+
+  const ShatterLcp literal(ShatterVariant::kLiteral);
+  // Extract the odd cycle's views and realize them: the merge must
+  // reproduce an instance on which the decoder still accepts the cycle.
+  std::vector<View> cycle_views;
+  for (Node v : {0, 1, 2, 3, 4, 5}) {
+    cycle_views.push_back(inst.view_of(v, 1, false));
+  }
+  const MergeResult merged = merge_views_by_id(cycle_views, bound);
+  ASSERT_TRUE(merged.ok) << merged.conflict;
+  const auto report =
+      verify_realization(literal.decoder(), merged.instance, cycle_views);
+  EXPECT_TRUE(report.ok) << report.failure;
+  const auto acc = literal.decoder().accepting_set(merged.instance);
+  EXPECT_FALSE(is_bipartite(merged.instance.g.induced_subgraph(acc)));
+}
+
+TEST(PipelineTest, OddCycleIndicesAreValid) {
+  const WatermelonLcp cheat(WatermelonVariant::kNoPortCheck);
+  const auto result = run_theorem15_pipeline(
+      cheat.decoder(), no_port_check_witnesses(), 99);
+  ASSERT_TRUE(result.hiding_witness_found);
+  ASSERT_GE(result.odd_cycle.size(), 2u);
+  EXPECT_EQ(result.odd_cycle.front(), result.odd_cycle.back());
+  EXPECT_EQ(result.odd_cycle.size() % 2, 0u);  // odd edge count
+  for (const int idx : result.odd_cycle) {
+    EXPECT_GE(idx, 0);
+    EXPECT_LT(idx, result.nbhd.num_views());
+  }
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,185 @@
+// Tests for the Lemma 5.4/5.2 walk surgery -- the complete Section 5
+// engine, run end to end against the cheating watermelon decoder on
+// 1-forgetful C8 hosts:
+//
+//   odd cycle in V(D, n)
+//     -> forgetting detours spliced per edge (Lemma 5.4)
+//     -> per-identifier component consistency verified
+//     -> identifier components separated (Lemma 5.2/5.3 blocks)
+//     -> Lemma 5.1 merge into G_bad
+//     -> decoder accepts the whole walk, accepting set non-bipartite.
+//
+// And negatively: on the C4/C6 witness family (too small for detours)
+// the surgery reports exactly which hypothesis is missing.
+
+#include <gtest/gtest.h>
+
+#include "certify/watermelon.h"
+#include "graph/algorithms.h"
+#include "graph/properties.h"
+#include "lower/realize.h"
+#include "lower/surgery.h"
+#include "lower/walks.h"
+#include "nbhd/aviews.h"
+#include "nbhd/witness.h"
+
+namespace shlcp {
+namespace {
+
+class SurgeryFixture : public ::testing::Test {
+ protected:
+  WatermelonLcp cheat_{WatermelonVariant::kNoPortCheck};
+
+  /// Builds the neighborhood graph and keeps the instance list aligned
+  /// with the provenance indices.
+  NbhdGraph build(const std::vector<Instance>& instances) {
+    NbhdGraph nbhd;
+    for (const Instance& inst : instances) {
+      nbhd.absorb(cheat_.decoder(), inst, 2);
+    }
+    return nbhd;
+  }
+};
+
+TEST_F(SurgeryFixture, ProvenanceRecorded) {
+  const auto instances = no_port_check_c8_witnesses();
+  const auto nbhd = build(instances);
+  EXPECT_EQ(nbhd.num_instances_absorbed(), 3);
+  for (int i = 0; i < nbhd.num_views(); ++i) {
+    const Provenance& p = nbhd.view_provenance(i);
+    EXPECT_GE(p.instance, 0);
+    EXPECT_LT(p.instance, 3);
+    // The recorded node really realizes the view.
+    const Instance& inst = instances[static_cast<std::size_t>(p.instance)];
+    EXPECT_TRUE(inst.view_of(p.node, 1, false) == nbhd.view(i));
+  }
+  for (const Edge& e : nbhd.graph().edges()) {
+    const Provenance* p = nbhd.edge_provenance(e.u, e.v);
+    ASSERT_NE(p, nullptr);
+    const Instance& inst = instances[static_cast<std::size_t>(p->instance)];
+    EXPECT_TRUE(inst.g.has_edge(p->node, p->other));
+    EXPECT_TRUE(inst.view_of(p->node, 1, false) ==
+                nbhd.view(std::min(e.u, e.v)));
+    EXPECT_TRUE(inst.view_of(p->other, 1, false) ==
+                nbhd.view(std::max(e.u, e.v)));
+  }
+}
+
+TEST_F(SurgeryFixture, HostsAreForgetful) {
+  for (const Instance& inst : no_port_check_c8_witnesses()) {
+    EXPECT_TRUE(is_r_forgetful(inst.g, 1));
+    EXPECT_TRUE(is_bipartite(inst.g));
+    EXPECT_TRUE(cheat_.decoder().accepts_all(inst));
+  }
+}
+
+TEST_F(SurgeryFixture, ExpansionProducesOddNonBacktrackingWalk) {
+  const auto instances = no_port_check_c8_witnesses();
+  const auto nbhd = build(instances);
+  const auto cycle = nbhd.odd_cycle();
+  ASSERT_TRUE(cycle.has_value());
+
+  const auto result = expand_odd_cycle(nbhd, instances, *cycle, 1);
+  ASSERT_TRUE(result.ok) << result.failure;
+  EXPECT_EQ(result.detours, static_cast<int>(cycle->size()) - 1);
+  EXPECT_GT(result.walk.size(), cycle->size());
+  EXPECT_TRUE(result.walk.front() == result.walk.back());
+  EXPECT_EQ((result.walk.size() - 1) % 2, 1u);
+  // Every view of the expanded walk is an accepting view of V.
+  for (const View& v : result.walk) {
+    EXPECT_NE(nbhd.index_of(v), -1);
+  }
+  // Consecutive views are V-adjacent (the walk lives inside V).
+  for (std::size_t i = 0; i + 1 < result.walk.size(); ++i) {
+    const int a = nbhd.index_of(result.walk[i]);
+    const int b = nbhd.index_of(result.walk[i + 1]);
+    EXPECT_TRUE(a == b ? nbhd.graph().has_edge(a, a)
+                       : nbhd.graph().has_edge(a, b));
+  }
+}
+
+TEST_F(SurgeryFixture, ExpandedWalkIsIdConsistent) {
+  const auto instances = no_port_check_c8_witnesses();
+  const auto nbhd = build(instances);
+  const auto cycle = nbhd.odd_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  const auto result = expand_odd_cycle(nbhd, instances, *cycle, 1);
+  ASSERT_TRUE(result.ok) << result.failure;
+  EXPECT_EQ(check_walk_id_consistency(result.walk), "");
+}
+
+TEST_F(SurgeryFixture, FullSection5EngineEndToEnd) {
+  const auto instances = no_port_check_c8_witnesses();
+  const auto nbhd = build(instances);
+  const auto cycle = nbhd.odd_cycle();
+  ASSERT_TRUE(cycle.has_value());
+
+  // Lemma 5.4.
+  const auto expanded = expand_odd_cycle(nbhd, instances, *cycle, 1);
+  ASSERT_TRUE(expanded.ok) << expanded.failure;
+
+  // Lemma 5.2/5.3: separate identifier components.
+  Ident new_bound = 0;
+  const auto separated = separate_id_components(expanded.walk, &new_bound);
+  ASSERT_EQ(separated.size(), expanded.walk.size());
+  EXPECT_GT(new_bound, 0);
+
+  // Lemma 5.1: merge into G_bad.
+  const MergeResult merged = merge_views_by_id(separated, new_bound);
+  ASSERT_TRUE(merged.ok) << merged.conflict;
+
+  // The decoder ignores identifier values, so every separated view is
+  // still accepted inside G_bad.
+  const auto verify =
+      verify_realization(cheat_.decoder(), merged.instance, separated);
+  EXPECT_TRUE(verify.ok) << verify.failure;
+
+  // Conclusion of Theorem 1.5's engine: strong soundness violated.
+  const auto accepting = cheat_.decoder().accepting_set(merged.instance);
+  EXPECT_FALSE(is_bipartite(merged.instance.g.induced_subgraph(accepting)));
+}
+
+TEST_F(SurgeryFixture, SmallHostsLackDetours) {
+  // The C4/C6 family: C4 has diameter 2, so no node escapes both
+  // endpoints' radius-1 balls -- the surgery must fail with a diagnostic
+  // naming the missing hypothesis.
+  const auto instances = no_port_check_witnesses();
+  const auto nbhd = build(instances);
+  const auto cycle = nbhd.odd_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  const auto result = expand_odd_cycle(nbhd, instances, *cycle, 1);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.failure.find("forgetting detour"), std::string::npos);
+}
+
+TEST_F(SurgeryFixture, SeparationPreservesOrderBetweenOldIds) {
+  const auto instances = no_port_check_c8_witnesses();
+  const auto nbhd = build(instances);
+  const auto cycle = nbhd.odd_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  const auto expanded = expand_odd_cycle(nbhd, instances, *cycle, 1);
+  ASSERT_TRUE(expanded.ok);
+  Ident new_bound = 0;
+  const auto separated = separate_id_components(expanded.walk, &new_bound);
+  // Within every view, the relative order of ids is preserved.
+  for (std::size_t p = 0; p < separated.size(); ++p) {
+    const auto& before = expanded.walk[p].ids;
+    const auto& after = separated[p].ids;
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      for (std::size_t j = 0; j < before.size(); ++j) {
+        EXPECT_EQ(before[i] < before[j], after[i] < after[j]);
+      }
+    }
+  }
+}
+
+TEST(SurgeryInputTest, RejectsEvenCycles) {
+  NbhdGraph nbhd;
+  const auto result =
+      expand_odd_cycle(nbhd, {}, std::vector<int>{0, 1, 0, 1, 0}, 1);
+  EXPECT_FALSE(result.ok);  // 4 edges: even
+}
+
+}  // namespace
+}  // namespace shlcp

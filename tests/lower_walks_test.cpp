@@ -1,0 +1,165 @@
+// Tests for the Section 5.2 walk machinery: lifting, non-backtracking
+// checks, non-backtracking pathfinding, and the Lemma 5.4 forgetting
+// detour, whose hypotheses (r-forgetfulness, min degree 2, enough
+// diameter) are probed one by one -- this is where Theorem 1.5's
+// assumptions become executable (experiment E10's ingredient half).
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "lower/walks.h"
+
+namespace shlcp {
+namespace {
+
+TEST(WalksTest, LiftWalk) {
+  const Instance inst = Instance::canonical(make_cycle(6));
+  const std::vector<Node> walk{0, 1, 2, 3};
+  const auto views = lift_walk(inst, walk, 1, false);
+  ASSERT_EQ(views.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(views[i].center_id(), inst.ids.id_of(walk[i]));
+  }
+}
+
+TEST(WalksTest, NonBacktrackingPredicate) {
+  const Instance inst = Instance::canonical(make_cycle(6));
+  const auto good = lift_walk(inst, {0, 1, 2, 3}, 1, false);
+  EXPECT_TRUE(is_non_backtracking_walk(good, false));
+  const auto bad = lift_walk(inst, {0, 1, 0}, 1, false);
+  EXPECT_FALSE(is_non_backtracking_walk(bad, false));
+  // Closed wrap-around: 0,1,2,...,5,0 around the cycle is fine;
+  // 0,1,0 closed is not.
+  const auto closed = lift_walk(inst, {0, 1, 2, 3, 4, 5, 0}, 1, false);
+  EXPECT_TRUE(is_non_backtracking_walk(closed, true));
+  const auto pendulum = lift_walk(inst, {0, 1, 2, 1, 0}, 1, false);
+  EXPECT_FALSE(is_non_backtracking_walk(pendulum, false));
+}
+
+TEST(WalksTest, NonBacktrackingPath) {
+  const Graph g = make_cycle(8);
+  const auto path = non_backtracking_path(g, 0, 4);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(is_walk(g, *path));
+  EXPECT_EQ(path->front(), 0);
+  EXPECT_EQ(path->back(), 4);
+  for (std::size_t i = 2; i < path->size(); ++i) {
+    EXPECT_NE((*path)[i], (*path)[i - 2]);
+  }
+}
+
+TEST(WalksTest, NonBacktrackingPathBanFirst) {
+  const Graph g = make_cycle(8);
+  // From 0 to 1, banned from stepping to 1 first: must go the long way.
+  const auto path = non_backtracking_path(g, 0, 1, /*ban_first=*/1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 8u);
+  EXPECT_EQ((*path)[1], 7);
+}
+
+TEST(WalksTest, NonBacktrackingPathImpossibleOnTree) {
+  const Graph g = make_path(5);
+  // Dead-ends cannot be escaped without reversing.
+  EXPECT_FALSE(non_backtracking_path(g, 2, 0, /*ban_first=*/1).has_value());
+}
+
+TEST(WalksTest, ForgettingDetourOnTorus) {
+  // 6x6 torus, r = 1: every edge admits the Lemma 5.4 closed walk.
+  const Graph g = make_torus(6, 6);
+  ASSERT_TRUE(is_r_forgetful(g, 1));
+  const Instance inst = Instance::canonical(g);
+  int built = 0;
+  for (const Edge& e : g.edges()) {
+    const auto detour = forgetting_detour(inst, e.u, e.v, 1);
+    if (!detour.has_value()) {
+      continue;
+    }
+    ++built;
+    // Closed, even (bipartite host), non-backtracking, starting u -> v.
+    EXPECT_EQ(detour->front(), e.u);
+    EXPECT_EQ(detour->back(), e.u);
+    EXPECT_EQ((*detour)[1], e.v);
+    EXPECT_TRUE(is_walk(g, *detour));
+    EXPECT_EQ((detour->size() - 1) % 2, 0u);
+    const auto views = lift_walk(inst, *detour, 1, false);
+    EXPECT_TRUE(is_non_backtracking_walk(views, true));
+    // The walk reaches a node whose radius-1 ball avoids both endpoints'
+    // balls.
+    const auto du = bfs_distances(g, e.u);
+    const auto dv = bfs_distances(g, e.v);
+    bool far_enough = false;
+    for (const Node x : *detour) {
+      if (du[static_cast<std::size_t>(x)] > 2 && dv[static_cast<std::size_t>(x)] > 2) {
+        far_enough = true;
+      }
+    }
+    EXPECT_TRUE(far_enough);
+  }
+  EXPECT_EQ(built, g.num_edges());
+}
+
+TEST(WalksTest, ForgettingDetourOnTorusRadius2) {
+  const Graph g = make_torus(12, 12);
+  ASSERT_TRUE(is_r_forgetful(g, 2));
+  const Instance inst = Instance::canonical(g);
+  const auto detour = forgetting_detour(inst, 0, 1, 2);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_TRUE(is_walk(g, *detour));
+  EXPECT_EQ((detour->size() - 1) % 2, 0u);  // bipartite torus
+}
+
+TEST(WalksTest, ForgettingDetourNeedsMinDegree2) {
+  // Pendant vertices kill step 4/5 of the construction.
+  const Instance inst = Instance::canonical(make_path(12));
+  EXPECT_FALSE(forgetting_detour(inst, 5, 6, 1).has_value());
+}
+
+TEST(WalksTest, ForgettingDetourNeedsDiameter) {
+  // K4: 1-forgetfulness fails and no far node exists.
+  const Instance inst = Instance::canonical(make_complete(4));
+  EXPECT_FALSE(forgetting_detour(inst, 0, 1, 1).has_value());
+}
+
+TEST(WalksTest, ForgettingDetourNeedsForgetfulness) {
+  // C6 is NOT 1-forgetful at distance... actually C6 has diameter 3 >= 3;
+  // escape paths exist (the cycle continues away), but no node is at
+  // distance > 2 from both endpoints of an edge: the far-node search
+  // fails.
+  const Instance inst = Instance::canonical(make_cycle(6));
+  EXPECT_FALSE(forgetting_detour(inst, 0, 1, 1).has_value());
+  // C8 has nodes at distance 3/4: it works.
+  const Instance big = Instance::canonical(make_cycle(8));
+  EXPECT_TRUE(forgetting_detour(big, 0, 1, 1).has_value());
+}
+
+TEST(WalksTest, SpliceClosedWalk) {
+  const Graph g = make_cycle(6);
+  const std::vector<Node> walk{0, 1, 2};
+  const std::vector<Node> detour{1, 2, 1};
+  const auto spliced = splice_closed_walk(walk, 1, detour);
+  EXPECT_EQ(spliced, (std::vector<Node>{0, 1, 2, 1, 2}));
+  EXPECT_TRUE(is_walk(g, spliced));
+}
+
+TEST(WalksTest, SpliceValidation) {
+  EXPECT_THROW(splice_closed_walk({0, 1}, 0, {1, 0, 1}), CheckError);
+  EXPECT_THROW(splice_closed_walk({0, 1}, 0, {0, 1}), CheckError);
+}
+
+TEST(WalksTest, DetourPreservesParityWhenSpliced) {
+  // Lemma 5.4's purpose: splicing even closed walks preserves the parity
+  // of the host walk.
+  const Graph g = make_torus(6, 6);
+  const Instance inst = Instance::canonical(g);
+  const std::vector<Node> base{0, 1, 2, 3};
+  const auto detour = forgetting_detour(inst, 1, 2, 1);
+  ASSERT_TRUE(detour.has_value());
+  const auto spliced = splice_closed_walk(base, 1, *detour);
+  EXPECT_TRUE(is_walk(g, spliced));
+  EXPECT_EQ((spliced.size() - 1) % 2, (base.size() - 1) % 2);
+}
+
+}  // namespace
+}  // namespace shlcp

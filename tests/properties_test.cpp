@@ -1,0 +1,211 @@
+// Unit tests for the paper's graph-class recognizers: minimum degree one,
+// even cycles, shatter points, watermelon decompositions, and the
+// r-forgetful property, including Lemma 2.1 (r-forgetful implies diameter
+// >= 2r + 1) as an executable property sweep (experiment E1's core).
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+TEST(PropertiesTest, MinDegreeOne) {
+  EXPECT_TRUE(has_min_degree_one(make_path(5)));
+  EXPECT_TRUE(has_min_degree_one(make_star(4)));
+  EXPECT_FALSE(has_min_degree_one(make_cycle(5)));
+  EXPECT_FALSE(has_min_degree_one(make_grid(3, 3)));
+}
+
+TEST(PropertiesTest, CycleRecognition) {
+  EXPECT_TRUE(is_cycle(make_cycle(5)));
+  EXPECT_TRUE(is_even_cycle(make_cycle(6)));
+  EXPECT_FALSE(is_even_cycle(make_cycle(7)));
+  EXPECT_FALSE(is_cycle(make_path(5)));
+  EXPECT_FALSE(is_cycle(make_theta(2, 2, 2)));
+  // Two disjoint cycles: 2-regular but disconnected.
+  Graph two(8);
+  for (int i = 0; i < 4; ++i) {
+    two.add_edge(i, (i + 1) % 4);
+    two.add_edge(4 + i, 4 + (i + 1) % 4);
+  }
+  EXPECT_FALSE(is_cycle(two));
+}
+
+TEST(PropertiesTest, ShatterPointsOnPath) {
+  // On P7 = 0-1-...-6, removing N[v] for v in {2, 3, 4} leaves two sides.
+  const auto pts = shatter_points(make_path(7));
+  EXPECT_EQ(pts, (std::vector<Node>{2, 3, 4}));
+}
+
+TEST(PropertiesTest, ShatterPointsAbsent) {
+  EXPECT_FALSE(has_shatter_point(make_complete(5)));
+  EXPECT_FALSE(has_shatter_point(make_path(4)));
+  EXPECT_FALSE(has_shatter_point(make_cycle(6)));  // leaves one arc
+}
+
+TEST(PropertiesTest, StarLeavesAreShatterPoints) {
+  // Removing N[leaf] = {leaf, center} strands the other leaves: every
+  // leaf of a star with >= 3 leaves is a shatter point (the center is
+  // not: N[center] is everything).
+  const auto pts = shatter_points(make_star(5));
+  EXPECT_EQ(pts.size(), 5u);
+  EXPECT_TRUE(std::find(pts.begin(), pts.end(), 0) == pts.end());
+}
+
+TEST(PropertiesTest, ShatterPointsCycle7) {
+  // C7: G - N[v] is a path of 4 nodes -- one component. No shatter point.
+  EXPECT_FALSE(has_shatter_point(make_cycle(7)));
+  // Long even cycle: still a single arc.
+  EXPECT_FALSE(has_shatter_point(make_cycle(10)));
+}
+
+TEST(PropertiesTest, ShatterPointSpider) {
+  // Star of three length-2 legs: center c, legs c-a_i-b_i.
+  Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(0, 5);
+  g.add_edge(5, 6);
+  const auto pts = shatter_points(g);
+  EXPECT_TRUE(std::find(pts.begin(), pts.end(), 0) != pts.end());
+}
+
+TEST(PropertiesTest, WatermelonDecomposition) {
+  const Graph g = make_watermelon({2, 3, 4});
+  const auto dec = watermelon_decomposition(g);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->paths.size(), 3u);
+  int total_interior = 0;
+  for (const auto& path : dec->paths) {
+    EXPECT_GE(path.size(), 3u);
+    EXPECT_EQ(path.front(), dec->v1);
+    EXPECT_EQ(path.back(), dec->v2);
+    EXPECT_TRUE(is_walk(g, path));
+    total_interior += static_cast<int>(path.size()) - 2;
+  }
+  EXPECT_EQ(total_interior + 2, g.num_nodes());
+}
+
+TEST(PropertiesTest, WatermelonSinglePathIsPathGraph) {
+  EXPECT_TRUE(is_watermelon(make_path(5)));
+  EXPECT_FALSE(is_watermelon(make_path(2)));  // needs length >= 2
+}
+
+TEST(PropertiesTest, WatermelonCycle) {
+  // A cycle on >= 4 nodes is a two-path watermelon.
+  EXPECT_TRUE(is_watermelon(make_cycle(6)));
+  EXPECT_TRUE(is_watermelon(make_cycle(5)));
+  // Triangle: any two nodes are adjacent, so no length >= 2 split.
+  EXPECT_FALSE(is_watermelon(make_cycle(3)));
+}
+
+TEST(PropertiesTest, WatermelonRejects) {
+  EXPECT_FALSE(is_watermelon(make_star(3)));
+  EXPECT_FALSE(is_watermelon(make_grid(2, 3)));
+  EXPECT_FALSE(is_watermelon(make_complete(4)));
+  // Adjacent endpoints (a path of length 1 present): theta with a direct
+  // edge -- built by hand.
+  Graph g(4);
+  g.add_edge(0, 1);  // direct edge between would-be endpoints
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.add_edge(0, 3);
+  g.add_edge(3, 1);
+  EXPECT_FALSE(is_watermelon(g));
+}
+
+TEST(PropertiesTest, ForgetfulEscapePathOnPath) {
+  const Graph g = make_path(10);
+  // From node 4 arrived from 3: escape 4 -> 5 -> 6.
+  const auto esc = forgetful_escape_path(g, 4, 3, 2);
+  ASSERT_TRUE(esc.has_value());
+  EXPECT_EQ(*esc, (std::vector<Node>{4, 5, 6}));
+  // From node 1 arrived from 2 there is nowhere to go for r = 2.
+  EXPECT_FALSE(forgetful_escape_path(g, 1, 2, 2).has_value());
+}
+
+TEST(PropertiesTest, PathsAndFiniteGridsAreNotForgetfulButToriAre) {
+  // Reproduction note (see properties.h): under the satisfiable reading
+  // of the definition, boundaries break forgetfulness -- a path fails at
+  // its ends and a finite grid at its corners -- while boundaryless
+  // structures (tori, long cycles) are forgetful, matching the paper's
+  // intent of "(regular) grids".
+  EXPECT_FALSE(is_r_forgetful(make_path(10), 1));
+  EXPECT_FALSE(is_r_forgetful(make_grid(5, 5), 1));
+  EXPECT_TRUE(is_r_forgetful(make_torus(6, 6), 1));
+  EXPECT_TRUE(is_r_forgetful(make_torus(12, 12), 2));
+}
+
+TEST(PropertiesTest, SmallGraphsAreNotForgetful) {
+  // Lemma 2.1 contrapositive: diameter <= 2r means not r-forgetful.
+  EXPECT_FALSE(is_r_forgetful(make_complete(5), 1));
+  EXPECT_FALSE(is_r_forgetful(make_cycle(3), 1));
+  EXPECT_FALSE(is_r_forgetful(make_grid(2, 2), 1));
+}
+
+TEST(PropertiesTest, LongCyclesAreForgetful) {
+  EXPECT_TRUE(is_r_forgetful(make_cycle(8), 1));
+  EXPECT_TRUE(is_r_forgetful(make_cycle(12), 2));
+  EXPECT_FALSE(is_r_forgetful(make_cycle(4), 1));
+}
+
+TEST(PropertiesTest, MaxForgetfulness) {
+  EXPECT_EQ(max_forgetfulness(make_cycle(12), 5), 2);
+  EXPECT_EQ(max_forgetfulness(make_complete(4), 3), 0);
+  EXPECT_EQ(max_forgetfulness(make_grid(9, 9), 4), 0);  // corners block
+  EXPECT_GE(max_forgetfulness(make_torus(12, 12), 2), 2);
+}
+
+// Lemma 2.1: r-forgetful implies diam(G) >= 2r + 1. Swept over families
+// and random graphs (experiment E1).
+class Lemma21Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma21Test, ForgetfulImpliesLargeDiameter) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<Graph> graphs;
+  graphs.push_back(make_grid(3 + seed % 3, 4 + seed % 2));
+  graphs.push_back(make_cycle(5 + seed));
+  graphs.push_back(make_torus(3 + seed % 2, 4));
+  graphs.push_back(make_random_tree(8 + seed, rng));
+  for (int rep = 0; rep < 5; ++rep) {
+    Graph g = make_random_graph(8, 1, 4, rng);
+    if (is_connected(g)) {
+      graphs.push_back(std::move(g));
+    }
+  }
+  for (const Graph& g : graphs) {
+    if (!is_connected(g) || g.num_nodes() < 2) {
+      continue;
+    }
+    for (int r = 1; r <= 3; ++r) {
+      if (is_r_forgetful(g, r)) {
+        EXPECT_GE(diameter(g), 2 * r + 1)
+            << "Lemma 2.1 violated on " << g.to_string() << " at r = " << r;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma21Test, ::testing::Range(1, 9));
+
+// Monotonicity property: r-forgetful implies (r-1)-forgetful.
+TEST(PropertiesTest, ForgetfulnessIsMonotone) {
+  for (const Graph& g :
+       {make_grid(6, 6), make_cycle(10), make_torus(5, 5)}) {
+    for (int r = 3; r >= 2; --r) {
+      if (is_r_forgetful(g, r)) {
+        EXPECT_TRUE(is_r_forgetful(g, r - 1));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,244 @@
+// Property sweeps: cross-cutting invariants checked on exhaustive tiny
+// inputs and seeded random families. These tie modules together the way
+// the paper's definitions do -- e.g. views must be invariant under node
+// relabeling, the LOCAL engine must agree with direct extraction on
+// arbitrary graphs, and the Lemma 5.1 merge must be the inverse of view
+// extraction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/properties.h"
+#include "lcp/instance.h"
+#include "lower/realize.h"
+#include "sim/engine.h"
+#include "util/combinatorics.h"
+#include "util/rng.h"
+#include "views/canonical.h"
+
+namespace shlcp {
+namespace {
+
+/// Random labeled instance over a random connected graph.
+Instance random_instance(int n, Rng& rng) {
+  Graph g = make_random_tree(n, rng);
+  for (int extra = rng.next_int(0, n); extra > 0; --extra) {
+    const Node u = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const Node v = static_cast<Node>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u != v) {
+      g.add_edge_if_absent(u, v);
+    }
+  }
+  Instance inst;
+  inst.ports = PortAssignment::random(g, rng);
+  inst.ids = IdAssignment::random(g, 3 * n, rng);
+  Labeling labels(n);
+  for (Node v = 0; v < n; ++v) {
+    labels.at(v) = Certificate{{rng.next_int(0, 4), rng.next_int(0, 4)}, 6};
+  }
+  inst.labels = std::move(labels);
+  inst.g = std::move(g);
+  return inst;
+}
+
+/// Applies a node permutation to an instance (perm[old] = new index).
+Instance relabel(const Instance& inst, const std::vector<int>& perm) {
+  const int n = inst.num_nodes();
+  Graph g(n);
+  for (const Edge& e : inst.g.edges()) {
+    g.add_edge(perm[static_cast<std::size_t>(e.u)],
+               perm[static_cast<std::size_t>(e.v)]);
+  }
+  std::vector<std::vector<Port>> ports(static_cast<std::size_t>(n));
+  std::vector<Ident> ids(static_cast<std::size_t>(n));
+  Labeling labels(n);
+  for (Node v = 0; v < n; ++v) {
+    const Node nv = perm[static_cast<std::size_t>(v)];
+    ids[static_cast<std::size_t>(nv)] = inst.ids.id_of(v);
+    labels.at(nv) = inst.labels.at(v);
+    const auto nb = g.neighbors(nv);
+    std::vector<Port> pl(nb.size());
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      // The old neighbor corresponding to nb[i].
+      Node old_w = -1;
+      for (Node w = 0; w < n; ++w) {
+        if (perm[static_cast<std::size_t>(w)] == nb[i]) {
+          old_w = w;
+          break;
+        }
+      }
+      pl[i] = inst.ports.port(inst.g, v, old_w);
+    }
+    ports[static_cast<std::size_t>(nv)] = std::move(pl);
+  }
+  Instance out;
+  out.g = std::move(g);
+  out.ports = PortAssignment::from_lists(out.g, std::move(ports));
+  out.ids = IdAssignment::from_vector(std::move(ids), inst.ids.bound());
+  out.labels = std::move(labels);
+  return out;
+}
+
+class SeededSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeededSweep, ViewsInvariantUnderRelabeling) {
+  Rng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const Instance inst = random_instance(rng.next_int(3, 9), rng);
+  const auto perm = random_permutation(inst.num_nodes(), rng);
+  const Instance moved = relabel(inst, perm);
+  for (int r = 1; r <= 2; ++r) {
+    for (Node v = 0; v < inst.num_nodes(); ++v) {
+      const Node nv = perm[static_cast<std::size_t>(v)];
+      EXPECT_TRUE(inst.view_of(v, r, false) == moved.view_of(nv, r, false))
+          << "identified views differ under relabeling";
+      EXPECT_TRUE(inst.view_of(v, r, true) == moved.view_of(nv, r, true))
+          << "anonymous views differ under relabeling";
+    }
+  }
+}
+
+TEST_P(SeededSweep, ViewDistancesMatchBfs) {
+  Rng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const Instance inst = random_instance(rng.next_int(4, 10), rng);
+  const int r = rng.next_int(1, 3);
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    const View view = inst.view_of(v, r, false);
+    const auto dist = bfs_distances(inst.g, v);
+    for (Node x = 0; x < view.num_nodes(); ++x) {
+      const Node global = inst.ids.node_of(view.ids[static_cast<std::size_t>(x)]);
+      EXPECT_EQ(view.dist[static_cast<std::size_t>(x)],
+                dist[static_cast<std::size_t>(global)]);
+      EXPECT_LE(view.dist[static_cast<std::size_t>(x)], r);
+    }
+  }
+}
+
+TEST_P(SeededSweep, EngineAgreesWithExtractionOnRandomGraphs) {
+  Rng rng(300 + static_cast<std::uint64_t>(GetParam()));
+  const Instance inst = random_instance(rng.next_int(3, 10), rng);
+  const int r = rng.next_int(1, 3);
+  SyncEngine engine(inst);
+  engine.run(r);
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    EXPECT_TRUE(engine.view_of(v, r) == inst.view_of(v, r, false));
+  }
+}
+
+TEST_P(SeededSweep, MergeInvertsExtraction) {
+  Rng rng(400 + static_cast<std::uint64_t>(GetParam()));
+  const Instance inst = random_instance(rng.next_int(3, 9), rng);
+  if (!is_connected(inst.g)) {
+    return;
+  }
+  std::vector<View> views;
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    views.push_back(inst.view_of(v, 2, false));
+  }
+  const MergeResult merged = merge_views_by_id(views, inst.ids.bound());
+  ASSERT_TRUE(merged.ok) << merged.conflict;
+  ASSERT_EQ(merged.instance.num_nodes(), inst.num_nodes());
+  // Every view re-extracts identically.
+  for (const View& v : views) {
+    const Node node = merged.instance.ids.node_of(v.center_id());
+    ASSERT_NE(node, -1);
+    EXPECT_TRUE(merged.instance.view_of(node, 2, false) == v);
+  }
+}
+
+TEST_P(SeededSweep, CanonicalCodeSeparatesLabelChanges) {
+  Rng rng(500 + static_cast<std::uint64_t>(GetParam()));
+  Instance inst = random_instance(rng.next_int(3, 8), rng);
+  const Node v = static_cast<Node>(
+      rng.next_below(static_cast<std::uint64_t>(inst.num_nodes())));
+  const View before = inst.view_of(v, 1, false);
+  inst.labels.at(v) = Certificate{{777}, 10};
+  const View after = inst.view_of(v, 1, false);
+  EXPECT_FALSE(before == after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededSweep, ::testing::Range(0, 10));
+
+TEST(ExhaustiveSweep, BipartiteCheckMatchesBacktrackingColoring) {
+  for (int n = 1; n <= 5; ++n) {
+    for_each_graph(n, [&](const Graph& g) {
+      EXPECT_EQ(check_bipartite(g).bipartite(), k_coloring(g, 2).has_value());
+      return true;
+    });
+  }
+}
+
+TEST(ExhaustiveSweep, ShatterRecognizerMatchesDefinition) {
+  // Cross-validate shatter_points against a direct recomputation.
+  for_each_connected_graph(5, [&](const Graph& g) {
+    const auto pts = shatter_points(g);
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      std::vector<Node> keep;
+      const auto nb = g.neighbors(v);
+      for (Node u = 0; u < g.num_nodes(); ++u) {
+        if (u != v && !std::binary_search(nb.begin(), nb.end(), u)) {
+          keep.push_back(u);
+        }
+      }
+      const bool expect_shatter =
+          keep.size() >= 2 && num_components(g.induced_subgraph(keep)) >= 2;
+      const bool found =
+          std::find(pts.begin(), pts.end(), v) != pts.end();
+      EXPECT_EQ(found, expect_shatter);
+    }
+    return true;
+  });
+}
+
+TEST(ExhaustiveSweep, WatermelonGeneratorRecognizerRoundTrip) {
+  Rng rng(77);
+  for (int rep = 0; rep < 25; ++rep) {
+    const int k = rng.next_int(1, 4);
+    std::vector<int> lengths;
+    for (int i = 0; i < k; ++i) {
+      lengths.push_back(rng.next_int(2, 5));
+    }
+    const Graph g = make_watermelon(lengths);
+    const auto dec = watermelon_decomposition(g);
+    ASSERT_TRUE(dec.has_value());
+    std::vector<int> found;
+    for (const auto& path : dec->paths) {
+      found.push_back(static_cast<int>(path.size()) - 1);
+    }
+    std::sort(found.begin(), found.end());
+    std::sort(lengths.begin(), lengths.end());
+    EXPECT_EQ(found, lengths);
+  }
+}
+
+TEST(ExhaustiveSweep, PortAssignmentCountMatchesFactorials) {
+  Rng rng(88);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = make_random_graph(5, 1, 2, rng);
+    std::uint64_t expected = 1;
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      expected *= factorial(g.degree(v));
+    }
+    std::uint64_t count = 0;
+    for_each_port_assignment(g, [&](const PortAssignment&) {
+      ++count;
+      return true;
+    });
+    EXPECT_EQ(count, expected);
+  }
+}
+
+TEST(ExhaustiveSweep, EvenCyclesAreExactlyTheBipartite2RegularConnected) {
+  for_each_connected_graph(6, [&](const Graph& g) {
+    const bool expect = g.num_nodes() >= 3 && g.min_degree() == 2 &&
+                        g.max_degree() == 2 && is_bipartite(g);
+    EXPECT_EQ(is_even_cycle(g), expect);
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,181 @@
+// Tests for the finite Ramsey search (Lemma 6.1), decoder type oracles,
+// and the synthesized order-invariant decoder (Lemma 6.2's finite
+// analogue, experiment E11).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lcp/checker.h"
+#include "lower/order_invariant.h"
+#include "ramsey/ramsey.h"
+#include "ramsey/types.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+TEST(RamseyTest, ConstantColoringTakesEverything) {
+  const auto found = find_monochromatic_subset(
+      10, 2, [](const std::vector<int>&) { return 7; }, 10);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->size(), 10u);
+}
+
+TEST(RamseyTest, ParitySumColoring) {
+  // Color pairs by parity of their sum: all-even or all-odd subsets are
+  // monochromatic; {0,2,4,6,8} works, size 6 does not exist within [0,10).
+  const auto coloring = [](const std::vector<int>& s) {
+    return (s[0] + s[1]) % 2;
+  };
+  const auto found5 = find_monochromatic_subset(10, 2, coloring, 5);
+  ASSERT_TRUE(found5.has_value());
+  EXPECT_EQ(*monochromatic_color(*found5, 2, coloring),
+            ((*found5)[0] + (*found5)[1]) % 2);
+  EXPECT_FALSE(find_monochromatic_subset(10, 2, coloring, 6).has_value());
+}
+
+TEST(RamseyTest, R33NeedsSix) {
+  // The pentagon 2-coloring of K5 (edges at cyclic distance 1 vs 2) has
+  // no monochromatic triangle; every 2-coloring of K6 does (R(3,3) = 6).
+  const auto pentagon = [](const std::vector<int>& s) {
+    const int d = (s[1] - s[0]) % 5;
+    return (d == 1 || d == 4) ? 0 : 1;
+  };
+  EXPECT_FALSE(find_monochromatic_subset(5, 2, pentagon, 3).has_value());
+
+  // Exhaustively confirm K6 always has a monochromatic triangle for a
+  // sample of random colorings.
+  Rng rng(12);
+  for (int rep = 0; rep < 50; ++rep) {
+    std::vector<int> colors(15);
+    for (auto& c : colors) {
+      c = static_cast<int>(rng.next_below(2));
+    }
+    const auto coloring = [&colors](const std::vector<int>& s) {
+      // Edge index in K6.
+      int idx = 0;
+      for (int i = 0; i < s[0]; ++i) {
+        idx += 5 - i;
+      }
+      idx += s[1] - s[0] - 1;
+      return colors[static_cast<std::size_t>(idx)];
+    };
+    EXPECT_TRUE(find_monochromatic_subset(6, 2, coloring, 3).has_value());
+  }
+}
+
+TEST(RamseyTest, TriplesColoring) {
+  const auto coloring = [](const std::vector<int>& s) {
+    return (s[0] + s[1] + s[2]) % 3 == 0 ? 1 : 0;
+  };
+  const auto found = find_monochromatic_subset(12, 3, coloring, 4);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_TRUE(monochromatic_color(*found, 3, coloring).has_value());
+}
+
+TEST(RamseyTest, LargestSubset) {
+  const auto coloring = [](const std::vector<int>& s) {
+    return (s[0] + s[1]) % 2;
+  };
+  const auto largest = largest_monochromatic_subset(9, 2, coloring);
+  EXPECT_EQ(largest.size(), 5u);  // the evens {0,2,4,6,8}
+}
+
+TEST(RamseyTest, MonochromaticColorDetectsClash) {
+  const auto coloring = [](const std::vector<int>& s) { return s[0]; };
+  EXPECT_FALSE(monochromatic_color({0, 1, 2}, 2, coloring).has_value());
+  EXPECT_TRUE(monochromatic_color({4}, 2, coloring).has_value());
+}
+
+// A deliberately id-value-sensitive decoder for the reduction tests:
+// accepts iff the sum of the identifiers in the view is even.
+LambdaDecoder id_sum_parity_decoder() {
+  return LambdaDecoder(1, false, "id-sum-parity", [](const View& v) {
+    int sum = 0;
+    for (const Ident id : v.ids) {
+      sum += id;
+    }
+    return sum % 2 == 0;
+  });
+}
+
+TEST(TypeOracleTest, ProbesFromInstance) {
+  const Instance inst = Instance::canonical(make_path(4));
+  const auto probes = probes_from_instance(inst, 1);
+  EXPECT_EQ(probes.size(), 4u);
+  for (const View& p : probes) {
+    for (const Ident id : p.ids) {
+      EXPECT_GE(id, 1);
+      EXPECT_LE(id, p.num_nodes());
+    }
+  }
+}
+
+TEST(TypeOracleTest, TypeDistinguishesParity) {
+  const auto decoder = id_sum_parity_decoder();
+  const Instance inst = Instance::canonical(make_path(3));
+  TypeOracle oracle(decoder, probes_from_instance(inst, 1));
+  EXPECT_EQ(oracle.arity(), 3);
+  // Types of {1,2,3} and {1,2,4} differ (sums flip parity in some probe).
+  const int t1 = oracle.type_of({1, 2, 3}, 100);
+  const int t2 = oracle.type_of({1, 2, 4}, 100);
+  EXPECT_NE(t1, t2);
+}
+
+TEST(OrderInvariantTest, UniformSetFoundAndWrapperIsOrderInvariant) {
+  const auto decoder = id_sum_parity_decoder();
+  const Instance inst = Instance::canonical(make_path(3));
+  TypeOracle oracle(decoder, probes_from_instance(inst, 1));
+
+  // A uniform set exists: e.g. identifiers of equal parity make every
+  // probe's id-sum parity a function of the structure alone.
+  const auto uniform = find_uniform_id_set(oracle, 20, 6, 100);
+  ASSERT_TRUE(uniform.has_value());
+  EXPECT_EQ(uniform->size(), 6u);
+
+  const OrderInvariantWrapper wrapper(decoder, *uniform, 100);
+  Rng rng(31);
+  Instance labeled = inst;
+  // The wrapper is order-invariant even though the inner decoder is not.
+  EXPECT_TRUE(check_order_invariant(wrapper, labeled, 40, rng).ok);
+  EXPECT_FALSE(check_order_invariant(decoder, labeled, 40, rng).ok);
+}
+
+TEST(OrderInvariantTest, WrapperAgreesWithInnerOnUniformIds) {
+  // Lemma 6.2's equivalence: on id assignments drawn inside the uniform
+  // set, wrapper and inner decoder give the same verdicts (both tuples
+  // are monochromatic-set subsets, hence share their type).
+  const auto decoder = id_sum_parity_decoder();
+  const Graph g = make_path(3);
+  const Instance base = Instance::canonical(g);
+  TypeOracle oracle(decoder, probes_from_instance(base, 1));
+  const auto uniform = find_uniform_id_set(oracle, 20, 8, 100);
+  ASSERT_TRUE(uniform.has_value());
+
+  const OrderInvariantWrapper wrapper(decoder, *uniform, 100);
+  // Try several assignments using ids from the uniform set.
+  Rng rng(77);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::vector<Ident> pool = *uniform;
+    rng.shuffle(pool);
+    pool.resize(static_cast<std::size_t>(g.num_nodes()));
+    Instance inst = base;
+    inst.ids = IdAssignment::from_vector(pool, 100);
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      const View view = inst.view_of(v, 1, false);
+      EXPECT_EQ(wrapper.accept(view), decoder.accept(view))
+          << "divergence at node " << v;
+    }
+  }
+}
+
+TEST(OrderInvariantTest, WrapperRejectsOversizedViews) {
+  const auto decoder = id_sum_parity_decoder();
+  const OrderInvariantWrapper wrapper(decoder, {2, 4}, 10);
+  const Instance inst = Instance::canonical(make_star(3));
+  // The star's center view has 4 identifiers > |uniform set| = 2.
+  EXPECT_THROW(wrapper.accept(inst.view_of(0, 1, false)), CheckError);
+}
+
+}  // namespace
+}  // namespace shlcp

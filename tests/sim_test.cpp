@@ -1,0 +1,159 @@
+// Tests for the LOCAL simulator: the module's central claim is that r
+// rounds of the full-information protocol reconstruct exactly the paper's
+// radius-r view at every node, for every graph family, radius, port
+// assignment, and labeling tried (experiment E13's correctness half).
+
+#include <gtest/gtest.h>
+
+#include "certify/degree_one.h"
+#include "certify/revealing.h"
+#include "graph/generators.h"
+#include "sim/engine.h"
+#include "sim/gather.h"
+#include "util/rng.h"
+
+namespace shlcp {
+namespace {
+
+Instance random_labeled_instance(Graph g, Rng& rng) {
+  Instance inst;
+  inst.ports = PortAssignment::random(g, rng);
+  inst.ids = IdAssignment::random(g, g.num_nodes() * 3, rng);
+  Labeling labels(g.num_nodes());
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    labels.at(v) = Certificate{{rng.next_int(0, 9), rng.next_int(0, 9)}, 8};
+  }
+  inst.labels = std::move(labels);
+  inst.g = std::move(g);
+  return inst;
+}
+
+TEST(MessageTest, KnowledgeMergeUpgrades) {
+  Knowledge kb;
+  NodeRecord partial;
+  partial.id = 5;
+  partial.cert = Certificate{{1}, 2};
+  kb.merge_record(partial);
+  EXPECT_FALSE(kb.find(5)->complete);
+
+  NodeRecord complete = partial;
+  complete.complete = true;
+  complete.edges.push_back(EdgeInfo{1, 6, 2});
+  kb.merge_record(complete);
+  EXPECT_TRUE(kb.find(5)->complete);
+
+  // A later partial does not downgrade.
+  kb.merge_record(partial);
+  EXPECT_TRUE(kb.find(5)->complete);
+  EXPECT_EQ(kb.size(), 1u);
+}
+
+TEST(MessageTest, ByteAccounting) {
+  Message m;
+  NodeRecord r;
+  r.id = 1;
+  r.cert = Certificate{{1, 2, 3}, 6};
+  r.edges.push_back(EdgeInfo{1, 2, 1});
+  m.records.push_back(r);
+  EXPECT_EQ(m.byte_size(), 4u + encoded_size(r));
+  EXPECT_GT(encoded_size(r), 12u);
+}
+
+class SimEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimEquivalenceTest, GatheredViewEqualsDirectExtraction) {
+  const int radius = GetParam();
+  Rng rng(1000 + static_cast<std::uint64_t>(radius));
+  std::vector<Graph> graphs;
+  graphs.push_back(make_path(7));
+  graphs.push_back(make_cycle(8));
+  graphs.push_back(make_grid(3, 4));
+  graphs.push_back(make_star(5));
+  graphs.push_back(make_theta(2, 3, 4));
+  graphs.push_back(make_random_tree(9, rng));
+  for (Graph& g : graphs) {
+    const Instance inst = random_labeled_instance(std::move(g), rng);
+    SyncEngine engine(inst);
+    engine.run(radius);
+    for (Node v = 0; v < inst.num_nodes(); ++v) {
+      const View direct = inst.view_of(v, radius, false);
+      const View gathered = engine.view_of(v, radius);
+      EXPECT_TRUE(direct == gathered)
+          << "mismatch at node " << v << " radius " << radius
+          << "\ndirect:\n" << direct.to_string() << "\ngathered:\n"
+          << gathered.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, SimEquivalenceTest, ::testing::Values(1, 2, 3));
+
+TEST(SimTest, StatsCountMessages) {
+  const Instance inst = Instance::canonical(make_cycle(6));
+  SyncEngine engine(inst);
+  engine.run(2);
+  // Each round sends one message per directed edge: 2 rounds * 12.
+  EXPECT_EQ(engine.stats().messages, 24u);
+  EXPECT_GT(engine.stats().bytes, 0u);
+  EXPECT_EQ(engine.stats().rounds, 2);
+}
+
+TEST(SimTest, TrafficGrowsWithRounds) {
+  const Instance inst = Instance::canonical(make_grid(4, 4));
+  SyncEngine a(inst);
+  a.run(1);
+  SyncEngine b(inst);
+  b.run(3);
+  EXPECT_GT(b.stats().bytes, a.stats().bytes);
+}
+
+TEST(SimTest, DistributedDecoderMatchesDirectRun) {
+  Rng rng(77);
+  const RevealingLcp lcp(2);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = make_random_bipartite(8, 3, rng);
+    Instance inst = Instance::canonical(g);
+    inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+    SimStats stats;
+    const auto distributed =
+        run_decoder_distributed(lcp.decoder(), inst, &stats);
+    EXPECT_EQ(distributed, lcp.decoder().run(inst));
+    EXPECT_EQ(stats.rounds, 1);
+  }
+}
+
+TEST(SimTest, DistributedAnonymousDecoder) {
+  const DegreeOneLcp lcp;
+  const Graph g = make_double_broom(4, 2, 2);
+  Instance inst = Instance::canonical(g);
+  inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+  const auto verdicts = run_decoder_distributed(lcp.decoder(), inst);
+  for (const bool v : verdicts) {
+    EXPECT_TRUE(v);
+  }
+}
+
+TEST(SimTest, CorruptedCertificateDetectedDistributedly) {
+  const RevealingLcp lcp(2);
+  const Graph g = make_path(6);
+  Instance inst = Instance::canonical(g);
+  inst.labels = *lcp.prove(g, inst.ports, inst.ids);
+  // Corrupt node 3's color to match node 2's.
+  inst.labels.at(3) = inst.labels.at(2);
+  const auto verdicts = run_decoder_distributed(lcp.decoder(), inst);
+  EXPECT_FALSE(verdicts[2]);
+  EXPECT_FALSE(verdicts[3]);
+}
+
+TEST(SimTest, IsolatedNodeHandled) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  Instance inst = Instance::canonical(g);
+  SyncEngine engine(inst);
+  engine.run(2);
+  const View v = engine.view_of(2, 2);
+  EXPECT_EQ(v.num_nodes(), 1);
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,225 @@
+// Unit tests for the views module: the exact visibility rule of Section
+// 2.2 (Fig. 2's invisible edge), canonical equality, anonymization,
+// radius-1 subviews, and the Section 5.1 compatibility predicate (Fig. 7).
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "lcp/instance.h"
+#include "views/canonical.h"
+#include "views/compat.h"
+#include "views/extract.h"
+
+namespace shlcp {
+namespace {
+
+Instance labeled_instance(Graph g) {
+  Instance inst = Instance::canonical(std::move(g));
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    inst.labels.at(v) = Certificate{{100 + v}, 8};
+  }
+  return inst;
+}
+
+TEST(ViewsTest, Radius0IsJustTheCenter) {
+  const Instance inst = labeled_instance(make_path(4));
+  const View v = inst.view_of(1, 0, false);
+  EXPECT_EQ(v.num_nodes(), 1);
+  EXPECT_EQ(v.center, 0);
+  EXPECT_EQ(v.center_id(), 2);
+  EXPECT_EQ(v.center_label().fields[0], 101);
+}
+
+TEST(ViewsTest, Radius1IsTheStar) {
+  const Instance inst = labeled_instance(make_cycle(5));
+  const View v = inst.view_of(0, 1, false);
+  EXPECT_EQ(v.num_nodes(), 3);
+  EXPECT_EQ(v.center_degree(), 2);
+  // No edge between the two neighbors is visible even though 1 and 4 are
+  // both at distance 1 from each other... (they are not adjacent in C5;
+  // check the rule on a triangle instead below).
+  EXPECT_EQ(v.g.num_edges(), 2);
+}
+
+TEST(ViewsTest, BoundaryEdgeInvisibleOnTriangle) {
+  // In a triangle at radius 1, both neighbors are at distance 1 = r, so
+  // the edge between them is NOT visible (Fig. 2's rule).
+  const Instance inst = labeled_instance(make_cycle(3));
+  const View v = inst.view_of(0, 1, false);
+  EXPECT_EQ(v.num_nodes(), 3);
+  EXPECT_EQ(v.g.num_edges(), 2);
+  EXPECT_EQ(v.g.degree(v.center), 2);
+}
+
+TEST(ViewsTest, BoundaryEdgeVisibleAtRadius2) {
+  const Instance inst = labeled_instance(make_cycle(3));
+  const View v = inst.view_of(0, 2, false);
+  EXPECT_EQ(v.g.num_edges(), 3);
+}
+
+TEST(ViewsTest, Fig2StyleInvisibleEdgeOnC5) {
+  // C5 at radius 2 from node 0: nodes 2 and 3 are both at distance 2; the
+  // edge {2, 3} must be invisible.
+  const Instance inst = labeled_instance(make_cycle(5));
+  const View v = inst.view_of(0, 2, false);
+  EXPECT_EQ(v.num_nodes(), 5);
+  EXPECT_EQ(v.g.num_edges(), 4);
+  const Node n2 = v.local_node_of_id(3);  // node 2 has id 3
+  const Node n3 = v.local_node_of_id(4);
+  ASSERT_NE(n2, -1);
+  ASSERT_NE(n3, -1);
+  EXPECT_FALSE(v.g.has_edge(n2, n3));
+  EXPECT_EQ(v.dist[static_cast<std::size_t>(n2)], 2);
+  EXPECT_EQ(v.dist[static_cast<std::size_t>(n3)], 2);
+}
+
+TEST(ViewsTest, WholeGraphAtLargeRadius) {
+  const Instance inst = labeled_instance(make_grid(3, 3));
+  const View v = inst.view_of(4, 10, false);
+  EXPECT_EQ(v.num_nodes(), 9);
+  EXPECT_EQ(v.g.num_edges(), inst.g.num_edges());
+}
+
+TEST(ViewsTest, PortsPreserved) {
+  Rng rng(31);
+  Instance inst = labeled_instance(make_star(4));
+  inst.ports = PortAssignment::random(inst.g, rng);
+  const View v = inst.view_of(0, 1, false);
+  for (const Node w : v.g.neighbors(v.center)) {
+    const Ident wid = v.ids[static_cast<std::size_t>(w)];
+    const Node global_w = inst.ids.node_of(wid);
+    EXPECT_EQ(v.port(v.center, w), inst.ports.port(inst.g, 0, global_w));
+    EXPECT_EQ(v.port(w, v.center), inst.ports.port(inst.g, global_w, 0));
+  }
+}
+
+TEST(ViewsTest, EqualityReflexiveAndLabelSensitive) {
+  const Instance inst = labeled_instance(make_path(5));
+  const View a = inst.view_of(2, 1, false);
+  const View b = inst.view_of(2, 1, false);
+  EXPECT_TRUE(a == b);
+
+  Instance other = inst;
+  other.labels.at(1) = Certificate{{999}, 8};
+  const View c = other.view_of(2, 1, false);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ViewsTest, EqualityIdSensitiveUnlessAnonymized) {
+  Instance inst = labeled_instance(make_path(5));
+  Instance renamed = inst;
+  renamed.ids = IdAssignment::from_vector({5, 4, 3, 2, 1}, 5);
+  const View a = inst.view_of(2, 1, false);
+  const View b = renamed.view_of(2, 1, false);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a.anonymized() == b.anonymized());
+}
+
+TEST(ViewsTest, AnonymizedStripsEverything) {
+  const Instance inst = labeled_instance(make_cycle(4));
+  const View v = inst.view_of(1, 2, false).anonymized();
+  EXPECT_TRUE(v.anonymous());
+  EXPECT_EQ(v.id_bound, 0);
+}
+
+TEST(ViewsTest, SymmetricNodesHaveEqualAnonymousViews) {
+  // All nodes of a uniformly-labeled cycle with canonical ports look alike
+  // up to ids... canonical ports on a cycle are NOT symmetric (node 0's
+  // neighbors sort differently), so use the same node twice and distinct
+  // nodes on a vertex-transitive port assignment instead: interior path
+  // nodes share the same structure.
+  Instance inst = Instance::canonical(make_path(6));
+  for (Node v = 0; v < 6; ++v) {
+    inst.labels.at(v) = Certificate{{7}, 3};
+  }
+  const View a = inst.view_of(2, 1, true);
+  const View b = inst.view_of(3, 1, true);
+  EXPECT_TRUE(a == b);
+  // An endpoint looks different.
+  const View c = inst.view_of(0, 1, true);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(ViewsTest, CanonicalOrderStartsAtCenter) {
+  const Instance inst = labeled_instance(make_grid(2, 3));
+  const View v = inst.view_of(4, 2, false);
+  const auto order = canonical_order(v);
+  EXPECT_EQ(order.front(), v.center);
+  EXPECT_EQ(order.size(), static_cast<std::size_t>(v.num_nodes()));
+}
+
+TEST(ViewsTest, RemappedIds) {
+  const Instance inst = labeled_instance(make_path(3));
+  const View v = inst.view_of(1, 1, false);
+  const View w = v.with_remapped_ids({{1, 10}, {2, 20}, {3, 30}}, 99);
+  EXPECT_EQ(w.center_id(), 20);
+  EXPECT_EQ(w.id_bound, 99);
+  EXPECT_FALSE(v == w);
+  // Remapping back restores equality.
+  const View v2 = w.with_remapped_ids({{10, 1}, {20, 2}, {30, 3}}, 3);
+  EXPECT_TRUE(v == v2);
+}
+
+TEST(ViewsTest, SubviewRadius1MatchesDirectExtraction) {
+  const Instance inst = labeled_instance(make_grid(3, 3));
+  const View big = inst.view_of(4, 2, false);
+  for (Node x = 0; x < big.num_nodes(); ++x) {
+    if (big.dist[static_cast<std::size_t>(x)] >= big.radius) {
+      continue;
+    }
+    const Ident id = big.ids[static_cast<std::size_t>(x)];
+    const Node global = inst.ids.node_of(id);
+    const View direct = inst.view_of(global, 1, false);
+    EXPECT_TRUE(subview_radius1(big, x) == direct)
+        << "subview mismatch at id " << id;
+  }
+}
+
+TEST(CompatTest, SelfCompatibility) {
+  const Instance inst = labeled_instance(make_grid(3, 3));
+  const View a = inst.view_of(4, 2, false);
+  EXPECT_TRUE(node_compatible(a, a.center, a));
+}
+
+TEST(CompatTest, NeighborsInSameInstanceAreCompatible) {
+  // Fig. 7's spirit: views of nearby nodes in one instance are compatible
+  // with respect to the shared nodes.
+  const Instance inst = labeled_instance(make_grid(3, 4));
+  for (const Edge& e : inst.g.edges()) {
+    const View mu1 = inst.view_of(e.u, 2, false);
+    const View mu2 = inst.view_of(e.v, 2, false);
+    EXPECT_TRUE(compatible_at_id(mu1, inst.ids.id_of(e.v), mu2));
+    EXPECT_TRUE(compatible_at_id(mu2, inst.ids.id_of(e.u), mu1));
+  }
+}
+
+TEST(CompatTest, WrongIdNotCompatible) {
+  const Instance inst = labeled_instance(make_path(6));
+  const View mu1 = inst.view_of(2, 2, false);
+  const View mu2 = inst.view_of(3, 2, false);
+  // Node with id 1 in mu1 is not the center of mu2 (id 4).
+  EXPECT_FALSE(compatible_at_id(mu1, 1, mu2));
+}
+
+TEST(CompatTest, ConflictingInteriorDetected) {
+  // Two instances that disagree on a shared interior node's label.
+  Instance a = labeled_instance(make_path(6));
+  Instance b = labeled_instance(make_path(6));
+  b.labels.at(2) = Certificate{{555}, 8};
+  const View mu1 = a.view_of(2, 2, false);   // centered at id 3
+  const View mu2 = b.view_of(3, 2, false);   // centered at id 4, sees id 3
+  // mu1's node with id 4 claims compatibility with mu2's center, but the
+  // interior node id 3 has different radius-1 views (labels differ).
+  EXPECT_FALSE(compatible_at_id(mu1, 4, mu2));
+}
+
+TEST(ViewsTest, ToStringSmoke) {
+  const Instance inst = labeled_instance(make_path(3));
+  const View v = inst.view_of(1, 1, false);
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("center"), std::string::npos);
+  EXPECT_NE(s.find("cert"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shlcp
