@@ -74,11 +74,11 @@ void print_replay() {
   {
     const WatermelonLcp cheat(WatermelonVariant::kNoPortCheck);
     const auto instances = no_port_check_c8_witnesses();
-    NbhdGraph nbhd;
-    for (const Instance& inst : instances) {
-      nbhd.absorb(cheat.decoder(), inst, 2);
-    }
-    const auto cycle = nbhd.odd_cycle();
+    // The witness search runs through the parallel builder (identical to
+    // a sequential absorb; threads from SHLCP_NUM_THREADS / hardware).
+    auto search = search_hiding_witness(cheat.decoder(), instances, 2);
+    NbhdGraph& nbhd = search.nbhd;
+    const auto& cycle = search.odd_cycle;
     SHLCP_CHECK(cycle.has_value());
     const auto expanded = expand_odd_cycle(nbhd, instances, *cycle, 1);
     SHLCP_CHECK_MSG(expanded.ok, expanded.failure);

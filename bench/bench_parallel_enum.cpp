@@ -1,0 +1,160 @@
+// Throughput of the parallel V(D, n) sweep (ISSUE PR 1 acceptance bench).
+//
+// Builds the exhaustive degree-one V(D, 4) over all ports -- the same
+// instance family as bench_nbhd_growth -- once sequentially and then with
+// the sharded builder at 1, 2, 4, and 8 threads, reporting instances/sec
+// and speedup over the sequential baseline. Every parallel build is
+// cross-checked structurally against the sequential one (the bit-identical
+// guarantee), so a wrong-but-fast merge cannot post a number here.
+//
+// Results (plus std::thread::hardware_concurrency, so single-core CI runs
+// are legible as such) are written to BENCH_parallel_enum.json in the
+// working directory. Scaling beyond hardware_concurrency threads is
+// expected to be flat -- the point of the 8-thread row is oversubscription
+// overhead, not speedup.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "certify/degree_one.h"
+#include "certify/revealing.h"
+#include "graph/generators.h"
+#include "nbhd/aviews.h"
+#include "util/check.h"
+#include "util/format.h"
+
+namespace shlcp {
+namespace {
+
+std::vector<Graph> promise_graphs(const Lcp& lcp, int max_n) {
+  std::vector<Graph> graphs;
+  for (int n = 2; n <= max_n; ++n) {
+    for_each_connected_graph(n, [&](const Graph& g) {
+      if (lcp.in_promise(g)) {
+        graphs.push_back(g);
+      }
+      return true;
+    });
+  }
+  return graphs;
+}
+
+struct Sample {
+  int threads = 0;  // 0 = sequential reference
+  double seconds = 0.0;
+  double instances_per_sec = 0.0;
+  double speedup = 1.0;
+};
+
+double run_seconds(const std::function<NbhdGraph()>& build,
+                   const NbhdGraph* reference, int reps) {
+  double best = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const NbhdGraph nbhd = build();
+    const auto t1 = std::chrono::steady_clock::now();
+    if (reference != nullptr) {
+      SHLCP_CHECK(nbhd.num_views() == reference->num_views());
+      SHLCP_CHECK(nbhd.num_edges() == reference->num_edges());
+      SHLCP_CHECK(nbhd.num_instances_absorbed() ==
+                  reference->num_instances_absorbed());
+      SHLCP_CHECK(nbhd.stats().views_deduped ==
+                  reference->stats().views_deduped);
+      for (int i = 0; i < nbhd.num_views(); ++i) {
+        SHLCP_CHECK(nbhd.view(i) == reference->view(i));
+      }
+    }
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace shlcp
+
+int main() {
+  using namespace shlcp;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("=== parallel V(D, n) sweep: degree-one, n <= 4, all ports "
+              "(hardware_concurrency = %u) ===\n",
+              hw);
+
+  const DegreeOneLcp lcp;
+  const auto graphs = promise_graphs(lcp, 4);
+  EnumOptions enums;
+  enums.all_ports = true;
+
+  const int reps = 3;
+  const NbhdGraph reference = build_exhaustive(lcp, graphs, enums);
+  const double total_instances =
+      static_cast<double>(reference.num_instances_absorbed());
+
+  std::vector<Sample> samples;
+  Sample seq;
+  seq.threads = 0;
+  seq.seconds = run_seconds(
+      [&] { return build_exhaustive(lcp, graphs, enums); }, nullptr, reps);
+  seq.instances_per_sec = total_instances / seq.seconds;
+  samples.push_back(seq);
+
+  for (const int threads : {1, 2, 4, 8}) {
+    ParallelEnumOptions options;
+    options.enums = enums;
+    options.num_threads = threads;
+    Sample s;
+    s.threads = threads;
+    s.seconds = run_seconds(
+        [&] { return build_exhaustive(lcp, graphs, options); }, &reference,
+        reps);
+    s.instances_per_sec = total_instances / s.seconds;
+    s.speedup = seq.seconds / s.seconds;
+    samples.push_back(s);
+  }
+
+  std::printf("%-12s %10s %14s %8s\n", "build", "seconds", "instances/s",
+              "speedup");
+  for (const Sample& s : samples) {
+    const std::string label =
+        s.threads == 0 ? "sequential" : format("%d threads", s.threads);
+    std::printf("%-12s %10.4f %14.0f %7.2fx\n", label.c_str(), s.seconds,
+                s.instances_per_sec, s.speedup);
+  }
+  std::printf("(%d graphs, %.0f instances, %d views; parallel results "
+              "verified identical to sequential)\n",
+              static_cast<int>(graphs.size()), total_instances,
+              reference.num_views());
+  if (hw < 4) {
+    std::printf("NOTE: only %u hardware thread(s) available -- parallel "
+                "speedup is not measurable on this machine.\n",
+                hw);
+  }
+
+  std::FILE* out = std::fopen("BENCH_parallel_enum.json", "w");
+  SHLCP_CHECK(out != nullptr);
+  std::fprintf(out,
+               "{\n  \"bench\": \"parallel_enum\",\n"
+               "  \"family\": \"degree_one_exhaustive_n4_all_ports\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"graphs\": %d,\n  \"instances\": %.0f,\n"
+               "  \"views\": %d,\n  \"runs\": [\n",
+               hw, static_cast<int>(graphs.size()), total_instances,
+               reference.num_views());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Sample& s = samples[i];
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"instances_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                 s.threads, s.seconds, s.instances_per_sec, s.speedup,
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_parallel_enum.json\n");
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "nbhd/aviews.h"
 #include "nbhd/extractor.h"
 #include "nbhd/witness.h"
+#include "util/parallel.h"
 
 using namespace shlcp;
 
@@ -35,12 +36,18 @@ std::vector<Graph> promise_family(const Lcp& lcp, int max_n) {
 
 void audit(const Lcp& lcp, const char* name) {
   std::printf("=== auditing %s ===\n", name);
-  EnumOptions options;
-  options.all_ports = true;
+  // The exhaustive sweep runs multithreaded (SHLCP_NUM_THREADS or the
+  // hardware); the parallel build is bit-identical to the sequential one.
+  ParallelEnumOptions options;
+  options.enums.all_ports = true;
   const auto graphs = promise_family(lcp, 4);
   auto nbhd = build_exhaustive(lcp, graphs, options);
-  std::printf("V(D, 4): %d accepting views, %d compatibility edges\n",
-              nbhd.num_views(), nbhd.num_edges());
+  std::printf("V(D, 4): %d accepting views, %d compatibility edges "
+              "(%llu dedupe hits, %.1f ms in absorb, %d threads)\n",
+              nbhd.num_views(), nbhd.num_edges(),
+              static_cast<unsigned long long>(nbhd.stats().views_deduped),
+              static_cast<double>(nbhd.stats().absorb_ns) / 1e6,
+              resolve_num_threads(options.num_threads));
 
   const auto cycle = nbhd.odd_cycle();
   if (cycle.has_value()) {

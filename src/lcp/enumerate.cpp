@@ -2,6 +2,7 @@
 
 #include "graph/algorithms.h"
 #include "util/combinatorics.h"
+#include "util/format.h"
 
 namespace shlcp {
 
@@ -24,41 +25,119 @@ bool for_each_frame(const Graph& g, const EnumOptions& options,
   return with_ports(PortAssignment::canonical(g));
 }
 
+/// Identifies a frame in error messages: which graph of the family, its
+/// size, and the port/id assignments, so a blown labeling bound points at
+/// the offending frame instead of leaving the caller to bisect the sweep.
+std::string describe_frame(int graph_index, const Graph& g,
+                           const PortAssignment& ports,
+                           const IdAssignment& ids) {
+  std::string port_lists;
+  for (Node v = 0; v < g.num_nodes(); ++v) {
+    if (v > 0) {
+      port_lists += " ";
+    }
+    port_lists += show_vec(ports.ports_of(v));
+  }
+  return format("graph #%d (%d nodes, %d edges), ids=%s (N=%d), ports=[%s]",
+                graph_index, g.num_nodes(), g.num_edges(),
+                show_vec(ids.raw()).c_str(), ids.bound(), port_lists.c_str());
+}
+
+/// The shared per-frame labeling product: builds the certificate spaces,
+/// enforces max_labelings_per_frame, and streams every labeling of the
+/// frame through `visit`.
+bool visit_frame_labelings(const Lcp& lcp, const Graph& g, int graph_index,
+                           const PortAssignment& ports,
+                           const IdAssignment& ids,
+                           const EnumOptions& options,
+                           const std::function<bool(const Instance&)>& visit) {
+  const int n = g.num_nodes();
+  std::vector<std::vector<Certificate>> spaces;
+  std::vector<int> radix;
+  std::uint64_t total = 1;
+  for (Node v = 0; v < n; ++v) {
+    spaces.push_back(lcp.certificate_space(g, ids, v));
+    SHLCP_CHECK(!spaces.back().empty());
+    radix.push_back(static_cast<int>(spaces.back().size()));
+    total *= static_cast<std::uint64_t>(spaces.back().size());
+    SHLCP_CHECK_MSG(
+        total <= options.max_labelings_per_frame,
+        format("labeling space exceeds max_labelings_per_frame (%llu) "
+               "after node %d of frame: ",
+               static_cast<unsigned long long>(options.max_labelings_per_frame),
+               v) +
+            describe_frame(graph_index, g, ports, ids));
+  }
+  Instance inst;
+  inst.g = g;
+  inst.ports = ports;
+  inst.ids = ids;
+  return for_each_product(radix, [&](const std::vector<int>& digits) {
+    Labeling labels(n);
+    for (Node v = 0; v < n; ++v) {
+      labels.at(v) =
+          spaces[static_cast<std::size_t>(v)]
+                [static_cast<std::size_t>(digits[static_cast<std::size_t>(v)])];
+    }
+    inst.labels = std::move(labels);
+    return visit(inst);
+  });
+}
+
 }  // namespace
+
+std::vector<EnumFrame> enumerate_frames(const std::vector<Graph>& graphs,
+                                        const EnumOptions& options) {
+  std::vector<EnumFrame> frames;
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    for_each_frame(graphs[gi], options,
+                   [&](const PortAssignment& ports, const IdAssignment& ids) {
+                     EnumFrame frame;
+                     frame.graph_index = static_cast<int>(gi);
+                     frame.ports = ports;
+                     frame.ids = ids;
+                     frames.push_back(std::move(frame));
+                     return true;
+                   });
+  }
+  return frames;
+}
+
+bool for_each_labeled_instance_in_frame(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumFrame& frame,
+    const EnumOptions& options,
+    const std::function<bool(const Instance&)>& visit) {
+  const auto gi = static_cast<std::size_t>(frame.graph_index);
+  SHLCP_CHECK(gi < graphs.size());
+  return visit_frame_labelings(lcp, graphs[gi], frame.graph_index, frame.ports,
+                               frame.ids, options, visit);
+}
+
+std::optional<Instance> proved_instance_in_frame(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumFrame& frame) {
+  const auto gi = static_cast<std::size_t>(frame.graph_index);
+  SHLCP_CHECK(gi < graphs.size());
+  auto labels = lcp.prove(graphs[gi], frame.ports, frame.ids);
+  if (!labels.has_value()) {
+    return std::nullopt;
+  }
+  Instance inst;
+  inst.g = graphs[gi];
+  inst.ports = frame.ports;
+  inst.ids = frame.ids;
+  inst.labels = std::move(*labels);
+  return inst;
+}
 
 bool for_each_labeled_instance(
     const Lcp& lcp, const std::vector<Graph>& graphs, const EnumOptions& options,
     const std::function<bool(const Instance&)>& visit) {
-  for (const Graph& g : graphs) {
+  for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
+    const Graph& g = graphs[gi];
     const bool keep_going = for_each_frame(
         g, options, [&](const PortAssignment& ports, const IdAssignment& ids) {
-          // Per-node certificate spaces for this frame.
-          const int n = g.num_nodes();
-          std::vector<std::vector<Certificate>> spaces;
-          std::vector<int> radix;
-          std::uint64_t total = 1;
-          for (Node v = 0; v < n; ++v) {
-            spaces.push_back(lcp.certificate_space(g, ids, v));
-            SHLCP_CHECK(!spaces.back().empty());
-            radix.push_back(static_cast<int>(spaces.back().size()));
-            total *= static_cast<std::uint64_t>(spaces.back().size());
-            SHLCP_CHECK_MSG(total <= options.max_labelings_per_frame,
-                            "labeling space exceeds max_labelings_per_frame");
-          }
-          Instance inst;
-          inst.g = g;
-          inst.ports = ports;
-          inst.ids = ids;
-          return for_each_product(radix, [&](const std::vector<int>& digits) {
-            Labeling labels(n);
-            for (Node v = 0; v < n; ++v) {
-              labels.at(v) =
-                  spaces[static_cast<std::size_t>(v)]
-                        [static_cast<std::size_t>(digits[static_cast<std::size_t>(v)])];
-            }
-            inst.labels = std::move(labels);
-            return visit(inst);
-          });
+          return visit_frame_labelings(lcp, g, static_cast<int>(gi), ports,
+                                       ids, options, visit);
         });
     if (!keep_going) {
       return false;

@@ -6,11 +6,19 @@
 // identifier orders, labelings) can be toggled between exhaustive and
 // canonical-only -- e.g. anonymous decoders do not need the id dimension,
 // and vertex-transitive experiments can fix ports.
+//
+// The sweep also comes in a frame-partitioned form for the parallel
+// builders (nbhd/aviews.h): a *frame* is one (graph, ports, ids) triple,
+// frames are independent (each carries its own labeling product), and
+// enumerate_frames materializes them in the exact order the sequential
+// stream visits them, so chunking frames across workers and reducing in
+// chunk order reproduces the sequential result bit for bit.
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "lcp/decoder.h"
@@ -24,9 +32,49 @@ struct EnumOptions {
   /// Enumerate every identifier order type (else consecutive ids only).
   bool all_id_orders = false;
   /// Upper bound on labelings per (graph, ports, ids) frame; the stream
-  /// throws if the LCP's certificate space exceeds it.
+  /// throws (naming the offending frame) if the LCP's certificate space
+  /// exceeds it.
   std::uint64_t max_labelings_per_frame = 20'000'000;
 };
+
+/// Options for the multithreaded sweep: the sequential dimension toggles
+/// plus worker-pool shape. Used by the parallel builders in nbhd/aviews.h.
+struct ParallelEnumOptions {
+  /// Dimension toggles, shared with the sequential stream.
+  EnumOptions enums;
+  /// Worker threads; 0 resolves via SHLCP_NUM_THREADS, then the hardware
+  /// (util/parallel.h). 1 forces the sequential path.
+  int num_threads = 0;
+  /// Frames (or instances, for explicit witness lists) per work unit.
+  /// Chunks are contiguous, so larger chunks trade load balance for fewer
+  /// shard merges.
+  int frames_per_chunk = 4;
+};
+
+/// One (graph, ports, ids) frame of the sweep. `graph_index` indexes the
+/// graph family the frame was enumerated from.
+struct EnumFrame {
+  int graph_index = 0;
+  PortAssignment ports;
+  IdAssignment ids;
+};
+
+/// Materializes every frame of the sweep over `graphs` x EnumOptions, in
+/// exactly the order for_each_labeled_instance visits them.
+std::vector<EnumFrame> enumerate_frames(const std::vector<Graph>& graphs,
+                                        const EnumOptions& options);
+
+/// Visits every labeling of one frame (labelings in certificate-space
+/// product order, as the sequential stream). Return false from `visit` to
+/// stop early; returns false iff stopped.
+bool for_each_labeled_instance_in_frame(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumFrame& frame,
+    const EnumOptions& options, const std::function<bool(const Instance&)>& visit);
+
+/// The honestly-labeled instance of one frame: the prover's certificates,
+/// or nullopt when the prover declines the frame.
+std::optional<Instance> proved_instance_in_frame(
+    const Lcp& lcp, const std::vector<Graph>& graphs, const EnumFrame& frame);
 
 /// Visits labeled instances built from each graph in `graphs` crossed with
 /// the enabled dimensions and every labeling from `lcp.certificate_space`.

@@ -1,6 +1,50 @@
 #include "nbhd/aviews.h"
 
+#include <algorithm>
+
+#include "util/parallel.h"
+
 namespace shlcp {
+
+namespace {
+
+/// Shared shard/merge skeleton: runs `item_body(i, shard)` for every item
+/// in [0, num_items), chunked across a worker pool, and merges the
+/// per-chunk shards in chunk order. With one thread (or one chunk) it
+/// degenerates to a plain sequential loop into a single graph, which is
+/// also the reference semantics the merge path must reproduce.
+NbhdGraph build_sharded(
+    std::size_t num_items, const ParallelEnumOptions& options,
+    const std::function<void(std::size_t, NbhdGraph&)>& item_body) {
+  const int threads = resolve_num_threads(options.num_threads);
+  const auto chunk = static_cast<std::size_t>(
+      std::max(1, options.frames_per_chunk));
+  const std::size_t num_chunks = num_items == 0 ? 0 : (num_items + chunk - 1) / chunk;
+  if (threads <= 1 || num_chunks <= 1) {
+    NbhdGraph out;
+    for (std::size_t i = 0; i < num_items; ++i) {
+      item_body(i, out);
+    }
+    return out;
+  }
+  std::vector<NbhdGraph> shards(num_chunks);
+  WorkerPool pool(threads);
+  pool.parallel_for_chunks(
+      num_items, chunk,
+      [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
+        NbhdGraph& shard = shards[chunk_index];
+        for (std::size_t i = begin; i < end; ++i) {
+          item_body(i, shard);
+        }
+      });
+  NbhdGraph out;
+  for (NbhdGraph& shard : shards) {
+    out.merge(std::move(shard));
+  }
+  return out;
+}
+
+}  // namespace
 
 NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
                            const EnumOptions& options) {
@@ -14,6 +58,21 @@ NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
   return nbhd;
 }
 
+NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
+                           const ParallelEnumOptions& options) {
+  const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
+  const auto frames = enumerate_frames(yes_graphs, options.enums);
+  return build_sharded(
+      frames.size(), options, [&](std::size_t i, NbhdGraph& shard) {
+        for_each_labeled_instance_in_frame(
+            lcp, yes_graphs, frames[i], options.enums,
+            [&](const Instance& inst) {
+              shard.absorb(lcp.decoder(), inst, lcp.k());
+              return true;
+            });
+      });
+}
+
 NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
                        const EnumOptions& options) {
   NbhdGraph nbhd;
@@ -25,6 +84,19 @@ NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
   return nbhd;
 }
 
+NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
+                       const ParallelEnumOptions& options) {
+  const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
+  const auto frames = enumerate_frames(yes_graphs, options.enums);
+  return build_sharded(
+      frames.size(), options, [&](std::size_t i, NbhdGraph& shard) {
+        const auto inst = proved_instance_in_frame(lcp, yes_graphs, frames[i]);
+        if (inst.has_value()) {
+          shard.absorb(lcp.decoder(), *inst, lcp.k());
+        }
+      });
+}
+
 NbhdGraph build_from_instances(const Decoder& decoder,
                                const std::vector<Instance>& instances, int k) {
   NbhdGraph nbhd;
@@ -32,6 +104,15 @@ NbhdGraph build_from_instances(const Decoder& decoder,
     nbhd.absorb(decoder, inst, k);
   }
   return nbhd;
+}
+
+NbhdGraph build_from_instances(const Decoder& decoder,
+                               const std::vector<Instance>& instances, int k,
+                               const ParallelEnumOptions& options) {
+  return build_sharded(instances.size(), options,
+                       [&](std::size_t i, NbhdGraph& shard) {
+                         shard.absorb(decoder, instances[i], k);
+                       });
 }
 
 }  // namespace shlcp

@@ -1,9 +1,33 @@
 #include "nbhd/nbhd_graph.h"
 
+#include <chrono>
+
 namespace shlcp {
+
+namespace {
+
+/// Scope timer accumulating into a NbhdStats::absorb_ns counter.
+class AbsorbTimer {
+ public:
+  explicit AbsorbTimer(std::uint64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+  ~AbsorbTimer() {
+    *sink_ += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::uint64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
                       bool require_yes) {
+  const AbsorbTimer timer(&stats_.absorb_ns);
   if (require_yes) {
     SHLCP_CHECK_MSG(is_k_colorable(inst.g, k),
                     "V(D, n) is built from yes-instances only");
@@ -25,6 +49,8 @@ int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
       views_.push_back(std::move(view));
       view_prov_.push_back(Provenance{instance_index, v, -1});
       adj_.add_node();
+    } else {
+      ++stats_.views_deduped;
     }
     node_view[static_cast<std::size_t>(v)] = it->second;
   }
@@ -54,6 +80,69 @@ int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
   return instance_index;
 }
 
+void NbhdGraph::merge(NbhdGraph&& other) {
+  const AbsorbTimer timer(&stats_.absorb_ns);
+  const int offset = next_instance_;
+
+  // Re-register other's views in other's registration order: that is the
+  // order a sequential build would have first seen them in, given that
+  // this graph's instances all precede other's.
+  std::vector<int> remap(other.views_.size(), -1);
+  for (std::size_t i = 0; i < other.views_.size(); ++i) {
+    const std::string key = canonical_key(other.views_[i]);
+    auto [it, fresh] = index_.try_emplace(key, static_cast<int>(views_.size()));
+    if (fresh) {
+      Provenance prov = other.view_prov_[i];
+      prov.instance += offset;
+      views_.push_back(std::move(other.views_[i]));
+      view_prov_.push_back(prov);
+      adj_.add_node();
+    } else {
+      // First seen on both sides; ours has the lower instance index.
+      ++stats_.views_deduped;
+    }
+    remap[i] = it->second;
+  }
+
+  // Compatibility edges (adjacency lists are sorted, so insertion order
+  // does not affect the representation).
+  for (const Edge& e : other.adj_.edges()) {
+    const int a = remap[static_cast<std::size_t>(e.u)];
+    const int b = remap[static_cast<std::size_t>(e.v)];
+    if (a == b) {
+      if (!adj_.has_edge(a, a)) {
+        adj_.add_loop(a);
+      }
+    } else if (!adj_.has_edge(a, b)) {
+      adj_.add_edge(a, b);
+    }
+  }
+
+  // Edge provenance: keep ours where both sides saw the edge (lower
+  // instance index), import other's otherwise. Other's provenance is
+  // oriented by other's local view order; re-orient when the remap flips
+  // which endpoint carries the smaller index.
+  for (auto& [key, prov] : other.edge_prov_) {
+    const int a = remap[static_cast<std::size_t>(key.first)];
+    const int b = remap[static_cast<std::size_t>(key.second)];
+    const auto merged_key = std::make_pair(std::min(a, b), std::max(a, b));
+    if (edge_prov_.find(merged_key) != edge_prov_.end()) {
+      continue;
+    }
+    Provenance adjusted = prov;
+    adjusted.instance += offset;
+    if (a > b) {
+      std::swap(adjusted.node, adjusted.other);
+    }
+    edge_prov_[merged_key] = adjusted;
+  }
+
+  next_instance_ += other.next_instance_;
+  stats_.views_deduped += other.stats_.views_deduped;
+  stats_.absorb_ns += other.stats_.absorb_ns;
+  other = NbhdGraph{};
+}
+
 const View& NbhdGraph::view(int i) const {
   SHLCP_CHECK(0 <= i && i < num_views());
   return views_[static_cast<std::size_t>(i)];
@@ -70,7 +159,10 @@ const Provenance* NbhdGraph::edge_provenance(int a, int b) const {
 }
 
 int NbhdGraph::index_of(const View& v) const {
+  // Routed through the compute-once canonical cache: the key packing is a
+  // memcpy of the cached code, not a fresh port-ordered BFS.
   const auto it = index_.find(canonical_key(v));
+  SHLCP_DCHECK(v.canonical_cached());
   return it == index_.end() ? -1 : it->second;
 }
 

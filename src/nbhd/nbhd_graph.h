@@ -12,13 +12,22 @@
 // self-loop here; a loop is a 1-cycle and correctly counts as
 // non-k-colorable for every k (two adjacent nodes that look identical can
 // never be consistently split by any local decoder).
+//
+// The graph is shard-mergeable for the parallel sweep: absorb into
+// per-chunk shards, then merge shards in chunk order. Because chunks
+// partition the instance stream contiguously and merge re-registers the
+// shard's views in the shard's own registration order, the merged result
+// is bit-identical to a sequential absorb of the whole stream -- same
+// view indices, same edges, and the same first-seen provenance (lowest
+// instance index wins).
 
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/algorithms.h"
@@ -37,6 +46,17 @@ struct Provenance {
   Node other = -1;      // for edges: the adjacent center
 };
 
+/// Accounting for the builders: dedupe pressure and time spent absorbing,
+/// so benches report dedupe ratios and time-in-absorb without external
+/// instrumentation. Deterministic except absorb_ns.
+struct NbhdStats {
+  /// Accepting-view registrations that hit an already-registered view.
+  /// Total registrations = num_views() + views_deduped.
+  std::uint64_t views_deduped = 0;
+  /// Wall time spent inside absorb() (and merge()), nanoseconds.
+  std::uint64_t absorb_ns = 0;
+};
+
 /// An incrementally-built accepting neighborhood graph.
 class NbhdGraph {
  public:
@@ -48,6 +68,15 @@ class NbhdGraph {
   /// instance index assigned for provenance.
   int absorb(const Decoder& decoder, const Instance& inst, int k,
              bool require_yes = true);
+
+  /// Folds `other` into this graph as if other's instances had been
+  /// absorbed here, in order, right after this graph's own: other's views
+  /// are re-registered in other's registration order, its edges re-keyed
+  /// through the combined view indices, its instance indices shifted by
+  /// num_instances_absorbed(), and first-seen provenance kept from the
+  /// earlier (lower instance index) side. Merging contiguous shards in
+  /// stream order therefore reproduces the sequential build exactly.
+  void merge(NbhdGraph&& other);
 
   /// Number of distinct accepting views registered.
   [[nodiscard]] int num_views() const { return static_cast<int>(views_.size()); }
@@ -88,13 +117,28 @@ class NbhdGraph {
   /// Number of instances absorbed so far.
   [[nodiscard]] int num_instances_absorbed() const { return next_instance_; }
 
+  /// Builder accounting (dedupe hits, time in absorb). Merge sums shard
+  /// stats, so parallel and sequential builds agree on views_deduped.
+  [[nodiscard]] const NbhdStats& stats() const { return stats_; }
+
  private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<int, int>& p) const {
+      // Edge endpoints are small dense view indices: pack into one word.
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first))
+           << 32) |
+          static_cast<std::uint32_t>(p.second));
+    }
+  };
+
   std::unordered_map<std::string, int> index_;
   std::vector<View> views_;
   std::vector<Provenance> view_prov_;
-  std::map<std::pair<int, int>, Provenance> edge_prov_;
+  std::unordered_map<std::pair<int, int>, Provenance, PairHash> edge_prov_;
   Graph adj_;
   int next_instance_ = 0;
+  NbhdStats stats_;
 };
 
 }  // namespace shlcp

@@ -1,0 +1,136 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace shlcp {
+
+int resolve_num_threads(int requested) {
+  if (requested >= 1) {
+    return requested;
+  }
+  if (const char* env = std::getenv("SHLCP_NUM_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) {
+      return parsed;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+WorkerPool::WorkerPool(int num_threads) {
+  SHLCP_CHECK_MSG(num_threads >= 1, "WorkerPool needs at least one thread");
+  threads_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 0; i < num_threads - 1; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = generation_;
+      ++active_claimers_;
+    }
+    run_chunks();
+  }
+}
+
+void WorkerPool::run_chunks() {
+  // Claim chunks until the counter runs past the end. Job state (body_,
+  // job_n_, ...) is stable for the whole claim loop: the caller does not
+  // reset it until active_claimers_ drops to zero.
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= num_chunks_) {
+      break;
+    }
+    const std::size_t begin = c * job_chunk_;
+    const std::size_t end = std::min(job_n_, begin + job_chunk_);
+    try {
+      (*body_)(c, begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (error_ == nullptr || c < error_chunk_) {
+        error_ = std::current_exception();
+        error_chunk_ = c;
+      }
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++chunks_done_;
+    if (chunks_done_ == num_chunks_) {
+      done_cv_.notify_all();
+    }
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  --active_claimers_;
+  if (active_claimers_ == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+void WorkerPool::parallel_for_chunks(std::size_t n, std::size_t chunk,
+                                     const ChunkBody& body) {
+  SHLCP_CHECK_MSG(chunk >= 1, "chunk size must be >= 1");
+  if (n == 0) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    SHLCP_CHECK_MSG(body_ == nullptr,
+                    "parallel_for_chunks is not reentrant");
+    body_ = &body;
+    job_n_ = n;
+    job_chunk_ = chunk;
+    num_chunks_ = (n + chunk - 1) / chunk;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    chunks_done_ = 0;
+    error_ = nullptr;
+    error_chunk_ = 0;
+    ++generation_;
+    ++active_claimers_;  // the caller claims too
+  }
+  work_cv_.notify_all();
+  run_chunks();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return chunks_done_ == num_chunks_ && active_claimers_ == 0;
+    });
+    body_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+void parallel_for_chunks(int num_threads, std::size_t n, std::size_t chunk,
+                         const ChunkBody& body) {
+  WorkerPool pool(resolve_num_threads(num_threads));
+  pool.parallel_for_chunks(n, chunk, body);
+}
+
+}  // namespace shlcp

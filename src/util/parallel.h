@@ -1,0 +1,97 @@
+// A small fixed-size worker pool for the exhaustive sweeps.
+//
+// The Lemma 3.1 enumeration splits into independent (graph, ports, ids)
+// frames, so the parallel strategy is plain data parallelism: partition a
+// dense item range [0, n) into contiguous chunks, hand chunks to workers
+// dynamically (an atomic counter, so uneven frames load-balance), and let
+// the caller reduce per-chunk results *in chunk-index order*. Chunks are
+// contiguous in item order, so a chunk-ordered reduce visits items in
+// exactly the sequential order -- that is what makes the parallel
+// neighborhood-graph build bit-identical to the sequential one (see
+// NbhdGraph::merge).
+//
+// Error handling is deterministic too: if chunk bodies throw, the
+// exception from the lowest-indexed failing chunk is rethrown.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shlcp {
+
+/// Resolves a worker-thread count: `requested` if >= 1, else the
+/// SHLCP_NUM_THREADS environment variable if set to an integer >= 1, else
+/// std::thread::hardware_concurrency() (minimum 1).
+int resolve_num_threads(int requested = 0);
+
+/// Body run once per chunk: `chunk_index` is dense and in item order
+/// (chunk c covers items [c * chunk, min((c + 1) * chunk, n))).
+using ChunkBody =
+    std::function<void(std::size_t chunk_index, std::size_t begin,
+                       std::size_t end)>;
+
+/// Fixed-size pool of worker threads. The calling thread participates in
+/// every parallel_for_chunks, so a pool of size t uses t OS threads total
+/// (t - 1 background workers). A pool of size 1 runs everything inline.
+class WorkerPool {
+ public:
+  /// Spawns num_threads - 1 background workers; requires num_threads >= 1.
+  explicit WorkerPool(int num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total threads (background workers + the caller).
+  [[nodiscard]] int num_threads() const {
+    return static_cast<int>(threads_.size()) + 1;
+  }
+
+  /// Splits [0, n) into ceil(n / chunk) contiguous chunks of size `chunk`
+  /// (the last may be short) and runs `body` once per chunk, distributing
+  /// chunks dynamically across the pool. Blocks until every chunk is done.
+  /// If bodies throw, rethrows the exception of the lowest failing chunk.
+  /// Not reentrant: must not be called from inside a chunk body.
+  void parallel_for_chunks(std::size_t n, std::size_t chunk,
+                           const ChunkBody& body);
+
+ private:
+  void worker_loop();
+  void run_chunks();
+
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a new job or shutdown
+  std::condition_variable done_cv_;  // caller: all chunks done, claimers out
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;
+
+  // Current job; written under mu_ before the generation bump, read by
+  // workers only after observing the bump under mu_ (or claim-guarded by
+  // active_claimers_, which the caller waits on before resetting).
+  const ChunkBody* body_ = nullptr;
+  std::size_t job_n_ = 0;
+  std::size_t job_chunk_ = 0;
+  std::size_t num_chunks_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t chunks_done_ = 0;      // guarded by mu_
+  int active_claimers_ = 0;          // guarded by mu_
+  std::size_t error_chunk_ = 0;      // guarded by mu_
+  std::exception_ptr error_;         // guarded by mu_
+};
+
+/// One-shot convenience: builds a pool of resolve_num_threads(num_threads)
+/// workers for a single parallel_for_chunks call.
+void parallel_for_chunks(int num_threads, std::size_t n, std::size_t chunk,
+                         const ChunkBody& body);
+
+}  // namespace shlcp

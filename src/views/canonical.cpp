@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <string_view>
 
 namespace shlcp {
 
@@ -41,7 +42,10 @@ std::vector<Node> canonical_order(const View& v) {
   return order;
 }
 
-std::vector<std::int64_t> canonical_code(const View& v) {
+namespace {
+
+/// The actual encoder behind View::canonical (runs once per view object).
+std::vector<std::int64_t> compute_canonical_code(const View& v) {
   const auto order = canonical_order(v);
   const int k = v.num_nodes();
   std::vector<int> index(static_cast<std::size_t>(k), -1);
@@ -81,8 +85,23 @@ std::vector<std::int64_t> canonical_code(const View& v) {
   return code;
 }
 
+}  // namespace
+
+const std::vector<std::int64_t>& View::canonical() const {
+  if (canon_ == nullptr) {
+    canon_ = std::make_shared<const std::vector<std::int64_t>>(
+        compute_canonical_code(*this));
+  }
+  return *canon_;
+}
+
+const std::vector<std::int64_t>& canonical_code(const View& v) {
+  return v.canonical();
+}
+
 std::string canonical_key(const View& v) {
-  const auto code = canonical_code(v);
+  const auto& code = v.canonical();
+  SHLCP_DCHECK(v.canonical_cached());
   std::string key;
   key.resize(code.size() * sizeof(std::int64_t));
   std::memcpy(key.data(), code.data(), key.size());
@@ -90,7 +109,11 @@ std::string canonical_key(const View& v) {
 }
 
 std::size_t ViewHash::operator()(const View& v) const {
-  return std::hash<std::string>{}(canonical_key(v));
+  const auto& code = v.canonical();
+  SHLCP_DCHECK(v.canonical_cached());
+  return std::hash<std::string_view>{}(std::string_view(
+      reinterpret_cast<const char*>(code.data()),
+      code.size() * sizeof(std::int64_t)));
 }
 
 }  // namespace shlcp

@@ -25,17 +25,22 @@ namespace shlcp {
 
 /// The canonical code of a view: a flat integer sequence, equal iff the
 /// views are equal. Disconnected view graphs are not valid views (every
-/// node of G_v^r is reachable from the center); checked.
-std::vector<std::int64_t> canonical_code(const View& v);
+/// node of G_v^r is reachable from the center); checked. The code is
+/// computed once per View object and cached (View::canonical); this
+/// returns the cached reference.
+const std::vector<std::int64_t>& canonical_code(const View& v);
 
 /// Canonical code packed into a string (for use as a hash-map key).
+/// Serialized with a single exact-size buffer (one resize + one memcpy
+/// from the cached code); no incremental appends.
 std::string canonical_key(const View& v);
 
 /// The canonical local ordering itself: order[i] = local node visited i-th
 /// by the port-ordered BFS (order[0] == center).
 std::vector<Node> canonical_order(const View& v);
 
-/// Hash functor over views (hashes the canonical key).
+/// Hash functor over views. Hashes the bytes of the cached canonical code
+/// directly (no key string is materialized, no re-canonicalization).
 struct ViewHash {
   std::size_t operator()(const View& v) const;
 };

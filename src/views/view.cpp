@@ -33,6 +33,7 @@ bool View::anonymous() const {
 
 View View::anonymized() const {
   View copy = *this;
+  copy.invalidate_canonical_cache();
   std::fill(copy.ids.begin(), copy.ids.end(), -1);
   copy.id_bound = 0;
   return copy;
@@ -41,6 +42,7 @@ View View::anonymized() const {
 View View::with_remapped_ids(const std::vector<std::pair<Ident, Ident>>& map,
                              Ident new_bound) const {
   View copy = *this;
+  copy.invalidate_canonical_cache();
   for (auto& id : copy.ids) {
     if (id == -1) {
       continue;
@@ -86,7 +88,9 @@ std::string View::to_string() const {
 }
 
 bool operator==(const View& a, const View& b) {
-  return canonical_code(a) == canonical_code(b);
+  // Compares the compute-once cached codes; no re-canonicalization on
+  // repeated comparisons of the same objects.
+  return a.canonical() == b.canonical();
 }
 
 }  // namespace shlcp

@@ -22,6 +22,8 @@
 
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,6 +96,26 @@ struct View {
 
   /// Human-readable multi-line rendering for diagnostics.
   [[nodiscard]] std::string to_string() const;
+
+  /// The canonical code (views/canonical.h), computed once on first use
+  /// and shared by copies. Everything downstream of view equality --
+  /// canonical_key, ViewHash, NbhdGraph::index_of -- routes through this
+  /// cache, so the port-ordered BFS runs once per distinct view object
+  /// instead of once per comparison. Not synchronized: concurrent first
+  /// use on the SAME View object is a data race (the parallel sweep only
+  /// shares views that are worker-local or frozen after registration).
+  [[nodiscard]] const std::vector<std::int64_t>& canonical() const;
+
+  /// True iff the canonical code has been computed (for assertions).
+  [[nodiscard]] bool canonical_cached() const { return canon_ != nullptr; }
+
+  /// Drops the cached code. Any code that mutates a view's fields after
+  /// canonical() may have run must call this (the in-class mutators
+  /// anonymized / with_remapped_ids do).
+  void invalidate_canonical_cache() { canon_.reset(); }
+
+ private:
+  mutable std::shared_ptr<const std::vector<std::int64_t>> canon_;
 };
 
 /// Structural equality via canonical encodings (see views/canonical.h).
