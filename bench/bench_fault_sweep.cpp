@@ -1,0 +1,252 @@
+// Fault sweep across all shipped decoders (ISSUE 2 acceptance bench).
+//
+// For every shipped LCP: takes a yes-instance with honest certificates
+// and runs it under the standard fault family, recording verdict counts
+// (accept / reject / degraded), traffic deltas against the fault-free
+// baseline, and attribution -- every completeness degradation must trace
+// to a named fault (degraded reconstruction or a tampered view), with a
+// repro string. Then takes no-instances and floods them with adversarial
+// labelings under every plan, counting soundness violations (a violation
+// is a fault plan that makes a non-2-colorable instance globally
+// accepted; the paper's strong-soundness claim demands zero).
+//
+// Results go to BENCH_fault_sweep.json. Exit status is nonzero if any
+// soundness violation or unattributed degradation was observed, so the
+// sweep is usable as a gate.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "certify/degree_one.h"
+#include "certify/even_cycle.h"
+#include "certify/shatter.h"
+#include "certify/spanning_bfs.h"
+#include "certify/watermelon.h"
+#include "lcp/audit.h"
+#include "util/check.h"
+#include "util/format.h"
+
+using namespace shlcp;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 0xFA57;
+constexpr int kLabelingsPerPlan = 32;
+
+struct CompletenessRow {
+  std::string plan_label;
+  std::string descriptor;
+  int accept = 0;
+  int reject = 0;
+  int degraded = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t bytes_delta = 0;  // vs the fault-free run
+  int attributed = 0;
+  int unattributed = 0;
+  std::string repro;  // set when the plan degraded completeness
+};
+
+struct SoundnessRow {
+  std::string plan_label;
+  std::string instance;
+  int labelings = 0;
+  int violations = 0;
+  std::string repro;  // first violating run, if any
+};
+
+struct DecoderSweep {
+  std::string lcp_name;
+  std::string yes_instance;
+  std::vector<CompletenessRow> completeness;
+  std::vector<SoundnessRow> soundness;
+};
+
+DecoderSweep sweep_decoder(const Lcp& lcp) {
+  DecoderSweep sweep;
+  sweep.lcp_name = lcp.name();
+
+  // --- completeness under faults ---
+  const auto yes = audit_yes_instances(lcp, /*max_count=*/1);
+  SHLCP_CHECK_MSG(!yes.empty(), "no promise instance in the audit pool");
+  const NamedInstance& y = yes.front();
+  sweep.yes_instance = y.name;
+  const auto honest = lcp.prove(y.inst.g, y.inst.ports, y.inst.ids);
+  SHLCP_CHECK(honest.has_value());
+  const Instance labeled = y.inst.with_labels(*honest);
+  const int r = lcp.decoder().radius();
+  std::vector<View> honest_views;
+  for (Node v = 0; v < labeled.num_nodes(); ++v) {
+    honest_views.push_back(labeled.view_of(v, r, false));
+  }
+  const auto plans = FaultPlan::standard_family(kSeed, y.inst.num_nodes());
+  std::uint64_t baseline_bytes = 0;
+  for (const FaultPlan& plan : plans) {
+    const FaultyRunResult res =
+        run_decoder_distributed_faulty(lcp.decoder(), labeled, plan);
+    CompletenessRow row;
+    row.plan_label = plan.label;
+    row.descriptor = plan.describe();
+    row.messages = res.stats.messages;
+    row.bytes = res.stats.bytes;
+    for (Node v = 0; v < labeled.num_nodes(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      row.accept += res.verdicts[i] ? 1 : 0;
+      row.reject += res.verdicts[i] ? 0 : 1;
+      row.degraded += res.degraded[i] ? 1 : 0;
+      if (!res.verdicts[i]) {
+        const bool attributed =
+            res.degraded[i] || !res.views[i].has_value() ||
+            !(*res.views[i] == honest_views[i]);
+        row.attributed += attributed ? 1 : 0;
+        row.unattributed += attributed ? 0 : 1;
+      }
+    }
+    if (!plan.enabled()) {
+      baseline_bytes = res.stats.bytes;
+    }
+    row.bytes_delta = static_cast<std::int64_t>(res.stats.bytes) -
+                      static_cast<std::int64_t>(baseline_bytes);
+    if (row.reject > 0) {
+      row.repro = make_repro(lcp.name(), y.name, "honest", plan);
+    }
+    sweep.completeness.push_back(std::move(row));
+  }
+
+  // --- soundness under faults ---
+  for (const NamedInstance& no : audit_no_instances(lcp.k(), /*max_count=*/2)) {
+    const AdversarialSampler sampler(lcp, no.inst);
+    const auto no_plans =
+        FaultPlan::standard_family(kSeed ^ 0x90D, no.inst.num_nodes());
+    for (std::size_t p = 0; p < no_plans.size(); ++p) {
+      const FaultPlan& plan = no_plans[p];
+      SoundnessRow row;
+      row.plan_label = plan.label;
+      row.instance = no.name;
+      for (int s = 0; s < kLabelingsPerPlan; ++s) {
+        const std::uint64_t labeling_seed =
+            kSeed + (static_cast<std::uint64_t>(p) << 24) +
+            static_cast<std::uint64_t>(s) * 0x9e3779b97f4a7c15ULL;
+        const FaultyRunResult res = run_decoder_distributed_faulty(
+            lcp.decoder(), no.inst.with_labels(sampler.labeling(labeling_seed)),
+            plan);
+        row.labelings += 1;
+        bool all_accept = true;
+        for (const bool v : res.verdicts) {
+          all_accept = all_accept && v;
+        }
+        if (all_accept) {
+          row.violations += 1;
+          if (row.repro.empty()) {
+            row.repro = make_repro(
+                lcp.name(), no.name,
+                format("seed:0x%llx",
+                       static_cast<unsigned long long>(labeling_seed)),
+                plan);
+          }
+        }
+      }
+      sweep.soundness.push_back(std::move(row));
+    }
+  }
+  return sweep;
+}
+
+std::vector<std::unique_ptr<Lcp>> shipped_lcps() {
+  std::vector<std::unique_ptr<Lcp>> lcps;
+  lcps.push_back(std::make_unique<SpanningBfsLcp>());
+  lcps.push_back(std::make_unique<DegreeOneLcp>());
+  lcps.push_back(std::make_unique<EvenCycleLcp>());
+  lcps.push_back(std::make_unique<ShatterLcp>(ShatterVariant::kVectorOnPoint));
+  lcps.push_back(std::make_unique<WatermelonLcp>(WatermelonVariant::kStandard));
+  return lcps;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<DecoderSweep> sweeps;
+  std::uint64_t total_violations = 0;
+  std::uint64_t total_unattributed = 0;
+
+  for (const auto& lcp : shipped_lcps()) {
+    std::printf("=== fault sweep: %s ===\n", lcp->name().c_str());
+    DecoderSweep sweep = sweep_decoder(*lcp);
+    std::printf("%-14s %7s %7s %9s %10s %12s\n", "plan", "accept", "reject",
+                "degraded", "bytes", "bytes_delta");
+    for (const CompletenessRow& row : sweep.completeness) {
+      std::printf("%-14s %7d %7d %9d %10llu %12lld\n", row.plan_label.c_str(),
+                  row.accept, row.reject, row.degraded,
+                  static_cast<unsigned long long>(row.bytes),
+                  static_cast<long long>(row.bytes_delta));
+      total_unattributed += static_cast<std::uint64_t>(row.unattributed);
+    }
+    int violations = 0;
+    int labelings = 0;
+    for (const SoundnessRow& row : sweep.soundness) {
+      violations += row.violations;
+      labelings += row.labelings;
+    }
+    total_violations += static_cast<std::uint64_t>(violations);
+    std::printf("soundness: %d adversarial labelings across %d plan-instance "
+                "pairs, %d violation(s)\n\n",
+                labelings, static_cast<int>(sweep.soundness.size()),
+                violations);
+    sweeps.push_back(std::move(sweep));
+  }
+
+  std::FILE* out = std::fopen("BENCH_fault_sweep.json", "w");
+  SHLCP_CHECK(out != nullptr);
+  std::fprintf(out,
+               "{\n  \"bench\": \"fault_sweep\",\n  \"seed\": \"0x%llx\",\n"
+               "  \"labelings_per_plan\": %d,\n  \"decoders\": [\n",
+               static_cast<unsigned long long>(kSeed), kLabelingsPerPlan);
+  for (std::size_t d = 0; d < sweeps.size(); ++d) {
+    const DecoderSweep& sweep = sweeps[d];
+    std::fprintf(out,
+                 "    {\"lcp\": \"%s\", \"yes_instance\": \"%s\",\n"
+                 "     \"completeness\": [\n",
+                 sweep.lcp_name.c_str(), sweep.yes_instance.c_str());
+    for (std::size_t i = 0; i < sweep.completeness.size(); ++i) {
+      const CompletenessRow& row = sweep.completeness[i];
+      std::fprintf(
+          out,
+          "      {\"plan\": \"%s\", \"descriptor\": \"%s\", \"accept\": %d, "
+          "\"reject\": %d, \"degraded\": %d, \"messages\": %llu, "
+          "\"bytes\": %llu, \"bytes_delta\": %lld, \"attributed\": %d, "
+          "\"unattributed\": %d, \"repro\": \"%s\"}%s\n",
+          row.plan_label.c_str(), row.descriptor.c_str(), row.accept,
+          row.reject, row.degraded,
+          static_cast<unsigned long long>(row.messages),
+          static_cast<unsigned long long>(row.bytes),
+          static_cast<long long>(row.bytes_delta), row.attributed,
+          row.unattributed, row.repro.c_str(),
+          i + 1 < sweep.completeness.size() ? "," : "");
+    }
+    std::fprintf(out, "     ],\n     \"soundness\": [\n");
+    for (std::size_t i = 0; i < sweep.soundness.size(); ++i) {
+      const SoundnessRow& row = sweep.soundness[i];
+      std::fprintf(out,
+                   "      {\"plan\": \"%s\", \"instance\": \"%s\", "
+                   "\"labelings\": %d, \"violations\": %d, \"repro\": "
+                   "\"%s\"}%s\n",
+                   row.plan_label.c_str(), row.instance.c_str(), row.labelings,
+                   row.violations, row.repro.c_str(),
+                   i + 1 < sweep.soundness.size() ? "," : "");
+    }
+    std::fprintf(out, "     ]}%s\n", d + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n  \"totals\": {\"soundness_violations\": %llu, "
+               "\"unattributed_rejections\": %llu}\n}\n",
+               static_cast<unsigned long long>(total_violations),
+               static_cast<unsigned long long>(total_unattributed));
+  std::fclose(out);
+  std::printf("wrote BENCH_fault_sweep.json (%llu soundness violations, "
+              "%llu unattributed rejections)\n",
+              static_cast<unsigned long long>(total_violations),
+              static_cast<unsigned long long>(total_unattributed));
+  return (total_violations == 0 && total_unattributed == 0) ? 0 : 1;
+}

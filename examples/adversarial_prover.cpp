@@ -1,12 +1,13 @@
 // Adversarial prover: attack the strong soundness of every LCP.
 //
-// Plays the malicious prover of the soundness definitions: floods each
-// decoder with exhaustive (tiny instances) and randomized (larger ones)
-// certificate assignments on non-bipartite hosts and reports whether any
-// accepting set ever induces an odd cycle. Also replays the library's
-// two reproduction findings -- the certificate assignments that defeat
-// the PAPER-LITERAL shatter and watermelon decoders -- and shows the
-// repaired decoders surviving the same attacks.
+// A thin reporter over lcp/audit.h's attack_strong_soundness driver (the
+// exhaustive/randomized attack loops this example used to hand-roll now
+// live in the library, where tests/lcp_audit_test.cpp exercises them).
+// The driver floods each decoder with certificate assignments on
+// non-bipartite hosts and reports whether any accepting set ever induces
+// an odd cycle. The hand-crafted exploits against the PAPER-LITERAL
+// shatter and watermelon decoders are kept here verbatim as worked
+// counterexamples, alongside the repaired decoders surviving them.
 
 #include <cstdio>
 
@@ -16,38 +17,37 @@
 #include "certify/watermelon.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
-#include "lcp/checker.h"
-#include "util/rng.h"
+#include "lcp/audit.h"
 
 using namespace shlcp;
 
 namespace {
 
 void attack(const Lcp& lcp, const char* name) {
-  Rng rng(0xC0FFEE);
   std::printf("--- attacking %s ---\n", name);
   std::uint64_t cases = 0;
-  bool broken = false;
-  std::string failure;
-  for (const Graph& host :
-       {make_cycle(5), make_cycle(7), make_theta(2, 2, 3), make_grid(3, 3)}) {
-    const auto report = check_strong_soundness_random(
-        lcp, Instance::canonical(host), 2000, rng);
-    cases += report.cases;
-    if (!report.ok) {
-      broken = true;
-      failure = report.failure;
-      break;
+  for (const char* host_name : {"cycle5", "cycle7", "theta223", "grid33"}) {
+    const NamedInstance* host = nullptr;
+    static const auto pool = audit_instance_pool();
+    for (const auto& cand : pool) {
+      if (cand.name == host_name) {
+        host = &cand;
+      }
+    }
+    SHLCP_CHECK_MSG(host != nullptr, "host missing from audit pool");
+    const AttackReport report =
+        attack_strong_soundness(lcp, *host, /*samples=*/2000,
+                                /*seed=*/0xC0FFEE);
+    cases += report.labelings;
+    if (report.broken) {
+      std::printf("BROKEN after %llu labelings (%s):\n%s\n\n",
+                  static_cast<unsigned long long>(cases),
+                  report.mode.c_str(), report.failure.substr(0, 500).c_str());
+      return;
     }
   }
-  if (broken) {
-    std::printf("BROKEN after %llu labelings:\n%s\n\n",
-                static_cast<unsigned long long>(cases),
-                failure.substr(0, 400).c_str());
-  } else {
-    std::printf("survived %llu adversarial labelings\n\n",
-                static_cast<unsigned long long>(cases));
-  }
+  std::printf("survived %llu adversarial labelings\n\n",
+              static_cast<unsigned long long>(cases));
 }
 
 }  // namespace

@@ -157,6 +157,10 @@ CheckReport check_strong_soundness_random(const Lcp& lcp, const Instance& base,
 
   Instance work = base;
   for (int s = 0; s < samples; ++s) {
+    // Captured before any draw of this sample: Rng(pre_state) replays the
+    // sample exactly (labeling construction included), so a failure
+    // message alone suffices to reconstruct the counterexample.
+    const std::uint64_t pre_state = rng.state();
     Labeling labels(n);
     const bool mutate_honest = honest.has_value() && rng.next_coin();
     if (mutate_honest) {
@@ -179,7 +183,11 @@ CheckReport check_strong_soundness_random(const Lcp& lcp, const Instance& base,
     std::string fail = judge_strong(lcp, work);
     if (!fail.empty()) {
       report.ok = false;
-      report.failure = std::move(fail);
+      report.failure = format(
+          "%s\nreplay: sample %d, Rng state 0x%llx (run one sample of "
+          "check_strong_soundness_random with Rng(0x%llx))",
+          fail.c_str(), s, static_cast<unsigned long long>(pre_state),
+          static_cast<unsigned long long>(pre_state));
       return report;
     }
   }
@@ -230,6 +238,7 @@ CheckReport check_anonymous(const Decoder& decoder, const Instance& labeled,
   // the claimed invariance either way by re-running under fresh ids.
   const auto baseline = decoder.run(labeled);
   for (int t = 0; t < trials; ++t) {
+    const std::uint64_t pre_state = rng.state();
     Instance remapped = labeled;
     remapped.ids =
         IdAssignment::random(labeled.g, labeled.ids.bound(), rng);
@@ -239,8 +248,9 @@ CheckReport check_anonymous(const Decoder& decoder, const Instance& labeled,
       report.ok = false;
       report.failure = format(
           "decoder %s is identifier-sensitive: verdicts changed under an id "
-          "reassignment (trial %d)",
-          decoder.name().c_str(), t);
+          "reassignment (trial %d; replay with Rng(0x%llx))",
+          decoder.name().c_str(), t,
+          static_cast<unsigned long long>(pre_state));
       return report;
     }
   }
@@ -254,6 +264,7 @@ CheckReport check_order_invariant(const Decoder& decoder,
   const auto baseline = decoder.run(labeled);
   const int n = labeled.num_nodes();
   for (int t = 0; t < trials; ++t) {
+    const std::uint64_t pre_state = rng.state();
     // Order-preserving remap: draw n fresh ids from a stretched space and
     // assign them in the same relative order as the originals.
     const Ident stretched = std::max<Ident>(labeled.ids.bound() * 4, n * 4);
@@ -282,8 +293,9 @@ CheckReport check_order_invariant(const Decoder& decoder,
       report.ok = false;
       report.failure = format(
           "decoder %s is not order-invariant: verdicts changed under an "
-          "order-preserving id remap (trial %d)",
-          decoder.name().c_str(), t);
+          "order-preserving id remap (trial %d; replay with Rng(0x%llx))",
+          decoder.name().c_str(), t,
+          static_cast<unsigned long long>(pre_state));
       return report;
     }
   }

@@ -1,11 +1,77 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "sim/gather.h"
+#include "util/check.h"
 
 namespace shlcp {
 
-SyncEngine::SyncEngine(const Instance& inst) : inst_(inst) {
+SyncEngine::SyncEngine(const Instance& inst, ChannelModel* channel)
+    : inst_(inst), channel_(channel) {
   kb_.resize(static_cast<std::size_t>(inst.num_nodes()));
+}
+
+void SyncEngine::deliver_one(int global_round, Node from, Node to,
+                             const Message& m) {
+  const Graph& g = inst_.g;
+  stats_.messages += 1;
+  const std::size_t size = m.byte_size();
+  SHLCP_CHECK_MSG(stats_.bytes <=
+                      std::numeric_limits<std::uint64_t>::max() - size,
+                  "SimStats byte total overflow");
+  stats_.bytes += size;
+  if (global_round == 1) {
+    // The round-1 handshake depends on the announce shape; a channel that
+    // violates it (structural corruption is only legal from round 2 on)
+    // is a contract violation, not a modeled fault.
+    SHLCP_CHECK_MSG(!m.records.empty() && !m.records[0].edges.empty(),
+                    "round-1 message lost its announce shape");
+    // The receiver learns the sender's partial record and, from the
+    // edge stub, one entry of its own complete record.
+    Knowledge& kb = kb_[static_cast<std::size_t>(to)];
+    NodeRecord sender = m.records[0];
+    const EdgeInfo stub = sender.edges[0];
+    sender.edges.clear();
+    kb.merge_record(sender);
+    // Accumulate our own record; mark complete once all incident
+    // edges have been heard (synchronously: end of round 1).
+    NodeRecord self;
+    const NodeRecord* existing = kb.find(inst_.ids.id_of(to));
+    if (existing != nullptr) {
+      self = *existing;
+    } else {
+      self.id = inst_.ids.id_of(to);
+      self.cert = inst_.labels.at(to);
+    }
+    // The arrival port is local knowledge of the receiver; the
+    // stub carries the sender's port; together they describe the
+    // shared edge from the receiver's perspective. A duplicated round-1
+    // message arrives on a port already recorded -- the receiver
+    // deduplicates by arrival port, so duplication stays idempotent
+    // (no-op in fault-free runs: each port is heard exactly once).
+    const Port arrival = inst_.ports.port(g, to, from);
+    const bool seen = std::any_of(
+        self.edges.begin(), self.edges.end(),
+        [&](const EdgeInfo& e) { return e.self_port == arrival; });
+    if (!seen) {
+      self.edges.push_back(EdgeInfo{arrival, m.records[0].id, stub.self_port});
+    }
+    self.complete = static_cast<int>(self.edges.size()) == g.degree(to);
+    // Replace by force: merge_record would not upgrade edge lists of
+    // partial records.
+    Knowledge fresh;
+    for (const NodeRecord* r : kb.all()) {
+      if (r->id != self.id) {
+        fresh.merge_record(*r);
+      }
+    }
+    fresh.merge_record(self);
+    kb = std::move(fresh);
+  } else {
+    kb_[static_cast<std::size_t>(to)].merge(m);
+  }
 }
 
 void SyncEngine::run(int rounds) {
@@ -18,6 +84,9 @@ void SyncEngine::run(int rounds) {
     std::vector<std::vector<std::pair<Node, Message>>> outbox(
         static_cast<std::size_t>(g.num_nodes()));
     for (Node v = 0; v < g.num_nodes(); ++v) {
+      if (channel_ != nullptr && !channel_->alive(global_round, v)) {
+        continue;  // crash-stop: a dead node sends nothing
+      }
       if (global_round == 1) {
         // Round 1: announce (id, certificate, own port) over each edge.
         for (const Node w : g.neighbors(v)) {
@@ -30,64 +99,50 @@ void SyncEngine::run(int rounds) {
           r.edges.push_back(EdgeInfo{inst_.ports.port(g, v, w), -1, 0});
           Message m;
           m.records.push_back(std::move(r));
+          if (channel_ != nullptr) {
+            channel_->on_send(global_round, v, w, m);
+          }
           outbox[static_cast<std::size_t>(v)].emplace_back(w, std::move(m));
         }
       } else {
         const Message m = kb_[static_cast<std::size_t>(v)].to_message();
         for (const Node w : g.neighbors(v)) {
-          outbox[static_cast<std::size_t>(v)].emplace_back(w, m);
+          if (channel_ == nullptr) {
+            outbox[static_cast<std::size_t>(v)].emplace_back(w, m);
+          } else {
+            Message copy = m;
+            channel_->on_send(global_round, v, w, copy);
+            outbox[static_cast<std::size_t>(v)].emplace_back(w,
+                                                             std::move(copy));
+          }
         }
       }
     }
     // Deliver.
     for (Node v = 0; v < g.num_nodes(); ++v) {
       for (auto& [to, m] : outbox[static_cast<std::size_t>(v)]) {
-        stats_.messages += 1;
-        stats_.bytes += m.byte_size();
-        if (global_round == 1) {
-          // The receiver learns the sender's partial record and, from the
-          // edge stub, one entry of its own complete record.
-          Knowledge& kb = kb_[static_cast<std::size_t>(to)];
-          NodeRecord sender = m.records[0];
-          const EdgeInfo stub = sender.edges[0];
-          sender.edges.clear();
-          kb.merge_record(sender);
-          // Accumulate our own record; mark complete once all incident
-          // edges have been heard (synchronously: end of round 1).
-          NodeRecord self;
-          const NodeRecord* existing = kb.find(inst_.ids.id_of(to));
-          if (existing != nullptr) {
-            self = *existing;
-          } else {
-            self.id = inst_.ids.id_of(to);
-            self.cert = inst_.labels.at(to);
-          }
-          // The arrival port is local knowledge of the receiver; the
-          // stub carries the sender's port; together they describe the
-          // shared edge from the receiver's perspective.
-          self.edges.push_back(EdgeInfo{inst_.ports.port(g, to, v),
-                                        m.records[0].id, stub.self_port});
-          self.complete =
-              static_cast<int>(self.edges.size()) == g.degree(to);
-          // Replace by force: merge_record would not upgrade edge lists of
-          // partial records.
-          Knowledge fresh;
-          for (const NodeRecord* r : kb.all()) {
-            if (r->id != self.id) {
-              fresh.merge_record(*r);
-            }
-          }
-          fresh.merge_record(self);
-          kb = std::move(fresh);
+        if (channel_ == nullptr) {
+          deliver_one(global_round, v, to, m);
         } else {
-          kb_[static_cast<std::size_t>(to)].merge(m);
+          if (!channel_->alive(global_round, to)) {
+            continue;  // crash-stop: a dead node processes nothing
+          }
+          std::vector<Message> delivered;
+          channel_->deliver(global_round, v, to, std::move(m), delivered);
+          for (const Message& dm : delivered) {
+            deliver_one(global_round, v, to, dm);
+          }
         }
       }
     }
     if (global_round == 1) {
       // Isolated nodes and degree-0 corner cases: ensure every node holds
-      // its own (complete) record after round 1.
+      // its own (complete) record after round 1. Crashed nodes stay
+      // knowledge-free -- their degraded state must remain detectable.
       for (Node v = 0; v < g.num_nodes(); ++v) {
+        if (channel_ != nullptr && !channel_->alive(global_round, v)) {
+          continue;
+        }
         Knowledge& kb = kb_[static_cast<std::size_t>(v)];
         const NodeRecord* self = kb.find(inst_.ids.id_of(v));
         if (self == nullptr || !self->complete) {
@@ -116,6 +171,19 @@ View SyncEngine::view_of(Node v, int r) const {
                           inst_.ids.id_of(v), r, inst_.ids.bound());
 }
 
+std::optional<View> SyncEngine::try_view_of(Node v, int r) const {
+  SHLCP_CHECK_MSG(r == stats_.rounds, "run exactly r rounds first");
+  try {
+    return reconstruct_view(kb_[static_cast<std::size_t>(v)],
+                            inst_.ids.id_of(v), r, inst_.ids.bound());
+  } catch (const CheckError&) {
+    // Degraded knowledge (dropped/corrupted/crashed inputs): the
+    // reconstruction's internal invariants reject it. Reported, never
+    // passed off as a valid radius-r view.
+    return std::nullopt;
+  }
+}
+
 std::vector<bool> run_decoder_distributed(const Decoder& decoder,
                                           const Instance& inst,
                                           SimStats* stats) {
@@ -133,6 +201,40 @@ std::vector<bool> run_decoder_distributed(const Decoder& decoder,
     *stats = engine.stats();
   }
   return verdicts;
+}
+
+FaultyRunResult run_decoder_distributed_faulty(const Decoder& decoder,
+                                               const Instance& inst,
+                                               const FaultPlan& plan) {
+  FaultyChannel channel(plan);
+  SyncEngine engine(inst, &channel);
+  engine.run(decoder.radius());
+  const auto n = static_cast<std::size_t>(inst.num_nodes());
+  FaultyRunResult res;
+  res.verdicts.assign(n, false);
+  res.degraded.assign(n, false);
+  res.views.resize(n);
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    std::optional<View> view = engine.try_view_of(v, decoder.radius());
+    if (!view.has_value()) {
+      res.degraded[i] = true;
+      continue;  // degraded nodes reject
+    }
+    res.views[i] = view;
+    try {
+      res.verdicts[i] = decoder.accept(
+          decoder.anonymous() ? view->anonymized() : *view);
+    } catch (const CheckError&) {
+      // The reconstruction was consistent but the decoder could not
+      // evaluate it (corrupted content outside its input contract).
+      res.degraded[i] = true;
+      res.verdicts[i] = false;
+    }
+  }
+  res.stats = engine.stats();
+  res.faults = channel.stats();
+  return res;
 }
 
 }  // namespace shlcp

@@ -12,27 +12,39 @@
 // simulates on the identified network (identifiers are what makes
 // knowledge merging well-defined) and strips identifiers from the view
 // before handing it to an anonymous decoder.
+//
+// Fault injection: the engine accepts an optional ChannelModel hook
+// (sim/faults.h) through which every send and delivery is routed. A null
+// channel -- and, by the pass-through contract, a FaultyChannel with no
+// fault enabled -- leaves the execution bit-identical to the ideal
+// engine. Under faults, a node's gathered knowledge may no longer
+// support a full radius-r reconstruction; try_view_of detects that
+// (degraded views are never silently passed off as valid ones).
 
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "lcp/decoder.h"
+#include "sim/faults.h"
 #include "sim/message.h"
 
 namespace shlcp {
 
-/// Traffic accounting for one execution.
+/// Traffic accounting for one execution. Counts messages actually
+/// delivered: drops reduce the totals, duplications increase them.
 struct SimStats {
   int rounds = 0;
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
 };
 
-/// Synchronous engine over a fixed instance.
+/// Synchronous engine over a fixed instance. `channel` (not owned, may be
+/// null) intercepts liveness, sends, and deliveries; see sim/faults.h.
 class SyncEngine {
  public:
-  explicit SyncEngine(const Instance& inst);
+  explicit SyncEngine(const Instance& inst, ChannelModel* channel = nullptr);
 
   /// Runs `rounds` >= 1 rounds of the full-information protocol,
   /// extending the current state (call once; repeated calls continue).
@@ -47,11 +59,22 @@ class SyncEngine {
   [[nodiscard]] const Knowledge& knowledge(Node v) const;
 
   /// Reconstructs node v's radius-r view from its knowledge; requires
-  /// r == rounds_run().
+  /// r == rounds_run(). Throws CheckError when the knowledge is too
+  /// degraded to support the reconstruction (possible only under faults).
   [[nodiscard]] View view_of(Node v, int r) const;
 
+  /// Like view_of, but reports degraded knowledge as nullopt instead of
+  /// throwing. A faulty execution must route through this: a degraded
+  /// view is detected and reported, never silently accepted as valid.
+  [[nodiscard]] std::optional<View> try_view_of(Node v, int r) const;
+
  private:
+  /// Applies one delivered message to `to`'s knowledge and the traffic
+  /// stats (the synchronous receive step).
+  void deliver_one(int global_round, Node from, Node to, const Message& m);
+
   const Instance& inst_;
+  ChannelModel* channel_ = nullptr;  // not owned; nullptr = ideal channels
   std::vector<Knowledge> kb_;
   SimStats stats_;
 };
@@ -61,5 +84,26 @@ class SyncEngine {
 std::vector<bool> run_decoder_distributed(const Decoder& decoder,
                                           const Instance& inst,
                                           SimStats* stats = nullptr);
+
+/// Outcome of one faulty distributed execution. `degraded[v]` is true
+/// when v's gathered knowledge did not reconstruct into a valid radius-r
+/// view (or the decoder could not evaluate the reconstruction); degraded
+/// nodes always reject -- the audit subsystem relies on that monotonicity.
+/// `views[v]` holds the reconstructed identified view when one exists,
+/// for attribution of verdict flips to specific faults.
+struct FaultyRunResult {
+  std::vector<bool> verdicts;
+  std::vector<bool> degraded;
+  std::vector<std::optional<View>> views;
+  SimStats stats;
+  FaultStats faults;
+};
+
+/// Runs `decoder` distributedly on `inst` under `plan` (deterministic:
+/// same plan, same result). The fault-free plan reproduces
+/// run_decoder_distributed bit-for-bit.
+FaultyRunResult run_decoder_distributed_faulty(const Decoder& decoder,
+                                               const Instance& inst,
+                                               const FaultPlan& plan);
 
 }  // namespace shlcp

@@ -1,22 +1,47 @@
 #include "sim/message.h"
 
 #include <algorithm>
+#include <limits>
+
+#include "util/check.h"
 
 namespace shlcp {
 
 std::size_t encoded_size(const NodeRecord& record) {
-  // id + completeness flag + certificate (bit count + field count +
-  // fields) + edge count + 3 ints per edge.
-  return 4 + 1 + 4 + 4 + 4 * record.cert.fields.size() + 4 +
-         12 * record.edges.size();
+  // id(4) + completeness flag(1) + certificate (bit count(4) +
+  // field count(4) + 4 per field) + edge count(4) + 3 ints per edge.
+  // Explicit 64-bit arithmetic: the fault layer feeds adversarial record
+  // shapes through here, so the totals are guarded against overflow
+  // instead of silently wrapping.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const auto fields = static_cast<std::uint64_t>(record.cert.fields.size());
+  const auto edges = static_cast<std::uint64_t>(record.edges.size());
+  SHLCP_CHECK_MSG(fields <= (kMax - 17) / 4,
+                  "certificate field count overflows traffic accounting");
+  const std::uint64_t base = 17 + 4 * fields;
+  SHLCP_CHECK_MSG(edges <= (kMax - base) / 12,
+                  "edge count overflows traffic accounting");
+  const std::uint64_t total = base + 12 * edges;
+  SHLCP_CHECK_MSG(
+      total <= static_cast<std::uint64_t>(
+                   std::numeric_limits<std::size_t>::max()),
+      "record size exceeds std::size_t");
+  return static_cast<std::size_t>(total);
 }
 
 std::size_t Message::byte_size() const {
-  std::size_t total = 4;  // record count
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 4;  // record count
   for (const auto& r : records) {
-    total += encoded_size(r);
+    const auto size = static_cast<std::uint64_t>(encoded_size(r));
+    SHLCP_CHECK_MSG(size <= kMax - total, "message size overflow");
+    total += size;
   }
-  return total;
+  SHLCP_CHECK_MSG(
+      total <= static_cast<std::uint64_t>(
+                   std::numeric_limits<std::size_t>::max()),
+      "message size exceeds std::size_t");
+  return static_cast<std::size_t>(total);
 }
 
 void Knowledge::merge_record(const NodeRecord& record) {

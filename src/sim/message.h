@@ -49,12 +49,15 @@ struct NodeRecord {
 
 /// Serialized size of a record in bytes (4 bytes per integer field; used
 /// for the engine's traffic accounting, not for actual transport).
+/// Computed in explicit 64-bit arithmetic; throws CheckError instead of
+/// wrapping on adversarially large record shapes.
 std::size_t encoded_size(const NodeRecord& record);
 
 /// A message: a bag of records.
 struct Message {
   std::vector<NodeRecord> records;
 
+  /// Total serialized size; overflow-checked like encoded_size.
   [[nodiscard]] std::size_t byte_size() const;
 };
 

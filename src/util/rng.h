@@ -21,6 +21,11 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed) : state_(seed) {}
 
+  /// Current internal state. Rng(state()) reproduces the remaining
+  /// stream exactly -- failure messages embed it so any randomized
+  /// counterexample can be replayed from the report alone.
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+
   /// Next raw 64-bit value.
   std::uint64_t next_u64() {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);

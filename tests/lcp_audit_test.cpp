@@ -1,0 +1,204 @@
+// Tests for the adversarial soundness audit subsystem (lcp/audit.h).
+//
+// The audit's job is to fail loudly and replayably: a clean LCP must pass
+// the full sweep with zero findings, a deliberately broken LCP must be
+// caught with a repro string that parses back into the exact run, and
+// every replay helper must be a pure function of its seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "certify/degree_one.h"
+#include "certify/even_cycle.h"
+#include "graph/algorithms.h"
+#include "lcp/audit.h"
+#include "util/check.h"
+
+namespace shlcp {
+namespace {
+
+/// The canonical broken LCP: accepts every view unconditionally, so any
+/// non-2-colorable instance is globally accepted. The audit must catch it
+/// under the fault-free plan at the very least.
+class AlwaysAcceptLcp final : public Lcp {
+ public:
+  AlwaysAcceptLcp()
+      : decoder_(1, true, "always-accept",
+                 [](const View&) { return true; }) {}
+
+  [[nodiscard]] const Decoder& decoder() const override { return decoder_; }
+  [[nodiscard]] std::optional<Labeling> prove(
+      const Graph& g, const PortAssignment&, const IdAssignment&) const override {
+    return Labeling(g.num_nodes());
+  }
+  [[nodiscard]] bool in_promise(const Graph&) const override { return false; }
+  [[nodiscard]] std::vector<Certificate> certificate_space(
+      const Graph&, const IdAssignment&, Node) const override {
+    return {Certificate{}};
+  }
+
+ private:
+  LambdaDecoder decoder_;
+};
+
+TEST(AuditPoolTest, NamesAreStable) {
+  const auto pool = audit_instance_pool();
+  for (const char* name : {"path5", "cycle5", "cycle6", "grid33", "theta222",
+                           "melon2222", "complete4"}) {
+    const bool found = std::any_of(
+        pool.begin(), pool.end(),
+        [&](const NamedInstance& cand) { return cand.name == name; });
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(AuditPoolTest, YesAndNoSelectionRespectPromiseAndColorability) {
+  const DegreeOneLcp lcp;
+  const auto yes = audit_yes_instances(lcp);
+  EXPECT_FALSE(yes.empty());
+  for (const NamedInstance& y : yes) {
+    EXPECT_TRUE(lcp.in_promise(y.inst.g)) << y.name;
+  }
+  const auto no = audit_no_instances(2);
+  EXPECT_FALSE(no.empty());
+  for (const NamedInstance& n : no) {
+    EXPECT_FALSE(is_k_colorable(n.inst.g, 2)) << n.name;
+  }
+}
+
+TEST(AuditSamplerTest, LabelingIsPureInSeed) {
+  const DegreeOneLcp lcp;
+  const auto pool = audit_instance_pool();
+  const Instance& base = pool.front().inst;  // path5, in the promise class
+  const AdversarialSampler a(lcp, base);
+  const AdversarialSampler b(lcp, base);
+  EXPECT_EQ(a.labeling(42), b.labeling(42));
+  EXPECT_EQ(a.labeling(0xFEED), a.labeling(0xFEED));
+}
+
+TEST(AuditSweepTest, CleanOnDegreeOne) {
+  const DegreeOneLcp lcp;
+  AuditOptions options;
+  options.adversarial_labelings = 12;
+  const AuditReport report = audit_sweep(lcp, audit_yes_instances(lcp, 2),
+                                         audit_no_instances(lcp.k(), 2),
+                                         options);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_GT(report.completeness_runs, 0u);
+  EXPECT_GT(report.soundness_runs, 0u);
+  // Faults did degrade some views and every resulting completeness
+  // rejection was attributed -- otherwise the sweep proved nothing.
+  EXPECT_GT(report.degraded_verdicts, 0u);
+  EXPECT_GT(report.attributed_rejections, 0u);
+}
+
+TEST(AuditSweepTest, CleanOnEvenCycle) {
+  const EvenCycleLcp lcp;
+  AuditOptions options;
+  options.adversarial_labelings = 12;
+  const AuditReport report = audit_sweep(lcp, audit_yes_instances(lcp, 1),
+                                         audit_no_instances(lcp.k(), 1),
+                                         options);
+  EXPECT_TRUE(report.ok) << report.summary();
+  EXPECT_TRUE(report.findings.empty());
+}
+
+TEST(AuditSweepTest, CatchesAlwaysAcceptWithParsableRepro) {
+  const AlwaysAcceptLcp lcp;
+  AuditOptions options;
+  options.adversarial_labelings = 4;
+  const AuditReport report =
+      audit_sweep(lcp, {}, audit_no_instances(lcp.k(), 1), options);
+  EXPECT_FALSE(report.ok);
+  ASSERT_FALSE(report.findings.empty());
+  for (const AuditFinding& f : report.findings) {
+    EXPECT_EQ(f.invariant, "soundness");
+    // The repro embeds the plan descriptor in "plan={...}"; it must parse
+    // back into a valid FaultPlan for one-command replay.
+    const std::size_t open = f.repro.find("plan={");
+    const std::size_t close = f.repro.rfind('}');
+    ASSERT_NE(open, std::string::npos) << f.repro;
+    ASSERT_NE(close, std::string::npos) << f.repro;
+    const std::string descriptor =
+        f.repro.substr(open + 6, close - open - 6);
+    EXPECT_NO_THROW(FaultPlan::parse(descriptor)) << f.repro;
+    EXPECT_NE(f.repro.find("REPRO lcp=always-accept"), std::string::npos);
+  }
+}
+
+TEST(AuditReproTest, MakeReproRoundTripsThePlan) {
+  const auto plans = FaultPlan::standard_family(0x1234, 6);
+  for (const FaultPlan& plan : plans) {
+    const std::string repro =
+        make_repro("even-cycle", "cycle6", "seed:0x2a", plan);
+    const std::size_t open = repro.find("plan={");
+    const std::size_t close = repro.rfind('}');
+    ASSERT_NE(open, std::string::npos);
+    const std::string descriptor = repro.substr(open + 6, close - open - 6);
+    EXPECT_EQ(FaultPlan::parse(descriptor), plan);
+  }
+}
+
+TEST(AuditReplayTest, ReplaysAreDeterministic) {
+  const EvenCycleLcp lcp;
+  const auto pool = audit_instance_pool();
+  const NamedInstance* cycle6 = nullptr;
+  for (const auto& cand : pool) {
+    if (cand.name == "cycle6") {
+      cycle6 = &cand;
+    }
+  }
+  ASSERT_NE(cycle6, nullptr);
+  FaultPlan plan;
+  plan.seed = 0xBEE;
+  plan.drop_permille = 250;
+  plan.corrupt_permille = 250;
+  const FaultyRunResult h1 = replay_honest(lcp, cycle6->inst, plan);
+  const FaultyRunResult h2 = replay_honest(lcp, cycle6->inst, plan);
+  EXPECT_EQ(h1.verdicts, h2.verdicts);
+  EXPECT_EQ(h1.degraded, h2.degraded);
+  EXPECT_EQ(h1.stats.bytes, h2.stats.bytes);
+  const FaultyRunResult a1 = replay_adversarial(lcp, cycle6->inst, 99, plan);
+  const FaultyRunResult a2 = replay_adversarial(lcp, cycle6->inst, 99, plan);
+  EXPECT_EQ(a1.verdicts, a2.verdicts);
+  EXPECT_EQ(a1.faults.dropped, a2.faults.dropped);
+  EXPECT_EQ(a1.faults.corrupted_fields, a2.faults.corrupted_fields);
+}
+
+TEST(AttackTest, BreaksAlwaysAcceptExhaustively) {
+  const AlwaysAcceptLcp lcp;
+  const auto pool = audit_instance_pool();
+  const NamedInstance* cycle5 = nullptr;
+  for (const auto& cand : pool) {
+    if (cand.name == "cycle5") {
+      cycle5 = &cand;
+    }
+  }
+  ASSERT_NE(cycle5, nullptr);
+  const AttackReport report =
+      attack_strong_soundness(lcp, *cycle5, /*samples=*/10, /*seed=*/1);
+  EXPECT_TRUE(report.broken);
+  EXPECT_EQ(report.mode, "exhaustive");  // one-point certificate space
+  EXPECT_NE(report.failure.find("host=cycle5"), std::string::npos);
+}
+
+TEST(AttackTest, CleanOnDegreeOne) {
+  const DegreeOneLcp lcp;
+  const auto pool = audit_instance_pool();
+  const NamedInstance* cycle5 = nullptr;
+  for (const auto& cand : pool) {
+    if (cand.name == "cycle5") {
+      cycle5 = &cand;
+    }
+  }
+  ASSERT_NE(cycle5, nullptr);
+  const AttackReport report =
+      attack_strong_soundness(lcp, *cycle5, /*samples=*/300, /*seed=*/7);
+  EXPECT_FALSE(report.broken) << report.failure;
+  EXPECT_GT(report.labelings, 0u);
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -155,5 +155,67 @@ TEST(SimTest, IsolatedNodeHandled) {
   EXPECT_EQ(v.num_nodes(), 1);
 }
 
+TEST(SimTest, RadiusExceedingDiameterStillMatchesDirectExtraction) {
+  // r = 5 on a path of diameter 3: the view saturates at the whole graph
+  // and the gathered reconstruction must saturate identically.
+  Rng rng(2024);
+  const Instance inst = random_labeled_instance(make_path(4), rng);
+  SyncEngine engine(inst);
+  engine.run(5);
+  for (Node v = 0; v < inst.num_nodes(); ++v) {
+    const View direct = inst.view_of(v, 5, false);
+    EXPECT_EQ(direct.num_nodes(), 4);
+    EXPECT_TRUE(direct == engine.view_of(v, 5)) << "node " << v;
+  }
+}
+
+TEST(SimTest, IsolatedCenterAtLargeRadius) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Instance inst = Instance::canonical(g);
+  SyncEngine engine(inst);
+  engine.run(4);
+  const View v = engine.view_of(3, 4);
+  EXPECT_EQ(v.num_nodes(), 1);
+  EXPECT_EQ(v.center_degree(), 0);
+  EXPECT_TRUE(v == inst.view_of(3, 4, false));
+}
+
+TEST(SimTest, BoundaryEdgeInvisibleInGatheredView) {
+  // Triangle at r = 1: both neighbors are visible but the edge between
+  // them -- joining two nodes at distance exactly r -- is not (Fig. 2 of
+  // the paper). The gathered reconstruction must drop it too.
+  const Instance inst = Instance::canonical(make_cycle(3));
+  SyncEngine engine(inst);
+  engine.run(1);
+  for (Node v = 0; v < 3; ++v) {
+    const View view = engine.view_of(v, 1);
+    EXPECT_EQ(view.num_nodes(), 3);
+    EXPECT_EQ(view.g.num_edges(), 2) << "boundary edge leaked at node " << v;
+    EXPECT_TRUE(view == inst.view_of(v, 1, false));
+  }
+}
+
+TEST(SimTest, ThetaBoundaryEdgesMatchDirectExtraction) {
+  // Theta graphs are where boundary-edge bookkeeping goes wrong: several
+  // internally-disjoint paths put many node pairs at equal distance from
+  // a hub, so radius-r views carry multiple invisible edges.
+  Rng rng(31337);
+  for (const int r : {1, 2}) {
+    const Instance inst =
+        random_labeled_instance(make_theta(2, 3, 4), rng);
+    SyncEngine engine(inst);
+    engine.run(r);
+    for (Node v = 0; v < inst.num_nodes(); ++v) {
+      const View direct = inst.view_of(v, r, false);
+      const View gathered = engine.view_of(v, r);
+      EXPECT_TRUE(direct == gathered)
+          << "node " << v << " radius " << r << "\ndirect:\n"
+          << direct.to_string() << "\ngathered:\n" << gathered.to_string();
+    }
+  }
+}
+
 }  // namespace
 }  // namespace shlcp
