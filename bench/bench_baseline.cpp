@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
 #include "certify/revealing.h"
@@ -18,11 +19,12 @@
 #include "certify/watermelon.h"
 #include "graph/generators.h"
 #include "util/check.h"
+#include "util/format.h"
 
 namespace shlcp {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   std::printf("=== E12: certificate sizes, revealing vs hiding ===\n");
   std::printf("%-12s %-22s %6s %6s %8s %8s\n", "scheme", "instance", "n",
               "bits", "hiding", "rounds");
@@ -34,8 +36,9 @@ void print_table() {
   const WatermelonLcp watermelon;
   const UniversalLcp universal = make_universal_bipartiteness_lcp();
 
-  auto row = [](const Lcp& lcp, const char* name, const char* inst_name,
-                const Graph& g, const char* hiding) {
+  auto row = [&report](const Lcp& lcp, const char* name,
+                       const char* inst_name, const Graph& g,
+                       const char* hiding) {
     Instance inst = Instance::canonical(g);
     const auto labels = lcp.prove(g, inst.ports, inst.ids);
     SHLCP_CHECK(labels.has_value());
@@ -43,6 +46,12 @@ void print_table() {
     std::printf("%-12s %-22s %6d %6d %8s %8d\n", name, inst_name,
                 g.num_nodes(), labels->max_bits(), hiding,
                 lcp.decoder().radius());
+    Json& values = report.add_case(
+        format("%s/%s/n%d", name, inst_name, g.num_nodes()));
+    values["nodes"] = static_cast<std::int64_t>(g.num_nodes());
+    values["bits"] = static_cast<std::int64_t>(labels->max_bits());
+    values["hiding"] = hiding;
+    values["radius"] = static_cast<std::int64_t>(lcp.decoder().radius());
   };
 
   for (int n : {16, 64, 256}) {
@@ -118,8 +127,8 @@ BENCHMARK(BM_VerifyWatermelon)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("baseline");
+  shlcp::print_table(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "graph/generators.h"
 #include "lcp/checker.h"
@@ -19,7 +20,7 @@
 namespace shlcp {
 namespace {
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   const DegreeOneLcp lcp;
   std::printf("=== E3: degree-one LCP (Lemma 4.1, Figs. 3/4) ===\n");
 
@@ -33,6 +34,11 @@ void print_replay() {
               witnesses.size(), nbhd.num_views(), nbhd.num_edges());
   std::printf("odd cycle of length %zu found => LCP is HIDING (Lemma 3.2)\n",
               cycle->size() - 1);
+  Json& witness = report.add_case("fig4_witness");
+  witness["instances"] = static_cast<std::uint64_t>(witnesses.size());
+  witness["views"] = static_cast<std::int64_t>(nbhd.num_views());
+  witness["edges"] = static_cast<std::int64_t>(nbhd.num_edges());
+  witness["odd_cycle_len"] = static_cast<std::uint64_t>(cycle->size() - 1);
 
   // Exhaustive completeness and strong soundness at small n.
   int promise_graphs = 0;
@@ -56,6 +62,10 @@ void print_replay() {
               "graphs <= 5 nodes x full 4-symbol alphabet)\n",
               static_cast<unsigned long long>(labelings));
   std::printf("certificate size: 2 bits (constant)\n\n");
+  Json& exhaustive = report.add_case("exhaustive_n5");
+  exhaustive["promise_graphs"] = static_cast<std::int64_t>(promise_graphs);
+  exhaustive["labelings"] = labelings;
+  exhaustive["certificate_bits"] = std::int64_t{2};
 }
 
 void BM_Decoder(benchmark::State& state) {
@@ -104,8 +114,8 @@ BENCHMARK(BM_WitnessNbhdBuild);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("degree_one");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/even_cycle.h"
 #include "graph/generators.h"
 #include "lcp/checker.h"
@@ -19,7 +20,7 @@
 namespace shlcp {
 namespace {
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   const EvenCycleLcp lcp;
   std::printf("=== E4: even-cycle LCP (Lemma 4.2, Figs. 5/6) ===\n");
 
@@ -49,6 +50,16 @@ void print_replay() {
               "16-certificate alphabet)\n",
               static_cast<unsigned long long>(c5.cases));
   std::printf("certificate size: 6 bits (constant)\n\n");
+
+  Json& witness = report.add_case("fig6_witness");
+  witness["instances"] = static_cast<std::uint64_t>(witnesses.size());
+  witness["views"] = static_cast<std::int64_t>(nbhd.num_views());
+  witness["edges"] = static_cast<std::int64_t>(nbhd.num_edges());
+  witness["odd_cycle_len"] = static_cast<std::uint64_t>(cycle->size() - 1);
+  witness["self_loop"] = loop;
+  Json& soundness = report.add_case("c5_exhaustive");
+  soundness["labelings"] = c5.cases;
+  soundness["certificate_bits"] = std::int64_t{6};
 }
 
 void BM_Decoder(benchmark::State& state) {
@@ -87,8 +98,8 @@ BENCHMARK(BM_StrongSoundnessC4);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("even_cycle");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

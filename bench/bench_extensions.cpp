@@ -16,6 +16,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
 #include "certify/revealing.h"
@@ -26,6 +27,7 @@
 #include "nbhd/quantified.h"
 #include "nbhd/witness.h"
 #include "util/check.h"
+#include "util/format.h"
 
 namespace shlcp {
 namespace {
@@ -43,7 +45,7 @@ std::vector<Graph> promise_family(const Lcp& lcp, int max_n) {
   return graphs;
 }
 
-void print_e14() {
+void print_e14(bench::Report& report) {
   std::printf("=== E14: quantified hiding & chromatic thresholds ===\n");
   std::printf("%-12s %18s %16s %16s\n", "decoder", "chrom. threshold",
               "component-bound", "self-conflict");
@@ -56,9 +58,15 @@ void print_e14() {
     Instance inst = Instance::canonical(g);
     inst.labels = *lcp.prove(g, inst.ports, inst.ids);
     const auto thr = chromatic_threshold(nbhd, 6);
-    std::printf("%-12s %18d %16.2f %16.2f\n", "revealing", *thr,
-                hidden_fraction(nbhd, lcp.decoder(), inst),
-                self_conflicting_fraction(nbhd, lcp.decoder(), inst));
+    const double hidden = hidden_fraction(nbhd, lcp.decoder(), inst);
+    const double self =
+        self_conflicting_fraction(nbhd, lcp.decoder(), inst);
+    std::printf("%-12s %18d %16.2f %16.2f\n", "revealing", *thr, hidden,
+                self);
+    Json& values = report.add_case("e14/revealing");
+    values["chromatic_threshold"] = static_cast<std::int64_t>(*thr);
+    values["hidden_fraction"] = hidden;
+    values["self_conflicting_fraction"] = self;
   }
   {
     const DegreeOneLcp lcp;
@@ -68,11 +76,17 @@ void print_e14() {
     Instance inst = Instance::canonical(g);
     inst.labels = degree_one_labeling(g, 0);
     const auto thr = chromatic_threshold(nbhd, 8);
+    const double hidden = hidden_fraction(nbhd, lcp.decoder(), inst);
+    const double self =
+        self_conflicting_fraction(nbhd, lcp.decoder(), inst);
     std::printf("%-12s %18d %16.2f %16.2f   (hides somewhere, not "
                 "everywhere)\n",
-                "degree-one", thr.value_or(-1),
-                hidden_fraction(nbhd, lcp.decoder(), inst),
-                self_conflicting_fraction(nbhd, lcp.decoder(), inst));
+                "degree-one", thr.value_or(-1), hidden, self);
+    Json& values = report.add_case("e14/degree_one");
+    values["chromatic_threshold"] =
+        static_cast<std::int64_t>(thr.value_or(-1));
+    values["hidden_fraction"] = hidden;
+    values["self_conflicting_fraction"] = self;
   }
   {
     const EvenCycleLcp lcp;
@@ -94,15 +108,21 @@ void print_e14() {
     inst.labels = std::move(labels);
     auto nbhd = build_from_instances(lcp.decoder(), {inst}, 2);
     const auto thr = chromatic_threshold(nbhd, 8);
+    const double hidden = hidden_fraction(nbhd, lcp.decoder(), inst);
+    const double self =
+        self_conflicting_fraction(nbhd, lcp.decoder(), inst);
     std::printf("%-12s %18s %16.2f %16.2f   (hides everywhere, every K)\n",
                 "even-cycle", thr.has_value() ? "finite" : "none (loop)",
-                hidden_fraction(nbhd, lcp.decoder(), inst),
-                self_conflicting_fraction(nbhd, lcp.decoder(), inst));
+                hidden, self);
+    Json& values = report.add_case("e14/even_cycle");
+    values["chromatic_threshold_exists"] = thr.has_value();
+    values["hidden_fraction"] = hidden;
+    values["self_conflicting_fraction"] = self;
   }
   std::printf("\n");
 }
 
-void print_e15() {
+void print_e15(bench::Report& report) {
   std::printf("=== E15: spanning-BFS distance labeling (the revealing "
               "bipartiteness certificate) ===\n");
   const SpanningBfsLcp lcp;
@@ -112,17 +132,22 @@ void print_e15() {
   std::printf("V(D, 3) (exhaustive): %d views, 2-colorable => NOT hiding "
               "(distance parity is the coloring)\n",
               nbhd.num_views());
+  Json& values = report.add_case("e15/spanning_bfs");
+  values["views"] = static_cast<std::int64_t>(nbhd.num_views());
+  values["two_colorable"] = true;
   std::printf("certificate bits vs n: ");
   for (int n : {8, 32, 128}) {
     const Graph g = make_path(n);
     Instance inst = Instance::canonical(g);
-    std::printf("n=%d:%db  ", n, lcp.prove(g, inst.ports, inst.ids)->max_bits());
+    const int bits = lcp.prove(g, inst.ports, inst.ids)->max_bits();
+    std::printf("n=%d:%db  ", n, bits);
+    values[format("bits_n%d", n)] = static_cast<std::int64_t>(bits);
   }
   std::printf("\nstrong: exhaustive sweep on all <=4-node graphs passed "
               "(see extensions_test)\n\n");
 }
 
-void print_e16() {
+void print_e16(bench::Report& report) {
   std::printf("=== E16: erasure resilience ablation ([FOS22] contrast) "
               "===\n");
   std::printf("%-14s %-10s %3s %10s %12s %16s\n", "decoder", "instance", "f",
@@ -139,13 +164,18 @@ void print_e16() {
                         Case{&even_cycle, "even-cycle", make_cycle(8)},
                         Case{&spanning, "spanning-bfs", make_grid(2, 4)}}) {
     for (int f = 1; f <= 2; ++f) {
-      const auto report =
+      const auto erasure =
           check_erasure_completeness(*c.lcp, Instance::canonical(c.g), f);
       std::printf("%-14s %-10s %3d %10llu %12llu %16.2f\n", c.name,
                   "n=8", f,
-                  static_cast<unsigned long long>(report.patterns),
-                  static_cast<unsigned long long>(report.still_accepted),
-                  report.mean_rejections);
+                  static_cast<unsigned long long>(erasure.patterns),
+                  static_cast<unsigned long long>(erasure.still_accepted),
+                  erasure.mean_rejections);
+      Json& values = report.add_case(format("e16/%s/f%d", c.name, f));
+      values["erasures"] = static_cast<std::int64_t>(f);
+      values["patterns"] = erasure.patterns;
+      values["still_accepted"] = erasure.still_accepted;
+      values["mean_rejections"] = erasure.mean_rejections;
     }
   }
   std::printf("no scheme survives a single erasure: resilient labeling "
@@ -189,10 +219,10 @@ BENCHMARK(BM_ErasureSweep);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_e14();
-  shlcp::print_e15();
-  shlcp::print_e16();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("extensions");
+  shlcp::print_e14(report);
+  shlcp::print_e15(report);
+  shlcp::print_e16(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

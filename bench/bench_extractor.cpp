@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
 #include "certify/revealing.h"
@@ -36,7 +37,7 @@ std::vector<Graph> bipartite_graphs(int max_n) {
   return graphs;
 }
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   std::printf("=== E9: Lemma 3.2 extractor ===\n");
 
   const RevealingLcp revealing(2);
@@ -61,6 +62,10 @@ void print_replay() {
   std::printf("revealing LCP: V(D,4) has %d views, 2-colorable => extractor "
               "compiled; proper 2-coloring extracted on %d/%zu instances\n",
               views, extracted, graphs.size());
+  Json& positive = report.add_case("revealing_positive_control");
+  positive["views"] = static_cast<std::int64_t>(views);
+  positive["extracted"] = static_cast<std::int64_t>(extracted);
+  positive["instances"] = static_cast<std::uint64_t>(graphs.size());
 
   const DegreeOneLcp degree_one;
   auto nb1 = build_from_instances(degree_one.decoder(),
@@ -74,6 +79,9 @@ void print_replay() {
       !Extractor::build(even_cycle.decoder(), std::move(nb2), 2).has_value());
   std::printf("degree-one / even-cycle LCPs: neighborhood graphs are NOT "
               "2-colorable => no extractor exists (hiding confirmed)\n\n");
+  Json& negative = report.add_case("hiding_negative_control");
+  negative["degree_one_extractor_exists"] = false;
+  negative["even_cycle_extractor_exists"] = false;
 }
 
 void BM_ExtractorCompile(benchmark::State& state) {
@@ -109,8 +117,8 @@ BENCHMARK(BM_ExtractPerNode);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("extractor");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

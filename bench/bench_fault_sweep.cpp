@@ -10,15 +10,18 @@
 // is a fault plan that makes a non-2-colorable instance globally
 // accepted; the paper's strong-soundness claim demands zero).
 //
-// Results go to BENCH_fault_sweep.json. Exit status is nonzero if any
-// soundness violation or unattributed degradation was observed, so the
-// sweep is usable as a gate.
+// Results go to BENCH_fault_sweep.json via the shared bench/report
+// harness (one case per plan/instance row). Exit status is nonzero if
+// any soundness violation or unattributed degradation was observed, so
+// the sweep is usable as a gate. Smoke mode shrinks the adversarial
+// labeling count per plan.
 
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
 #include "certify/shatter.h"
@@ -33,7 +36,7 @@ using namespace shlcp;
 namespace {
 
 constexpr std::uint64_t kSeed = 0xFA57;
-constexpr int kLabelingsPerPlan = 32;
+int labelings_per_plan() { return bench::smoke() ? 4 : 32; }
 
 struct CompletenessRow {
   std::string plan_label;
@@ -125,7 +128,7 @@ DecoderSweep sweep_decoder(const Lcp& lcp) {
       SoundnessRow row;
       row.plan_label = plan.label;
       row.instance = no.name;
-      for (int s = 0; s < kLabelingsPerPlan; ++s) {
+      for (int s = 0; s < labelings_per_plan(); ++s) {
         const std::uint64_t labeling_seed =
             kSeed + (static_cast<std::uint64_t>(p) << 24) +
             static_cast<std::uint64_t>(s) * 0x9e3779b97f4a7c15ULL;
@@ -197,55 +200,38 @@ int main() {
     sweeps.push_back(std::move(sweep));
   }
 
-  std::FILE* out = std::fopen("BENCH_fault_sweep.json", "w");
-  SHLCP_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\n  \"bench\": \"fault_sweep\",\n  \"seed\": \"0x%llx\",\n"
-               "  \"labelings_per_plan\": %d,\n  \"decoders\": [\n",
-               static_cast<unsigned long long>(kSeed), kLabelingsPerPlan);
-  for (std::size_t d = 0; d < sweeps.size(); ++d) {
-    const DecoderSweep& sweep = sweeps[d];
-    std::fprintf(out,
-                 "    {\"lcp\": \"%s\", \"yes_instance\": \"%s\",\n"
-                 "     \"completeness\": [\n",
-                 sweep.lcp_name.c_str(), sweep.yes_instance.c_str());
-    for (std::size_t i = 0; i < sweep.completeness.size(); ++i) {
-      const CompletenessRow& row = sweep.completeness[i];
-      std::fprintf(
-          out,
-          "      {\"plan\": \"%s\", \"descriptor\": \"%s\", \"accept\": %d, "
-          "\"reject\": %d, \"degraded\": %d, \"messages\": %llu, "
-          "\"bytes\": %llu, \"bytes_delta\": %lld, \"attributed\": %d, "
-          "\"unattributed\": %d, \"repro\": \"%s\"}%s\n",
-          row.plan_label.c_str(), row.descriptor.c_str(), row.accept,
-          row.reject, row.degraded,
-          static_cast<unsigned long long>(row.messages),
-          static_cast<unsigned long long>(row.bytes),
-          static_cast<long long>(row.bytes_delta), row.attributed,
-          row.unattributed, row.repro.c_str(),
-          i + 1 < sweep.completeness.size() ? "," : "");
+  bench::Report report("fault_sweep");
+  report.meta()["seed"] = format("0x%llx", static_cast<unsigned long long>(kSeed));
+  report.meta()["labelings_per_plan"] =
+      static_cast<std::int64_t>(labelings_per_plan());
+  report.meta()["soundness_violations"] = total_violations;
+  report.meta()["unattributed_rejections"] = total_unattributed;
+  for (const DecoderSweep& sweep : sweeps) {
+    for (const CompletenessRow& row : sweep.completeness) {
+      Json& values = report.add_case(
+          sweep.lcp_name + "/completeness/" + row.plan_label);
+      values["instance"] = sweep.yes_instance;
+      values["descriptor"] = row.descriptor;
+      values["accept"] = static_cast<std::int64_t>(row.accept);
+      values["reject"] = static_cast<std::int64_t>(row.reject);
+      values["degraded"] = static_cast<std::int64_t>(row.degraded);
+      values["messages"] = row.messages;
+      values["bytes"] = row.bytes;
+      values["bytes_delta"] = row.bytes_delta;
+      values["attributed"] = static_cast<std::int64_t>(row.attributed);
+      values["unattributed"] = static_cast<std::int64_t>(row.unattributed);
+      values["repro"] = row.repro;
     }
-    std::fprintf(out, "     ],\n     \"soundness\": [\n");
-    for (std::size_t i = 0; i < sweep.soundness.size(); ++i) {
-      const SoundnessRow& row = sweep.soundness[i];
-      std::fprintf(out,
-                   "      {\"plan\": \"%s\", \"instance\": \"%s\", "
-                   "\"labelings\": %d, \"violations\": %d, \"repro\": "
-                   "\"%s\"}%s\n",
-                   row.plan_label.c_str(), row.instance.c_str(), row.labelings,
-                   row.violations, row.repro.c_str(),
-                   i + 1 < sweep.soundness.size() ? "," : "");
+    for (const SoundnessRow& row : sweep.soundness) {
+      Json& values = report.add_case(sweep.lcp_name + "/soundness/" +
+                                     row.instance + "/" + row.plan_label);
+      values["labelings"] = static_cast<std::int64_t>(row.labelings);
+      values["violations"] = static_cast<std::int64_t>(row.violations);
+      values["repro"] = row.repro;
     }
-    std::fprintf(out, "     ]}%s\n", d + 1 < sweeps.size() ? "," : "");
   }
-  std::fprintf(out,
-               "  ],\n  \"totals\": {\"soundness_violations\": %llu, "
-               "\"unattributed_rejections\": %llu}\n}\n",
-               static_cast<unsigned long long>(total_violations),
-               static_cast<unsigned long long>(total_unattributed));
-  std::fclose(out);
-  std::printf("wrote BENCH_fault_sweep.json (%llu soundness violations, "
-              "%llu unattributed rejections)\n",
+  report.write();
+  std::printf("%llu soundness violations, %llu unattributed rejections\n",
               static_cast<unsigned long long>(total_violations),
               static_cast<unsigned long long>(total_unattributed));
   return (total_violations == 0 && total_unattributed == 0) ? 0 : 1;

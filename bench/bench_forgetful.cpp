@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/properties.h"
@@ -17,7 +18,7 @@
 namespace shlcp {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   struct Row {
     const char* name;
     Graph g;
@@ -52,6 +53,13 @@ void print_table() {
     std::printf("%-14s %5d %6d %6s %6s %6s %10d\n", row.name,
                 row.g.num_nodes(), diam, f1 ? "yes" : "no",
                 f2 ? "yes" : "no", f3 ? "yes" : "no", maxr);
+    Json& values = report.add_case(row.name);
+    values["n"] = static_cast<std::int64_t>(row.g.num_nodes());
+    values["diameter"] = static_cast<std::int64_t>(diam);
+    values["forgetful_r1"] = f1;
+    values["forgetful_r2"] = f2;
+    values["forgetful_r3"] = f3;
+    values["max_forgetfulness"] = static_cast<std::int64_t>(maxr);
   }
   std::printf("Lemma 2.1 (diam >= 2r+1 for every r-forgetful row): OK\n\n");
 }
@@ -88,8 +96,8 @@ BENCHMARK(BM_Diameter)->Arg(6)->Arg(10)->Arg(14);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("forgetful");
+  shlcp::print_table(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

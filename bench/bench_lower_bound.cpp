@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/shatter.h"
 #include "certify/watermelon.h"
 #include "graph/algorithms.h"
@@ -28,7 +29,7 @@
 namespace shlcp {
 namespace {
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   std::printf("=== E10: Theorem 1.5 pipeline (Section 5) ===\n");
 
   {
@@ -46,6 +47,16 @@ void print_replay() {
                 "ODD cycle => STRONG SOUNDNESS VIOLATED (pipeline "
                 "complete)\n",
                 result.g_bad.num_nodes(), result.g_bad.g.num_edges());
+    Json& values = report.add_case("cheating_watermelon");
+    values["views"] = static_cast<std::int64_t>(result.nbhd.num_views());
+    values["edges"] = static_cast<std::int64_t>(result.nbhd.num_edges());
+    values["odd_walk_edges"] =
+        static_cast<std::uint64_t>(result.odd_cycle.size() - 1);
+    values["g_bad_nodes"] =
+        static_cast<std::int64_t>(result.g_bad.num_nodes());
+    values["g_bad_edges"] =
+        static_cast<std::int64_t>(result.g_bad.g.num_edges());
+    values["strong_soundness_violated"] = true;
   }
   {
     const WatermelonLcp standard(WatermelonVariant::kStandard);
@@ -57,6 +68,9 @@ void print_replay() {
     std::printf("  odd cycle exists (hiding) but NO candidate walk "
                 "realizes; first conflict: %s\n",
                 result.realize_conflict.substr(0, 100).c_str());
+    Json& values = report.add_case("honest_watermelon");
+    values["hiding_witness_found"] = true;
+    values["strong_soundness_violated"] = false;
   }
   {
     const ShatterLcp shatter(ShatterVariant::kVectorOnPoint);
@@ -67,6 +81,9 @@ void print_replay() {
     std::printf("[repaired shatter decoder]\n");
     std::printf("  odd cycle exists (hiding) but realization fails => "
                 "strong soundness survives the pipeline\n");
+    Json& values = report.add_case("repaired_shatter");
+    values["hiding_witness_found"] = true;
+    values["strong_soundness_violated"] = false;
   }
 
   // The COMPLETE Section 5 engine (Lemmas 5.4 -> 5.2/5.3 -> 5.1) on
@@ -98,6 +115,14 @@ void print_replay() {
                 "-> G_bad with %d nodes, violation verified\n",
                 cycle->size() - 1, expanded.detours, expanded.walk.size(),
                 new_bound, merged.instance.num_nodes());
+    Json& values = report.add_case("c8_full_surgery");
+    values["odd_cycle_edges"] =
+        static_cast<std::uint64_t>(cycle->size() - 1);
+    values["detours"] = static_cast<std::int64_t>(expanded.detours);
+    values["walk_views"] = static_cast<std::uint64_t>(expanded.walk.size());
+    values["id_bound"] = static_cast<std::int64_t>(new_bound);
+    values["g_bad_nodes"] =
+        static_cast<std::int64_t>(merged.instance.num_nodes());
   }
 
   // Lemma 5.4 / Fig. 8: the forgetting detour on a 1-forgetful host.
@@ -119,6 +144,10 @@ void print_replay() {
               "node)\n\n",
               detours, torus.num_edges(),
               static_cast<double>(total_len) / detours);
+  Json& values = report.add_case("torus6x6_forgetting_detours");
+  values["detours"] = static_cast<std::int64_t>(detours);
+  values["edges"] = static_cast<std::int64_t>(torus.num_edges());
+  values["mean_length"] = static_cast<double>(total_len) / detours;
 }
 
 void BM_FullPipelineCheat(benchmark::State& state) {
@@ -159,8 +188,8 @@ BENCHMARK(BM_ForgettingDetour)->Arg(6)->Arg(8)->Arg(10);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("lower_bound");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

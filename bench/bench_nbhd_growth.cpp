@@ -9,12 +9,14 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
 #include "certify/revealing.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "nbhd/aviews.h"
+#include "util/format.h"
 
 namespace shlcp {
 namespace {
@@ -32,7 +34,7 @@ std::vector<Graph> promise_graphs(const Lcp& lcp, int max_n) {
   return graphs;
 }
 
-void print_growth() {
+void print_growth(bench::Report& report) {
   std::printf("=== E8: V(D, n) growth (Lemma 3.1 enumeration) ===\n");
   std::printf("%-12s %3s %8s %8s %8s %12s\n", "decoder", "n", "graphs",
               "views", "edges", "2-colorable");
@@ -58,6 +60,11 @@ void print_growth() {
       std::printf("%-12s %3d %8zu %8d %8d %12s\n", row.name, n,
                   graphs.size(), nbhd.num_views(), nbhd.num_edges(),
                   nbhd.k_colorable(2) ? "yes" : "NO (hiding)");
+      Json& values = report.add_case(format("%s/n%d", row.name, n));
+      values["graphs"] = static_cast<std::uint64_t>(graphs.size());
+      values["views"] = static_cast<std::int64_t>(nbhd.num_views());
+      values["edges"] = static_cast<std::int64_t>(nbhd.num_edges());
+      values["two_colorable"] = nbhd.k_colorable(2);
     }
   }
   std::printf("\n");
@@ -99,8 +106,8 @@ BENCHMARK(BM_ProvedBuildEvenCycle);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_growth();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("nbhd_growth");
+  shlcp::print_growth(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

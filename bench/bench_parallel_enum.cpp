@@ -8,10 +8,12 @@
 // guarantee), so a wrong-but-fast merge cannot post a number here.
 //
 // Results (plus std::thread::hardware_concurrency, so single-core CI runs
-// are legible as such) are written to BENCH_parallel_enum.json in the
-// working directory. Scaling beyond hardware_concurrency threads is
-// expected to be flat -- the point of the 8-thread row is oversubscription
-// overhead, not speedup.
+// are legible as such) are written to BENCH_parallel_enum.json via the
+// shared bench/report harness. Scaling beyond hardware_concurrency
+// threads is expected to be flat -- the point of the 8-thread row is
+// oversubscription overhead, not speedup. In smoke mode (SHLCP_BENCH_SMOKE)
+// the sweep shrinks to one rep at 1-2 threads so CI can validate the
+// report schema in seconds.
 
 #include <algorithm>
 #include <chrono>
@@ -21,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/revealing.h"
 #include "graph/generators.h"
@@ -90,7 +93,9 @@ int main() {
   EnumOptions enums;
   enums.all_ports = true;
 
-  const int reps = 3;
+  const int reps = bench::smoke() ? 1 : 3;
+  const std::vector<int> thread_counts =
+      bench::smoke() ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
   const NbhdGraph reference = build_exhaustive(lcp, graphs, enums);
   const double total_instances =
       static_cast<double>(reference.num_instances_absorbed());
@@ -103,7 +108,7 @@ int main() {
   seq.instances_per_sec = total_instances / seq.seconds;
   samples.push_back(seq);
 
-  for (const int threads : {1, 2, 4, 8}) {
+  for (const int threads : thread_counts) {
     ParallelEnumOptions options;
     options.enums = enums;
     options.num_threads = threads;
@@ -135,26 +140,21 @@ int main() {
                 hw);
   }
 
-  std::FILE* out = std::fopen("BENCH_parallel_enum.json", "w");
-  SHLCP_CHECK(out != nullptr);
-  std::fprintf(out,
-               "{\n  \"bench\": \"parallel_enum\",\n"
-               "  \"family\": \"degree_one_exhaustive_n4_all_ports\",\n"
-               "  \"hardware_concurrency\": %u,\n"
-               "  \"graphs\": %d,\n  \"instances\": %.0f,\n"
-               "  \"views\": %d,\n  \"runs\": [\n",
-               hw, static_cast<int>(graphs.size()), total_instances,
-               reference.num_views());
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    std::fprintf(out,
-                 "    {\"threads\": %d, \"seconds\": %.6f, "
-                 "\"instances_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
-                 s.threads, s.seconds, s.instances_per_sec, s.speedup,
-                 i + 1 < samples.size() ? "," : "");
+  bench::Report report("parallel_enum");
+  report.meta()["family"] = "degree_one_exhaustive_n4_all_ports";
+  report.meta()["graphs"] = static_cast<std::uint64_t>(graphs.size());
+  report.meta()["instances"] = total_instances;
+  report.meta()["views"] = static_cast<std::uint64_t>(reference.num_views());
+  report.meta()["reps"] = static_cast<std::uint64_t>(reps);
+  for (const Sample& s : samples) {
+    const std::string label =
+        s.threads == 0 ? "sequential" : format("threads_%d", s.threads);
+    Json& values = report.add_case(label);
+    values["threads"] = static_cast<std::int64_t>(s.threads);
+    values["seconds"] = s.seconds;
+    values["instances_per_sec"] = s.instances_per_sec;
+    values["speedup"] = s.speedup;
   }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("wrote BENCH_parallel_enum.json\n");
+  report.write();
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "graph/generators.h"
 #include "lcp/checker.h"
 #include "lower/order_invariant.h"
@@ -33,7 +34,7 @@ LambdaDecoder id_sum_parity() {
   });
 }
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   std::printf("=== E11: Lemma 6.2 (Ramsey reduction to order-invariance) "
               "===\n");
   const auto decoder = id_sum_parity();
@@ -46,6 +47,12 @@ void print_replay() {
 
   const auto uniform = find_uniform_id_set(oracle, 24, 8, 100);
   SHLCP_CHECK(uniform.has_value());
+  Json& search = report.add_case("ramsey_search");
+  search["probes"] = static_cast<std::uint64_t>(oracle.probes().size());
+  search["arity"] = static_cast<std::int64_t>(oracle.arity());
+  search["id_space"] = std::int64_t{24};
+  search["monochromatic_set_size"] =
+      static_cast<std::uint64_t>(uniform->size());
   std::printf("monochromatic id set B of size %zu found in [1, 24]: ",
               uniform->size());
   for (const Ident id : *uniform) {
@@ -79,6 +86,10 @@ void print_replay() {
               "agree (Lemma 6.2 equivalence)\n\n",
               agreements);
   SHLCP_CHECK(agreements == 20);
+  Json& wrap = report.add_case("wrapper_equivalence");
+  wrap["order_invariant"] = true;
+  wrap["agreements"] = static_cast<std::int64_t>(agreements);
+  wrap["assignments"] = std::int64_t{20};
 }
 
 void BM_RamseySearch(benchmark::State& state) {
@@ -118,8 +129,8 @@ BENCHMARK(BM_TypeEvaluation);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("ramsey");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/shatter.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -18,6 +19,7 @@
 #include "nbhd/aviews.h"
 #include "nbhd/witness.h"
 #include "util/check.h"
+#include "util/format.h"
 
 namespace shlcp {
 namespace {
@@ -35,7 +37,7 @@ Graph spider(int legs, int leg_len) {
   return g;
 }
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   std::printf("=== E6: shatter-point LCP (Theorem 1.3, Section 7.1) ===\n");
 
   // (a) Hiding witness (both layouts).
@@ -49,6 +51,9 @@ void print_replay() {
     std::printf("P1/P2 witness (%s layout): odd cycle length %zu in "
                 "V(D,8) => HIDING\n",
                 on_point ? "vector-on-point" : "literal", cycle->size() - 1);
+    Json& values = report.add_case(format(
+        "hiding_witness_%s", on_point ? "vector_on_point" : "literal"));
+    values["odd_cycle_len"] = static_cast<std::uint64_t>(cycle->size() - 1);
   }
 
   // (b) Certificate-size curve.
@@ -61,6 +66,10 @@ void print_replay() {
     const auto labels = lcp.prove(g, inst.ports, inst.ids);
     SHLCP_CHECK(labels.has_value());
     std::printf("%6d %6d %8d\n", k, g.num_nodes(), labels->max_bits());
+    Json& values = report.add_case(format("certificate_curve/k%d", k));
+    values["components"] = static_cast<std::int64_t>(k);
+    values["nodes"] = static_cast<std::int64_t>(g.num_nodes());
+    values["bits"] = static_cast<std::int64_t>(labels->max_bits());
   }
 
   // (c) The literal decoder's strong-soundness violation.
@@ -93,6 +102,9 @@ void print_replay() {
               acc.size(), violated ? "NO" : "yes",
               violated ? "VIOLATED" : "holds");
   SHLCP_CHECK(violated);
+  Json& finding = report.add_case("literal_violation");
+  finding["accepting_nodes"] = static_cast<std::uint64_t>(acc.size());
+  finding["accepting_set_bipartite"] = !violated;
 
   const ShatterLcp fixed(ShatterVariant::kVectorOnPoint);
   Labeling repaired(7);
@@ -108,6 +120,9 @@ void print_replay() {
   SHLCP_CHECK(is_bipartite(inst2.g.induced_subgraph(acc2)));
   std::printf("repaired (vector-on-point) decoder on the same attack: "
               "accepting set stays bipartite => repair holds\n\n");
+  Json& repair = report.add_case("vector_on_point_repair");
+  repair["accepting_nodes"] = static_cast<std::uint64_t>(acc2.size());
+  repair["accepting_set_bipartite"] = true;
 }
 
 void BM_Prover(benchmark::State& state) {
@@ -145,8 +160,8 @@ BENCHMARK(BM_ShatterPointSearch)->Arg(4)->Arg(6)->Arg(8);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("shatter");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

@@ -9,17 +9,19 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/even_cycle.h"
 #include "certify/revealing.h"
 #include "graph/generators.h"
 #include "sim/engine.h"
 #include "util/check.h"
+#include "util/format.h"
 #include "util/rng.h"
 
 namespace shlcp {
 namespace {
 
-void print_table() {
+void print_table(bench::Report& report) {
   std::printf("=== E13: LOCAL simulator (gather == extract) ===\n");
   std::printf("%-12s %5s %3s %10s %12s %8s\n", "graph", "n", "r", "messages",
               "bytes", "views==");
@@ -57,6 +59,12 @@ void print_table() {
                   static_cast<unsigned long long>(engine.stats().messages),
                   static_cast<unsigned long long>(engine.stats().bytes),
                   all_equal ? "yes" : "NO");
+      Json& values = report.add_case(format("%s/r%d", row.name, r));
+      values["n"] = static_cast<std::int64_t>(row.g.num_nodes());
+      values["r"] = static_cast<std::int64_t>(r);
+      values["messages"] = engine.stats().messages;
+      values["bytes"] = engine.stats().bytes;
+      values["views_equal"] = all_equal;
     }
   }
   std::printf("\n");
@@ -101,8 +109,8 @@ BENCHMARK(BM_DirectVerification)->Arg(16)->Arg(64)->Arg(256);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_table();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("sim");
+  shlcp::print_table(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

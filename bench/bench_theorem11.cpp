@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
 #include "certify/union_lcp.h"
@@ -19,6 +20,7 @@
 #include "nbhd/aviews.h"
 #include "nbhd/witness.h"
 #include "util/check.h"
+#include "util/format.h"
 
 namespace shlcp {
 namespace {
@@ -37,7 +39,7 @@ std::vector<Instance> tagged(std::vector<Instance> instances, int tag) {
   return instances;
 }
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   const UnionLcp lcp({&g_deg1, &g_cycle});
   std::printf("=== E5: Theorem 1.1 (union of H1 and H2) ===\n");
   std::printf("decoder: %s, anonymous=%d, radius=%d\n", lcp.name().c_str(),
@@ -51,6 +53,8 @@ void print_replay() {
   }
   std::printf("completeness: OK on %d representatives of H1 u H2\n",
               complete);
+  report.add_case("completeness")["representatives"] =
+      static_cast<std::int64_t>(complete);
 
   const auto c5 = check_strong_soundness_exhaustive(
       lcp, Instance::canonical(make_cycle(5)), 5'000'000);
@@ -58,6 +62,7 @@ void print_replay() {
   std::printf("strong soundness on C5: OK over %llu labelings "
               "(20-certificate tagged alphabet)\n",
               static_cast<unsigned long long>(c5.cases));
+  report.add_case("c5_exhaustive")["labelings"] = c5.cases;
 
   for (int tag = 0; tag <= 1; ++tag) {
     const auto witnesses =
@@ -70,12 +75,18 @@ void print_replay() {
                 "%zu\n",
                 tag, tag == 0 ? "degree-one" : "even-cycle",
                 cycle->size() - 1);
+    Json& values = report.add_case(format(
+        "hiding_witness_%s", tag == 0 ? "degree_one" : "even_cycle"));
+    values["odd_cycle_len"] = static_cast<std::uint64_t>(cycle->size() - 1);
   }
   const Graph sample = make_cycle(12);
   Instance inst = Instance::canonical(sample);
+  const int c12_bits = lcp.prove(sample, inst.ports, inst.ids)->max_bits();
   std::printf("certificate size on C12: %d bits (constant: max component "
               "size + 1 tag bit)\n\n",
-              lcp.prove(sample, inst.ports, inst.ids)->max_bits());
+              c12_bits);
+  report.add_case("c12_certificate")["bits"] =
+      static_cast<std::int64_t>(c12_bits);
 }
 
 void BM_UnionDecoder(benchmark::State& state) {
@@ -103,8 +114,8 @@ BENCHMARK(BM_RawComponentDecoder)->Arg(16)->Arg(128);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("theorem11");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

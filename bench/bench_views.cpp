@@ -9,9 +9,11 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "graph/generators.h"
 #include "lcp/instance.h"
 #include "util/check.h"
+#include "util/format.h"
 #include "util/rng.h"
 #include "views/canonical.h"
 #include "views/extract.h"
@@ -19,7 +21,7 @@
 namespace shlcp {
 namespace {
 
-void print_fig2_replay() {
+void print_fig2_replay(bench::Report& report) {
   std::printf("=== E2: view visibility rule (Fig. 2) ===\n");
   // C5 at radius 2 from node 0: nodes 2 and 3 are both at distance 2;
   // their edge must be invisible.
@@ -29,12 +31,18 @@ void print_fig2_replay() {
               "(graph has 5); the {2,3} edge is hidden\n",
               v.num_nodes(), v.g.num_edges());
   SHLCP_CHECK(v.g.num_edges() == 4);
+  Json& c5 = report.add_case("c5_center0_r2");
+  c5["view_nodes"] = static_cast<std::int64_t>(v.num_nodes());
+  c5["visible_edges"] = static_cast<std::int64_t>(v.g.num_edges());
 
   const Instance grid = Instance::canonical(make_grid(5, 5));
   for (int r = 1; r <= 3; ++r) {
     const View w = grid.view_of(12, r, false);
     std::printf("grid-5x5, center 12, r=%d: nodes=%d edges=%d\n", r,
                 w.num_nodes(), w.g.num_edges());
+    Json& values = report.add_case(format("grid5x5_center12_r%d", r));
+    values["view_nodes"] = static_cast<std::int64_t>(w.num_nodes());
+    values["visible_edges"] = static_cast<std::int64_t>(w.g.num_edges());
   }
   std::printf("\n");
 }
@@ -107,8 +115,8 @@ BENCHMARK(BM_ViewEquality);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_fig2_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("views");
+  shlcp::print_fig2_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "bench/report.h"
 #include "certify/watermelon.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -18,11 +19,12 @@
 #include "nbhd/aviews.h"
 #include "nbhd/witness.h"
 #include "util/check.h"
+#include "util/format.h"
 
 namespace shlcp {
 namespace {
 
-void print_replay() {
+void print_replay(bench::Report& report) {
   std::printf("=== E7: watermelon LCP (Theorem 1.4, Section 7.2) ===\n");
 
   const WatermelonLcp lcp;
@@ -33,6 +35,9 @@ void print_replay() {
   std::printf("8-path witness family (id orders x ports x phases = %zu "
               "instances): odd cycle length %zu in V(D,8) => HIDING\n",
               witnesses.size(), cycle->size() - 1);
+  Json& witness = report.add_case("hiding_witness");
+  witness["instances"] = static_cast<std::uint64_t>(witnesses.size());
+  witness["odd_cycle_len"] = static_cast<std::uint64_t>(cycle->size() - 1);
 
   std::printf("\ncertificate bits vs n (path watermelons):\n%6s %8s\n", "n",
               "bits");
@@ -42,6 +47,9 @@ void print_replay() {
     const auto labels = lcp.prove(g, inst.ports, inst.ids);
     SHLCP_CHECK(labels.has_value());
     std::printf("%6d %8d\n", n, labels->max_bits());
+    Json& values = report.add_case(format("certificate_curve/n%d", n));
+    values["nodes"] = static_cast<std::int64_t>(n);
+    values["bits"] = static_cast<std::int64_t>(labels->max_bits());
   }
 
   // Far-port reality check finding.
@@ -72,6 +80,9 @@ void print_replay() {
   SHLCP_CHECK(!standard.decoder().accepts_all(inst));
   std::printf("standard decoder (far ports checked against the visible "
               "reality): every node rejects => repair holds\n\n");
+  Json& finding = report.add_case("far_port_finding");
+  finding["literal_accepts_all"] = true;
+  finding["standard_accepts_all"] = false;
 }
 
 void BM_Prover(benchmark::State& state) {
@@ -111,8 +122,8 @@ BENCHMARK(BM_Recognizer)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace shlcp
 
 int main(int argc, char** argv) {
-  shlcp::print_replay();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  shlcp::bench::Report report("watermelon");
+  shlcp::print_replay(report);
+  report.write();
+  return shlcp::bench::run_benchmarks(argc, argv);
 }

@@ -1,0 +1,103 @@
+#include "report.h"
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <thread>
+
+#include "util/check.h"
+#include "util/format.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+
+namespace shlcp::bench {
+
+namespace {
+
+/// `git describe` of the working tree, or "unknown" when git or the
+/// repository is unavailable (e.g. running from an exported tarball).
+std::string git_describe() {
+  std::FILE* pipe =
+      ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) {
+    return "unknown";
+  }
+  std::array<char, 128> buf{};
+  std::string out;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    out += buf.data();
+  }
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) {
+    return "unknown";
+  }
+  return out;
+}
+
+}  // namespace
+
+bool smoke() {
+  const char* env = std::getenv("SHLCP_BENCH_SMOKE");
+  return env != nullptr && *env != '\0';
+}
+
+Report::Report(std::string name) : name_(std::move(name)) {
+  SHLCP_CHECK_MSG(!name_.empty(), "Report needs a non-empty bench name");
+}
+
+Json& Report::add_case(std::string name) {
+  Json& entry = cases_.push_back(Json::object());
+  entry["name"] = std::move(name);
+  return entry["values"] = Json::object();
+}
+
+Json Report::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = kSchemaVersion;
+  doc["bench"] = name_;
+  Json& run = doc["run"] = Json::object();
+  run["git"] = git_describe();
+  run["unix_time"] = static_cast<std::int64_t>(std::time(nullptr));
+  run["hardware_concurrency"] =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+  run["num_threads"] = static_cast<std::uint64_t>(resolve_num_threads(0));
+  run["smoke"] = smoke();
+  doc["meta"] = meta_;
+  doc["cases"] = cases_;
+  doc["metrics"] = metrics::snapshot().to_json();
+  return doc;
+}
+
+void Report::write() const { write_to("BENCH_" + name_ + ".json"); }
+
+void Report::write_to(const std::string& path) const {
+  const std::string text = to_json().dump(2) + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SHLCP_CHECK_MSG(f != nullptr,
+                  format("Report: cannot open '%s'", path.c_str()));
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+int run_benchmarks(int argc, char** argv) {
+  if (smoke()) {
+    std::printf("smoke mode: skipping google-benchmark timing loops\n");
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace shlcp::bench

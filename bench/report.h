@@ -1,0 +1,74 @@
+// Shared experiment-report harness for every bench_* target.
+//
+// Each bench builds one Report, records its table rows as cases, and
+// writes a BENCH_<name>.json file in the working directory before
+// handing control to google-benchmark. The emitted document follows one
+// uniform schema (version "shlcp.bench.v1", pinned by
+// tests/bench_report_test.cpp and validated in CI by
+// tools/check_bench_json.py):
+//
+//   {
+//     "schema": "shlcp.bench.v1",
+//     "bench": "<name>",                 // BENCH_<name>.json
+//     "run": {
+//       "git": "<git describe>",         // "unknown" outside a checkout
+//       "unix_time": <seconds>,
+//       "hardware_concurrency": <int>,
+//       "num_threads": <int>,            // resolve_num_threads(0)
+//       "smoke": <bool>                  // SHLCP_BENCH_SMOKE set
+//     },
+//     "meta": { ... },                   // bench-specific scalars
+//     "cases": [ {"name": ..., "values": {...}}, ... ],
+//     "metrics": { "counters": ..., "gauges": ..., "histograms": ... }
+//   }
+//
+// "metrics" is the registry snapshot taken at write() time, so every
+// report carries the instrumentation totals (frames enumerated, views
+// deduped, messages delivered, ...) of the work that produced it.
+
+#pragma once
+
+#include <string>
+
+#include "util/json.h"
+
+namespace shlcp::bench {
+
+inline constexpr const char* kSchemaVersion = "shlcp.bench.v1";
+
+/// True when SHLCP_BENCH_SMOKE is set in the environment: benches
+/// shrink their workloads to seconds and skip the google-benchmark
+/// timing loops (CI runs every bench this way to validate the reports).
+bool smoke();
+
+class Report {
+ public:
+  /// `name` is the experiment tag: Report("sim") writes BENCH_sim.json.
+  explicit Report(std::string name);
+
+  /// Bench-specific scalar metadata, e.g. meta()["seed"] = seed.
+  Json& meta() { return meta_; }
+
+  /// Appends a case and returns its "values" object to fill in.
+  Json& add_case(std::string name);
+
+  /// The full document, including the current metrics snapshot.
+  Json to_json() const;
+
+  /// Writes BENCH_<name>.json to the working directory.
+  void write() const;
+
+  /// Writes the document to an explicit path (tests use a temp dir).
+  void write_to(const std::string& path) const;
+
+ private:
+  std::string name_;
+  Json meta_ = Json::object();
+  Json cases_ = Json::array();
+};
+
+/// benchmark::Initialize + RunSpecifiedBenchmarks; returns the process
+/// exit code. In smoke mode the timing loops are skipped entirely.
+int run_benchmarks(int argc, char** argv);
+
+}  // namespace shlcp::bench

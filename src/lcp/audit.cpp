@@ -6,6 +6,8 @@
 #include "graph/generators.h"
 #include "lcp/checker.h"
 #include "util/format.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace shlcp {
 
@@ -36,6 +38,31 @@ std::vector<Node> accepting_nodes(const FaultyRunResult& res) {
     }
   }
   return acc;
+}
+
+/// Every violated invariant flows through here: fails the report,
+/// tallies audit.findings (total and per invariant) in the registry,
+/// and emits a trace event carrying the full REPRO string so a trace
+/// file alone is enough to replay the failure.
+void record_finding(AuditReport& report, AuditFinding finding) {
+  metrics::counter("audit.findings").inc();
+  metrics::counter(std::string("audit.findings.") + finding.invariant).inc();
+  trace::event("audit.finding", {{"invariant", finding.invariant},
+                                 {"repro", finding.repro},
+                                 {"detail", finding.detail}});
+  report.ok = false;
+  report.findings.push_back(std::move(finding));
+}
+
+/// Folds one audit function's tallies into the registry (the report
+/// starts empty in each audit_* entry point, so these are deltas).
+void publish_audit_tallies(const AuditReport& report) {
+  metrics::counter("audit.runs").add(report.runs);
+  metrics::counter("audit.runs.completeness").add(report.completeness_runs);
+  metrics::counter("audit.runs.soundness").add(report.soundness_runs);
+  metrics::counter("audit.verdicts.degraded").add(report.degraded_verdicts);
+  metrics::counter("audit.rejections.attributed")
+      .add(report.attributed_rejections);
 }
 
 }  // namespace
@@ -126,10 +153,12 @@ AuditReport audit_completeness_under_faults(
     const Lcp& lcp, const NamedInstance& yes,
     const std::vector<FaultPlan>& plans) {
   AuditReport report;
+  trace::Span span("audit.completeness");
+  span.note("lcp", lcp.name());
+  span.note("instance", yes.name);
   const auto honest = lcp.prove(yes.inst.g, yes.inst.ports, yes.inst.ids);
   if (!honest.has_value()) {
-    report.ok = false;
-    report.findings.push_back(AuditFinding{
+    record_finding(report, AuditFinding{
         "completeness",
         make_repro(lcp.name(), yes.name, "honest", FaultPlan{}),
         format("prover declined promise instance %s (n=%d)", yes.name.c_str(),
@@ -156,8 +185,7 @@ AuditReport audit_completeness_under_faults(
       if (res.degraded[i]) {
         report.degraded_verdicts += 1;
         if (res.verdicts[i]) {
-          report.ok = false;
-          report.findings.push_back(AuditFinding{
+          record_finding(report, AuditFinding{
               "degraded-view", repro,
               format("node %d accepted despite degraded reconstruction", v)});
         }
@@ -168,8 +196,7 @@ AuditReport audit_completeness_under_faults(
       if (!plan.enabled()) {
         // Invariant 1: the installed hook must not perturb fault-free
         // completeness.
-        report.ok = false;
-        report.findings.push_back(AuditFinding{
+        record_finding(report, AuditFinding{
             "completeness", repro,
             format("node %d rejects honest certificates on the fault-free "
                    "channel",
@@ -184,8 +211,7 @@ AuditReport audit_completeness_under_faults(
       if (attributed) {
         report.attributed_rejections += 1;
       } else {
-        report.ok = false;
-        report.findings.push_back(AuditFinding{
+        record_finding(report, AuditFinding{
             "attribution", repro,
             format("node %d rejected with a pristine honest view under plan "
                    "%s -- verdict flip has no attributable fault",
@@ -193,6 +219,7 @@ AuditReport audit_completeness_under_faults(
       }
     }
   }
+  publish_audit_tallies(report);
   return report;
 }
 
@@ -201,6 +228,9 @@ AuditReport audit_soundness_under_faults(const Lcp& lcp,
                                          const std::vector<FaultPlan>& plans,
                                          const AuditOptions& options) {
   AuditReport report;
+  trace::Span span("audit.soundness");
+  span.note("lcp", lcp.name());
+  span.note("instance", no.name);
   SHLCP_CHECK_MSG(!is_k_colorable(no.inst.g, lcp.k()),
                   "soundness audit expects a non-k-colorable no-instance");
   const AdversarialSampler sampler(lcp, no.inst);
@@ -228,8 +258,7 @@ AuditReport audit_soundness_under_faults(const Lcp& lcp,
         if (res.degraded[i]) {
           report.degraded_verdicts += 1;
           if (res.verdicts[i]) {
-            report.ok = false;
-            report.findings.push_back(AuditFinding{
+            record_finding(report, AuditFinding{
                 "degraded-view", repro,
                 format("node %d accepted despite degraded reconstruction",
                        static_cast<int>(i))});
@@ -239,8 +268,7 @@ AuditReport audit_soundness_under_faults(const Lcp& lcp,
       if (all_accept) {
         // Invariant 2: no fault plan may manufacture global acceptance of
         // a no-instance.
-        report.ok = false;
-        report.findings.push_back(AuditFinding{
+        record_finding(report, AuditFinding{
             "soundness", repro,
             format("all %d nodes accept a non-%d-colorable instance under "
                    "plan %s",
@@ -250,8 +278,7 @@ AuditReport audit_soundness_under_faults(const Lcp& lcp,
         // judgment: the accepting set must induce a k-colorable subgraph.
         const auto acc = accepting_nodes(res);
         if (!is_k_colorable(no.inst.g.induced_subgraph(acc), lcp.k())) {
-          report.ok = false;
-          report.findings.push_back(AuditFinding{
+          record_finding(report, AuditFinding{
               "soundness", repro,
               format("accepting set %s induces a non-%d-colorable subgraph",
                      show_vec(acc).c_str(), lcp.k())});
@@ -259,6 +286,7 @@ AuditReport audit_soundness_under_faults(const Lcp& lcp,
       }
     }
   }
+  publish_audit_tallies(report);
   return report;
 }
 

@@ -3,10 +3,34 @@
 #include "graph/algorithms.h"
 #include "util/combinatorics.h"
 #include "util/format.h"
+#include "util/metrics.h"
 
 namespace shlcp {
 
 namespace {
+
+// Counter placement is chosen so the sequential drivers and the
+// frame-sharded parallel path tally identical totals (the parity test
+// in tests/metrics_test.cpp pins this): frames are counted once per
+// frame in enumerate_frames / the sequential frame loops (never in
+// for_each_labeled_instance_in_frame, which the parallel workers call
+// per already-counted frame), and instances are counted in the shared
+// visit_frame_labelings product.
+metrics::Counter& frames_counter() {
+  static metrics::Counter& c = metrics::counter("lcp.enumerate.frames");
+  return c;
+}
+
+metrics::Counter& instances_counter() {
+  static metrics::Counter& c = metrics::counter("lcp.enumerate.instances");
+  return c;
+}
+
+metrics::Counter& proved_counter() {
+  static metrics::Counter& c =
+      metrics::counter("lcp.enumerate.proved_instances");
+  return c;
+}
 
 /// Runs `body` for every (ports, ids) frame of `g` selected by `options`.
 bool for_each_frame(const Graph& g, const EnumOptions& options,
@@ -73,6 +97,7 @@ bool visit_frame_labelings(const Lcp& lcp, const Graph& g, int graph_index,
   inst.ports = ports;
   inst.ids = ids;
   return for_each_product(radix, [&](const std::vector<int>& digits) {
+    instances_counter().inc();
     Labeling labels(n);
     for (Node v = 0; v < n; ++v) {
       labels.at(v) =
@@ -92,6 +117,7 @@ std::vector<EnumFrame> enumerate_frames(const std::vector<Graph>& graphs,
   for (std::size_t gi = 0; gi < graphs.size(); ++gi) {
     for_each_frame(graphs[gi], options,
                    [&](const PortAssignment& ports, const IdAssignment& ids) {
+                     frames_counter().inc();
                      EnumFrame frame;
                      frame.graph_index = static_cast<int>(gi);
                      frame.ports = ports;
@@ -121,6 +147,7 @@ std::optional<Instance> proved_instance_in_frame(
   if (!labels.has_value()) {
     return std::nullopt;
   }
+  proved_counter().inc();
   Instance inst;
   inst.g = graphs[gi];
   inst.ports = frame.ports;
@@ -136,6 +163,7 @@ bool for_each_labeled_instance(
     const Graph& g = graphs[gi];
     const bool keep_going = for_each_frame(
         g, options, [&](const PortAssignment& ports, const IdAssignment& ids) {
+          frames_counter().inc();
           return visit_frame_labelings(lcp, g, static_cast<int>(gi), ports,
                                        ids, options, visit);
         });
@@ -152,10 +180,12 @@ bool for_each_proved_instance(
   for (const Graph& g : graphs) {
     const bool keep_going = for_each_frame(
         g, options, [&](const PortAssignment& ports, const IdAssignment& ids) {
+          frames_counter().inc();
           auto labels = lcp.prove(g, ports, ids);
           if (!labels.has_value()) {
             return true;
           }
+          proved_counter().inc();
           Instance inst;
           inst.g = g;
           inst.ports = ports;

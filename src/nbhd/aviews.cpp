@@ -2,11 +2,26 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace shlcp {
 
 namespace {
+
+/// Publishes the finished build to the registry and annotates the
+/// enclosing nbhd.build trace span with the result shape. Called on the
+/// final graph only (see the NbhdStats note in nbhd_graph.h), so the
+/// counters are identical for sequential and parallel builds.
+void finish_build(const NbhdGraph& nbhd, trace::Span& span) {
+  publish_build_metrics(nbhd);
+  span.note("instances", static_cast<std::uint64_t>(nbhd.num_instances_absorbed()));
+  span.note("views", static_cast<std::uint64_t>(nbhd.num_views()));
+  span.note("views_deduped", nbhd.stats().views_deduped);
+  span.note("edges", static_cast<std::uint64_t>(nbhd.num_edges()));
+  span.note("absorb_ns", nbhd.stats().absorb_ns);
+}
 
 /// Shared shard/merge skeleton: runs `item_body(i, shard)` for every item
 /// in [0, num_items), chunked across a worker pool, and merges the
@@ -20,27 +35,47 @@ NbhdGraph build_sharded(
   const auto chunk = static_cast<std::size_t>(
       std::max(1, options.frames_per_chunk));
   const std::size_t num_chunks = num_items == 0 ? 0 : (num_items + chunk - 1) / chunk;
+  trace::Span span("nbhd.build");
+  span.note("items", static_cast<std::uint64_t>(num_items));
   if (threads <= 1 || num_chunks <= 1) {
+    span.note("threads", std::uint64_t{1});
     NbhdGraph out;
     for (std::size_t i = 0; i < num_items; ++i) {
       item_body(i, out);
     }
+    finish_build(out, span);
     return out;
   }
+  span.note("threads", static_cast<std::uint64_t>(threads));
+  span.note("chunks", static_cast<std::uint64_t>(num_chunks));
+  static metrics::Histogram& shard_hist =
+      metrics::histogram("nbhd.build.shard_absorb_ns");
   std::vector<NbhdGraph> shards(num_chunks);
   WorkerPool pool(threads);
   pool.parallel_for_chunks(
       num_items, chunk,
       [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
+        trace::Span shard_span("nbhd.build.shard");
+        shard_span.note("chunk", static_cast<std::uint64_t>(chunk_index));
+        shard_span.note("items", static_cast<std::uint64_t>(end - begin));
         NbhdGraph& shard = shards[chunk_index];
         for (std::size_t i = begin; i < end; ++i) {
           item_body(i, shard);
         }
+        shard_hist.record(shard.stats().absorb_ns);
       });
   NbhdGraph out;
-  for (NbhdGraph& shard : shards) {
-    out.merge(std::move(shard));
+  {
+    trace::Span merge_span("nbhd.build.merge");
+    merge_span.note("shards", static_cast<std::uint64_t>(num_chunks));
+    static metrics::Histogram& merge_hist =
+        metrics::histogram("nbhd.build.merge_ns");
+    const metrics::ScopedTimerNs merge_timer(merge_hist);
+    for (NbhdGraph& shard : shards) {
+      out.merge(std::move(shard));
+    }
   }
+  finish_build(out, span);
   return out;
 }
 
@@ -48,6 +83,8 @@ NbhdGraph build_sharded(
 
 NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
                            const EnumOptions& options) {
+  trace::Span span("nbhd.build");
+  span.note("threads", std::uint64_t{1});
   NbhdGraph nbhd;
   const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
   for_each_labeled_instance(lcp, yes_graphs, options,
@@ -55,6 +92,7 @@ NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
                               nbhd.absorb(lcp.decoder(), inst, lcp.k());
                               return true;
                             });
+  finish_build(nbhd, span);
   return nbhd;
 }
 
@@ -75,12 +113,15 @@ NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
 
 NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
                        const EnumOptions& options) {
+  trace::Span span("nbhd.build");
+  span.note("threads", std::uint64_t{1});
   NbhdGraph nbhd;
   const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
   for_each_proved_instance(lcp, yes_graphs, options, [&](const Instance& inst) {
     nbhd.absorb(lcp.decoder(), inst, lcp.k());
     return true;
   });
+  finish_build(nbhd, span);
   return nbhd;
 }
 
@@ -99,10 +140,13 @@ NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
 
 NbhdGraph build_from_instances(const Decoder& decoder,
                                const std::vector<Instance>& instances, int k) {
+  trace::Span span("nbhd.build");
+  span.note("threads", std::uint64_t{1});
   NbhdGraph nbhd;
   for (const Instance& inst : instances) {
     nbhd.absorb(decoder, inst, k);
   }
+  finish_build(nbhd, span);
   return nbhd;
 }
 

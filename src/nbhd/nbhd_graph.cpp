@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/metrics.h"
+
 namespace shlcp {
 
 namespace {
@@ -176,6 +178,18 @@ std::optional<std::vector<int>> NbhdGraph::odd_cycle() const {
 
 std::optional<std::vector<int>> NbhdGraph::k_coloring_of_views(int k) const {
   return k_coloring(adj_, k);
+}
+
+void publish_build_metrics(const NbhdGraph& nbhd) {
+  metrics::counter("nbhd.build.builds").inc();
+  metrics::counter("nbhd.build.instances")
+      .add(static_cast<std::uint64_t>(nbhd.num_instances_absorbed()));
+  metrics::counter("nbhd.build.views")
+      .add(static_cast<std::uint64_t>(nbhd.num_views()));
+  metrics::counter("nbhd.build.views_deduped").add(nbhd.stats().views_deduped);
+  metrics::counter("nbhd.build.edges")
+      .add(static_cast<std::uint64_t>(nbhd.num_edges()));
+  metrics::histogram("nbhd.build.absorb_ns").record(nbhd.stats().absorb_ns);
 }
 
 }  // namespace shlcp

@@ -49,6 +49,13 @@ struct Provenance {
 /// Accounting for the builders: dedupe pressure and time spent absorbing,
 /// so benches report dedupe ratios and time-in-absorb without external
 /// instrumentation. Deterministic except absorb_ns.
+///
+/// This is the *mergeable per-build accumulator*; the process-wide
+/// reporting surface is the metrics registry (util/metrics.h), fed once
+/// per completed build by publish_build_metrics(). Publishing from the
+/// final merged graph -- never per absorb/merge event, which would
+/// double-count shard re-registrations -- extends the bit-identical
+/// sequential == parallel guarantee to the registry counters.
 struct NbhdStats {
   /// Accepting-view registrations that hit an already-registered view.
   /// Total registrations = num_views() + views_deduped.
@@ -140,5 +147,12 @@ class NbhdGraph {
   int next_instance_ = 0;
   NbhdStats stats_;
 };
+
+/// Publishes a completed build's totals to the metrics registry:
+/// counters nbhd.build.{builds,instances,views,views_deduped,edges} and
+/// histogram nbhd.build.absorb_ns. The aviews.h builders call this once
+/// per build on the final (merged) graph, so sequential and parallel
+/// builds of the same sweep publish identical counter values.
+void publish_build_metrics(const NbhdGraph& nbhd);
 
 }  // namespace shlcp

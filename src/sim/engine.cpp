@@ -5,6 +5,8 @@
 
 #include "sim/gather.h"
 #include "util/check.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace shlcp {
 
@@ -16,12 +18,16 @@ SyncEngine::SyncEngine(const Instance& inst, ChannelModel* channel)
 void SyncEngine::deliver_one(int global_round, Node from, Node to,
                              const Message& m) {
   const Graph& g = inst_.g;
+  static metrics::Counter& messages = metrics::counter("sim.messages.delivered");
+  static metrics::Counter& bytes = metrics::counter("sim.bytes.delivered");
   stats_.messages += 1;
+  messages.inc();
   const std::size_t size = m.byte_size();
   SHLCP_CHECK_MSG(stats_.bytes <=
                       std::numeric_limits<std::uint64_t>::max() - size,
                   "SimStats byte total overflow");
   stats_.bytes += size;
+  bytes.add(size);
   if (global_round == 1) {
     // The round-1 handshake depends on the announce shape; a channel that
     // violates it (structural corruption is only legal from round 2 on)
@@ -77,8 +83,12 @@ void SyncEngine::deliver_one(int global_round, Node from, Node to,
 void SyncEngine::run(int rounds) {
   SHLCP_CHECK(rounds >= 0);
   const Graph& g = inst_.g;
+  static metrics::Counter& rounds_counter = metrics::counter("sim.rounds");
   for (int round = 0; round < rounds; ++round) {
     const int global_round = stats_.rounds + round + 1;
+    trace::Span round_span("sim.round");
+    const std::uint64_t messages_before = stats_.messages;
+    const std::uint64_t bytes_before = stats_.bytes;
     // Compute all outgoing messages from the current state, then deliver
     // (synchronous semantics: sends happen before any receive).
     std::vector<std::vector<std::pair<Node, Message>>> outbox(
@@ -156,6 +166,12 @@ void SyncEngine::run(int rounds) {
         }
       }
     }
+    rounds_counter.inc();
+    if (round_span.active()) {
+      round_span.note("round", static_cast<std::uint64_t>(global_round));
+      round_span.note("messages", stats_.messages - messages_before);
+      round_span.note("bytes", stats_.bytes - bytes_before);
+    }
   }
   stats_.rounds += rounds;
 }
@@ -173,13 +189,22 @@ View SyncEngine::view_of(Node v, int r) const {
 
 std::optional<View> SyncEngine::try_view_of(Node v, int r) const {
   SHLCP_CHECK_MSG(r == stats_.rounds, "run exactly r rounds first");
+  static metrics::Counter& reconstructed =
+      metrics::counter("sim.views.reconstructed");
+  static metrics::Counter& degraded = metrics::counter("sim.views.degraded");
   try {
-    return reconstruct_view(kb_[static_cast<std::size_t>(v)],
-                            inst_.ids.id_of(v), r, inst_.ids.bound());
+    View view = reconstruct_view(kb_[static_cast<std::size_t>(v)],
+                                 inst_.ids.id_of(v), r, inst_.ids.bound());
+    reconstructed.inc();
+    return view;
   } catch (const CheckError&) {
     // Degraded knowledge (dropped/corrupted/crashed inputs): the
     // reconstruction's internal invariants reject it. Reported, never
     // passed off as a valid radius-r view.
+    degraded.inc();
+    trace::event("sim.view.degraded",
+                 {{"node", static_cast<std::uint64_t>(v)},
+                  {"id", static_cast<std::int64_t>(inst_.ids.id_of(v))}});
     return std::nullopt;
   }
 }
@@ -187,6 +212,9 @@ std::optional<View> SyncEngine::try_view_of(Node v, int r) const {
 std::vector<bool> run_decoder_distributed(const Decoder& decoder,
                                           const Instance& inst,
                                           SimStats* stats) {
+  trace::Span span("sim.run");
+  span.note("nodes", static_cast<std::uint64_t>(inst.num_nodes()));
+  span.note("radius", static_cast<std::uint64_t>(decoder.radius()));
   SyncEngine engine(inst);
   engine.run(decoder.radius());
   std::vector<bool> verdicts(static_cast<std::size_t>(inst.num_nodes()));
@@ -206,6 +234,10 @@ std::vector<bool> run_decoder_distributed(const Decoder& decoder,
 FaultyRunResult run_decoder_distributed_faulty(const Decoder& decoder,
                                                const Instance& inst,
                                                const FaultPlan& plan) {
+  trace::Span span("sim.run.faulty");
+  span.note("nodes", static_cast<std::uint64_t>(inst.num_nodes()));
+  span.note("radius", static_cast<std::uint64_t>(decoder.radius()));
+  span.note("plan", plan.label);
   FaultyChannel channel(plan);
   SyncEngine engine(inst, &channel);
   engine.run(decoder.radius());
@@ -228,12 +260,19 @@ FaultyRunResult run_decoder_distributed_faulty(const Decoder& decoder,
     } catch (const CheckError&) {
       // The reconstruction was consistent but the decoder could not
       // evaluate it (corrupted content outside its input contract).
+      metrics::counter("sim.views.degraded").inc();
       res.degraded[i] = true;
       res.verdicts[i] = false;
     }
   }
   res.stats = engine.stats();
   res.faults = channel.stats();
+  // Fault events by class, as injected by this run's channel.
+  metrics::counter("sim.faults.dropped").add(res.faults.dropped);
+  metrics::counter("sim.faults.duplicated").add(res.faults.duplicated);
+  metrics::counter("sim.faults.corrupted_fields").add(res.faults.corrupted_fields);
+  metrics::counter("sim.faults.tampered_messages")
+      .add(res.faults.tampered_messages);
   return res;
 }
 

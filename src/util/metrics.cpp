@@ -1,0 +1,273 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace shlcp::metrics {
+
+namespace detail {
+
+unsigned thread_stripe_index() noexcept {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned index =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return index;
+}
+
+}  // namespace detail
+
+namespace {
+
+HistogramLayout exponential_layout(std::uint64_t first, std::uint64_t factor,
+                                   int buckets) {
+  HistogramLayout layout;
+  std::uint64_t bound = first;
+  for (int i = 0; i < buckets; ++i) {
+    layout.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return layout;
+}
+
+}  // namespace
+
+const HistogramLayout& HistogramLayout::duration_ns() {
+  static const HistogramLayout layout =
+      exponential_layout(/*first=*/1'000, /*factor=*/4, /*buckets=*/14);
+  return layout;
+}
+
+const HistogramLayout& HistogramLayout::bytes() {
+  static const HistogramLayout layout =
+      exponential_layout(/*first=*/64, /*factor=*/4, /*buckets=*/11);
+  return layout;
+}
+
+const HistogramLayout& HistogramLayout::count() {
+  static const HistogramLayout layout =
+      exponential_layout(/*first=*/1, /*factor=*/4, /*buckets=*/16);
+  return layout;
+}
+
+Histogram::Histogram(const HistogramLayout& layout) : bounds_(layout.bounds) {
+  SHLCP_CHECK_MSG(!bounds_.empty(), "Histogram needs at least one bucket bound");
+  SHLCP_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "Histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_buckets());
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  // First bucket whose inclusive upper edge holds the value; past the
+  // last bound, the overflow bucket at index bounds_.size().
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  SHLCP_CHECK_MSG(i < num_buckets(), "Histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Json Snapshot::to_json() const {
+  Json out = Json::object();
+  Json& c = out["counters"] = Json::object();
+  for (const auto& [name, value] : counters) {
+    c[name] = value;
+  }
+  Json& g = out["gauges"] = Json::object();
+  for (const auto& [name, value] : gauges) {
+    g[name] = value;
+  }
+  Json& h = out["histograms"] = Json::object();
+  for (const auto& [name, hist] : histograms) {
+    Json& entry = h[name] = Json::object();
+    Json& bounds = entry["bounds"] = Json::array();
+    for (const std::uint64_t b : hist.bounds) {
+      bounds.push_back(b);
+    }
+    Json& counts = entry["counts"] = Json::array();
+    for (const std::uint64_t n : hist.counts) {
+      counts.push_back(n);
+    }
+    entry["count"] = hist.count;
+    entry["sum"] = hist.sum;
+  }
+  return out;
+}
+
+namespace {
+
+/// One line per metric, indented by dotted-name depth, with shared
+/// prefixes printed once:  "nbhd" / "  build" / "    views   35".
+void append_tree_lines(std::string& out,
+                       const std::vector<std::pair<std::string, std::string>>&
+                           name_value_pairs) {
+  std::vector<std::string> open;  // currently-open prefix segments
+  for (const auto& [name, value] : name_value_pairs) {
+    std::vector<std::string> segments;
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t dot = name.find('.', start);
+      if (dot == std::string::npos) {
+        segments.push_back(name.substr(start));
+        break;
+      }
+      segments.push_back(name.substr(start, dot - start));
+      start = dot + 1;
+    }
+    std::size_t common = 0;
+    while (common < open.size() && common + 1 < segments.size() &&
+           open[common] == segments[common]) {
+      ++common;
+    }
+    open.resize(common);
+    while (open.size() + 1 < segments.size()) {
+      out += std::string(2 * open.size(), ' ');
+      out += segments[open.size()];
+      out += "\n";
+      open.push_back(segments[open.size()]);
+    }
+    std::string line = std::string(2 * open.size(), ' ') + segments.back();
+    if (line.size() < 44) {
+      line.append(44 - line.size(), ' ');
+    } else {
+      line.push_back(' ');
+    }
+    out += line;
+    out += value;
+    out += "\n";
+  }
+}
+
+}  // namespace
+
+std::string Snapshot::pretty_tree() const {
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (const auto& [name, value] : counters) {
+    rows.emplace_back(name, std::to_string(value));
+  }
+  for (const auto& [name, value] : gauges) {
+    rows.emplace_back(name, std::to_string(value));
+  }
+  for (const auto& [name, hist] : histograms) {
+    const double mean =
+        hist.count == 0 ? 0.0
+                        : static_cast<double>(hist.sum) /
+                              static_cast<double>(hist.count);
+    rows.emplace_back(name, format("histogram count=%llu sum=%llu mean=%.1f",
+                                   static_cast<unsigned long long>(hist.count),
+                                   static_cast<unsigned long long>(hist.sum),
+                                   mean));
+  }
+  std::sort(rows.begin(), rows.end());
+  std::string out;
+  append_tree_lines(out, rows);
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // leaked: process lifetime
+  return *instance;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               const HistogramLayout& layout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>(layout))
+             .first;
+  } else {
+    SHLCP_CHECK_MSG(it->second->bounds() == layout.bounds,
+                    format("histogram '%s' re-registered with a different "
+                           "bucket layout",
+                           std::string(name).c_str()));
+  }
+  return *it->second;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace(name, g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist hist;
+    hist.bounds = h->bounds();
+    hist.counts.reserve(h->num_buckets());
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      hist.counts.push_back(h->bucket_count(i));
+    }
+    hist.count = h->count();
+    hist.sum = h->sum();
+    snap.histograms.emplace(name, std::move(hist));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (const auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (const auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::global().counter(name);
+}
+
+Gauge& gauge(std::string_view name) { return Registry::global().gauge(name); }
+
+Histogram& histogram(std::string_view name, const HistogramLayout& layout) {
+  return Registry::global().histogram(name, layout);
+}
+
+Snapshot snapshot() { return Registry::global().snapshot(); }
+
+void reset_values() { Registry::global().reset_values(); }
+
+}  // namespace shlcp::metrics

@@ -1,0 +1,227 @@
+// Process-wide metrics registry: counters, gauges, and fixed-layout
+// histograms.
+//
+// Every subsystem that wants to report a quantity registers it here
+// under a dotted name ("nbhd.build.views", "sim.messages.delivered");
+// the registry owns the storage for the lifetime of the process, so
+// call sites can cache a reference in a function-local static and pay
+// one atomic add per event. Counters are striped across cache lines so
+// the parallel enumeration workers never contend on a single word;
+// values are relaxed-ordering because metrics are monotone tallies, not
+// synchronization.
+//
+// Snapshots are taken under the registration mutex and rendered either
+// as JSON (for bench/report.h's BENCH_*.json files) or as an indented
+// tree grouped by the dotted-name hierarchy (for examples/metrics_dump).
+//
+// Determinism contract: instrumented library code must bump counters so
+// that the sequential and parallel V(D, n) builds publish identical
+// values -- see the NbhdStats publication note in nbhd/nbhd_graph.h and
+// the parity test in tests/metrics_test.cpp.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace shlcp::metrics {
+
+/// Number of independent stripes per counter. Each stripe lives on its
+/// own cache line; threads hash to a stripe by a process-unique
+/// thread index, so up to this many threads increment without sharing.
+inline constexpr unsigned kCounterStripes = 16;
+
+namespace detail {
+/// Small dense per-thread index used to pick a counter stripe.
+unsigned thread_stripe_index() noexcept;
+}  // namespace detail
+
+/// Monotone event tally. add() is wait-free (one relaxed fetch_add on
+/// the caller's stripe); value() sums the stripes and is intended for
+/// snapshot time, not hot paths.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t delta) noexcept {
+    stripes_[detail::thread_stripe_index()].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Stripe& s : stripes_) {
+      s.v.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Stripe, kCounterStripes> stripes_;
+};
+
+/// Last-writer-wins signed level (thread counts, pool sizes, ...).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void set(std::int64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed bucket layout shared by histograms: `bounds[i]` is the
+/// inclusive upper edge of bucket i; one implicit overflow bucket
+/// catches everything above the last bound.
+struct HistogramLayout {
+  std::vector<std::uint64_t> bounds;
+
+  /// Exponential nanosecond buckets, 1us .. ~67s (1us * 4^k).
+  static const HistogramLayout& duration_ns();
+  /// Exponential byte buckets, 64 B .. 64 MiB.
+  static const HistogramLayout& bytes();
+  /// Exponential count buckets, 1 .. ~1e9.
+  static const HistogramLayout& count();
+};
+
+/// Concurrent fixed-bucket histogram. record() does one binary search
+/// over the (immutable) bounds plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramLayout& layout);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void record(std::uint64_t value) noexcept;
+
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Number of buckets including the overflow bucket.
+  std::size_t num_buckets() const { return bounds_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric.
+struct Snapshot {
+  struct Hist {
+    std::vector<std::uint64_t> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, Hist> histograms;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  /// {"bounds": [...], "counts": [...], "count": n, "sum": s}}}.
+  Json to_json() const;
+
+  /// Indented tree grouped by dotted-name segments, e.g.
+  ///   nbhd
+  ///     build
+  ///       views                 35
+  std::string pretty_tree() const;
+};
+
+/// Name -> metric map. Registration takes a mutex; returned references
+/// stay valid for the process lifetime, so hot paths should register
+/// once (function-local static reference) and then only touch atomics.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// The layout is fixed at first registration; re-registering the same
+  /// name with a different layout is a CheckError.
+  Histogram& histogram(
+      std::string_view name,
+      const HistogramLayout& layout = HistogramLayout::duration_ns());
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every registered metric (names stay registered). Tests and
+  /// the metrics_dump CLI use this to isolate one experiment's tallies.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthands for Registry::global().
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(
+    std::string_view name,
+    const HistogramLayout& layout = HistogramLayout::duration_ns());
+Snapshot snapshot();
+void reset_values();
+
+/// Records the elapsed steady-clock nanoseconds into a histogram when
+/// it goes out of scope.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(Histogram& h)
+      : hist_(h), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+  ~ScopedTimerNs() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace shlcp::metrics

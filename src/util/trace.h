@@ -1,0 +1,120 @@
+// Structured trace sink: spans and events as JSON Lines.
+//
+// A Span brackets a region of work (one V(D, n) build, one simulator
+// round, one audit run) and is written as a single JSONL record at
+// destruction, carrying the thread id, the steady-clock start offset,
+// the duration, and any note()d attributes. An event is an
+// instantaneous record (an audit finding with its REPRO string).
+//
+// Cost model:
+//  * disabled at runtime (the default): one relaxed atomic load per
+//    Span construction, nothing else -- note() and the destructor see
+//    active_ == false and return immediately.
+//  * disabled at compile time (-DSHLCP_NO_TRACE, CMake option
+//    SHLCP_DISABLE_TRACE): enabled() is constexpr false, so the
+//    optimizer deletes the instrumentation entirely.
+//  * enabled: attributes are buffered in the Span and one formatted
+//    line is appended to the sink under a mutex at span end. Tracing is
+//    a debugging tool; enabling it serializes writers and is expected
+//    to cost throughput (measured in DESIGN.md §10).
+//
+// Enable by setting the environment variable SHLCP_TRACE=<path> before
+// the process starts, or programmatically with trace::enable(path).
+// Records (one JSON object per line):
+//   {"type":"span","name":...,"tid":N,"t0_ns":N,"dur_ns":N,"attrs":{...}}
+//   {"type":"event","name":...,"tid":N,"t_ns":N,"attrs":{...}}
+// Timestamps are steady-clock nanoseconds relative to the first use of
+// the trace clock in the process, so spans from different threads share
+// one timeline.
+
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+
+namespace shlcp::trace {
+
+#ifdef SHLCP_NO_TRACE
+constexpr bool enabled() noexcept { return false; }
+#else
+/// True when a sink is open. One relaxed atomic load.
+bool enabled() noexcept;
+#endif
+
+/// Opens `path` (truncating) and starts recording. Throws CheckError if
+/// the file cannot be opened. No-op under SHLCP_NO_TRACE.
+void enable(const std::string& path);
+
+/// Flushes and closes the sink; enabled() becomes false.
+void disable();
+
+/// Steady-clock nanoseconds since the process's trace epoch.
+std::uint64_t now_ns() noexcept;
+
+/// Small dense id for the calling thread (0 for the first thread that
+/// asks, 1 for the next, ...). Stable for the thread's lifetime.
+unsigned thread_id() noexcept;
+
+namespace detail {
+void write_span(const char* name, unsigned tid, std::uint64_t t0_ns,
+                std::uint64_t dur_ns,
+                const std::vector<std::pair<std::string, Json>>& attrs);
+void write_event(const char* name, unsigned tid, std::uint64_t t_ns,
+                 const std::vector<std::pair<std::string, Json>>& attrs);
+}  // namespace detail
+
+/// RAII span. Construct at the top of the region; attach attributes
+/// with note(); the record is written when the Span is destroyed.
+/// `name` must outlive the Span (string literals in practice).
+class Span {
+ public:
+  explicit Span(const char* name) noexcept {
+    if (enabled()) {
+      name_ = name;
+      t0_ = now_ns();
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (name_ != nullptr) {
+      detail::write_span(name_, thread_id(), t0_, now_ns() - t0_, attrs_);
+    }
+  }
+
+  /// True when this span will be written; guard expensive attribute
+  /// computation with it.
+  bool active() const noexcept { return name_ != nullptr; }
+
+  void note(std::string_view key, Json value) {
+    if (name_ != nullptr) {
+      attrs_.emplace_back(std::string(key), std::move(value));
+    }
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+  std::vector<std::pair<std::string, Json>> attrs_;
+};
+
+/// Writes an instantaneous event record (no-op when disabled).
+inline void event(const char* name,
+                  std::initializer_list<std::pair<const char*, Json>> attrs = {}) {
+  if (enabled()) {
+    std::vector<std::pair<std::string, Json>> copy;
+    copy.reserve(attrs.size());
+    for (const auto& [k, v] : attrs) {
+      copy.emplace_back(k, v);
+    }
+    detail::write_event(name, thread_id(), now_ns(), copy);
+  }
+}
+
+}  // namespace shlcp::trace

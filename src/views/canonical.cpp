@@ -6,6 +6,8 @@
 #include <functional>
 #include <string_view>
 
+#include "util/metrics.h"
+
 namespace shlcp {
 
 std::vector<Node> canonical_order(const View& v) {
@@ -88,9 +90,17 @@ std::vector<std::int64_t> compute_canonical_code(const View& v) {
 }  // namespace
 
 const std::vector<std::int64_t>& View::canonical() const {
+  // Cache-pressure counters for the enumeration hot path: each View
+  // computes its code at most once; every later canonical() call (edge
+  // registration, index_of lookups, shard merges) should be a hit.
+  static metrics::Counter& computes = metrics::counter("views.canonical.computes");
+  static metrics::Counter& hits = metrics::counter("views.canonical.cache_hits");
   if (canon_ == nullptr) {
+    computes.inc();
     canon_ = std::make_shared<const std::vector<std::int64_t>>(
         compute_canonical_code(*this));
+  } else {
+    hits.inc();
   }
   return *canon_;
 }

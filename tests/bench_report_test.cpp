@@ -1,0 +1,107 @@
+// Pinned-schema test for the shared bench report harness: every
+// BENCH_*.json emitted by bench/report.h must carry exactly the
+// "shlcp.bench.v1" shape validated here (and by
+// tools/check_bench_json.py in CI). Widening the schema is allowed only
+// together with a version bump and an update to this test.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench/report.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace shlcp {
+namespace {
+
+Json build_report_json() {
+  bench::Report report("schema_probe");
+  report.meta()["family"] = "unit-test";
+  metrics::counter("test.bench_report.counter").inc();
+  Json& values = report.add_case("case_one");
+  values["n"] = std::int64_t{5};
+  values["ok"] = true;
+  return report.to_json();
+}
+
+TEST(BenchReportTest, SchemaVersionIsPinned) {
+  EXPECT_STREQ(bench::kSchemaVersion, "shlcp.bench.v1");
+}
+
+TEST(BenchReportTest, ReportMatchesPinnedSchema) {
+  const Json j = build_report_json();
+
+  // Top level: exactly these keys, in this order.
+  const auto& members = j.members();
+  ASSERT_EQ(members.size(), 6u);
+  EXPECT_EQ(members[0].first, "schema");
+  EXPECT_EQ(members[1].first, "bench");
+  EXPECT_EQ(members[2].first, "run");
+  EXPECT_EQ(members[3].first, "meta");
+  EXPECT_EQ(members[4].first, "cases");
+  EXPECT_EQ(members[5].first, "metrics");
+
+  EXPECT_EQ(j.at("schema").as_string(), "shlcp.bench.v1");
+  EXPECT_EQ(j.at("bench").as_string(), "schema_probe");
+
+  const Json& run = j.at("run");
+  EXPECT_TRUE(run.at("git").is_string());
+  EXPECT_GT(run.at("unix_time").as_int(), 0);
+  EXPECT_GE(run.at("hardware_concurrency").as_int(), 1);
+  EXPECT_GE(run.at("num_threads").as_int(), 1);
+  EXPECT_TRUE(run.at("smoke").is_bool());
+
+  EXPECT_EQ(j.at("meta").at("family").as_string(), "unit-test");
+
+  const Json& cases = j.at("cases");
+  ASSERT_EQ(cases.size(), 1u);
+  EXPECT_EQ(cases.at(0).at("name").as_string(), "case_one");
+  EXPECT_EQ(cases.at(0).at("values").at("n").as_int(), 5);
+
+  const Json& metrics_json = j.at("metrics");
+  EXPECT_TRUE(metrics_json.contains("counters"));
+  EXPECT_TRUE(metrics_json.contains("gauges"));
+  EXPECT_TRUE(metrics_json.contains("histograms"));
+  EXPECT_GE(metrics_json.at("counters")
+                .at("test.bench_report.counter")
+                .as_uint(),
+            1u);
+}
+
+TEST(BenchReportTest, WriteToEmitsParseableFile) {
+  bench::Report report("schema_probe_file");
+  report.add_case("only")["x"] = std::int64_t{1};
+  const std::string path =
+      ::testing::TempDir() + "/BENCH_schema_probe_file.json";
+  report.write_to(path);
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    contents.append(buf, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const Json parsed = Json::parse(contents);
+  EXPECT_EQ(parsed.at("schema").as_string(), "shlcp.bench.v1");
+  EXPECT_EQ(parsed.at("bench").as_string(), "schema_probe_file");
+  EXPECT_EQ(parsed.at("cases").at(0).at("values").at("x").as_int(), 1);
+}
+
+TEST(BenchReportTest, HistogramSnapshotShapeIsConsistent) {
+  metrics::histogram("test.bench_report.hist").record(123);
+  const Json j = build_report_json();
+  const Json& h =
+      j.at("metrics").at("histograms").at("test.bench_report.hist");
+  EXPECT_EQ(h.at("counts").size(), h.at("bounds").size() + 1);
+  EXPECT_GE(h.at("count").as_uint(), 1u);
+}
+
+}  // namespace
+}  // namespace shlcp

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json files against the shlcp.bench.v1 schema.
+
+Usage:
+    check_bench_json.py BENCH_sim.json [BENCH_parallel_enum.json ...]
+    check_bench_json.py --trace trace.jsonl
+
+The schema is pinned in bench/report.h and tests/bench_report_test.cpp;
+this script is the CI-side check that runs against the files the smoke
+benches actually wrote. With --trace it instead validates a JSONL trace
+file (one span/event object per line, as emitted by src/util/trace.cpp).
+
+Exits 0 iff every file validates; prints one line per problem.
+"""
+
+import json
+import sys
+
+SCHEMA = "shlcp.bench.v1"
+TOP_KEYS = ["schema", "bench", "run", "meta", "cases", "metrics"]
+RUN_KEYS = ["git", "unix_time", "hardware_concurrency", "num_threads", "smoke"]
+METRIC_KEYS = ["counters", "gauges", "histograms"]
+TRACE_TYPES = {"span", "event"}
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}")
+    return False
+
+
+def check_report(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or not JSON: {e}")
+
+    ok = True
+    if not isinstance(doc, dict) or list(doc.keys()) != TOP_KEYS:
+        ok = fail(path, f"top-level keys must be exactly {TOP_KEYS}, "
+                        f"got {list(doc) if isinstance(doc, dict) else type(doc).__name__}")
+        return ok
+    if doc["schema"] != SCHEMA:
+        ok = fail(path, f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if not isinstance(doc["bench"], str) or not doc["bench"]:
+        ok = fail(path, "bench must be a non-empty string")
+
+    run = doc["run"]
+    if not isinstance(run, dict) or list(run.keys()) != RUN_KEYS:
+        ok = fail(path, f"run keys must be exactly {RUN_KEYS}")
+    else:
+        if not isinstance(run["git"], str):
+            ok = fail(path, "run.git must be a string")
+        for key in ("unix_time", "hardware_concurrency", "num_threads"):
+            if not isinstance(run[key], int) or isinstance(run[key], bool):
+                ok = fail(path, f"run.{key} must be an integer")
+        if not isinstance(run["smoke"], bool):
+            ok = fail(path, "run.smoke must be a boolean")
+
+    if not isinstance(doc["meta"], dict):
+        ok = fail(path, "meta must be an object")
+
+    cases = doc["cases"]
+    if not isinstance(cases, list):
+        ok = fail(path, "cases must be an array")
+    else:
+        seen = set()
+        for i, case in enumerate(cases):
+            if (not isinstance(case, dict)
+                    or list(case.keys()) != ["name", "values"]
+                    or not isinstance(case["name"], str)
+                    or not isinstance(case["values"], dict)):
+                ok = fail(path, f"cases[{i}] must be "
+                                '{"name": str, "values": object}')
+                continue
+            if case["name"] in seen:
+                ok = fail(path, f"duplicate case name {case['name']!r}")
+            seen.add(case["name"])
+
+    metrics = doc["metrics"]
+    if not isinstance(metrics, dict) or list(metrics.keys()) != METRIC_KEYS:
+        ok = fail(path, f"metrics keys must be exactly {METRIC_KEYS}")
+    else:
+        for name, hist in metrics["histograms"].items():
+            if len(hist.get("counts", [])) != len(hist.get("bounds", [])) + 1:
+                ok = fail(path, f"histogram {name!r}: len(counts) must be "
+                                "len(bounds) + 1")
+            if sum(hist.get("counts", [])) != hist.get("count"):
+                ok = fail(path, f"histogram {name!r}: counts do not sum to "
+                                "count")
+    return ok
+
+
+def check_trace(path):
+    ok = True
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.readlines()
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    if not lines:
+        return fail(path, "trace is empty")
+    for lineno, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            ok = fail(path, f"line {lineno}: not JSON: {e}")
+            continue
+        kind = record.get("type")
+        if kind not in TRACE_TYPES:
+            ok = fail(path, f"line {lineno}: type must be one of "
+                            f"{sorted(TRACE_TYPES)}")
+            continue
+        required = {"span": ["type", "name", "tid", "t0_ns", "dur_ns"],
+                    "event": ["type", "name", "tid", "t_ns"]}[kind]
+        missing = [k for k in required if k not in record]
+        if missing:
+            ok = fail(path, f"line {lineno}: {kind} missing {missing}")
+        if "attrs" in record and not isinstance(record["attrs"], dict):
+            ok = fail(path, f"line {lineno}: attrs must be an object")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    if argv[1] == "--trace":
+        paths, checker = argv[2:], check_trace
+    else:
+        paths, checker = argv[1:], check_report
+    if not paths:
+        print("no files given")
+        return 2
+    ok = True
+    for path in paths:
+        if checker(path):
+            print(f"{path}: OK")
+        else:
+            ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
