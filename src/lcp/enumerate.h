@@ -19,9 +19,11 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "lcp/decoder.h"
+#include "util/budget.h"
 
 namespace shlcp {
 
@@ -37,8 +39,28 @@ struct EnumOptions {
   std::uint64_t max_labelings_per_frame = 20'000'000;
 };
 
+/// Frame-granular checkpointing for the sharded builders
+/// (nbhd/aviews.h): the build periodically persists a manifest of the
+/// completed frame prefix plus the merged NbhdGraph state, and can
+/// resume from it after a crash, budget trip, or SIGINT.
+struct CheckpointOptions {
+  /// Checkpoint directory (created on demand); empty disables
+  /// checkpointing entirely.
+  std::string directory;
+  /// Checkpoint cadence: a manifest is written roughly every this many
+  /// completed frames (rounded up to whole chunks).
+  std::uint64_t every_frames = 64;
+  /// Resume from an existing manifest in `directory` when one is
+  /// present (a mismatching manifest is a loud CheckError, never a
+  /// silent restart). When false an existing manifest is overwritten.
+  bool resume = true;
+
+  [[nodiscard]] bool enabled() const { return !directory.empty(); }
+};
+
 /// Options for the multithreaded sweep: the sequential dimension toggles
-/// plus worker-pool shape. Used by the parallel builders in nbhd/aviews.h.
+/// plus worker-pool shape, resource budgets, and checkpointing. Used by
+/// the parallel builders in nbhd/aviews.h.
 struct ParallelEnumOptions {
   /// Dimension toggles, shared with the sequential stream.
   EnumOptions enums;
@@ -49,6 +71,28 @@ struct ParallelEnumOptions {
   /// Chunks are contiguous, so larger chunks trade load balance for fewer
   /// shard merges.
   int frames_per_chunk = 4;
+  /// Per-build resource caps (util/budget.h). Default: unlimited. A
+  /// non-default budget requires the *_resumable builders -- the plain
+  /// NbhdGraph-returning builders fail loudly on an early exit rather
+  /// than return a silently truncated graph.
+  RunBudget budget;
+  /// Frame-granular checkpoint/resume. Default: disabled.
+  CheckpointOptions checkpoint;
+  /// Optional external stop flag (not owned; must outlive the build).
+  /// Shared with the budget enforcement: budget trips request a stop on
+  /// this token when provided.
+  CancelToken* cancel = nullptr;
+  /// Watchdog for wedged workers: when > 0, a run whose progress
+  /// counter stalls for this long is cancelled with StopReason::kStall
+  /// (util/parallel.h). 0 disables the watchdog.
+  std::uint64_t stall_timeout_ms = 0;
+
+  /// True iff nothing interrupt-related is configured, i.e. the build
+  /// can take the legacy uninstrumented path bit-identically.
+  [[nodiscard]] bool plain() const {
+    return budget.unlimited() && !checkpoint.enabled() && cancel == nullptr &&
+           stall_timeout_ms == 0;
+  }
 };
 
 /// One (graph, ports, ids) frame of the sweep. `graph_index` indexes the

@@ -1,7 +1,10 @@
 #include "nbhd/nbhd_graph.h"
 
+#include <algorithm>
 #include <chrono>
+#include <utility>
 
+#include "util/format.h"
 #include "util/metrics.h"
 
 namespace shlcp {
@@ -178,6 +181,218 @@ std::optional<std::vector<int>> NbhdGraph::odd_cycle() const {
 
 std::optional<std::vector<int>> NbhdGraph::k_coloring_of_views(int k) const {
   return k_coloring(adj_, k);
+}
+
+namespace {
+
+Json certificate_to_json(const Certificate& c) {
+  Json out = Json::array();
+  Json fields = Json::array();
+  for (const int f : c.fields) {
+    fields.push_back(Json(f));
+  }
+  out.push_back(std::move(fields));
+  out.push_back(Json(c.bits));
+  return out;
+}
+
+Certificate certificate_from_json(const Json& j) {
+  SHLCP_CHECK_MSG(j.is_array() && j.size() == 2,
+                  "certificate must be [[fields...], bits]");
+  Certificate c;
+  for (const Json& f : j.at(std::size_t{0}).items()) {
+    c.fields.push_back(static_cast<int>(f.as_int()));
+  }
+  c.bits = static_cast<int>(j.at(std::size_t{1}).as_int());
+  return c;
+}
+
+Json graph_to_json(const Graph& g) {
+  Json out = Json::object();
+  out["n"] = g.num_nodes();
+  Json edges = Json::array();
+  for (const Edge& e : g.edges()) {
+    Json pair = Json::array();
+    pair.push_back(Json(e.u));
+    pair.push_back(Json(e.v));
+    edges.push_back(std::move(pair));
+  }
+  out["edges"] = std::move(edges);
+  return out;
+}
+
+Graph graph_from_json(const Json& j) {
+  Graph g(static_cast<int>(j.at("n").as_int()));
+  for (const Json& pair : j.at("edges").items()) {
+    const Node u = static_cast<Node>(pair.at(std::size_t{0}).as_int());
+    const Node v = static_cast<Node>(pair.at(std::size_t{1}).as_int());
+    if (u == v) {
+      g.add_loop(u);
+    } else {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Json view_to_json(const View& v) {
+  Json out = Json::object();
+  out["g"] = graph_to_json(v.g);
+  out["center"] = v.center;
+  out["radius"] = v.radius;
+  Json dist = Json::array();
+  for (const int d : v.dist) {
+    dist.push_back(Json(d));
+  }
+  out["dist"] = std::move(dist);
+  Json ports = Json::array();
+  for (const std::vector<Port>& node_ports : v.ports) {
+    Json list = Json::array();
+    for (const Port p : node_ports) {
+      list.push_back(Json(p));
+    }
+    ports.push_back(std::move(list));
+  }
+  out["ports"] = std::move(ports);
+  Json ids = Json::array();
+  for (const Ident id : v.ids) {
+    ids.push_back(Json(id));
+  }
+  out["ids"] = std::move(ids);
+  Json labels = Json::array();
+  for (const Certificate& c : v.labels) {
+    labels.push_back(certificate_to_json(c));
+  }
+  out["labels"] = std::move(labels);
+  out["id_bound"] = v.id_bound;
+  return out;
+}
+
+View view_from_json(const Json& j) {
+  View v;
+  v.g = graph_from_json(j.at("g"));
+  v.center = static_cast<Node>(j.at("center").as_int());
+  v.radius = static_cast<int>(j.at("radius").as_int());
+  for (const Json& d : j.at("dist").items()) {
+    v.dist.push_back(static_cast<int>(d.as_int()));
+  }
+  for (const Json& list : j.at("ports").items()) {
+    std::vector<Port> node_ports;
+    for (const Json& p : list.items()) {
+      node_ports.push_back(static_cast<Port>(p.as_int()));
+    }
+    v.ports.push_back(std::move(node_ports));
+  }
+  for (const Json& id : j.at("ids").items()) {
+    v.ids.push_back(static_cast<Ident>(id.as_int()));
+  }
+  for (const Json& c : j.at("labels").items()) {
+    v.labels.push_back(certificate_from_json(c));
+  }
+  v.id_bound = static_cast<Ident>(j.at("id_bound").as_int());
+  const auto n = static_cast<std::size_t>(v.g.num_nodes());
+  SHLCP_CHECK_MSG(v.dist.size() == n && v.ports.size() == n &&
+                      v.ids.size() == n && v.labels.size() == n,
+                  "view record: parallel vectors disagree with the graph");
+  return v;
+}
+
+Json provenance_to_json(const Provenance& p) {
+  Json out = Json::array();
+  out.push_back(Json(p.instance));
+  out.push_back(Json(p.node));
+  out.push_back(Json(p.other));
+  return out;
+}
+
+Provenance provenance_from_json(const Json& j) {
+  SHLCP_CHECK_MSG(j.is_array() && j.size() == 3,
+                  "provenance must be [instance, node, other]");
+  Provenance p;
+  p.instance = static_cast<int>(j.at(std::size_t{0}).as_int());
+  p.node = static_cast<Node>(j.at(std::size_t{1}).as_int());
+  p.other = static_cast<Node>(j.at(std::size_t{2}).as_int());
+  return p;
+}
+
+}  // namespace
+
+Json NbhdGraph::to_json() const {
+  Json out = Json::object();
+  Json views = Json::array();
+  Json view_prov = Json::array();
+  for (std::size_t i = 0; i < views_.size(); ++i) {
+    views.push_back(view_to_json(views_[i]));
+    view_prov.push_back(provenance_to_json(view_prov_[i]));
+  }
+  out["views"] = std::move(views);
+  out["view_prov"] = std::move(view_prov);
+  out["adj"] = graph_to_json(adj_);
+  // Edge provenance in sorted key order, so the document (and therefore
+  // the checkpoint digest) is deterministic.
+  std::vector<std::pair<int, int>> keys;
+  keys.reserve(edge_prov_.size());
+  for (const auto& [key, prov] : edge_prov_) {
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  Json edge_prov = Json::array();
+  for (const auto& key : keys) {
+    Json entry = Json::array();
+    entry.push_back(Json(key.first));
+    entry.push_back(Json(key.second));
+    const Provenance& prov = edge_prov_.at(key);
+    entry.push_back(Json(prov.instance));
+    entry.push_back(Json(prov.node));
+    entry.push_back(Json(prov.other));
+    edge_prov.push_back(std::move(entry));
+  }
+  out["edge_prov"] = std::move(edge_prov);
+  out["next_instance"] = next_instance_;
+  Json stats = Json::object();
+  stats["views_deduped"] = stats_.views_deduped;
+  stats["absorb_ns"] = stats_.absorb_ns;
+  out["stats"] = std::move(stats);
+  return out;
+}
+
+NbhdGraph NbhdGraph::from_json(const Json& j) {
+  NbhdGraph out;
+  const Json& views = j.at("views");
+  const Json& view_prov = j.at("view_prov");
+  SHLCP_CHECK_MSG(views.size() == view_prov.size(),
+                  "NbhdGraph record: views / view_prov size mismatch");
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    View view = view_from_json(views.at(i));
+    const std::string key = canonical_key(view);
+    const auto [it, fresh] =
+        out.index_.try_emplace(key, static_cast<int>(out.views_.size()));
+    SHLCP_CHECK_MSG(fresh, format("NbhdGraph record: duplicate view #%d",
+                                  static_cast<int>(i)));
+    out.views_.push_back(std::move(view));
+    out.view_prov_.push_back(provenance_from_json(view_prov.at(i)));
+  }
+  out.adj_ = graph_from_json(j.at("adj"));
+  SHLCP_CHECK_MSG(out.adj_.num_nodes() == out.num_views(),
+                  "NbhdGraph record: adjacency size disagrees with views");
+  for (const Json& entry : j.at("edge_prov").items()) {
+    SHLCP_CHECK_MSG(entry.is_array() && entry.size() == 5,
+                    "edge_prov entry must be [a, b, instance, node, other]");
+    const int a = static_cast<int>(entry.at(std::size_t{0}).as_int());
+    const int b = static_cast<int>(entry.at(std::size_t{1}).as_int());
+    SHLCP_CHECK_MSG(0 <= a && a <= b && b < out.num_views() &&
+                        out.adj_.has_edge(a, b),
+                    "edge_prov entry does not match an adjacency edge");
+    Provenance prov;
+    prov.instance = static_cast<int>(entry.at(std::size_t{2}).as_int());
+    prov.node = static_cast<Node>(entry.at(std::size_t{3}).as_int());
+    prov.other = static_cast<Node>(entry.at(std::size_t{4}).as_int());
+    out.edge_prov_[{a, b}] = prov;
+  }
+  out.next_instance_ = static_cast<int>(j.at("next_instance").as_int());
+  out.stats_.views_deduped = j.at("stats").at("views_deduped").as_uint();
+  out.stats_.absorb_ns = j.at("stats").at("absorb_ns").as_uint();
+  return out;
 }
 
 void publish_build_metrics(const NbhdGraph& nbhd) {

@@ -32,6 +32,7 @@
 
 #include "graph/algorithms.h"
 #include "lcp/decoder.h"
+#include "util/json.h"
 #include "views/canonical.h"
 
 namespace shlcp {
@@ -127,6 +128,18 @@ class NbhdGraph {
   /// Builder accounting (dedupe hits, time in absorb). Merge sums shard
   /// stats, so parallel and sequential builds agree on views_deduped.
   [[nodiscard]] const NbhdStats& stats() const { return stats_; }
+
+  /// Serializes the complete builder state -- views in registration
+  /// order, adjacency (loops included), both provenance maps, the
+  /// instance counter, and stats -- so a checkpointed build can resume
+  /// bit-identically (nbhd/checkpoint.h). Deterministic except for the
+  /// absorb_ns stat: edge provenance is emitted in sorted key order.
+  [[nodiscard]] Json to_json() const;
+
+  /// Inverse of to_json: reconstructs the graph, re-deriving the
+  /// canonical-code index from the stored views. Throws CheckError on a
+  /// structurally inconsistent document (duplicate views, bad indices).
+  static NbhdGraph from_json(const Json& j);
 
  private:
   struct PairHash {

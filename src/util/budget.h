@@ -1,0 +1,212 @@
+// Resource budgets and cooperative cancellation for the long sweeps.
+//
+// The Lemma 3.1 enumeration is the one genuinely long-running job in this
+// repository: at n = 7-8 a V(D, n) sweep runs for minutes to hours. This
+// header provides the primitives that make such runs interruptible
+// instead of all-or-nothing:
+//
+//  * CancelToken -- a shared stop flag with a *reason*. The first
+//    request_stop wins; everything downstream (worker pools, chunk
+//    bodies, the simulator, the audit driver) polls it cooperatively.
+//    request_stop is async-signal-safe, so a SIGINT handler may call it.
+//  * RunBudget -- declarative per-build caps: wall-clock, frames,
+//    instances, resident memory, plus opt-in SIGINT arming.
+//  * BudgetTracker -- the runtime enforcer: work loops report progress
+//    (add_frames / add_instances) and poll should_stop(); the
+//    tracker converts an exceeded cap into a request_stop with the
+//    matching reason, so every early exit carries an explicit cause.
+//
+// Cancellation here is *cooperative and chunk-granular*: a budget trip
+// never tears down a thread mid-computation. Work units observe the stop
+// flag at their own safe points (between frames, between labelings,
+// between simulator rounds) and unwind; the enclosing builder then
+// preserves the completed prefix deterministically (util/parallel.h) and
+// reports the StopReason instead of a silently truncated result.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace shlcp {
+
+/// Why a run stopped early. kNone means "still running / ran to
+/// completion"; every other value names the budget or signal that
+/// tripped. Ordered so that lower values never mask a more specific
+/// diagnosis (first request_stop wins regardless).
+enum class StopReason : int {
+  kNone = 0,
+  /// Explicit CancelToken::request_stop by the embedding application.
+  kCancelRequested,
+  /// SIGINT observed while a SigintGuard was armed.
+  kInterrupt,
+  /// RunBudget::wall_ms deadline passed.
+  kDeadline,
+  /// RunBudget::max_frames reached.
+  kFrameBudget,
+  /// RunBudget::max_instances reached.
+  kInstanceBudget,
+  /// RunBudget::max_memory_bytes exceeded by the resident set.
+  kMemoryBudget,
+  /// The worker-pool watchdog saw no progress for the stall timeout.
+  kStall,
+};
+
+/// Stable lowercase name ("frame_budget", "interrupt", ...) used in
+/// manifests, metrics labels, and repro strings.
+const char* to_string(StopReason reason) noexcept;
+
+/// Classifies a stop: *hard* stops (time, memory, signal, explicit
+/// cancellation, stall) abort work mid-chunk at the next safe point,
+/// while *soft* stops (the work-count budgets) let already-started
+/// chunks finish so every run makes forward progress -- a resume loop
+/// under a tiny frame budget terminates instead of re-discarding the
+/// same partial chunk forever.
+constexpr bool is_hard_stop(StopReason reason) noexcept {
+  return reason == StopReason::kCancelRequested ||
+         reason == StopReason::kInterrupt || reason == StopReason::kDeadline ||
+         reason == StopReason::kMemoryBudget || reason == StopReason::kStall;
+}
+
+/// Shared cooperative stop flag. Cheap to poll (one relaxed load);
+/// request_stop is lock-free and async-signal-safe. The first stop
+/// reason sticks; later requests are ignored.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<int>(StopReason::kNone);
+  }
+
+  [[nodiscard]] StopReason reason() const noexcept {
+    return static_cast<StopReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Requests a stop with `reason`; returns true iff this call set the
+  /// flag (false when a stop was already pending). Safe from signal
+  /// handlers and concurrent threads.
+  bool request_stop(StopReason reason) noexcept {
+    int expected = static_cast<int>(StopReason::kNone);
+    return reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                           std::memory_order_relaxed);
+  }
+
+  /// Clears the flag (between independent runs sharing one token).
+  void reset() noexcept {
+    reason_.store(static_cast<int>(StopReason::kNone),
+                  std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(StopReason::kNone)};
+};
+
+/// Thrown by cooperative call sites (e.g. SyncEngine::run) when a
+/// cancellation interrupts work that has no way to return a partial
+/// result. Carries the StopReason so callers can report it explicitly.
+class CancelledError : public std::runtime_error {
+ public:
+  CancelledError(StopReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+
+  [[nodiscard]] StopReason reason() const noexcept { return reason_; }
+
+ private:
+  StopReason reason_;
+};
+
+/// Declarative per-build resource caps. Zero means "unlimited" for every
+/// numeric field, so a default RunBudget changes nothing.
+struct RunBudget {
+  /// Wall-clock deadline in milliseconds from tracker construction.
+  std::uint64_t wall_ms = 0;
+  /// Cap on (graph, ports, ids) frames *started* this run. The builders
+  /// enforce it deterministically by frame index: a chunk is started iff
+  /// its first frame lies below the cap, so overshoot is bounded by one
+  /// chunk and every run under a tiny cap still makes progress.
+  std::uint64_t max_frames = 0;
+  /// Cap on labeled instances visited this run (checked between chunks
+  /// and between frames, so overshoot is bounded by one chunk).
+  std::uint64_t max_instances = 0;
+  /// Cap on the process resident set (bytes); 0 or unsupported platforms
+  /// disable the check.
+  std::uint64_t max_memory_bytes = 0;
+  /// Route SIGINT into the token for the tracker's lifetime, so ^C
+  /// checkpoints and exits cleanly instead of killing the process.
+  bool arm_sigint = false;
+
+  /// True iff no cap is set and SIGINT is not armed -- the tracker (and
+  /// budget-aware builders) can skip all bookkeeping.
+  [[nodiscard]] bool unlimited() const noexcept {
+    return wall_ms == 0 && max_frames == 0 && max_instances == 0 &&
+           max_memory_bytes == 0 && !arm_sigint;
+  }
+};
+
+/// Current resident-set size in bytes, or 0 when the platform offers no
+/// cheap way to read it (the memory cap then never trips).
+std::uint64_t current_rss_bytes() noexcept;
+
+/// RAII: routes SIGINT into `token` (reason kInterrupt) while alive and
+/// restores the previous handler on destruction. At most one guard may
+/// be armed at a time; arming a second is a loud CheckError.
+class SigintGuard {
+ public:
+  explicit SigintGuard(CancelToken& token);
+  ~SigintGuard();
+  SigintGuard(const SigintGuard&) = delete;
+  SigintGuard& operator=(const SigintGuard&) = delete;
+
+ private:
+  void (*previous_)(int) = nullptr;
+};
+
+/// Runtime budget enforcer for one build. Work loops report progress and
+/// poll should_stop(); the tracker translates an exceeded cap into
+/// token().request_stop(reason). All methods are thread-safe.
+class BudgetTracker {
+ public:
+  /// Starts the wall clock now. `token` must outlive the tracker.
+  BudgetTracker(const RunBudget& budget, CancelToken& token);
+
+  /// Reports `frames` frames started (bookkeeping only; the frame cap is
+  /// enforced by the builders via frame index, see RunBudget::max_frames).
+  void add_frames(std::uint64_t frames) noexcept;
+
+  /// Reports `count` labeled instances visited (batch per frame; do not
+  /// call per instance in hot loops). Requests a kInstanceBudget stop
+  /// once the running total crosses max_instances.
+  void add_instances(std::uint64_t count) noexcept;
+
+  /// Polls every cap that is time- or state-based: the token itself, the
+  /// deadline, the instance cap, and (sampled, every 32nd call) the
+  /// memory cap. Returns true -- after requesting a stop with the
+  /// matching reason -- when the run must wind down.
+  bool should_stop() noexcept;
+
+  [[nodiscard]] std::uint64_t frames_started() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t instances() const noexcept {
+    return instances_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] CancelToken& token() noexcept { return token_; }
+
+ private:
+  const RunBudget budget_;
+  CancelToken& token_;
+  std::uint64_t deadline_ns_ = 0;  // steady-clock ns since epoch; 0 = none
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> instances_{0};
+  std::atomic<std::uint64_t> polls_{0};
+  std::optional<SigintGuard> sigint_;
+};
+
+}  // namespace shlcp

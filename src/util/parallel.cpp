@@ -1,6 +1,7 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "util/check.h"
@@ -57,29 +58,39 @@ void WorkerPool::worker_loop() {
 }
 
 void WorkerPool::run_chunks() {
-  // Claim chunks until the counter runs past the end. Job state (body_,
-  // job_n_, ...) is stable for the whole claim loop: the caller does not
-  // reset it until active_claimers_ drops to zero.
+  // Claim chunks until the counter runs past the end or the stop latch
+  // trips (a sibling chunk threw, or the job's CancelToken fired). Job
+  // state (body_, job_n_, ...) is stable for the whole claim loop: the
+  // caller does not reset it until active_claimers_ drops to zero.
   for (;;) {
+    if (stop_claims_.load(std::memory_order_relaxed) ||
+        (job_cancel_ != nullptr && job_cancel_->stop_requested())) {
+      break;
+    }
     const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (c >= num_chunks_) {
       break;
     }
+    progress_.fetch_add(1, std::memory_order_relaxed);
     const std::size_t begin = c * job_chunk_;
     const std::size_t end = std::min(job_n_, begin + job_chunk_);
+    bool completed = false;
     try {
-      (*body_)(c, begin, end);
+      completed = (*body_)(c, begin, end);
     } catch (...) {
+      // Fail fast: no new chunks after an exception; already-running
+      // chunks finish, and the lowest-indexed exception is rethrown.
+      stop_claims_.store(true, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lk(mu_);
       if (error_ == nullptr || c < error_chunk_) {
         error_ = std::current_exception();
         error_chunk_ = c;
       }
     }
-    std::lock_guard<std::mutex> lk(mu_);
-    ++chunks_done_;
-    if (chunks_done_ == num_chunks_) {
-      done_cv_.notify_all();
+    progress_.fetch_add(1, std::memory_order_relaxed);
+    if (completed) {
+      std::lock_guard<std::mutex> lk(mu_);
+      chunk_done_[c] = 1;
     }
   }
   std::lock_guard<std::mutex> lk(mu_);
@@ -89,42 +100,126 @@ void WorkerPool::run_chunks() {
   }
 }
 
-void WorkerPool::parallel_for_chunks(std::size_t n, std::size_t chunk,
-                                     const ChunkBody& body) {
+ParallelRunResult WorkerPool::run_job(std::size_t n, std::size_t chunk,
+                                      const CancellableChunkBody& body,
+                                      const ParallelRunControl& ctrl) {
   SHLCP_CHECK_MSG(chunk >= 1, "chunk size must be >= 1");
+  ParallelRunResult result;
   if (n == 0) {
-    return;
+    return result;
   }
   {
     std::lock_guard<std::mutex> lk(mu_);
     SHLCP_CHECK_MSG(body_ == nullptr,
                     "parallel_for_chunks is not reentrant");
     body_ = &body;
+    job_cancel_ = ctrl.cancel;
     job_n_ = n;
     job_chunk_ = chunk;
     num_chunks_ = (n + chunk - 1) / chunk;
     next_chunk_.store(0, std::memory_order_relaxed);
-    chunks_done_ = 0;
+    stop_claims_.store(false, std::memory_order_relaxed);
+    chunk_done_.assign(num_chunks_, 0);
     error_ = nullptr;
     error_chunk_ = 0;
     ++generation_;
     ++active_claimers_;  // the caller claims too
   }
+  result.num_chunks = num_chunks_;
+
+  // Optional stall watchdog: if the progress counter does not move for
+  // stall_timeout_ms, request a cooperative kStall stop so polling chunk
+  // bodies unwind instead of the run blocking forever. (A body that
+  // never reaches a safe point cannot be preempted -- the watchdog makes
+  // hangs *diagnosable and escapable* for cooperative bodies, it is not
+  // thread cancellation.)
+  std::thread watchdog;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool job_finished = false;
+  if (ctrl.stall_timeout_ms > 0) {
+    SHLCP_CHECK_MSG(ctrl.cancel != nullptr,
+                    "stall watchdog requires a CancelToken");
+    watchdog = std::thread([&] {
+      const auto timeout = std::chrono::milliseconds(ctrl.stall_timeout_ms);
+      const auto poll = std::max<std::chrono::milliseconds>(
+          std::chrono::milliseconds(1), timeout / 8);
+      std::uint64_t last = progress_.load(std::memory_order_relaxed);
+      auto last_change = std::chrono::steady_clock::now();
+      std::unique_lock<std::mutex> lk(wd_mu);
+      for (;;) {
+        if (wd_cv.wait_for(lk, poll, [&] { return job_finished; })) {
+          return;
+        }
+        const std::uint64_t cur = progress_.load(std::memory_order_relaxed);
+        const auto now = std::chrono::steady_clock::now();
+        if (cur != last) {
+          last = cur;
+          last_change = now;
+        } else if (now - last_change >= timeout) {
+          ctrl.cancel->request_stop(StopReason::kStall);
+          stop_claims_.store(true, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+
   work_cv_.notify_all();
   run_chunks();
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lk(mu_);
-    done_cv_.wait(lk, [&] {
-      return chunks_done_ == num_chunks_ && active_claimers_ == 0;
-    });
+    done_cv_.wait(lk, [&] { return active_claimers_ == 0; });
+    // All claimers are out, so chunk_done_ is final: the completed
+    // prefix is deterministic given which chunks completed.
+    std::size_t prefix = 0;
+    while (prefix < num_chunks_ && chunk_done_[prefix] != 0) {
+      ++prefix;
+    }
+    result.completed_prefix_chunks = prefix;
     body_ = nullptr;
+    job_cancel_ = nullptr;
     error = error_;
     error_ = nullptr;
+    // Park the claim state. A job that stopped early (cooperative
+    // cancel) leaves next_chunk_ < num_chunks_ with stop_claims_ still
+    // false; a worker that only now wakes for this generation would
+    // march straight into the claim loop and call the dead job's body.
+    // Both stores happen before this lock is released, so any such
+    // late waker (whose predicate check re-acquires mu_) sees them and
+    // claims nothing. The next job's setup resets both.
+    stop_claims_.store(true, std::memory_order_relaxed);
+    next_chunk_.store(num_chunks_, std::memory_order_relaxed);
+  }
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lk(wd_mu);
+      job_finished = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
   }
   if (error != nullptr) {
     std::rethrow_exception(error);
   }
+  return result;
+}
+
+void WorkerPool::parallel_for_chunks(std::size_t n, std::size_t chunk,
+                                     const ChunkBody& body) {
+  const CancellableChunkBody wrapped =
+      [&body](std::size_t c, std::size_t begin, std::size_t end) {
+        body(c, begin, end);
+        return true;
+      };
+  run_job(n, chunk, wrapped, ParallelRunControl{});
+}
+
+ParallelRunResult WorkerPool::run_cancellable(std::size_t n, std::size_t chunk,
+                                              const CancellableChunkBody& body,
+                                              const ParallelRunControl& ctrl) {
+  return run_job(n, chunk, body, ctrl);
 }
 
 void parallel_for_chunks(int num_threads, std::size_t n, std::size_t chunk,

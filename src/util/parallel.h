@@ -10,8 +10,19 @@
 // neighborhood-graph build bit-identical to the sequential one (see
 // NbhdGraph::merge).
 //
-// Error handling is deterministic too: if chunk bodies throw, the
-// exception from the lowest-indexed failing chunk is rethrown.
+// Error handling is deterministic and fail-fast: if chunk bodies throw,
+// remaining *queued* chunks are cancelled (already-running chunks finish)
+// and the exception from the lowest-indexed failing chunk is rethrown.
+//
+// Cancellation: run_cancellable takes a CancelToken plus an optional
+// stall watchdog. Workers stop claiming new chunks once the token trips;
+// chunk bodies additionally poll the token at their own safe points and
+// may abort mid-chunk (returning false). The run then reports the
+// *completed chunk prefix* -- the largest p such that chunks [0, p) all
+// ran to completion -- which is what lets a budgeted V(D, n) build keep a
+// deterministic, resumable amount of work (nbhd/aviews.h). Chunks beyond
+// the prefix may also have completed; the caller discards them, trading a
+// bounded amount of redone work for exact sequential semantics.
 
 #pragma once
 
@@ -25,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/budget.h"
+
 namespace shlcp {
 
 /// Resolves a worker-thread count: `requested` if >= 1, else the
@@ -37,6 +50,41 @@ int resolve_num_threads(int requested = 0);
 using ChunkBody =
     std::function<void(std::size_t chunk_index, std::size_t begin,
                        std::size_t end)>;
+
+/// Cooperative chunk body: returns true when the chunk ran to
+/// completion, false when it aborted early (budget trip observed at a
+/// safe point). An aborted chunk's side effects must be discardable by
+/// the caller -- it is excluded from the completed prefix.
+using CancellableChunkBody =
+    std::function<bool(std::size_t chunk_index, std::size_t begin,
+                       std::size_t end)>;
+
+/// Cancellation plumbing for one run_cancellable call.
+struct ParallelRunControl {
+  /// Stop flag polled before every chunk claim; chunk bodies should poll
+  /// it too. May be null (no external cancellation).
+  CancelToken* cancel = nullptr;
+  /// When > 0, a watchdog thread watches the pool's progress counter
+  /// (chunk claims, completions, and explicit heartbeat() calls); if no
+  /// progress happens for this long, it requests a kStall stop on
+  /// `cancel` so cooperative bodies fail fast instead of the run hanging
+  /// forever. Requires `cancel` to be non-null. The watchdog cannot
+  /// preempt a body that never reaches a safe point.
+  std::uint64_t stall_timeout_ms = 0;
+};
+
+/// What a cancellable run did.
+struct ParallelRunResult {
+  /// Chunks [0, completed_prefix_chunks) all ran to completion; the
+  /// caller may reduce exactly this prefix deterministically.
+  std::size_t completed_prefix_chunks = 0;
+  /// Total chunks of the range.
+  std::size_t num_chunks = 0;
+  /// True iff the run stopped before completing every chunk.
+  [[nodiscard]] bool stopped() const {
+    return completed_prefix_chunks < num_chunks;
+  }
+};
 
 /// Fixed-size pool of worker threads. The calling thread participates in
 /// every parallel_for_chunks, so a pool of size t uses t OS threads total
@@ -58,32 +106,54 @@ class WorkerPool {
   /// Splits [0, n) into ceil(n / chunk) contiguous chunks of size `chunk`
   /// (the last may be short) and runs `body` once per chunk, distributing
   /// chunks dynamically across the pool. Blocks until every chunk is done.
-  /// If bodies throw, rethrows the exception of the lowest failing chunk.
+  /// If bodies throw, remaining queued chunks are cancelled and the
+  /// exception of the lowest-indexed chunk that threw is rethrown.
   /// Not reentrant: must not be called from inside a chunk body.
   void parallel_for_chunks(std::size_t n, std::size_t chunk,
                            const ChunkBody& body);
 
+  /// Cancellable variant: stops claiming chunks when ctrl.cancel trips
+  /// (or a body throws), and reports the completed chunk prefix instead
+  /// of requiring full completion. Exceptions still rethrow the
+  /// lowest-indexed one after the run winds down.
+  ParallelRunResult run_cancellable(std::size_t n, std::size_t chunk,
+                                    const CancellableChunkBody& body,
+                                    const ParallelRunControl& ctrl);
+
+  /// Progress heartbeat for the stall watchdog: long-running chunk
+  /// bodies call this at their safe points (e.g. once per frame) so a
+  /// legitimately slow chunk is not mistaken for a wedged one.
+  void heartbeat() noexcept {
+    progress_.fetch_add(1, std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
   void run_chunks();
+  ParallelRunResult run_job(std::size_t n, std::size_t chunk,
+                            const CancellableChunkBody& body,
+                            const ParallelRunControl& ctrl);
 
   std::vector<std::thread> threads_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a new job or shutdown
-  std::condition_variable done_cv_;  // caller: all chunks done, claimers out
+  std::condition_variable done_cv_;  // caller: all claimers out
   bool shutdown_ = false;
   std::uint64_t generation_ = 0;
 
   // Current job; written under mu_ before the generation bump, read by
   // workers only after observing the bump under mu_ (or claim-guarded by
   // active_claimers_, which the caller waits on before resetting).
-  const ChunkBody* body_ = nullptr;
+  const CancellableChunkBody* body_ = nullptr;
+  CancelToken* job_cancel_ = nullptr;  // may be null
   std::size_t job_n_ = 0;
   std::size_t job_chunk_ = 0;
   std::size_t num_chunks_ = 0;
   std::atomic<std::size_t> next_chunk_{0};
-  std::size_t chunks_done_ = 0;      // guarded by mu_
+  std::atomic<bool> stop_claims_{false};  // fail-fast / cancellation latch
+  std::atomic<std::uint64_t> progress_{0};  // watchdog heartbeat counter
+  std::vector<char> chunk_done_;     // guarded by mu_
   int active_claimers_ = 0;          // guarded by mu_
   std::size_t error_chunk_ = 0;      // guarded by mu_
   std::exception_ptr error_;         // guarded by mu_

@@ -9,10 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 
 #include "certify/degree_one.h"
 #include "certify/even_cycle.h"
@@ -87,6 +89,135 @@ TEST(WorkerPoolTest, RethrowsLowestChunkError) {
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(), "chunk 3");
   }
+}
+
+TEST(WorkerPoolTest, FailFastCancelsQueuedChunks) {
+  // Regression for the fail-fast contract: once a chunk throws, chunks
+  // that are still queued must never start. With a single-thread pool the
+  // claim order is sequential, so exactly chunks 0..2 run.
+  WorkerPool pool(1);
+  std::vector<int> ran(10, 0);
+  try {
+    pool.parallel_for_chunks(10, 1,
+                             [&](std::size_t ci, std::size_t, std::size_t) {
+                               ran[ci] = 1;
+                               if (ci == 2) {
+                                 throw std::runtime_error("boom");
+                               }
+                             });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_EQ(ran, (std::vector<int>{1, 1, 1, 0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST(WorkerPoolTest, CancellableCompletesWithoutStop) {
+  WorkerPool pool(2);
+  CancelToken token;
+  ParallelRunControl ctrl;
+  ctrl.cancel = &token;
+  std::atomic<int> sum{0};
+  const ParallelRunResult res = pool.run_cancellable(
+      20, 3,
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        sum.fetch_add(static_cast<int>(e - b));
+        return true;
+      },
+      ctrl);
+  EXPECT_FALSE(res.stopped());
+  EXPECT_EQ(res.completed_prefix_chunks, res.num_chunks);
+  EXPECT_EQ(res.num_chunks, 7u);
+  EXPECT_EQ(sum.load(), 20);
+  EXPECT_FALSE(token.stop_requested());
+}
+
+TEST(WorkerPoolTest, CancellableReportsCompletedPrefix) {
+  for (const int threads : {1, 2, 4}) {
+    WorkerPool pool(threads);
+    CancelToken token;
+    ParallelRunControl ctrl;
+    ctrl.cancel = &token;
+    const ParallelRunResult res = pool.run_cancellable(
+        40, 2,
+        [&](std::size_t ci, std::size_t, std::size_t) {
+          if (ci == 5) {
+            token.request_stop(StopReason::kCancelRequested);
+            return false;  // aborted chunk: excluded from the prefix
+          }
+          return true;
+        },
+        ctrl);
+    EXPECT_TRUE(res.stopped()) << threads << " threads";
+    EXPECT_EQ(res.num_chunks, 20u);
+    EXPECT_LE(res.completed_prefix_chunks, 5u) << threads << " threads";
+    if (threads == 1) {
+      // Sequential claim order: exactly chunks 0..4 completed.
+      EXPECT_EQ(res.completed_prefix_chunks, 5u);
+    }
+    EXPECT_EQ(token.reason(), StopReason::kCancelRequested);
+  }
+}
+
+TEST(WorkerPoolTest, PreStoppedTokenRunsNothing) {
+  WorkerPool pool(2);
+  CancelToken token;
+  token.request_stop(StopReason::kDeadline);
+  ParallelRunControl ctrl;
+  ctrl.cancel = &token;
+  const ParallelRunResult res = pool.run_cancellable(
+      10, 1,
+      [&](std::size_t, std::size_t, std::size_t) {
+        ADD_FAILURE() << "no chunk may start on a tripped token";
+        return true;
+      },
+      ctrl);
+  EXPECT_TRUE(res.stopped());
+  EXPECT_EQ(res.completed_prefix_chunks, 0u);
+}
+
+TEST(WorkerPoolTest, WatchdogFlagsStalledRun) {
+  WorkerPool pool(1);
+  CancelToken token;
+  ParallelRunControl ctrl;
+  ctrl.cancel = &token;
+  ctrl.stall_timeout_ms = 50;
+  const ParallelRunResult res = pool.run_cancellable(
+      4, 1,
+      [&](std::size_t, std::size_t, std::size_t) {
+        // A cooperative-but-stuck body: makes no progress, polls the
+        // token. The watchdog must fail it fast with kStall.
+        while (!token.stop_requested()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return false;
+      },
+      ctrl);
+  EXPECT_TRUE(res.stopped());
+  EXPECT_EQ(res.completed_prefix_chunks, 0u);
+  EXPECT_EQ(token.reason(), StopReason::kStall);
+}
+
+TEST(WorkerPoolTest, HeartbeatPreventsFalseStall) {
+  WorkerPool pool(1);
+  CancelToken token;
+  ParallelRunControl ctrl;
+  ctrl.cancel = &token;
+  ctrl.stall_timeout_ms = 60;
+  const ParallelRunResult res = pool.run_cancellable(
+      1, 1,
+      [&](std::size_t, std::size_t, std::size_t) {
+        // Legitimately slow chunk (~200ms > timeout) that heartbeats at
+        // its safe points: must NOT be flagged as stalled.
+        for (int i = 0; i < 20; ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          pool.heartbeat();
+        }
+        return true;
+      },
+      ctrl);
+  EXPECT_FALSE(res.stopped());
+  EXPECT_FALSE(token.stop_requested());
 }
 
 TEST(WorkerPoolTest, EmptyRangeIsANoop) {

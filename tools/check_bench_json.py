@@ -4,16 +4,24 @@
 Usage:
     check_bench_json.py BENCH_sim.json [BENCH_parallel_enum.json ...]
     check_bench_json.py --trace trace.jsonl
+    check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
 
 The schema is pinned in bench/report.h and tests/bench_report_test.cpp;
 this script is the CI-side check that runs against the files the smoke
 benches actually wrote. With --trace it instead validates a JSONL trace
 file (one span/event object per line, as emitted by src/util/trace.cpp).
+With --ckpt it validates checkpoint directories written by the resumable
+V(D, n) builders (schema shlcp.ckpt.v1, pinned in src/nbhd/checkpoint.h):
+exact manifest keys and types, frames_done <= num_frames, known status
+and stop_reason values, digest format, and that the state file's FNV-1a
+hash matches the recorded state_digest.
 
 Exits 0 iff every file validates; prints one line per problem.
 """
 
 import json
+import os
+import re
 import sys
 
 SCHEMA = "shlcp.bench.v1"
@@ -21,6 +29,28 @@ TOP_KEYS = ["schema", "bench", "run", "meta", "cases", "metrics"]
 RUN_KEYS = ["git", "unix_time", "hardware_concurrency", "num_threads", "smoke"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
 TRACE_TYPES = {"span", "event"}
+
+CKPT_SCHEMA = "shlcp.ckpt.v1"
+CKPT_KEYS = ["schema", "git", "decoder", "build", "k", "options_hash",
+             "num_frames", "frames_done", "instances_absorbed", "status",
+             "stop_reason", "state_file", "state_digest", "frames_digest"]
+CKPT_STR_KEYS = ["schema", "git", "decoder", "build", "options_hash",
+                 "status", "stop_reason", "state_file", "state_digest",
+                 "frames_digest"]
+CKPT_INT_KEYS = ["k", "num_frames", "frames_done", "instances_absorbed"]
+CKPT_STATUSES = {"in_progress", "complete"}
+CKPT_STOP_REASONS = {"none", "cancel_requested", "interrupt", "deadline",
+                     "frame_budget", "instance_budget", "memory_budget",
+                     "stall"}
+DIGEST_RE = re.compile(r"^fnv:[0-9a-f]{16}$")
+
+
+def fnv1a_hex(data):
+    """FNV-1a 64 over bytes, rendered exactly like src/nbhd/checkpoint.cpp."""
+    h = 1469598103934665603
+    for b in data:
+        h = ((h ^ b) * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return f"fnv:{h:016x}"
 
 
 def fail(path, msg):
@@ -121,12 +151,78 @@ def check_trace(path):
     return ok
 
 
+def check_ckpt(ckpt_dir):
+    manifest_path = os.path.join(ckpt_dir, "manifest.json")
+    try:
+        with open(manifest_path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(manifest_path, f"unreadable or not JSON: {e}")
+
+    ok = True
+    if not isinstance(doc, dict) or list(doc.keys()) != CKPT_KEYS:
+        return fail(manifest_path,
+                    f"manifest keys must be exactly {CKPT_KEYS}, got "
+                    f"{list(doc) if isinstance(doc, dict) else type(doc).__name__}")
+    for key in CKPT_STR_KEYS:
+        if not isinstance(doc[key], str) or not doc[key]:
+            ok = fail(manifest_path, f"{key} must be a non-empty string")
+    for key in CKPT_INT_KEYS:
+        if not isinstance(doc[key], int) or isinstance(doc[key], bool) \
+                or doc[key] < 0:
+            ok = fail(manifest_path, f"{key} must be a non-negative integer")
+    if not ok:
+        return ok
+    if doc["schema"] != CKPT_SCHEMA:
+        ok = fail(manifest_path,
+                  f"schema is {doc['schema']!r}, expected {CKPT_SCHEMA!r}")
+    if doc["frames_done"] > doc["num_frames"]:
+        ok = fail(manifest_path,
+                  f"frames_done ({doc['frames_done']}) exceeds num_frames "
+                  f"({doc['num_frames']})")
+    if doc["status"] not in CKPT_STATUSES:
+        ok = fail(manifest_path, f"status {doc['status']!r} must be one of "
+                                 f"{sorted(CKPT_STATUSES)}")
+    if doc["status"] == "complete" and doc["frames_done"] != doc["num_frames"]:
+        ok = fail(manifest_path, "status is \"complete\" but frames_done != "
+                                 "num_frames")
+    if doc["stop_reason"] not in CKPT_STOP_REASONS:
+        ok = fail(manifest_path,
+                  f"stop_reason {doc['stop_reason']!r} must be one of "
+                  f"{sorted(CKPT_STOP_REASONS)}")
+    for key in ("options_hash", "state_digest", "frames_digest"):
+        if not DIGEST_RE.match(doc[key]):
+            ok = fail(manifest_path,
+                      f"{key} {doc[key]!r} must match fnv:<16 hex digits>")
+    if os.path.basename(doc["state_file"]) != doc["state_file"]:
+        ok = fail(manifest_path, f"state_file {doc['state_file']!r} must be "
+                                 "a bare filename inside the directory")
+        return ok
+    state_path = os.path.join(ckpt_dir, doc["state_file"])
+    try:
+        with open(state_path, "rb") as f:
+            state_bytes = f.read()
+    except OSError as e:
+        return fail(state_path, f"unreadable: {e}")
+    digest = fnv1a_hex(state_bytes)
+    if digest != doc["state_digest"]:
+        ok = fail(state_path, f"hashes to {digest} but the manifest records "
+                              f"{doc['state_digest']} (torn or tampered)")
+    try:
+        json.loads(state_bytes)
+    except json.JSONDecodeError as e:
+        ok = fail(state_path, f"not JSON: {e}")
+    return ok
+
+
 def main(argv):
     if len(argv) < 2:
         print(__doc__.strip())
         return 2
     if argv[1] == "--trace":
         paths, checker = argv[2:], check_trace
+    elif argv[1] == "--ckpt":
+        paths, checker = argv[2:], check_ckpt
     else:
         paths, checker = argv[1:], check_report
     if not paths:
