@@ -1,0 +1,437 @@
+// shlcp_loadgen -- closed-loop load generator for shlcpd.
+//
+// Drives a mixed 4-endpoint workload against a running daemon, either
+// by spawning one itself over pipes or by connecting to a socket:
+//
+//   shlcp_loadgen --spawn build/examples/shlcpd --requests 200
+//   shlcp_loadgen --socket /tmp/shlcp.sock --concurrency 16
+//
+// The request stream is deterministic in --seed: request i draws from a
+// fixed generator table at index derived from (seed, i), so two runs
+// are comparable. --repeat-keys K folds the stream onto K distinct
+// request payloads, which makes the expected warm cache hit-rate
+// (K < requests) a controlled quantity -- the CI smoke job asserts
+// hit-rate > 0 this way.
+//
+// Options:
+//   --requests N         total requests (default 200)
+//   --concurrency C      max outstanding requests (default 8)
+//   --mix M              mixed | run | check | witness | build
+//   --seed S             stream seed (default 1)
+//   --repeat-keys K      distinct payloads; 0 = all distinct (default 32)
+//   --deadline-ms D      attach this deadline to every request
+//   --allow-refused      "draining" responses are not failures
+//   --require-hit-rate X fail unless final cache hit-rate >= X
+//
+// Exit status: 0 iff every response was ok (or an allowed refusal) and
+// the hit-rate requirement (if any) held.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "service/proto.h"
+#include "sim/faults.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace {
+
+using shlcp::FaultPlan;
+using shlcp::Json;
+using shlcp::svc::encode_frame;
+using shlcp::svc::FrameReader;
+
+struct Endpoint {
+  int write_fd = -1;
+  int read_fd = -1;
+  pid_t child = -1;
+};
+
+Endpoint spawn_daemon(const char* path) {
+  int to_child[2];
+  int from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    dup2(to_child[0], 0);
+    dup2(from_child[1], 1);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    execl(path, path, "--pipe", static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  return Endpoint{to_child[1], from_child[0], pid};
+}
+
+Endpoint connect_socket(const char* path) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    std::exit(1);
+  }
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path);
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    std::perror("connect");
+    std::exit(1);
+  }
+  return Endpoint{fd, fd, -1};
+}
+
+std::uint64_t now_us() {
+  timespec ts = {};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000u +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000u;
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// The generator table: each entry builds one (op, params) pair. All of
+/// them are cheap (small named instances, tiny families) so throughput
+/// measures the service, not one giant enumeration.
+Json make_params(const std::string& op, std::uint64_t variant) {
+  Json params = Json::object();
+  if (op == "run_decoder") {
+    static const std::pair<const char*, const char*> kCombos[] = {
+        {"degree-one", "path5"},    {"degree-one", "star5"},
+        {"degree-one", "path6"},    {"spanning-bfs", "path6"},
+        {"spanning-bfs", "cycle6"}, {"spanning-bfs", "grid23"},
+        {"even-cycle", "cycle6"},   {"even-cycle", "cycle8"},
+    };
+    const auto& [lcp, inst] = kCombos[variant % std::size(kCombos)];
+    params["lcp"] = lcp;
+    params["instance"] = inst;
+    params["labels"] = "honest";
+    if (variant % 3 == 2) {
+      FaultPlan plan;
+      plan.label = "drop-light";
+      plan.seed = 0xC0FFEE + variant;
+      plan.drop_permille = 100;
+      params["plan"] = plan.describe();
+    }
+  } else if (op == "check_coloring") {
+    static const char* kPool[] = {"path5",  "cycle5", "cycle6",  "grid23",
+                                  "star5",  "cycle7", "theta222", "complete4"};
+    params["instance"] = kPool[variant % std::size(kPool)];
+    params["k"] = static_cast<std::int64_t>(2 + variant % 2);
+  } else if (op == "search_witness") {
+    if (variant % 2 == 0) {
+      params["family"] = "degree-one";
+      params["max_n"] = static_cast<std::int64_t>(4 + variant % 2);
+    } else {
+      params["family"] = "even-cycle";
+      params["max_n"] = 4;
+    }
+  } else {  // build_nbhd
+    static const std::pair<const char*, const char*> kBuilds[] = {
+        {"degree-one", "path:4"},   {"degree-one", "star:4"},
+        {"spanning-bfs", "path:4"}, {"spanning-bfs", "cycle:4"},
+        {"even-cycle", "cycle:4"},  {"even-cycle", "cycle:6"},
+    };
+    const auto& [lcp, spec] = kBuilds[variant % std::size(kBuilds)];
+    params["lcp"] = lcp;
+    Json& graphs = (params["graphs"] = Json::array());
+    graphs.push_back(spec);
+    params["build"] = "proved";
+  }
+  return params;
+}
+
+const char* pick_op(const std::string& mix, std::uint64_t variant) {
+  if (mix == "run") return "run_decoder";
+  if (mix == "check") return "check_coloring";
+  if (mix == "witness") return "search_witness";
+  if (mix == "build") return "build_nbhd";
+  static const char* kOps[] = {"run_decoder", "check_coloring",
+                               "search_witness", "build_nbhd"};
+  return kOps[variant % std::size(kOps)];
+}
+
+struct OpTally {
+  std::uint64_t count = 0;
+  std::uint64_t errors = 0;
+  std::vector<std::uint64_t> latencies_us;
+};
+
+std::uint64_t percentile(std::vector<std::uint64_t> xs, double p) {
+  if (xs.empty()) {
+    return 0;
+  }
+  std::sort(xs.begin(), xs.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(i, xs.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* spawn_path = nullptr;
+  const char* socket_path = nullptr;
+  std::uint64_t total = 200;
+  std::uint64_t concurrency = 8;
+  std::string mix = "mixed";
+  std::uint64_t seed = 1;
+  std::uint64_t repeat_keys = 32;
+  std::uint64_t deadline_ms = 0;
+  bool allow_refused = false;
+  double require_hit_rate = -1.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--spawn") {
+      spawn_path = next();
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--requests") {
+      total = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--concurrency") {
+      concurrency = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--mix") {
+      mix = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--repeat-keys") {
+      repeat_keys = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--allow-refused") {
+      allow_refused = true;
+    } else if (arg == "--require-hit-rate") {
+      require_hit_rate = std::atof(next());
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s (--spawn SHLCPD | --socket PATH) [--requests N] "
+                   "[--concurrency C] [--mix M] [--seed S] [--repeat-keys K] "
+                   "[--deadline-ms D] [--allow-refused] "
+                   "[--require-hit-rate X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if ((spawn_path == nullptr) == (socket_path == nullptr)) {
+    std::fprintf(stderr, "%s: need exactly one of --spawn / --socket\n",
+                 argv[0]);
+    return 2;
+  }
+  concurrency = std::max<std::uint64_t>(1, std::min(concurrency, total));
+
+  Endpoint ep = spawn_path != nullptr ? spawn_daemon(spawn_path)
+                                      : connect_socket(socket_path);
+
+  // Closed loop: keep up to `concurrency` requests outstanding, match
+  // responses by echoed id.
+  FrameReader reader;
+  std::map<std::uint64_t, std::pair<std::string, std::uint64_t>>
+      outstanding;  // id -> (op, send time us)
+  std::map<std::string, OpTally> tallies;
+  std::uint64_t sent = 0;
+  std::uint64_t done = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t transport_lost = 0;
+  const std::uint64_t t0 = now_us();
+
+  while (done + transport_lost < total) {
+    bool transport_ok = true;
+    while (sent < total && outstanding.size() < concurrency) {
+      // Folding onto K payload keys: the variant is a pure function of
+      // the request's key slot, so repeated slots repeat byte-identically
+      // (same cache key server-side).
+      const std::uint64_t slot = repeat_keys == 0 ? sent : sent % repeat_keys;
+      const std::uint64_t key_variant =
+          shlcp::Rng(seed * 7919 + slot).next_u64() >> 8;
+      Json req = Json::object();
+      req["id"] = sent;
+      req["op"] = pick_op(mix, key_variant);
+      req["params"] = make_params(req.at("op").as_string(), key_variant);
+      if (deadline_ms > 0) {
+        req["deadline_ms"] = deadline_ms;
+      }
+      if (!write_all(ep.write_fd, encode_frame(req.dump()))) {
+        transport_ok = false;
+        break;
+      }
+      outstanding[sent] = {req.at("op").as_string(), now_us()};
+      ++sent;
+    }
+    if (!transport_ok) {
+      transport_lost = total - done;
+      break;
+    }
+
+    pollfd pfd = {ep.read_fd, POLLIN, 0};
+    const int rc = poll(&pfd, 1, 5000);
+    if (rc <= 0) {
+      if (rc < 0 && errno == EINTR) {
+        continue;
+      }
+      std::fprintf(stderr, "loadgen: response timeout/poll failure\n");
+      transport_lost = total - done;
+      break;
+    }
+    char buf[64 << 10];
+    const ssize_t n = read(ep.read_fd, buf, sizeof buf);
+    if (n <= 0) {
+      transport_lost = total - done;
+      break;
+    }
+    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    std::string frame;
+    std::string error;
+    while (reader.next(&frame, &error) == FrameReader::Next::kFrame) {
+      const Json resp = Json::parse(frame);
+      const std::uint64_t id = resp.at("id").as_uint();
+      const auto it = outstanding.find(id);
+      if (it == outstanding.end()) {
+        std::fprintf(stderr, "loadgen: unmatched response id %llu\n",
+                     static_cast<unsigned long long>(id));
+        return 1;
+      }
+      OpTally& tally = tallies[it->second.first];
+      ++tally.count;
+      tally.latencies_us.push_back(now_us() - it->second.second);
+      if (!resp.at("ok").as_bool()) {
+        const std::string& code =
+            resp.at("error").at("code").as_string();
+        if (code == "draining") {
+          ++refused;
+        } else {
+          ++tally.errors;
+          std::fprintf(stderr, "loadgen: [%s] %s: %s\n",
+                       it->second.first.c_str(), code.c_str(),
+                       resp.at("error").at("message").as_string().c_str());
+        }
+      }
+      outstanding.erase(it);
+      ++done;
+    }
+    if (reader.failed()) {
+      std::fprintf(stderr, "loadgen: framing lost: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  const double elapsed_s =
+      static_cast<double>(now_us() - t0) / 1e6;
+
+  // Final (uncached) info request for the server-side cache hit-rate.
+  double hit_rate = -1.0;
+  if (transport_lost == 0) {
+    Json info = Json::object();
+    info["id"] = "info";
+    info["op"] = "info";
+    if (write_all(ep.write_fd, encode_frame(info.dump()))) {
+      std::string frame;
+      std::string error;
+      while (reader.next(&frame, &error) != FrameReader::Next::kFrame) {
+        pollfd pfd = {ep.read_fd, POLLIN, 0};
+        if (poll(&pfd, 1, 5000) <= 0) {
+          break;
+        }
+        char buf[16 << 10];
+        const ssize_t n = read(ep.read_fd, buf, sizeof buf);
+        if (n <= 0) {
+          break;
+        }
+        reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      }
+      if (!frame.empty()) {
+        const Json resp = Json::parse(frame);
+        if (resp.at("ok").as_bool()) {
+          hit_rate = resp.at("result").at("cache").at("hit_rate").as_double();
+        }
+      }
+    }
+  }
+
+  if (spawn_path != nullptr) {
+    close(ep.write_fd);  // EOF -> clean daemon exit
+    int status = 0;
+    waitpid(ep.child, &status, 0);
+  } else {
+    close(ep.write_fd);
+  }
+
+  std::uint64_t errors = 0;
+  std::printf("%-16s %8s %8s %10s %10s\n", "op", "count", "errors", "p50_us",
+              "p99_us");
+  for (const auto& [op, tally] : tallies) {
+    errors += tally.errors;
+    std::printf("%-16s %8llu %8llu %10llu %10llu\n", op.c_str(),
+                static_cast<unsigned long long>(tally.count),
+                static_cast<unsigned long long>(tally.errors),
+                static_cast<unsigned long long>(
+                    percentile(tally.latencies_us, 0.50)),
+                static_cast<unsigned long long>(
+                    percentile(tally.latencies_us, 0.99)));
+  }
+  std::printf(
+      "total %llu requests in %.2fs (%.1f req/s), %llu errors, %llu refused, "
+      "%llu lost\n",
+      static_cast<unsigned long long>(done), elapsed_s,
+      elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0,
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(refused),
+      static_cast<unsigned long long>(transport_lost));
+  if (hit_rate >= 0) {
+    std::printf("cache_hit_rate=%.4f\n", hit_rate);
+  }
+
+  if (errors > 0) {
+    return 1;
+  }
+  if (!allow_refused && (refused > 0 || transport_lost > 0)) {
+    return 1;
+  }
+  if (require_hit_rate >= 0 && hit_rate < require_hit_rate) {
+    std::fprintf(stderr, "loadgen: hit rate %.4f below required %.4f\n",
+                 hit_rate, require_hit_rate);
+    return 1;
+  }
+  return 0;
+}

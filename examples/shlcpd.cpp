@@ -1,0 +1,84 @@
+// shlcpd -- the certification service daemon.
+//
+// Serves the shlcp.svc.v1 protocol (length-prefixed JSONL requests,
+// see src/service/proto.h) either over stdin/stdout or a unix-domain
+// socket:
+//
+//   shlcpd --pipe                      # tests / CI / loadgen --spawn
+//   shlcpd --socket /tmp/shlcp.sock    # long-lived daemon
+//
+// SIGINT drains: in-flight requests finish, queued and later requests
+// get the "draining" error, then the process exits 0. Options:
+//
+//   --threads N          worker threads (0 = SHLCP_NUM_THREADS / auto)
+//   --batch N            max requests dispatched per batch (default 32)
+//   --cache-bytes N      artifact-cache byte budget (default 64 MiB)
+//   --cache-dir PATH     persist artifacts to PATH (default: off)
+//   --max-frame-bytes N  per-request frame cap (default 4 MiB)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "service/server.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--pipe | --socket PATH) [--threads N] [--batch N]\n"
+      "       [--cache-bytes N] [--cache-dir PATH] [--max-frame-bytes N]\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using shlcp::svc::ServerOptions;
+
+  bool pipe_mode = false;
+  std::string socket_path;
+  ServerOptions options;
+  options.arm_sigint = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--pipe") {
+      pipe_mode = true;
+    } else if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--threads") {
+      options.num_threads = std::atoi(next());
+    } else if (arg == "--batch") {
+      options.batch_max = std::atoi(next());
+    } else if (arg == "--cache-bytes") {
+      options.service.cache.max_bytes =
+          static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache-dir") {
+      options.service.cache.directory = next();
+    } else if (arg == "--max-frame-bytes") {
+      options.max_frame_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (pipe_mode == !socket_path.empty()) {
+    return usage(argv[0]);  // exactly one transport
+  }
+
+  if (pipe_mode) {
+    return shlcp::svc::serve_pipe(options);
+  }
+  std::fprintf(stderr, "shlcpd: serving on %s\n", socket_path.c_str());
+  return shlcp::svc::serve_socket(socket_path, options);
+}

@@ -1,0 +1,130 @@
+// Wire protocol of the shlcpd certification service (schema shlcp.svc.v1).
+//
+// Transport framing is length-prefixed JSONL: each frame is
+//
+//   <decimal byte length> '\n' <body> '\n'
+//
+// where <body> is exactly that many bytes of one single-line JSON
+// document. The prefix makes framing independent of the body's content
+// (a body may legally contain escaped newlines), and the trailing
+// newline keeps captured streams greppable/JSONL-toolable. FrameReader
+// is the incremental decoder: it accepts bytes in arbitrary splits
+// (tests/service_proto_test.cpp feeds it byte by byte) and rejects
+// malformed headers and frames above a byte cap with a diagnostic
+// instead of allocating unboundedly.
+//
+// Requests and responses are plain Json objects:
+//
+//   request:   {"id": <any>, "op": <string>, "params": <object>,
+//               "deadline_ms": <uint, optional>}
+//   response:  {"schema": "shlcp.svc.v1", "id": <echoed>, "ok": true,
+//               "cached": <bool>, "result": {...}}
+//          or  {"schema": "shlcp.svc.v1", "id": <echoed>, "ok": false,
+//               "error": {"code": ..., "message": ..., "repro": ...}}
+//
+// The "repro" member carries the lcp/audit-style single-line repro
+// string when the failure concerns a concrete distributed run.
+//
+// This header also hosts the canonical JSON form used for cache keying
+// (object keys sorted recursively, compact dump) and the codecs between
+// the library's value types (Graph, Instance, Labeling) and their wire
+// JSON, so the dispatcher, the cache, the load generator, and the bench
+// all agree byte-for-byte on what a request means.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "lcp/instance.h"
+#include "util/json.h"
+
+namespace shlcp::svc {
+
+inline constexpr const char* kWireSchema = "shlcp.svc.v1";
+
+/// Default cap on one frame's body; oversized frames are a protocol
+/// error (reported, never buffered).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Encodes one frame: "<len>\n<body>\n".
+std::string encode_frame(std::string_view body);
+
+/// Incremental frame decoder. Feed bytes as they arrive; next() yields
+/// complete bodies in order. A malformed header or an oversized frame
+/// puts the reader into a sticky failed state (the stream offset is
+/// unrecoverable once framing is lost).
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::string_view bytes);
+
+  enum class Next { kFrame, kNeedMore, kError };
+
+  /// Extracts the next complete frame body into *frame. On kError,
+  /// *error describes the protocol violation; the reader stays failed.
+  Next next(std::string* frame, std::string* error);
+
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Bytes currently buffered (tests assert the cap bounds this).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Next fail(std::string* error, std::string message);
+
+  std::size_t max_frame_bytes_;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::string fail_message_;
+};
+
+/// Canonical form for cache keying: object keys sorted recursively
+/// (arrays keep their order -- element order is semantic). Values are
+/// untouched.
+Json canonical_json(const Json& j);
+
+/// canonical_json + compact dump: the canonicalized request payload the
+/// artifact cache hashes.
+std::string canonical_dump(const Json& j);
+
+/// Graph <-> {"n": int, "edges": [[u, v], ...]} (edges sorted, as
+/// Graph::edges()).
+Json graph_to_json(const Graph& g);
+Graph graph_from_json(const Json& j);
+
+/// Labeling <-> [[bits, f1, f2, ...], ...] (one entry per node).
+Json labeling_to_json(const Labeling& labels);
+Labeling labeling_from_json(const Json& j, int num_nodes);
+
+/// Instance <-> {"graph": ..., "ports": [[...], ...] (optional,
+/// canonical when absent), "ids": [...] (optional, consecutive when
+/// absent), "id_bound": int (optional), "labels": ... (optional,
+/// empty when absent)}.
+Json instance_to_json(const Instance& inst);
+Instance instance_from_json(const Json& j);
+
+/// A parsed, validated request envelope.
+struct Request {
+  Json id;
+  std::string op;
+  Json params;  // always an object (default empty)
+  std::uint64_t deadline_ms = 0;  // 0 = none
+};
+
+/// Validates the envelope shape; throws CheckError naming the offending
+/// member on anything malformed (unknown members are rejected too, so
+/// client typos fail loudly instead of being ignored).
+Request parse_request(const Json& j);
+
+/// Response builders. `id` is echoed verbatim (null when the request
+/// was too malformed to carry one).
+Json ok_response(const Json& id, Json result, bool cached);
+Json error_response(const Json& id, std::string_view code,
+                    std::string_view message, std::string_view repro = "");
+
+}  // namespace shlcp::svc

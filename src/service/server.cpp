@@ -1,0 +1,348 @@
+#include "service/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/format.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+
+namespace shlcp::svc {
+
+namespace {
+
+/// Poll timeout: how stale the CancelToken check may get. The SIGINT
+/// handler is installed with signal() (SA_RESTART on glibc), so the
+/// token -- never an interrupted syscall -- is the wake-up signal.
+constexpr int kPollTimeoutMs = 100;
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// One admitted request awaiting dispatch.
+struct PendingRequest {
+  std::string body;
+  std::uint64_t admit_ms = 0;
+  int conn = -1;  // socket mode: owning connection index
+};
+
+/// Dispatches up to batch_max queued requests across the pool and
+/// returns the responses in queue order (paired with their Pending).
+std::vector<std::pair<PendingRequest, std::string>> dispatch_batch(
+    Service& service, WorkerPool& pool, std::deque<PendingRequest>& queue,
+    int batch_max) {
+  const std::size_t count =
+      std::min(queue.size(), static_cast<std::size_t>(batch_max));
+  std::vector<PendingRequest> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  metrics::histogram("service.batch.size", metrics::HistogramLayout::count())
+      .record(count);
+  metrics::gauge("service.queue.depth")
+      .set(static_cast<std::int64_t>(queue.size()));
+
+  const std::uint64_t dispatch_ms = now_ms();
+  std::vector<std::string> responses(count);
+  const auto run_one = [&](std::size_t i) {
+    const std::uint64_t elapsed = dispatch_ms > batch[i].admit_ms
+                                      ? dispatch_ms - batch[i].admit_ms
+                                      : 0;
+    responses[i] = service.handle_text(batch[i].body, elapsed);
+  };
+  if (count == 1) {
+    run_one(0);
+  } else {
+    pool.parallel_for_chunks(count, 1,
+                             [&](std::size_t, std::size_t begin,
+                                 std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 run_one(i);
+                               }
+                             });
+  }
+
+  std::vector<std::pair<PendingRequest, std::string>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.emplace_back(std::move(batch[i]), std::move(responses[i]));
+  }
+  return out;
+}
+
+/// Drains a FrameReader into the queue. Returns false on a protocol
+/// error, with the bad_frame response already appended to `responses`
+/// (the stream is then unrecoverable).
+bool extract_frames(FrameReader& reader, std::deque<PendingRequest>& queue,
+                    int conn, std::vector<std::string>* error_out) {
+  std::string frame;
+  std::string error;
+  while (true) {
+    switch (reader.next(&frame, &error)) {
+      case FrameReader::Next::kFrame:
+        queue.push_back(PendingRequest{std::move(frame), now_ms(), conn});
+        frame.clear();
+        break;
+      case FrameReader::Next::kNeedMore:
+        return true;
+      case FrameReader::Next::kError:
+        metrics::counter("service.errors").inc();
+        error_out->push_back(
+            error_response(Json(), kErrBadFrame, error).dump());
+        return false;
+    }
+  }
+}
+
+}  // namespace
+
+int serve_pipe(const ServerOptions& options) {
+  ::signal(SIGPIPE, SIG_IGN);
+  Service service(options.service);
+  CancelToken local_token;
+  CancelToken* cancel = options.cancel != nullptr ? options.cancel : &local_token;
+  std::optional<SigintGuard> sigint;
+  if (options.arm_sigint) {
+    sigint.emplace(*cancel);
+  }
+  WorkerPool pool(resolve_num_threads(options.num_threads));
+  FrameReader reader(options.max_frame_bytes);
+  std::deque<PendingRequest> queue;
+  bool eof = false;
+  bool broken = false;  // framing lost
+
+  while (true) {
+    if (cancel->stop_requested() && !service.draining()) {
+      service.begin_drain();
+    }
+    // Flush the queue first: once draining, Service answers everything
+    // still queued with the "draining" error, so this terminates.
+    while (!queue.empty()) {
+      for (auto& [req, response] :
+           dispatch_batch(service, pool, queue, options.batch_max)) {
+        if (!write_all(options.out_fd, encode_frame(response))) {
+          return 1;
+        }
+      }
+      if (cancel->stop_requested() && !service.draining()) {
+        service.begin_drain();
+      }
+    }
+    if (eof || broken || service.draining()) {
+      break;
+    }
+
+    struct pollfd pfd = {options.in_fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, kPollTimeoutMs);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return 1;
+    }
+    if (rc == 0) {
+      continue;
+    }
+    if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+      char buf[64 << 10];
+      const ssize_t n = ::read(options.in_fd, buf, sizeof buf);
+      if (n > 0) {
+        reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        std::vector<std::string> frame_errors;
+        if (!extract_frames(reader, queue, -1, &frame_errors)) {
+          broken = true;
+        }
+        for (const std::string& e : frame_errors) {
+          if (!write_all(options.out_fd, encode_frame(e))) {
+            return 1;
+          }
+        }
+      } else if (n == 0) {
+        eof = true;
+      } else if (errno != EINTR && errno != EAGAIN) {
+        return 1;
+      }
+    } else if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int serve_socket(const std::string& path, const ServerOptions& options) {
+  ::signal(SIGPIPE, SIG_IGN);
+  SHLCP_CHECK_MSG(path.size() < sizeof(sockaddr_un{}.sun_path),
+                  "socket path too long");
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    return 1;
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd, 64) != 0) {
+    ::close(listen_fd);
+    return 1;
+  }
+
+  Service service(options.service);
+  CancelToken local_token;
+  CancelToken* cancel = options.cancel != nullptr ? options.cancel : &local_token;
+  std::optional<SigintGuard> sigint;
+  if (options.arm_sigint) {
+    sigint.emplace(*cancel);
+  }
+  WorkerPool pool(resolve_num_threads(options.num_threads));
+
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    bool broken = false;
+
+    explicit Connection(int f, std::size_t max_frame)
+        : fd(f), reader(max_frame) {}
+  };
+  std::vector<Connection> conns;
+  std::deque<PendingRequest> queue;
+  bool accepting = true;
+
+  const auto close_conn = [&](Connection& c) {
+    if (c.fd >= 0) {
+      ::close(c.fd);
+      c.fd = -1;
+    }
+  };
+
+  while (true) {
+    if (cancel->stop_requested() && !service.draining()) {
+      service.begin_drain();
+      if (accepting) {
+        accepting = false;
+        ::close(listen_fd);
+        ::unlink(path.c_str());
+      }
+    }
+    while (!queue.empty()) {
+      for (auto& [req, response] :
+           dispatch_batch(service, pool, queue, options.batch_max)) {
+        if (req.conn >= 0 && req.conn < static_cast<int>(conns.size()) &&
+            conns[static_cast<std::size_t>(req.conn)].fd >= 0) {
+          Connection& c = conns[static_cast<std::size_t>(req.conn)];
+          if (!write_all(c.fd, encode_frame(response))) {
+            close_conn(c);
+          }
+        }
+      }
+      if (cancel->stop_requested() && !service.draining()) {
+        service.begin_drain();
+        if (accepting) {
+          accepting = false;
+          ::close(listen_fd);
+          ::unlink(path.c_str());
+        }
+      }
+    }
+    if (service.draining()) {
+      break;  // queue flushed above; refuse everything else
+    }
+
+    std::vector<pollfd> pfds;
+    std::vector<int> conn_of_pfd;  // -1 = the listener
+    if (accepting) {
+      pfds.push_back({listen_fd, POLLIN, 0});
+      conn_of_pfd.push_back(-1);
+    }
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i].fd >= 0) {
+        pfds.push_back({conns[i].fd, POLLIN, 0});
+        conn_of_pfd.push_back(static_cast<int>(i));
+      }
+    }
+    const int rc = ::poll(pfds.data(), pfds.size(), kPollTimeoutMs);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (rc <= 0) {
+      continue;
+    }
+
+    for (std::size_t pi = 0; pi < pfds.size(); ++pi) {
+      if (conn_of_pfd[pi] < 0) {
+        if ((pfds[pi].revents & POLLIN) != 0) {
+          const int client = ::accept(listen_fd, nullptr, nullptr);
+          if (client >= 0) {
+            conns.emplace_back(client, options.max_frame_bytes);
+          }
+        }
+        continue;
+      }
+      if ((pfds[pi].revents & (POLLIN | POLLHUP)) == 0) {
+        continue;
+      }
+      const int conn_index = conn_of_pfd[pi];
+      Connection& c = conns[static_cast<std::size_t>(conn_index)];
+      char buf[64 << 10];
+      const ssize_t n = ::read(c.fd, buf, sizeof buf);
+      if (n > 0) {
+        c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        std::vector<std::string> frame_errors;
+        if (!extract_frames(c.reader, queue, conn_index, &frame_errors)) {
+          c.broken = true;
+        }
+        for (const std::string& e : frame_errors) {
+          write_all(c.fd, encode_frame(e));
+        }
+        if (c.broken) {
+          close_conn(c);
+        }
+      } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
+        close_conn(c);
+      }
+    }
+  }
+
+  for (Connection& c : conns) {
+    close_conn(c);
+  }
+  if (accepting) {
+    ::close(listen_fd);
+    ::unlink(path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace shlcp::svc

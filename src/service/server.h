@@ -1,0 +1,70 @@
+// Transport loops of shlcpd: pipe mode and unix-domain-socket mode.
+//
+// Both loops share the same shape: accumulate bytes into FrameReaders,
+// extract complete request frames, batch up to ServerOptions::batch_max
+// of them, dispatch the batch across a WorkerPool (one request per
+// work unit -- the service's operations are internally sequential, so
+// the only parallelism is across requests), and write the responses
+// back in arrival order. Each request is stamped at admission; the
+// queueing delay is charged against its deadline_ms by Service::handle.
+//
+// Readiness is poll()-driven with a short timeout rather than blocking
+// reads, because the repo's SigintGuard installs its handler with
+// signal() (glibc semantics: SA_RESTART), so a blocking read would
+// never observe a ^C -- the loop instead polls the CancelToken every
+// wakeup. On a trip the server calls Service::begin_drain(): requests
+// already dispatched finish and are delivered, every frame still
+// queued (or arriving later) is answered with the "draining" error,
+// the socket listener stops accepting, and the loop exits 0 once the
+// queue is flushed. That three-part contract (finish in-flight, refuse
+// queued, exit clean) is pinned by tests/service_test.cpp and
+// exercised with a real SIGINT in the CI service-smoke job.
+//
+// A FrameReader protocol error (malformed header, oversized frame) is
+// answered with one "bad_frame" error response and ends that stream --
+// framing is unrecoverable once the length prefix is lost. In pipe
+// mode that ends the server; in socket mode only that connection.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "service/proto.h"
+#include "service/service.h"
+#include "util/budget.h"
+
+namespace shlcp::svc {
+
+struct ServerOptions {
+  /// Dispatcher configuration (LCP registry is fixed; cache is tunable).
+  ServiceConfig service;
+  /// Worker threads for batch dispatch; 0 resolves via SHLCP_NUM_THREADS
+  /// then the hardware (util/parallel.h).
+  int num_threads = 0;
+  /// Max requests dispatched as one batch.
+  int batch_max = 32;
+  /// Per-frame byte cap (FrameReader).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Pipe mode endpoints (tests inject socketpair/pipe fds here).
+  int in_fd = 0;
+  int out_fd = 1;
+  /// External stop flag (not owned; must outlive the serve call). When
+  /// null the server uses an internal token, reachable only via SIGINT.
+  CancelToken* cancel = nullptr;
+  /// Route SIGINT into the token for the server's lifetime.
+  bool arm_sigint = false;
+};
+
+/// Serves length-prefixed JSONL over (in_fd, out_fd) until EOF, a
+/// protocol error, or a drain. Returns a process exit code (0 = clean,
+/// including clean drains; 1 = transport failure).
+int serve_pipe(const ServerOptions& options);
+
+/// Serves over a unix-domain stream socket bound at `path` (an existing
+/// socket file is replaced; the path is unlinked on exit). Accepts any
+/// number of concurrent connections; per-connection framing errors close
+/// only that connection. Runs until the cancel token trips.
+int serve_socket(const std::string& path, const ServerOptions& options);
+
+}  // namespace shlcp::svc

@@ -1,0 +1,603 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "certify/degree_one.h"
+#include "certify/even_cycle.h"
+#include "certify/revealing.h"
+#include "certify/shatter.h"
+#include "certify/spanning_bfs.h"
+#include "certify/watermelon.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "nbhd/aviews.h"
+#include "nbhd/witness.h"
+#include "sim/engine.h"
+#include "util/check.h"
+#include "util/format.h"
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace shlcp::svc {
+
+namespace {
+
+/// Dispatch-level error carrying a wire code (and, for concrete
+/// distributed runs, the lcp/audit repro string).
+struct ServiceError {
+  std::string code;
+  std::string message;
+  std::string repro;
+};
+
+[[noreturn]] void throw_params(std::string message) {
+  throw ServiceError{kErrInvalidParams, std::move(message), ""};
+}
+
+/// Pulls a member with a type check, or a default when absent.
+bool member_bool(const Json& params, std::string_view key, bool def) {
+  if (!params.contains(key)) {
+    return def;
+  }
+  const Json& v = params.at(key);
+  if (!v.is_bool()) {
+    throw_params(format("'%s' must be a boolean", std::string(key).c_str()));
+  }
+  return v.as_bool();
+}
+
+std::int64_t member_int(const Json& params, std::string_view key,
+                        std::int64_t def) {
+  if (!params.contains(key)) {
+    return def;
+  }
+  const Json& v = params.at(key);
+  if (!v.is_integer()) {
+    throw_params(format("'%s' must be an integer", std::string(key).c_str()));
+  }
+  return v.as_int();
+}
+
+std::string member_string(const Json& params, std::string_view key,
+                          std::string def) {
+  if (!params.contains(key)) {
+    return def;
+  }
+  const Json& v = params.at(key);
+  if (!v.is_string()) {
+    throw_params(format("'%s' must be a string", std::string(key).c_str()));
+  }
+  return v.as_string();
+}
+
+Json bool_vector_to_json(const std::vector<bool>& bits) {
+  Json arr = Json::array();
+  for (const bool b : bits) {
+    arr.push_back(b);
+  }
+  return arr;
+}
+
+Json int_vector_to_json(const std::vector<int>& xs) {
+  Json arr = Json::array();
+  for (const int x : xs) {
+    arr.push_back(x);
+  }
+  return arr;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Service::Service(ServiceConfig config)
+    : config_(std::move(config)),
+      pool_(audit_instance_pool()),
+      cache_(config_.cache) {
+  // Every named scheme a request can refer to, repaired and literal
+  // variants alike (the literal ones exist exactly so their failures
+  // can be replayed on demand).
+  lcps_.push_back(std::make_unique<RevealingLcp>(2));
+  lcps_.push_back(std::make_unique<SpanningBfsLcp>());
+  lcps_.push_back(std::make_unique<DegreeOneLcp>());
+  lcps_.push_back(std::make_unique<DegreeOneLcp>(DegreeOneVariant::kNoCommonBeta));
+  lcps_.push_back(std::make_unique<EvenCycleLcp>());
+  lcps_.push_back(std::make_unique<ShatterLcp>());
+  lcps_.push_back(std::make_unique<ShatterLcp>(ShatterVariant::kLiteral));
+  lcps_.push_back(std::make_unique<WatermelonLcp>());
+  lcps_.push_back(
+      std::make_unique<WatermelonLcp>(WatermelonVariant::kNoPortCheck));
+}
+
+Service::~Service() = default;
+
+std::vector<std::string> Service::ops() {
+  return {"run_decoder", "check_coloring", "search_witness", "build_nbhd",
+          "info"};
+}
+
+std::string Service::handle_text(const std::string& body,
+                                 std::uint64_t elapsed_ms) {
+  Json request;
+  try {
+    request = Json::parse(body);
+  } catch (const CheckError& e) {
+    metrics::counter("service.errors").inc();
+    return error_response(Json(), kErrInvalidRequest, e.what()).dump();
+  }
+  return handle(request, elapsed_ms).dump();
+}
+
+Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
+  metrics::counter("service.requests").inc();
+  const Json id = request.is_object() && request.contains("id")
+                      ? request.at("id")
+                      : Json();
+  if (draining()) {
+    metrics::counter("service.errors").inc();
+    return error_response(id, kErrDraining,
+                          "service is draining; resubmit elsewhere");
+  }
+  Request req;
+  try {
+    req = parse_request(request);
+  } catch (const CheckError& e) {
+    metrics::counter("service.errors").inc();
+    return error_response(id, kErrInvalidRequest, e.what());
+  }
+  if (req.deadline_ms > 0 && elapsed_ms > req.deadline_ms) {
+    metrics::counter("service.errors").inc();
+    return error_response(
+        id, kErrDeadline,
+        format("request waited %llu ms past its %llu ms deadline",
+               static_cast<unsigned long long>(elapsed_ms),
+               static_cast<unsigned long long>(req.deadline_ms)));
+  }
+
+  metrics::counter(format("service.%s.requests", req.op.c_str())).inc();
+  metrics::Histogram& latency =
+      metrics::histogram(format("service.%s.latency_ns", req.op.c_str()));
+  const std::uint64_t start = now_ns();
+  trace::Span span("service.request");
+
+  // Cache probe: cacheable ops replay the stored result bytes.
+  const bool is_known_op =
+      req.op == "run_decoder" || req.op == "check_coloring" ||
+      req.op == "search_witness" || req.op == "build_nbhd" || req.op == "info";
+  const bool cacheable = is_known_op && req.op != "info";
+  std::string key;
+  if (cacheable) {
+    key = artifact_key(req.op, req.params);
+    if (std::optional<std::string> cached = cache_.get(key)) {
+      latency.record(now_ns() - start);
+      return ok_response(req.id, Json::parse(*cached), /*cached=*/true);
+    }
+  }
+
+  try {
+    Json result = dispatch(req);
+    if (cacheable) {
+      cache_.insert(key, result.dump());
+    }
+    latency.record(now_ns() - start);
+    return ok_response(req.id, std::move(result), /*cached=*/false);
+  } catch (const ServiceError& e) {
+    metrics::counter("service.errors").inc();
+    latency.record(now_ns() - start);
+    return error_response(req.id, e.code, e.message, e.repro);
+  } catch (const CheckError& e) {
+    metrics::counter("service.errors").inc();
+    latency.record(now_ns() - start);
+    return error_response(req.id, kErrInvalidParams, e.what());
+  } catch (const std::exception& e) {
+    metrics::counter("service.errors").inc();
+    latency.record(now_ns() - start);
+    return error_response(req.id, kErrInternal, e.what());
+  }
+}
+
+Json Service::dispatch(const Request& req) {
+  if (req.op == "run_decoder") {
+    return op_run_decoder(req.params);
+  }
+  if (req.op == "check_coloring") {
+    return op_check_coloring(req.params);
+  }
+  if (req.op == "search_witness") {
+    return op_search_witness(req.params);
+  }
+  if (req.op == "build_nbhd") {
+    return op_build_nbhd(req.params);
+  }
+  if (req.op == "info") {
+    return op_info();
+  }
+  throw ServiceError{kErrUnknownOp,
+                     format("unknown op '%s'", req.op.c_str()), ""};
+}
+
+const Lcp& Service::find_lcp(const std::string& name) const {
+  for (const auto& lcp : lcps_) {
+    if (lcp->name() == name) {
+      return *lcp;
+    }
+  }
+  std::string known;
+  for (const auto& lcp : lcps_) {
+    if (!known.empty()) {
+      known += ", ";
+    }
+    known += lcp->name();
+  }
+  throw ServiceError{
+      kErrInvalidParams,
+      format("unknown lcp '%s' (known: %s)", name.c_str(), known.c_str()), ""};
+}
+
+Instance Service::resolve_instance(const Json& spec,
+                                   std::string* name_out) const {
+  if (spec.is_string()) {
+    for (const NamedInstance& named : pool_) {
+      if (named.name == spec.as_string()) {
+        *name_out = named.name;
+        return named.inst;
+      }
+    }
+    throw_params(format("unknown pool instance '%s'",
+                        spec.as_string().c_str()));
+  }
+  if (!spec.is_object()) {
+    throw_params("'instance' must be a pool name or an inline object");
+  }
+  *name_out = "inline";
+  return instance_from_json(spec);
+}
+
+Json Service::op_run_decoder(const Json& params) const {
+  const std::string lcp_name = member_string(params, "lcp", "");
+  if (lcp_name.empty()) {
+    throw_params("run_decoder: missing 'lcp'");
+  }
+  const Lcp& lcp = find_lcp(lcp_name);
+  if (!params.contains("instance")) {
+    throw_params("run_decoder: missing 'instance'");
+  }
+  std::string instance_name;
+  Instance inst = resolve_instance(params.at("instance"), &instance_name);
+
+  std::string labels_desc = "as-given";
+  if (params.contains("labels")) {
+    const Json& labels = params.at("labels");
+    if (labels.is_string() && labels.as_string() == "honest") {
+      std::optional<Labeling> honest = lcp.prove(inst.g, inst.ports, inst.ids);
+      if (!honest) {
+        throw ServiceError{
+            kErrInvalidParams,
+            format("run_decoder: prover of '%s' declines instance '%s'",
+                   lcp_name.c_str(), instance_name.c_str()),
+            ""};
+      }
+      inst.labels = std::move(*honest);
+      labels_desc = "honest";
+    } else if (labels.is_array()) {
+      inst.labels = labeling_from_json(labels, inst.num_nodes());
+    } else {
+      throw_params("run_decoder: 'labels' must be \"honest\" or an array");
+    }
+  }
+
+  FaultPlan plan;  // default: fault-free
+  if (params.contains("plan")) {
+    const Json& p = params.at("plan");
+    if (!p.is_string()) {
+      throw_params("run_decoder: 'plan' must be a FaultPlan descriptor");
+    }
+    plan = FaultPlan::parse(p.as_string());
+  }
+  const std::string repro =
+      make_repro(lcp.name(), instance_name, labels_desc, plan);
+
+  FaultyRunResult run;
+  try {
+    run = run_decoder_distributed_faulty(lcp.decoder(), inst, plan);
+  } catch (const CheckError& e) {
+    throw ServiceError{kErrInternal, e.what(), repro};
+  }
+
+  Json result = Json::object();
+  result["lcp"] = lcp.name();
+  result["instance"] = instance_name;
+  result["verdicts"] = bool_vector_to_json(run.verdicts);
+  result["degraded"] = bool_vector_to_json(run.degraded);
+  bool all = true;
+  for (const bool v : run.verdicts) {
+    all = all && v;
+  }
+  result["accepts_all"] = all;
+  Json& stats = (result["stats"] = Json::object());
+  stats["rounds"] = run.stats.rounds;
+  stats["messages"] = run.stats.messages;
+  stats["bytes"] = run.stats.bytes;
+  Json& faults = (result["faults"] = Json::object());
+  faults["dropped"] = run.faults.dropped;
+  faults["duplicated"] = run.faults.duplicated;
+  faults["corrupted_fields"] = run.faults.corrupted_fields;
+  faults["tampered_messages"] = run.faults.tampered_messages;
+  result["repro"] = repro;
+  return result;
+}
+
+Json Service::op_check_coloring(const Json& params) const {
+  Graph g;
+  std::string instance_name = "inline";
+  if (params.contains("instance")) {
+    g = resolve_instance(params.at("instance"), &instance_name).g;
+  } else if (params.contains("graph")) {
+    g = graph_from_json(params.at("graph"));
+  } else {
+    throw_params("check_coloring: need 'instance' or 'graph'");
+  }
+  const int k = static_cast<int>(member_int(params, "k", 2));
+  if (k < 1 || k > 64) {
+    throw_params("check_coloring: k out of range [1, 64]");
+  }
+
+  Json result = Json::object();
+  result["k"] = k;
+  if (params.contains("colors")) {
+    const Json& colors_json = params.at("colors");
+    if (!colors_json.is_array() ||
+        static_cast<int>(colors_json.size()) != g.num_nodes()) {
+      throw_params("check_coloring: 'colors' must list every node");
+    }
+    std::vector<int> colors;
+    colors.reserve(colors_json.size());
+    for (const Json& c : colors_json.items()) {
+      const std::int64_t color = c.as_int();
+      if (color < 0 || color >= k) {
+        throw_params(format("check_coloring: color %lld outside [0, %d)",
+                            static_cast<long long>(color), k));
+      }
+      colors.push_back(static_cast<int>(color));
+    }
+    result["mode"] = "verify";
+    Json violation;  // null unless an improper edge is found
+    for (const Edge& e : g.edges()) {
+      if (colors[static_cast<std::size_t>(e.u)] ==
+          colors[static_cast<std::size_t>(e.v)]) {
+        violation = Json::array();
+        violation.push_back(e.u);
+        violation.push_back(e.v);
+        break;
+      }
+    }
+    result["proper"] = violation.is_null();
+    result["violation"] = std::move(violation);
+  } else {
+    result["mode"] = "solve";
+    const std::optional<std::vector<int>> coloring = k_coloring(g, k);
+    result["colorable"] = coloring.has_value();
+    result["coloring"] = coloring ? int_vector_to_json(*coloring) : Json();
+  }
+  return result;
+}
+
+Json Service::op_search_witness(const Json& params) const {
+  const std::string family = member_string(params, "family", "");
+  const int max_n = static_cast<int>(member_int(params, "max_n", 6));
+  if (max_n < 2 || max_n > 8) {
+    throw_params("search_witness: max_n out of range [2, 8]");
+  }
+
+  std::vector<Instance> instances;
+  std::string default_decoder;
+  if (family == "degree-one") {
+    instances = degree_one_witnesses(max_n);
+    default_decoder = "degree-one";
+  } else if (family == "even-cycle") {
+    instances = even_cycle_witnesses(max_n);
+    default_decoder = "even-cycle";
+  } else if (family == "shatter-point") {
+    instances = shatter_witnesses(/*vector_on_point=*/true);
+    default_decoder = "shatter-point";
+  } else if (family == "shatter-point-literal") {
+    instances = shatter_witnesses(/*vector_on_point=*/false);
+    default_decoder = "shatter-point-literal";
+  } else if (family == "watermelon") {
+    instances = watermelon_witnesses();
+    default_decoder = "watermelon";
+  } else if (family == "no-port-check") {
+    instances = no_port_check_witnesses();
+    default_decoder = "watermelon-no-port-check";
+  } else {
+    throw_params(format(
+        "search_witness: unknown family '%s' (known: degree-one, even-cycle, "
+        "shatter-point, shatter-point-literal, watermelon, no-port-check)",
+        family.c_str()));
+  }
+  const Lcp& lcp =
+      find_lcp(member_string(params, "decoder", default_decoder));
+
+  // Single-threaded build: the service's parallelism is across requests
+  // (the server's WorkerPool), and nesting pools is not supported.
+  ParallelEnumOptions options;
+  options.num_threads = 1;
+  const WitnessSearchResult search =
+      search_hiding_witness(lcp.decoder(), instances, /*k=*/2, options);
+
+  Json result = Json::object();
+  result["family"] = family;
+  result["decoder"] = lcp.decoder().name();
+  result["num_instances"] = static_cast<std::int64_t>(instances.size());
+  result["num_views"] = search.nbhd.num_views();
+  result["num_edges"] = search.nbhd.num_edges();
+  result["hiding"] = search.hiding();
+  result["odd_cycle"] =
+      search.odd_cycle ? int_vector_to_json(*search.odd_cycle) : Json();
+  return result;
+}
+
+std::vector<Graph> Service::resolve_graphs(const Json& specs) const {
+  if (!specs.is_array() || specs.size() == 0) {
+    throw_params("build_nbhd: 'graphs' must be a non-empty array of specs");
+  }
+  std::vector<Graph> graphs;
+  for (const Json& spec_json : specs.items()) {
+    if (!spec_json.is_string()) {
+      throw_params("build_nbhd: each graph spec must be a string");
+    }
+    const std::string& spec = spec_json.as_string();
+    const std::size_t colon = spec.find(':');
+    const std::string kind = spec.substr(0, colon);
+    const std::string arg =
+        colon == std::string::npos ? "" : spec.substr(colon + 1);
+    const auto arg_int = [&](int lo, int hi) {
+      int v = 0;
+      for (const char c : arg) {
+        if (c < '0' || c > '9') {
+          throw_params(format("build_nbhd: bad graph spec '%s'", spec.c_str()));
+        }
+        v = v * 10 + (c - '0');
+        if (v > hi) {
+          break;
+        }
+      }
+      if (arg.empty() || v < lo || v > hi) {
+        throw_params(format("build_nbhd: '%s' needs an argument in [%d, %d]",
+                            spec.c_str(), lo, hi));
+      }
+      return v;
+    };
+    if (kind == "path") {
+      graphs.push_back(make_path(arg_int(1, 10)));
+    } else if (kind == "cycle") {
+      graphs.push_back(make_cycle(arg_int(3, 10)));
+    } else if (kind == "star") {
+      graphs.push_back(make_star(arg_int(1, 10)));
+    } else if (kind == "complete") {
+      graphs.push_back(make_complete(arg_int(1, 8)));
+    } else if (kind == "grid") {
+      const std::size_t x = arg.find('x');
+      if (x == std::string::npos) {
+        throw_params(format("build_nbhd: grid spec '%s' must be grid:RxC",
+                            spec.c_str()));
+      }
+      int rows = 0;
+      int cols = 0;
+      try {
+        rows = std::stoi(arg.substr(0, x));
+        cols = std::stoi(arg.substr(x + 1));
+      } catch (const std::exception&) {
+        throw_params(format("build_nbhd: bad grid spec '%s'", spec.c_str()));
+      }
+      if (rows < 1 || cols < 1 || rows * cols > 16) {
+        throw_params("build_nbhd: grid bounded to 16 nodes");
+      }
+      graphs.push_back(make_grid(rows, cols));
+    } else if (kind == "connected") {
+      const int n = arg_int(1, 5);
+      for_each_connected_graph(n, [&](const Graph& g) {
+        graphs.push_back(g);
+        return true;
+      });
+    } else if (kind == "pool") {
+      bool found = false;
+      for (const NamedInstance& named : pool_) {
+        if (named.name == arg) {
+          graphs.push_back(named.inst.g);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw_params(format("build_nbhd: unknown pool instance '%s'",
+                            arg.c_str()));
+      }
+    } else {
+      throw_params(format(
+          "build_nbhd: unknown graph spec '%s' (known: path:N, cycle:N, "
+          "star:N, complete:N, grid:RxC, connected:N, pool:<name>)",
+          spec.c_str()));
+    }
+  }
+  return graphs;
+}
+
+Json Service::op_build_nbhd(const Json& params) const {
+  const std::string lcp_name = member_string(params, "lcp", "");
+  if (lcp_name.empty()) {
+    throw_params("build_nbhd: missing 'lcp'");
+  }
+  const Lcp& lcp = find_lcp(lcp_name);
+  if (!params.contains("graphs")) {
+    throw_params("build_nbhd: missing 'graphs'");
+  }
+  const std::vector<Graph> graphs = resolve_graphs(params.at("graphs"));
+
+  EnumOptions enums;  // sequential build: request-level parallelism only
+  enums.all_ports = member_bool(params, "all_ports", false);
+  enums.all_id_orders = member_bool(params, "all_id_orders", false);
+  enums.max_labelings_per_frame = static_cast<std::uint64_t>(
+      member_int(params, "max_labelings_per_frame", 2'000'000));
+
+  const std::string build = member_string(params, "build", "proved");
+  NbhdGraph nbhd;
+  if (build == "exhaustive") {
+    nbhd = build_exhaustive(lcp, graphs, enums);
+  } else if (build == "proved") {
+    nbhd = build_proved(lcp, graphs, enums);
+  } else {
+    throw_params("build_nbhd: 'build' must be \"exhaustive\" or \"proved\"");
+  }
+
+  Json result = Json::object();
+  result["lcp"] = lcp.name();
+  result["build"] = build;
+  result["num_graphs"] = static_cast<std::int64_t>(graphs.size());
+  result["num_views"] = nbhd.num_views();
+  result["num_edges"] = nbhd.num_edges();
+  result["instances_absorbed"] = nbhd.num_instances_absorbed();
+  result["views_deduped"] = nbhd.stats().views_deduped;
+  result["k_colorable"] = nbhd.k_colorable(lcp.k());
+  const std::optional<std::vector<int>> cycle = nbhd.odd_cycle();
+  result["odd_cycle_len"] =
+      cycle ? Json(static_cast<std::int64_t>(cycle->size())) : Json();
+  return result;
+}
+
+Json Service::op_info() const {
+  Json result = Json::object();
+  result["schema"] = kWireSchema;
+  Json& ops_json = (result["ops"] = Json::array());
+  for (const std::string& op : ops()) {
+    ops_json.push_back(op);
+  }
+  Json& lcps_json = (result["lcps"] = Json::array());
+  for (const auto& lcp : lcps_) {
+    lcps_json.push_back(lcp->name());
+  }
+  Json& pool_json = (result["instances"] = Json::array());
+  for (const NamedInstance& named : pool_) {
+    pool_json.push_back(named.name);
+  }
+  result["draining"] = draining();
+  const CacheStats stats = cache_.stats();
+  Json& cache_json = (result["cache"] = Json::object());
+  cache_json["hits"] = stats.hits;
+  cache_json["disk_hits"] = stats.disk_hits;
+  cache_json["misses"] = stats.misses;
+  cache_json["evictions"] = stats.evictions;
+  cache_json["bytes"] = stats.bytes;
+  cache_json["entries"] = stats.entries;
+  cache_json["hit_rate"] = stats.hit_rate();
+  return result;
+}
+
+}  // namespace shlcp::svc

@@ -1,0 +1,119 @@
+// Request dispatcher of the certification service.
+//
+// Service is the transport-independent core of shlcpd: it owns the LCP
+// registry (every named scheme of src/certify, both repaired and
+// literal variants), the audit instance pool, and the artifact cache,
+// and maps one parsed request to one response. The server (server.h),
+// the bench (bench/bench_service.cpp), and the tests all talk to the
+// same handle() entry point, which is what makes "daemon responses are
+// bit-identical to direct library calls" a checkable claim rather than
+// a hope.
+//
+// Operations (schema shlcp.svc.v1):
+//
+//   run_decoder     execute a named LCP's decoder distributively on an
+//                   instance (named from the audit pool or inline),
+//                   honest or explicit certificates, optionally under a
+//                   FaultPlan descriptor. The result and any execution
+//                   error carry the lcp/audit repro string of the run.
+//   check_coloring  verify a supplied k-coloring (violating edge named)
+//                   or solve for one (graph/algorithms::k_coloring).
+//   search_witness  replay a hiding-witness family search
+//                   (nbhd/witness.h) and report the odd cycle.
+//   build_nbhd      build V(D, n) over a graph family spec via
+//                   build_exhaustive / build_proved and report its
+//                   shape + 2-colorability.
+//   info            service metadata + live cache stats (never cached).
+//
+// The first four are cached: the dispatcher stores the *dumped* result
+// string under artifact_key(op, params), so a hit replays the original
+// bytes. Every op bumps service.<op>.requests and records into the
+// service.<op>.latency_ns histogram; errors bump service.errors.
+//
+// Draining: begin_drain() flips a flag after which every request is
+// answered with the "draining" error and nothing new is dispatched --
+// in-flight handle() calls finish normally. The server trips this from
+// SIGINT; tests and the bench trip it directly.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lcp/audit.h"
+#include "lcp/decoder.h"
+#include "service/cache.h"
+#include "service/proto.h"
+
+namespace shlcp::svc {
+
+/// Error codes of the wire protocol (DESIGN.md §12 lists the contract).
+inline constexpr const char* kErrBadFrame = "bad_frame";
+inline constexpr const char* kErrInvalidRequest = "invalid_request";
+inline constexpr const char* kErrUnknownOp = "unknown_op";
+inline constexpr const char* kErrInvalidParams = "invalid_params";
+inline constexpr const char* kErrDeadline = "deadline_exceeded";
+inline constexpr const char* kErrDraining = "draining";
+inline constexpr const char* kErrInternal = "internal";
+
+struct ServiceConfig {
+  CacheConfig cache;
+};
+
+/// Transport-independent request dispatcher. Thread-safe: handle() may
+/// be called concurrently (the server batches requests across a
+/// WorkerPool); the registries are immutable after construction and the
+/// cache locks internally.
+class Service {
+ public:
+  explicit Service(ServiceConfig config = {});
+  ~Service();
+
+  /// Handles one raw frame body: parse, dispatch, serialize. Never
+  /// throws -- malformed input becomes an error response.
+  /// `elapsed_ms` is how long the request has already waited since
+  /// admission (the server's queue delay); it is charged against the
+  /// request's deadline_ms.
+  std::string handle_text(const std::string& body,
+                          std::uint64_t elapsed_ms = 0);
+
+  /// Same, on an already-parsed document.
+  Json handle(const Json& request, std::uint64_t elapsed_ms = 0);
+
+  /// After this, every request is refused with the "draining" error.
+  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Stable list of the operations this service answers.
+  [[nodiscard]] static std::vector<std::string> ops();
+
+ private:
+  Json dispatch(const Request& req);
+  Json op_run_decoder(const Json& params) const;
+  Json op_check_coloring(const Json& params) const;
+  Json op_search_witness(const Json& params) const;
+  Json op_build_nbhd(const Json& params) const;
+  Json op_info() const;
+
+  const Lcp& find_lcp(const std::string& name) const;
+  /// Resolves params["instance"]: a pool name or an inline object.
+  /// *name_out gets the pool name or "inline" (for repro strings).
+  Instance resolve_instance(const Json& spec, std::string* name_out) const;
+  std::vector<Graph> resolve_graphs(const Json& specs) const;
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<Lcp>> lcps_;
+  std::vector<NamedInstance> pool_;
+  ArtifactCache cache_;
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace shlcp::svc

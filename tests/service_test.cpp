@@ -1,0 +1,511 @@
+// Dispatcher, cache, and pipe-server tests for the certification
+// service. The load-bearing claims pinned here:
+//
+//   * every endpoint's response equals what the direct library call
+//     computes (the bench re-checks this under load);
+//   * a cached replay is byte-identical to the first computation;
+//   * the error-code contract (unknown_op, invalid_params,
+//     invalid_request, deadline_exceeded, draining) with the lcp/audit
+//     repro string echoed for concrete runs;
+//   * LRU eviction, on-disk persistence, and corrupt-entry tolerance of
+//     the artifact cache;
+//   * the pipe server's request/response framing and its drain
+//     behavior: after a cancel trip, no request is ever answered ok.
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "certify/degree_one.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "lcp/audit.h"
+#include "nbhd/witness.h"
+#include "service/cache.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/budget.h"
+
+namespace shlcp::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+Json make_request(std::int64_t id, const std::string& op, Json params) {
+  Json req = Json::object();
+  req["id"] = id;
+  req["op"] = op;
+  req["params"] = std::move(params);
+  return req;
+}
+
+Json ok_result(const Json& response) {
+  EXPECT_TRUE(response.at("ok").as_bool()) << response.dump();
+  return response.at("result");
+}
+
+std::string error_code(const Json& response) {
+  EXPECT_FALSE(response.at("ok").as_bool()) << response.dump();
+  return response.at("error").at("code").as_string();
+}
+
+Instance pool_instance(const std::string& name) {
+  for (const NamedInstance& named : audit_instance_pool()) {
+    if (named.name == name) {
+      return named.inst;
+    }
+  }
+  ADD_FAILURE() << "no pool instance " << name;
+  return Instance();
+}
+
+// ---------------------------------------------------------------------
+// Endpoints vs direct library calls.
+
+TEST(ServiceEndpoints, RunDecoderMatchesDirectRun) {
+  Service service;
+  Json params = Json::object();
+  params["lcp"] = "degree-one";
+  params["instance"] = "path5";
+  params["labels"] = "honest";
+  const Json response = service.handle(make_request(1, "run_decoder", params));
+  const Json& result = ok_result(response);
+
+  DegreeOneLcp lcp;
+  Instance inst = pool_instance("path5");
+  inst.labels = *lcp.prove(inst.g, inst.ports, inst.ids);
+  const FaultyRunResult direct =
+      run_decoder_distributed_faulty(lcp.decoder(), inst, FaultPlan{});
+
+  ASSERT_EQ(result.at("verdicts").size(),
+            static_cast<std::size_t>(inst.num_nodes()));
+  for (std::size_t v = 0; v < direct.verdicts.size(); ++v) {
+    EXPECT_EQ(result.at("verdicts").at(v).as_bool(), direct.verdicts[v]);
+  }
+  EXPECT_TRUE(result.at("accepts_all").as_bool());
+  EXPECT_EQ(result.at("stats").at("messages").as_uint(),
+            static_cast<std::uint64_t>(direct.stats.messages));
+  EXPECT_EQ(result.at("repro").as_string(),
+            make_repro("degree-one", "path5", "honest", FaultPlan{}));
+}
+
+TEST(ServiceEndpoints, RunDecoderHonoursFaultPlanDescriptor) {
+  Service service;
+  FaultPlan plan;
+  plan.label = "droppy";
+  plan.seed = 7;
+  plan.drop_permille = 400;
+  Json params = Json::object();
+  params["lcp"] = "degree-one";
+  params["instance"] = "path5";
+  params["labels"] = "honest";
+  params["plan"] = plan.describe();
+  const Json& result =
+      ok_result(service.handle(make_request(2, "run_decoder", params)));
+
+  DegreeOneLcp lcp;
+  Instance inst = pool_instance("path5");
+  inst.labels = *lcp.prove(inst.g, inst.ports, inst.ids);
+  const FaultyRunResult direct =
+      run_decoder_distributed_faulty(lcp.decoder(), inst,
+                                     FaultPlan::parse(plan.describe()));
+  EXPECT_EQ(result.at("faults").at("dropped").as_uint(),
+            static_cast<std::uint64_t>(direct.faults.dropped));
+  for (std::size_t v = 0; v < direct.verdicts.size(); ++v) {
+    EXPECT_EQ(result.at("verdicts").at(v).as_bool(), direct.verdicts[v]);
+  }
+}
+
+TEST(ServiceEndpoints, CheckColoringVerifyNamesViolatingEdge) {
+  Service service;
+  Json good = Json::object();
+  good["graph"] = graph_to_json(make_cycle(4));
+  good["k"] = 2;
+  Json& colors = (good["colors"] = Json::array());
+  for (const int c : {0, 1, 0, 1}) {
+    colors.push_back(c);
+  }
+  const Json& proper =
+      ok_result(service.handle(make_request(3, "check_coloring", good)));
+  EXPECT_EQ(proper.at("mode").as_string(), "verify");
+  EXPECT_TRUE(proper.at("proper").as_bool());
+  EXPECT_TRUE(proper.at("violation").is_null());
+
+  Json bad = good;
+  Json& bad_colors = (bad["colors"] = Json::array());
+  for (const int c : {0, 0, 0, 1}) {  // edge (0, 1) monochromatic
+    bad_colors.push_back(c);
+  }
+  const Json& improper =
+      ok_result(service.handle(make_request(4, "check_coloring", bad)));
+  EXPECT_FALSE(improper.at("proper").as_bool());
+  EXPECT_EQ(improper.at("violation").at(std::size_t{0}).as_int(), 0);
+  EXPECT_EQ(improper.at("violation").at(std::size_t{1}).as_int(), 1);
+}
+
+TEST(ServiceEndpoints, CheckColoringSolveMatchesLibrary) {
+  Service service;
+  for (const int k : {2, 3}) {
+    Json params = Json::object();
+    params["instance"] = "cycle5";
+    params["k"] = k;
+    const Json& result =
+        ok_result(service.handle(make_request(5, "check_coloring", params)));
+    EXPECT_EQ(result.at("mode").as_string(), "solve");
+    EXPECT_EQ(result.at("colorable").as_bool(), k == 3);  // C5 is odd
+    const std::optional<std::vector<int>> direct =
+        k_coloring(pool_instance("cycle5").g, k);
+    EXPECT_EQ(result.at("colorable").as_bool(), direct.has_value());
+    if (direct) {
+      for (std::size_t v = 0; v < direct->size(); ++v) {
+        EXPECT_EQ(result.at("coloring").at(v).as_int(), (*direct)[v]);
+      }
+    }
+  }
+}
+
+TEST(ServiceEndpoints, SearchWitnessMatchesDirectSearch) {
+  Service service;
+  Json params = Json::object();
+  params["family"] = "degree-one";
+  params["max_n"] = 4;
+  const Json& result =
+      ok_result(service.handle(make_request(6, "search_witness", params)));
+
+  DegreeOneLcp lcp;
+  const std::vector<Instance> instances = degree_one_witnesses(4);
+  ParallelEnumOptions options;
+  options.num_threads = 1;
+  const WitnessSearchResult direct =
+      search_hiding_witness(lcp.decoder(), instances, 2, options);
+  EXPECT_EQ(result.at("hiding").as_bool(), direct.hiding());
+  EXPECT_EQ(result.at("num_views").as_uint(),
+            static_cast<std::uint64_t>(direct.nbhd.num_views()));
+  if (direct.odd_cycle) {
+    EXPECT_EQ(result.at("odd_cycle").size(), direct.odd_cycle->size());
+  } else {
+    EXPECT_TRUE(result.at("odd_cycle").is_null());
+  }
+}
+
+TEST(ServiceEndpoints, BuildNbhdMatchesDirectBuild) {
+  Service service;
+  Json params = Json::object();
+  params["lcp"] = "degree-one";
+  Json& graphs = (params["graphs"] = Json::array());
+  graphs.push_back("path:4");
+  params["build"] = "proved";
+  const Json& result =
+      ok_result(service.handle(make_request(7, "build_nbhd", params)));
+
+  DegreeOneLcp lcp;
+  EnumOptions enums;
+  const NbhdGraph direct = build_proved(lcp, {make_path(4)}, enums);
+  EXPECT_EQ(result.at("num_views").as_uint(),
+            static_cast<std::uint64_t>(direct.num_views()));
+  EXPECT_EQ(result.at("num_edges").as_uint(),
+            static_cast<std::uint64_t>(direct.num_edges()));
+  EXPECT_EQ(result.at("k_colorable").as_bool(), direct.k_colorable(2));
+}
+
+// ---------------------------------------------------------------------
+// Error-code contract.
+
+TEST(ServiceErrors, ErrorCodeContract) {
+  Service service;
+  EXPECT_EQ(error_code(service.handle(
+                make_request(1, "frobnicate", Json::object()))),
+            kErrUnknownOp);
+
+  Json bad_lcp = Json::object();
+  bad_lcp["lcp"] = "no-such-scheme";
+  bad_lcp["instance"] = "path5";
+  EXPECT_EQ(error_code(service.handle(make_request(2, "run_decoder", bad_lcp))),
+            kErrInvalidParams);
+
+  // Envelope typo: unknown member, rejected before dispatch.
+  Json typo = make_request(3, "info", Json::object());
+  typo["dedline_ms"] = 5;
+  EXPECT_EQ(error_code(service.handle(typo)), kErrInvalidRequest);
+
+  // Queue delay past the deadline.
+  Json timed = make_request(4, "info", Json::object());
+  timed["deadline_ms"] = 5;
+  EXPECT_EQ(error_code(service.handle(timed, /*elapsed_ms=*/50)),
+            kErrDeadline);
+
+  // handle_text on unparseable bytes: an error response, not a throw.
+  const Json garbage = Json::parse(service.handle_text("{nope"));
+  EXPECT_EQ(error_code(garbage), kErrInvalidRequest);
+}
+
+TEST(ServiceErrors, DrainRefusesEverything) {
+  Service service;
+  EXPECT_FALSE(service.draining());
+  service.begin_drain();
+  EXPECT_TRUE(service.draining());
+  const Json refused =
+      service.handle(make_request(1, "info", Json::object()));
+  EXPECT_EQ(error_code(refused), kErrDraining);
+  EXPECT_EQ(refused.at("id").as_int(), 1);  // id still echoed
+}
+
+// ---------------------------------------------------------------------
+// Artifact cache.
+
+TEST(ServiceCache, CachedReplayIsBitIdentical) {
+  Service service;
+  Json params = Json::object();
+  params["instance"] = "cycle5";
+  params["k"] = 3;
+  const Json first =
+      service.handle(make_request(1, "check_coloring", params));
+  EXPECT_FALSE(first.at("cached").as_bool());
+
+  // Same payload, different member order: canonical keying must hit.
+  Json reordered = Json::object();
+  reordered["k"] = 3;
+  reordered["instance"] = "cycle5";
+  const Json second =
+      service.handle(make_request(2, "check_coloring", reordered));
+  EXPECT_TRUE(second.at("cached").as_bool());
+  EXPECT_EQ(second.at("result").dump(), first.at("result").dump());
+  EXPECT_GE(service.cache_stats().hits, 1u);
+}
+
+TEST(ServiceCache, LruEvictionUnderByteBudget) {
+  CacheConfig config;
+  config.max_bytes = 64;
+  ArtifactCache cache(config);
+  cache.insert("fnv:aaaa", std::string(40, 'x'));
+  cache.insert("fnv:bbbb", std::string(40, 'y'));  // evicts aaaa
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.get("fnv:aaaa").has_value());
+  EXPECT_TRUE(cache.get("fnv:bbbb").has_value());
+  EXPECT_LE(cache.stats().bytes, config.max_bytes);
+
+  // Touching an entry protects it: refresh bbbb, insert cccc, and the
+  // budget still holds one entry -- the freshest insert.
+  cache.insert("fnv:cccc", std::string(40, 'z'));
+  EXPECT_TRUE(cache.get("fnv:cccc").has_value());
+  EXPECT_FALSE(cache.get("fnv:bbbb").has_value());
+}
+
+TEST(ServiceCache, PersistsAcrossInstances) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "shlcp_cache_persist";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  CacheConfig config;
+  config.directory = dir.string();
+
+  const std::string key = artifact_key("check_coloring", Json::parse("{}"));
+  {
+    ArtifactCache warm(config);
+    warm.insert(key, "{\"answer\":42}");
+  }
+  ArtifactCache cold(config);
+  const std::optional<std::string> loaded = cold.get(key);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, "{\"answer\":42}");
+  EXPECT_EQ(cold.stats().disk_hits, 1u);
+  EXPECT_EQ(cold.stats().misses, 0u);
+
+  // Promoted to memory: the second lookup is an in-memory hit.
+  EXPECT_TRUE(cold.get(key).has_value());
+  EXPECT_EQ(cold.stats().hits, 1u);
+}
+
+TEST(ServiceCache, CorruptDiskEntryIsMissNotError) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "shlcp_cache_corrupt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  CacheConfig config;
+  config.directory = dir.string();
+
+  const std::string key = artifact_key("info", Json::parse("{}"));
+  {
+    ArtifactCache warm(config);
+    warm.insert(key, "payload");
+  }
+  // Entry files are "<dir>/<hex-after-colon>.json".
+  const fs::path file = dir / (key.substr(key.find(':') + 1) + ".json");
+  ASSERT_TRUE(fs::exists(file));
+
+  {  // Outright garbage.
+    std::ofstream out(file, std::ios::trunc);
+    out << "not json at all";
+  }
+  ArtifactCache c1(config);
+  EXPECT_FALSE(c1.get(key).has_value());
+
+  {  // Well-formed but digest-mismatched (torn result).
+    std::ofstream out(file, std::ios::trunc);
+    out << R"({"schema":"shlcp.svc.cache.v1","key":")" << key
+        << R"(","digest":"fnv:0000000000000000","result":"payload"})";
+  }
+  ArtifactCache c2(config);
+  EXPECT_FALSE(c2.get(key).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Pipe server end to end.
+
+struct Pipe {
+  int read_fd = -1;
+  int write_fd = -1;
+  Pipe() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd = fds[0];
+    write_fd = fds[1];
+  }
+  ~Pipe() {
+    if (read_fd >= 0) {
+      ::close(read_fd);
+    }
+    if (write_fd >= 0) {
+      ::close(write_fd);
+    }
+  }
+};
+
+/// Reads one frame from fd, polling up to timeout_ms. Returns nullopt
+/// on timeout or EOF.
+std::optional<std::string> read_frame(int fd, FrameReader& reader,
+                                      int timeout_ms = 10000) {
+  std::string frame;
+  std::string error;
+  while (true) {
+    const FrameReader::Next next = reader.next(&frame, &error);
+    if (next == FrameReader::Next::kFrame) {
+      return frame;
+    }
+    EXPECT_NE(next, FrameReader::Next::kError) << error;
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      return std::nullopt;
+    }
+    char buf[4096];
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) {
+      return std::nullopt;
+    }
+    reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+TEST(PipeServer, AnswersRequestsAndExitsCleanlyOnEof) {
+  Pipe to_server;
+  Pipe from_server;
+  CancelToken token;
+  ServerOptions options;
+  options.in_fd = to_server.read_fd;
+  options.out_fd = from_server.write_fd;
+  options.cancel = &token;
+  options.num_threads = 2;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_pipe(options); });
+
+  FrameReader reader;
+  const Json info = make_request(1, "info", Json::object());
+  ASSERT_TRUE(write(to_server.write_fd, encode_frame(info.dump()).data(),
+                    encode_frame(info.dump()).size()) > 0);
+  std::optional<std::string> body = read_frame(from_server.read_fd, reader);
+  ASSERT_TRUE(body.has_value());
+  const Json info_resp = Json::parse(*body);
+  EXPECT_EQ(info_resp.at("id").as_int(), 1);
+  EXPECT_TRUE(ok_result(info_resp).at("ops").is_array());
+
+  // A second request through the same stream, batched-path compute.
+  Json params = Json::object();
+  params["instance"] = "cycle5";
+  params["k"] = 3;
+  const std::string frame2 =
+      encode_frame(make_request(2, "check_coloring", params).dump());
+  ASSERT_TRUE(write(to_server.write_fd, frame2.data(), frame2.size()) > 0);
+  body = read_frame(from_server.read_fd, reader);
+  ASSERT_TRUE(body.has_value());
+  const Json col_resp = Json::parse(*body);
+  EXPECT_EQ(col_resp.at("id").as_int(), 2);
+  EXPECT_TRUE(ok_result(col_resp).at("colorable").as_bool());
+
+  ::close(to_server.write_fd);  // EOF ends the server
+  to_server.write_fd = -1;
+  server.join();
+  EXPECT_EQ(exit_code, 0);
+}
+
+TEST(PipeServer, MalformedFrameGetsBadFrameResponse) {
+  Pipe to_server;
+  Pipe from_server;
+  ServerOptions options;
+  options.in_fd = to_server.read_fd;
+  options.out_fd = from_server.write_fd;
+  CancelToken token;
+  options.cancel = &token;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_pipe(options); });
+
+  const std::string garbage = "???\n{}\n";
+  ASSERT_TRUE(write(to_server.write_fd, garbage.data(), garbage.size()) > 0);
+  FrameReader reader;
+  const std::optional<std::string> body =
+      read_frame(from_server.read_fd, reader);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_EQ(error_code(Json::parse(*body)), kErrBadFrame);
+
+  server.join();  // framing lost ends pipe mode
+  EXPECT_EQ(exit_code, 0);
+}
+
+// After a cancel trip the server must never answer a request ok: a late
+// frame is either refused with "draining" or not read at all, and the
+// server still exits 0.
+TEST(PipeServer, DrainsOnCancelWithoutAcceptingNewWork) {
+  Pipe to_server;
+  Pipe from_server;
+  CancelToken token;
+  ServerOptions options;
+  options.in_fd = to_server.read_fd;
+  options.out_fd = from_server.write_fd;
+  options.cancel = &token;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_pipe(options); });
+
+  FrameReader reader;
+  const std::string warmup =
+      encode_frame(make_request(1, "info", Json::object()).dump());
+  ASSERT_TRUE(write(to_server.write_fd, warmup.data(), warmup.size()) > 0);
+  ASSERT_TRUE(read_frame(from_server.read_fd, reader).has_value());
+
+  token.request_stop(StopReason::kCancelRequested);
+  const std::string late =
+      encode_frame(make_request(2, "info", Json::object()).dump());
+  ASSERT_TRUE(write(to_server.write_fd, late.data(), late.size()) > 0);
+  server.join();
+  EXPECT_EQ(exit_code, 0);
+
+  // Whatever made it out for request 2 must be a draining refusal.
+  while (true) {
+    const std::optional<std::string> body =
+        read_frame(from_server.read_fd, reader, /*timeout_ms=*/0);
+    if (!body.has_value()) {
+      break;
+    }
+    EXPECT_EQ(error_code(Json::parse(*body)), kErrDraining);
+  }
+}
+
+}  // namespace
+}  // namespace shlcp::svc

@@ -3,6 +3,7 @@
 
 Usage:
     check_bench_json.py BENCH_sim.json [BENCH_parallel_enum.json ...]
+    check_bench_json.py --service BENCH_service.json
     check_bench_json.py --trace trace.jsonl
     check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
 
@@ -10,6 +11,10 @@ The schema is pinned in bench/report.h and tests/bench_report_test.cpp;
 this script is the CI-side check that runs against the files the smoke
 benches actually wrote. With --trace it instead validates a JSONL trace
 file (one span/event object per line, as emitted by src/util/trace.cpp).
+With --service it additionally enforces the service-bench contract of
+EXPERIMENTS.md E19 on a BENCH_service.json: a nonzero request count, a
+warm-cache hit rate inside [0, 1], a passing bit-identity verification,
+and a populated per-endpoint latency histogram for every cacheable op.
 With --ckpt it validates checkpoint directories written by the resumable
 V(D, n) builders (schema shlcp.ckpt.v1, pinned in src/nbhd/checkpoint.h):
 exact manifest keys and types, frames_done <= num_frames, known status
@@ -25,6 +30,12 @@ import re
 import sys
 
 SCHEMA = "shlcp.bench.v1"
+# Every schema id this checker knows how to validate. A document whose
+# "schema" member is not listed here is an error, never a silent pass:
+# a renamed or future schema must come with an updated checker.
+KNOWN_SCHEMAS = {SCHEMA}
+SERVICE_OPS = ["run_decoder", "check_coloring", "search_witness",
+               "build_nbhd"]
 TOP_KEYS = ["schema", "bench", "run", "meta", "cases", "metrics"]
 RUN_KEYS = ["git", "unix_time", "hardware_concurrency", "num_threads", "smoke"]
 METRIC_KEYS = ["counters", "gauges", "histograms"]
@@ -69,6 +80,10 @@ def check_report(path):
     if not isinstance(doc, dict) or list(doc.keys()) != TOP_KEYS:
         ok = fail(path, f"top-level keys must be exactly {TOP_KEYS}, "
                         f"got {list(doc) if isinstance(doc, dict) else type(doc).__name__}")
+        return ok
+    if doc["schema"] not in KNOWN_SCHEMAS:
+        ok = fail(path, f"unknown schema id {doc['schema']!r} (known: "
+                        f"{sorted(KNOWN_SCHEMAS)}); refusing to validate")
         return ok
     if doc["schema"] != SCHEMA:
         ok = fail(path, f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
@@ -118,6 +133,43 @@ def check_report(path):
             if sum(hist.get("counts", [])) != hist.get("count"):
                 ok = fail(path, f"histogram {name!r}: counts do not sum to "
                                 "count")
+    return ok
+
+
+def check_service(path):
+    """check_report plus the BENCH_service.json contract (E19)."""
+    ok = check_report(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return False  # already reported by check_report
+    if not isinstance(doc, dict):
+        return False
+
+    meta = doc.get("meta", {})
+    requests = meta.get("requests")
+    if not isinstance(requests, int) or isinstance(requests, bool) \
+            or requests <= 0:
+        ok = fail(path, f"meta.requests must be a positive integer, "
+                        f"got {requests!r}")
+    hit_rate = meta.get("hit_rate_warm")
+    if not isinstance(hit_rate, (int, float)) or isinstance(hit_rate, bool) \
+            or not 0.0 <= hit_rate <= 1.0:
+        ok = fail(path, f"meta.hit_rate_warm must be a number in [0, 1], "
+                        f"got {hit_rate!r}")
+    if meta.get("verified") is not True:
+        ok = fail(path, "meta.verified must be true (service responses "
+                        "were not bit-identical to direct library calls)")
+
+    histograms = doc.get("metrics", {}).get("histograms", {})
+    for op in SERVICE_OPS:
+        name = f"service.{op}.latency_ns"
+        hist = histograms.get(name)
+        if not isinstance(hist, dict):
+            ok = fail(path, f"missing endpoint histogram {name!r}")
+        elif not hist.get("count"):
+            ok = fail(path, f"endpoint histogram {name!r} recorded nothing")
     return ok
 
 
@@ -219,7 +271,9 @@ def main(argv):
     if len(argv) < 2:
         print(__doc__.strip())
         return 2
-    if argv[1] == "--trace":
+    if argv[1] == "--service":
+        paths, checker = argv[2:], check_service
+    elif argv[1] == "--trace":
         paths, checker = argv[2:], check_trace
     elif argv[1] == "--ckpt":
         paths, checker = argv[2:], check_ckpt
