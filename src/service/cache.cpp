@@ -59,7 +59,7 @@ std::string artifact_key(std::string_view op, const Json& params) {
   payload.append(op);
   payload.push_back('\n');
   payload.append(canonical_dump(params));
-  return fnv1a_hex(payload);
+  return payload;
 }
 
 ArtifactCache::ArtifactCache(CacheConfig config) : config_(std::move(config)) {}
@@ -79,7 +79,7 @@ std::optional<std::string> ArtifactCache::get(const std::string& key) {
     // Promote to memory so the next lookup is cheap.
     lru_.push_front(Entry{key, *value});
     index_[key] = lru_.begin();
-    stats_.bytes += value->size();
+    stats_.bytes += key.size() + value->size();
     stats_.entries = lru_.size();
     evict_to_fit();
     return value;
@@ -100,7 +100,7 @@ void ArtifactCache::insert(const std::string& key, const std::string& value) {
   } else {
     lru_.push_front(Entry{key, value});
     index_[key] = lru_.begin();
-    stats_.bytes += value.size();
+    stats_.bytes += key.size() + value.size();
   }
   stats_.entries = lru_.size();
   evict_to_fit();
@@ -121,7 +121,7 @@ void ArtifactCache::touch(std::list<Entry>::iterator it) {
 void ArtifactCache::evict_to_fit() {
   while (stats_.bytes > config_.max_bytes && lru_.size() > 1) {
     const Entry& victim = lru_.back();
-    stats_.bytes -= victim.value.size();
+    stats_.bytes -= victim.key.size() + victim.value.size();
     index_.erase(victim.key);
     lru_.pop_back();
     ++stats_.evictions;
@@ -131,10 +131,14 @@ void ArtifactCache::evict_to_fit() {
 }
 
 std::string ArtifactCache::disk_path(const std::string& key) const {
-  // key is "fnv:<16 hex>"; the hex part is the filename.
-  const std::size_t colon = key.find(':');
+  // The FNV-1a hex of the key names the entry file ("fnv:<16 hex>",
+  // colon stripped). The hash is only an address: load_from_disk
+  // authenticates a hit by comparing the stored key verbatim, so a
+  // filename collision is a miss, never a wrong artifact.
+  const std::string digest = fnv1a_hex(key);
+  const std::size_t colon = digest.find(':');
   const std::string hex =
-      colon == std::string::npos ? key : key.substr(colon + 1);
+      colon == std::string::npos ? digest : digest.substr(colon + 1);
   return config_.directory + "/" + hex + ".json";
 }
 

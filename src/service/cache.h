@@ -1,13 +1,16 @@
 // Content-addressed artifact cache for the certification service.
 //
 // Keying: an artifact is the serialized result of one cacheable service
-// operation, addressed by the 64-bit FNV-1a digest (nbhd/checkpoint's
-// fnv1a_hex) of
+// operation, addressed by the full canonical payload
 //
 //   "shlcp.svc.v1" '\n' <op> '\n' canonical_dump(params)
 //
-// Canonicalization (recursive key sort, compact dump) makes the key
-// independent of the member order the client happened to send, so
+// used *verbatim* as the key -- lookups are exact string matches, so
+// two distinct requests can never alias (a 64-bit hash alone would let
+// a collision replay another request's result bytes as ok/cached=true,
+// silently breaking the bit-identity guarantee bench_service gates
+// on). Canonicalization (recursive key sort, compact dump) makes the
+// key independent of the member order the client happened to send, so
 // {"k":2,"instance":"path5"} and {"instance":"path5","k":2} hit the
 // same entry. The schema prefix makes keys self-invalidating: any wire
 // format change bumps the schema string and orphans old entries.
@@ -20,11 +23,14 @@
 // evicts everything else.
 //
 // Persistence (optional): with CacheConfig::directory set, every insert
-// also writes <dir>/<16 hex>.json via the checkpoint layer's
-// temp+rename discipline, and an in-memory miss falls back to disk. A
-// disk entry carries its own FNV-1a digest of the payload; a corrupt,
-// truncated, or wrong-schema file is treated as a miss (never an
-// error), so a stale cache directory can always be pointed at safely.
+// also writes <dir>/<16 hex>.json (the hex is nbhd/checkpoint's FNV-1a
+// of the key -- the hash only names the file, it never authenticates a
+// hit) via the checkpoint layer's temp+rename discipline, and an
+// in-memory miss falls back to disk. A disk entry stores the full key
+// and its own FNV-1a digest of the payload; a corrupt, truncated,
+// wrong-schema, or wrong-key (filename collision) file is treated as a
+// miss (never an error), so a stale cache directory can always be
+// pointed at safely.
 
 #pragma once
 
@@ -43,11 +49,12 @@ namespace shlcp::svc {
 /// Schema id of the on-disk cache entry files.
 inline constexpr const char* kCacheFileSchema = "shlcp.svc.cache.v1";
 
-/// Cache key for `op` with canonicalized `params`: "fnv:<16 hex>".
+/// Cache key for `op` with canonicalized `params`: the full canonical
+/// payload "<schema>\n<op>\n<canonical params>", matched exactly.
 std::string artifact_key(std::string_view op, const Json& params);
 
 struct CacheConfig {
-  /// In-memory byte budget (sum of stored value sizes).
+  /// In-memory byte budget (sum of stored key + value sizes).
   std::size_t max_bytes = 64u << 20;
   /// On-disk persistence directory; empty disables persistence.
   std::string directory;

@@ -1,5 +1,6 @@
 #include "service/server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -8,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -26,6 +28,22 @@ namespace {
 /// handler is installed with signal() (SA_RESTART on glibc), so the
 /// token -- never an interrupted syscall -- is the wake-up signal.
 constexpr int kPollTimeoutMs = 100;
+
+/// Per-connection cap on buffered-but-unsent response bytes. A client
+/// that stops reading gets its connection closed instead of growing
+/// the buffer (and stalling nothing else -- sockets are non-blocking).
+constexpr std::size_t kMaxConnWriteBufferBytes = 64u << 20;
+
+/// Grace window after drain for flushing buffered responses to slow
+/// readers before the sockets are torn down.
+constexpr std::uint64_t kDrainFlushMs = 2000;
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
 
 std::uint64_t now_ms() {
   return static_cast<std::uint64_t>(
@@ -232,9 +250,15 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
     int fd = -1;
     FrameReader reader;
     bool broken = false;
+    std::string outbuf;       // responses not yet accepted by the kernel
+    std::size_t outpos = 0;   // consumed prefix of outbuf
 
     explicit Connection(int f, std::size_t max_frame)
         : fd(f), reader(max_frame) {}
+
+    [[nodiscard]] std::size_t pending_out() const {
+      return outbuf.size() - outpos;
+    }
   };
   std::vector<Connection> conns;
   std::deque<PendingRequest> queue;
@@ -244,6 +268,44 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
     if (c.fd >= 0) {
       ::close(c.fd);
       c.fd = -1;
+    }
+    c.outbuf.clear();
+    c.outpos = 0;
+  };
+
+  // Writes as much of c.outbuf as the (non-blocking) socket accepts.
+  // Returns false if the connection died. A full socket buffer is not
+  // an error: the remainder stays queued and the poll loop watches
+  // POLLOUT -- one slow reader must never stall dispatch for the rest.
+  const auto flush_conn = [&](Connection& c) -> bool {
+    while (c.outpos < c.outbuf.size()) {
+      const ssize_t n = ::write(c.fd, c.outbuf.data() + c.outpos,
+                                c.outbuf.size() - c.outpos);
+      if (n > 0) {
+        c.outpos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;
+      }
+      close_conn(c);
+      return false;
+    }
+    c.outbuf.clear();
+    c.outpos = 0;
+    return true;
+  };
+
+  const auto send_conn = [&](Connection& c, std::string_view frame) {
+    if (c.fd < 0) {
+      return;
+    }
+    c.outbuf.append(frame.data(), frame.size());
+    if (flush_conn(c) && c.pending_out() > kMaxConnWriteBufferBytes) {
+      close_conn(c);  // reader has stalled; do not buffer unboundedly
     }
   };
 
@@ -261,10 +323,8 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
            dispatch_batch(service, pool, queue, options.batch_max)) {
         if (req.conn >= 0 && req.conn < static_cast<int>(conns.size()) &&
             conns[static_cast<std::size_t>(req.conn)].fd >= 0) {
-          Connection& c = conns[static_cast<std::size_t>(req.conn)];
-          if (!write_all(c.fd, encode_frame(response))) {
-            close_conn(c);
-          }
+          send_conn(conns[static_cast<std::size_t>(req.conn)],
+                    encode_frame(response));
         }
       }
       if (cancel->stop_requested() && !service.draining()) {
@@ -280,6 +340,13 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
       break;  // queue flushed above; refuse everything else
     }
 
+    // The queue is empty here, so no PendingRequest.conn index is
+    // live: reclaim the slots (and FrameReader buffers) of closed
+    // connections instead of scanning them forever.
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [](const Connection& c) { return c.fd < 0; }),
+                conns.end());
+
     std::vector<pollfd> pfds;
     std::vector<int> conn_of_pfd;  // -1 = the listener
     if (accepting) {
@@ -288,7 +355,12 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
     }
     for (std::size_t i = 0; i < conns.size(); ++i) {
       if (conns[i].fd >= 0) {
-        pfds.push_back({conns[i].fd, POLLIN, 0});
+        // A broken (framing-lost) connection only lingers to flush its
+        // bad_frame response; it is never read again.
+        const short events = static_cast<short>(
+            (conns[i].broken ? 0 : POLLIN) |
+            (conns[i].pending_out() > 0 ? POLLOUT : 0));
+        pfds.push_back({conns[i].fd, events, 0});
         conn_of_pfd.push_back(static_cast<int>(i));
       }
     }
@@ -305,16 +377,31 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
         if ((pfds[pi].revents & POLLIN) != 0) {
           const int client = ::accept(listen_fd, nullptr, nullptr);
           if (client >= 0) {
+            set_nonblocking(client);
             conns.emplace_back(client, options.max_frame_bytes);
           }
+        }
+        continue;
+      }
+      const int conn_index = conn_of_pfd[pi];
+      Connection& c = conns[static_cast<std::size_t>(conn_index)];
+      if ((pfds[pi].revents & (POLLERR | POLLNVAL)) != 0) {
+        close_conn(c);  // a dead fd must not busy-spin the poll loop
+        continue;
+      }
+      if ((pfds[pi].revents & POLLOUT) != 0 && !flush_conn(c)) {
+        continue;
+      }
+      if (c.broken) {
+        // Close once the bad_frame response is out (or the peer left).
+        if (c.pending_out() == 0 || (pfds[pi].revents & POLLHUP) != 0) {
+          close_conn(c);
         }
         continue;
       }
       if ((pfds[pi].revents & (POLLIN | POLLHUP)) == 0) {
         continue;
       }
-      const int conn_index = conn_of_pfd[pi];
-      Connection& c = conns[static_cast<std::size_t>(conn_index)];
       char buf[64 << 10];
       const ssize_t n = ::read(c.fd, buf, sizeof buf);
       if (n > 0) {
@@ -324,13 +411,44 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
           c.broken = true;
         }
         for (const std::string& e : frame_errors) {
-          write_all(c.fd, encode_frame(e));
+          send_conn(c, encode_frame(e));
         }
-        if (c.broken) {
-          close_conn(c);
+        if (c.broken && c.pending_out() == 0) {
+          close_conn(c);  // response delivered; otherwise flush first
         }
-      } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
+      } else if (n == 0 || (errno != EINTR && errno != EAGAIN &&
+                            errno != EWOULDBLOCK)) {
         close_conn(c);
+      }
+    }
+  }
+
+  // Drain contract: in-flight requests were answered above, but their
+  // frames may still sit in write buffers. Give slow readers a bounded
+  // grace window before tearing the sockets down.
+  const std::uint64_t flush_deadline = now_ms() + kDrainFlushMs;
+  while (now_ms() < flush_deadline) {
+    std::vector<pollfd> pfds;
+    std::vector<std::size_t> conn_of_pfd;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i].fd >= 0 && conns[i].pending_out() > 0) {
+        pfds.push_back({conns[i].fd, POLLOUT, 0});
+        conn_of_pfd.push_back(i);
+      }
+    }
+    if (pfds.empty()) {
+      break;
+    }
+    if (::poll(pfds.data(), pfds.size(), kPollTimeoutMs) < 0 &&
+        errno != EINTR) {
+      break;
+    }
+    for (std::size_t pi = 0; pi < pfds.size(); ++pi) {
+      Connection& c = conns[conn_of_pfd[pi]];
+      if ((pfds[pi].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
+        close_conn(c);
+      } else if ((pfds[pi].revents & POLLOUT) != 0) {
+        flush_conn(c);
       }
     }
   }

@@ -24,6 +24,14 @@
 // answered with one "bad_frame" error response and ends that stream --
 // framing is unrecoverable once the length prefix is lost. In pipe
 // mode that ends the server; in socket mode only that connection.
+//
+// Socket-mode connections are non-blocking with per-connection write
+// buffers: a client that stops reading never stalls dispatch for the
+// others -- its responses queue (up to a 64 MiB cap, then the
+// connection is closed) and flush on POLLOUT. POLLERR/POLLNVAL close
+// the connection, closed slots are reclaimed between poll rounds, and
+// a drain flushes still-buffered responses for a bounded grace window
+// before teardown.
 
 #pragma once
 

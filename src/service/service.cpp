@@ -497,7 +497,10 @@ std::vector<Graph> Service::resolve_graphs(const Json& specs) const {
       } catch (const std::exception&) {
         throw_params(format("build_nbhd: bad grid spec '%s'", spec.c_str()));
       }
-      if (rows < 1 || cols < 1 || rows * cols > 16) {
+      // Bound each dimension before multiplying: stoi accepts values
+      // whose product overflows int (UB), e.g. grid:65536x65536.
+      if (rows < 1 || cols < 1 || rows > 16 || cols > 16 ||
+          rows * cols > 16) {
         throw_params("build_nbhd: grid bounded to 16 nodes");
       }
       graphs.push_back(make_grid(rows, cols));

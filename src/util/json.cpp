@@ -250,6 +250,14 @@ std::string Json::dump(int indent) const {
 
 namespace {
 
+/// Nesting cap for parse. The parser, canonical_json, dump, and the
+/// Json destructor all recurse once per container level, so untrusted
+/// input (service frames arrive straight from the wire) must not be
+/// able to choose the recursion depth: a few MiB of '[' would
+/// otherwise overflow the stack. 256 is far beyond any document this
+/// library produces.
+constexpr int kMaxParseDepth = 256;
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -320,10 +328,12 @@ class Parser {
 
   Json parse_object() {
     expect('{');
+    enter_container();
     Json obj = Json::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     while (true) {
@@ -335,6 +345,7 @@ class Parser {
       skip_ws();
       const char c = next();
       if (c == '}') {
+        --depth_;
         return obj;
       }
       SHLCP_CHECK_MSG(c == ',', "Json::parse: expected ',' or '}' in object");
@@ -343,10 +354,12 @@ class Parser {
 
   Json parse_array() {
     expect('[');
+    enter_container();
     Json arr = Json::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     while (true) {
@@ -354,10 +367,18 @@ class Parser {
       skip_ws();
       const char c = next();
       if (c == ']') {
+        --depth_;
         return arr;
       }
       SHLCP_CHECK_MSG(c == ',', "Json::parse: expected ',' or ']' in array");
     }
+  }
+
+  void enter_container() {
+    ++depth_;
+    SHLCP_CHECK_MSG(depth_ <= kMaxParseDepth,
+                    format("Json::parse: nesting deeper than %d levels",
+                           kMaxParseDepth));
   }
 
   std::string parse_string() {
@@ -470,6 +491,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

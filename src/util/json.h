@@ -77,8 +77,9 @@ class Json {
   /// indent >= 0 pretty-prints with that many spaces per level.
   std::string dump(int indent = -1) const;
 
-  /// Parses `text`; throws shlcp::CheckError on malformed input or
-  /// trailing garbage.
+  /// Parses `text`; throws shlcp::CheckError on malformed input,
+  /// trailing garbage, or containers nested deeper than 256 levels
+  /// (the cap keeps recursion bounded on untrusted wire input).
   static Json parse(std::string_view text);
 
  private:

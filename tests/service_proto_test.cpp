@@ -94,6 +94,28 @@ TEST(JsonEdgeCases, IntegerOverflowThrows) {
   EXPECT_THROW(Json::parse("-9223372036854775809"), CheckError);
 }
 
+// The parser (and everything downstream of it: canonical_json, dump,
+// the Json destructor) recurses per container level, so nesting depth
+// must be capped -- otherwise one frame of a few MiB of '[' (well under
+// the 4 MiB frame cap) overflows the stack and kills the daemon.
+TEST(JsonEdgeCases, NestingDepthCapped) {
+  const auto nested_array = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_NO_THROW(Json::parse(nested_array(256)));
+  EXPECT_THROW(Json::parse(nested_array(257)), CheckError);
+
+  std::string deep_object = "1";
+  for (int i = 0; i < 300; ++i) {
+    deep_object = "{\"a\":" + deep_object + "}";
+  }
+  EXPECT_THROW(Json::parse(deep_object), CheckError);
+
+  // The actual attack shape: ~2M open brackets, no closers needed --
+  // the cap must trip long before the input is exhausted.
+  EXPECT_THROW(Json::parse(std::string(2u << 20, '[')), CheckError);
+}
+
 // ---------------------------------------------------------------------
 // Framing.
 

@@ -14,6 +14,8 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <filesystem>
@@ -28,6 +30,7 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "lcp/audit.h"
+#include "nbhd/checkpoint.h"
 #include "nbhd/witness.h"
 #include "service/cache.h"
 #include "service/server.h"
@@ -247,6 +250,33 @@ TEST(ServiceErrors, ErrorCodeContract) {
   EXPECT_EQ(error_code(garbage), kErrInvalidRequest);
 }
 
+// A frame of ~2M nested '[' fits the 4 MiB frame cap; the parser's
+// depth limit must turn it into an error response instead of letting
+// the recursion overflow the stack and kill the daemon.
+TEST(ServiceErrors, DeeplyNestedFrameIsErrorResponseNotCrash) {
+  Service service;
+  const Json bomb = Json::parse(service.handle_text(
+      std::string(2u << 20, '[')));
+  EXPECT_EQ(error_code(bomb), kErrInvalidRequest);
+}
+
+// stoi-parsed grid dimensions whose product overflows int must be
+// rejected up front, not wrap around the 16-node bound (UB).
+TEST(ServiceErrors, GridDimensionOverflowRejected) {
+  Service service;
+  for (const char* spec :
+       {"grid:65536x65536", "grid:46341x92681", "grid:0x5", "grid:5x0"}) {
+    Json params = Json::object();
+    params["lcp"] = "degree-one";
+    Json& graphs = (params["graphs"] = Json::array());
+    graphs.push_back(spec);
+    EXPECT_EQ(error_code(service.handle(
+                  make_request(1, "build_nbhd", params))),
+              kErrInvalidParams)
+        << spec;
+  }
+}
+
 TEST(ServiceErrors, DrainRefusesEverything) {
   Service service;
   EXPECT_FALSE(service.draining());
@@ -335,9 +365,22 @@ TEST(ServiceCache, CorruptDiskEntryIsMissNotError) {
     ArtifactCache warm(config);
     warm.insert(key, "payload");
   }
-  // Entry files are "<dir>/<hex-after-colon>.json".
-  const fs::path file = dir / (key.substr(key.find(':') + 1) + ".json");
+  // Entry files are "<dir>/<hex of fnv1a(key), colon stripped>.json".
+  const std::string digest = fnv1a_hex(key);
+  const fs::path file =
+      dir / (digest.substr(digest.find(':') + 1) + ".json");
   ASSERT_TRUE(fs::exists(file));
+
+  const auto write_entry = [&](const std::string& stored_key,
+                               const std::string& stored_digest) {
+    Json entry = Json::object();
+    entry["schema"] = kCacheFileSchema;
+    entry["key"] = stored_key;
+    entry["digest"] = stored_digest;
+    entry["result"] = "payload";
+    std::ofstream out(file, std::ios::trunc);
+    out << entry.dump();
+  };
 
   {  // Outright garbage.
     std::ofstream out(file, std::ios::trunc);
@@ -346,13 +389,37 @@ TEST(ServiceCache, CorruptDiskEntryIsMissNotError) {
   ArtifactCache c1(config);
   EXPECT_FALSE(c1.get(key).has_value());
 
-  {  // Well-formed but digest-mismatched (torn result).
-    std::ofstream out(file, std::ios::trunc);
-    out << R"({"schema":"shlcp.svc.cache.v1","key":")" << key
-        << R"(","digest":"fnv:0000000000000000","result":"payload"})";
-  }
+  // Well-formed but digest-mismatched (torn result).
+  write_entry(key, "fnv:0000000000000000");
   ArtifactCache c2(config);
   EXPECT_FALSE(c2.get(key).has_value());
+
+  // Right digest, wrong key: a filename (hash) collision must be a
+  // miss, never another request's artifact replayed as a hit.
+  write_entry(artifact_key("info", Json::parse(R"({"x":1})")),
+              fnv1a_hex("payload"));
+  ArtifactCache c3(config);
+  EXPECT_FALSE(c3.get(key).has_value());
+}
+
+// Two requests must never share an entry unless their canonical
+// payloads are identical: the key *is* the payload, so op, schema, and
+// every parameter byte participate in the match.
+TEST(ServiceCache, KeysMatchExactPayloadsOnly) {
+  const Json params = Json::parse(R"({"instance":"path5","k":2})");
+  EXPECT_EQ(artifact_key("check_coloring", params),
+            artifact_key("check_coloring",
+                         Json::parse(R"({"k":2,"instance":"path5"})")));
+  EXPECT_NE(artifact_key("check_coloring", params),
+            artifact_key("run_decoder", params));
+  EXPECT_NE(artifact_key("check_coloring", params),
+            artifact_key("check_coloring",
+                         Json::parse(R"({"instance":"path5","k":3})")));
+
+  ArtifactCache cache;
+  cache.insert(artifact_key("check_coloring", params), "A");
+  EXPECT_FALSE(
+      cache.get(artifact_key("run_decoder", params)).has_value());
 }
 
 // ---------------------------------------------------------------------
@@ -505,6 +572,62 @@ TEST(PipeServer, DrainsOnCancelWithoutAcceptingNewWork) {
     }
     EXPECT_EQ(error_code(Json::parse(*body)), kErrDraining);
   }
+}
+
+// ---------------------------------------------------------------------
+// Socket server end to end.
+
+TEST(SocketServer, ServesSequentialConnectionsAndExitsOnCancel) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "shlcp_test.sock").string();
+  CancelToken token;
+  ServerOptions options;
+  options.cancel = &token;
+  options.num_threads = 2;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_socket(path, options); });
+
+  const auto connect_client = [&]() -> int {
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    for (int attempt = 0; attempt < 250; ++attempt) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd >= 0 &&
+          ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return fd;
+      }
+      if (fd >= 0) {
+        ::close(fd);
+      }
+      ::usleep(20'000);  // server may not have bound yet
+    }
+    return -1;
+  };
+
+  // Sequential connect/request/disconnect rounds: round 2+ exercises
+  // accept after earlier slots were closed and reclaimed.
+  for (std::int64_t round = 0; round < 3; ++round) {
+    const int fd = connect_client();
+    ASSERT_GE(fd, 0);
+    const std::string frame =
+        encode_frame(make_request(round, "info", Json::object()).dump());
+    ASSERT_GT(::write(fd, frame.data(), frame.size()), 0);
+    FrameReader reader;
+    const std::optional<std::string> body = read_frame(fd, reader);
+    ASSERT_TRUE(body.has_value());
+    const Json resp = Json::parse(*body);
+    EXPECT_EQ(resp.at("id").as_int(), round);
+    EXPECT_TRUE(ok_result(resp).at("ops").is_array());
+    ::close(fd);
+  }
+
+  token.request_stop(StopReason::kCancelRequested);
+  server.join();
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_FALSE(fs::exists(path));  // unlinked on exit
 }
 
 }  // namespace
