@@ -129,6 +129,30 @@ std::vector<EnumFrame> enumerate_frames(const std::vector<Graph>& graphs,
   return frames;
 }
 
+std::vector<std::uint64_t> frame_costs(const Lcp& lcp,
+                                       const std::vector<Graph>& graphs,
+                                       const std::vector<EnumFrame>& frames) {
+  std::vector<std::uint64_t> costs;
+  costs.reserve(frames.size());
+  for (const EnumFrame& frame : frames) {
+    const auto gi = static_cast<std::size_t>(frame.graph_index);
+    SHLCP_CHECK(gi < graphs.size());
+    const Graph& g = graphs[gi];
+    std::uint64_t total = 1;
+    for (Node v = 0; v < g.num_nodes(); ++v) {
+      const auto space = lcp.certificate_space(g, frame.ids, v);
+      SHLCP_CHECK(!space.empty());
+      const auto size = static_cast<std::uint64_t>(space.size());
+      // Saturating product: cost estimation must not throw on a frame
+      // the enumeration itself would reject via max_labelings_per_frame.
+      total = (total > ~std::uint64_t{0} / size) ? ~std::uint64_t{0}
+                                                 : total * size;
+    }
+    costs.push_back(total);
+  }
+  return costs;
+}
+
 bool for_each_labeled_instance_in_frame(
     const Lcp& lcp, const std::vector<Graph>& graphs, const EnumFrame& frame,
     const EnumOptions& options,

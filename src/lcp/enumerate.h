@@ -67,10 +67,15 @@ struct ParallelEnumOptions {
   /// Worker threads; 0 resolves via SHLCP_NUM_THREADS, then the hardware
   /// (util/parallel.h). 1 forces the sequential path.
   int num_threads = 0;
-  /// Frames (or instances, for explicit witness lists) per work unit.
-  /// Chunks are contiguous, so larger chunks trade load balance for fewer
-  /// shard merges.
-  int frames_per_chunk = 4;
+  /// Work-unit shape. 0 (the default) builds a cost-adaptive chunk plan
+  /// from per-frame labeling counts (frame_costs + adaptive_plan in
+  /// util/parallel.h): cheap frames batch into coarse chunks, dense
+  /// frames get chunks of their own. A value >= 1 pins fixed uniform
+  /// chunks of that many frames (or instances, for explicit witness
+  /// lists) -- the legacy layout, still used by tests that want to
+  /// stress shard merging with single-frame chunks. Either way chunks
+  /// are contiguous, so the merged result is identical.
+  int frames_per_chunk = 0;
   /// Per-build resource caps (util/budget.h). Default: unlimited. A
   /// non-default budget requires the *_resumable builders -- the plain
   /// NbhdGraph-returning builders fail loudly on an early exit rather
@@ -107,6 +112,15 @@ struct EnumFrame {
 /// exactly the order for_each_labeled_instance visits them.
 std::vector<EnumFrame> enumerate_frames(const std::vector<Graph>& graphs,
                                         const EnumOptions& options);
+
+/// Per-frame work estimates for adaptive_plan (util/parallel.h): the
+/// frame's labeling count, i.e. the product of `lcp.certificate_space`
+/// sizes over its nodes (saturated at 2^64 - 1 instead of enforcing
+/// max_labelings_per_frame -- the enumeration itself still enforces the
+/// bound). Deterministic in its inputs; costs[i] belongs to frames[i].
+std::vector<std::uint64_t> frame_costs(const Lcp& lcp,
+                                       const std::vector<Graph>& graphs,
+                                       const std::vector<EnumFrame>& frames);
 
 /// Visits every labeling of one frame (labelings in certificate-space
 /// product order, as the sequential stream). Return false from `visit` to

@@ -28,21 +28,40 @@ void finish_build(const NbhdGraph& nbhd, trace::Span& span) {
   span.note("absorb_ns", nbhd.stats().absorb_ns);
 }
 
+/// Builds the work-distribution plan for a sweep of `num_items` items:
+/// frames_per_chunk >= 1 pins the legacy fixed uniform chunks, 0 (the
+/// default) cuts a cost-adaptive plan from `costs` (per-item labeling
+/// counts; an empty vector means no cost model -- unit costs, giving
+/// evenly-sized chunks of about total / (threads * 8) items).
+ChunkPlan make_plan(std::size_t num_items, const ParallelEnumOptions& options,
+                    int threads, const std::vector<std::uint64_t>& costs) {
+  if (options.frames_per_chunk >= 1) {
+    return uniform_plan(num_items,
+                        static_cast<std::size_t>(options.frames_per_chunk));
+  }
+  if (!costs.empty()) {
+    SHLCP_CHECK_MSG(costs.size() == num_items,
+                    "cost model must cover every item of the sweep");
+    return adaptive_plan(costs, threads);
+  }
+  return adaptive_plan(std::vector<std::uint64_t>(num_items, 1), threads);
+}
+
 /// Shared shard/merge skeleton: runs `item_body(i, shard)` for every item
-/// in [0, num_items), chunked across a worker pool, and merges the
-/// per-chunk shards in chunk order. With one thread (or one chunk) it
-/// degenerates to a plain sequential loop into a single graph, which is
-/// also the reference semantics the merge path must reproduce.
+/// in [0, num_items), distributed across a worker pool by a chunk plan
+/// (cost-adaptive by default, fixed when frames_per_chunk is pinned), and
+/// merges the per-chunk shards in plan order. With one thread (or one
+/// chunk) it degenerates to a plain sequential loop into a single graph,
+/// which is also the reference semantics the merge path must reproduce.
 NbhdGraph build_sharded(
     std::size_t num_items, const ParallelEnumOptions& options,
+    const std::vector<std::uint64_t>& costs,
     const std::function<void(std::size_t, NbhdGraph&)>& item_body) {
   const int threads = resolve_num_threads(options.num_threads);
-  const auto chunk = static_cast<std::size_t>(
-      std::max(1, options.frames_per_chunk));
-  const std::size_t num_chunks = num_items == 0 ? 0 : (num_items + chunk - 1) / chunk;
+  const ChunkPlan plan = make_plan(num_items, options, threads, costs);
   trace::Span span("nbhd.build");
   span.note("items", static_cast<std::uint64_t>(num_items));
-  if (threads <= 1 || num_chunks <= 1) {
+  if (threads <= 1 || plan.num_chunks() <= 1) {
     span.note("threads", std::uint64_t{1});
     NbhdGraph out;
     for (std::size_t i = 0; i < num_items; ++i) {
@@ -52,13 +71,13 @@ NbhdGraph build_sharded(
     return out;
   }
   span.note("threads", static_cast<std::uint64_t>(threads));
-  span.note("chunks", static_cast<std::uint64_t>(num_chunks));
+  span.note("chunks", static_cast<std::uint64_t>(plan.num_chunks()));
+  span.note("adaptive", plan.adaptive);
   static metrics::Histogram& shard_hist =
       metrics::histogram("nbhd.build.shard_absorb_ns");
-  std::vector<NbhdGraph> shards(num_chunks);
+  std::vector<NbhdGraph> shards(plan.num_chunks());
   WorkerPool pool(threads);
-  pool.parallel_for_chunks(
-      num_items, chunk,
+  const CancellableChunkBody chunk_body =
       [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
         trace::Span shard_span("nbhd.build.shard");
         shard_span.note("chunk", static_cast<std::uint64_t>(chunk_index));
@@ -68,11 +87,15 @@ NbhdGraph build_sharded(
           item_body(i, shard);
         }
         shard_hist.record(shard.stats().absorb_ns);
-      });
+        return true;
+      };
+  const ParallelRunResult run =
+      pool.run_plan(plan, chunk_body, ParallelRunControl{});
+  span.note("steals", static_cast<std::uint64_t>(run.steals));
   NbhdGraph out;
   {
     trace::Span merge_span("nbhd.build.merge");
-    merge_span.note("shards", static_cast<std::uint64_t>(num_chunks));
+    merge_span.note("shards", static_cast<std::uint64_t>(plan.num_chunks()));
     static metrics::Histogram& merge_hist =
         metrics::histogram("nbhd.build.merge_ns");
     const metrics::ScopedTimerNs merge_timer(merge_hist);
@@ -133,17 +156,24 @@ void validate_resume(const CheckpointManifest& found,
 
 /// The budget/cancellation/checkpoint engine shared by the resumable
 /// builders. Frames are processed in contiguous chunks grouped into
-/// *segments* (the checkpoint cadence rounded up to whole chunks; one
-/// segment for the whole sweep when checkpointing is off); after each
-/// segment the completed chunk prefix is merged into the accumulator in
-/// chunk order -- exactly the sequential absorption order -- and, when a
-/// checkpoint directory is configured, persisted. See DESIGN.md §11 for
-/// why this makes interrupted-then-resumed builds bit-identical.
+/// *segments* (the checkpoint cadence, rounded up to whole chunks when a
+/// fixed chunk size is pinned; one segment for the whole sweep when
+/// checkpointing is off); each segment is chunked by its own plan
+/// (cost-adaptive by default -- resume-safe because the merged result
+/// never depends on chunk boundaries), and after each segment the
+/// completed chunk prefix is merged into the accumulator in plan order
+/// -- exactly the sequential absorption order -- and, when a checkpoint
+/// directory is configured, persisted. See DESIGN.md §11 for why this
+/// makes interrupted-then-resumed builds bit-identical. `costs` is the
+/// optional per-frame cost model for the adaptive plans (parallel to
+/// `frames`; empty means unit costs).
 ResumableBuildResult run_resumable(const Lcp& lcp,
                                    const std::vector<EnumFrame>& frames,
+                                   const std::vector<std::uint64_t>& costs,
                                    const ParallelEnumOptions& options,
                                    const char* kind, const FrameBody& body) {
   const std::size_t num_frames = frames.size();
+  const bool fixed_chunks = options.frames_per_chunk >= 1;
   const auto chunk =
       static_cast<std::size_t>(std::max(1, options.frames_per_chunk));
 
@@ -204,12 +234,14 @@ ResumableBuildResult run_resumable(const Lcp& lcp,
   // the completed prefix under a tiny budget still grows every run.
   const std::size_t run_start = pos;
 
-  // Segment length: checkpoint cadence rounded up to whole chunks.
+  // Segment length: the checkpoint cadence (rounded up to whole chunks
+  // under a pinned chunk size; adaptive plans re-cut per segment, so no
+  // rounding is needed there).
   std::size_t seg_frames = num_frames == 0 ? 1 : num_frames;
   if (store.has_value()) {
     const auto every = static_cast<std::size_t>(
         std::max<std::uint64_t>(1, options.checkpoint.every_frames));
-    seg_frames = (every + chunk - 1) / chunk * chunk;
+    seg_frames = fixed_chunks ? (every + chunk - 1) / chunk * chunk : every;
   }
 
   const auto write_checkpoint = [&](const char* status,
@@ -238,13 +270,23 @@ ResumableBuildResult run_resumable(const Lcp& lcp,
     }
     const std::size_t seg_begin = pos;
     const std::size_t seg_items = std::min(num_frames - seg_begin, seg_frames);
-    const std::size_t seg_chunks = (seg_items + chunk - 1) / chunk;
-    std::vector<NbhdGraph> shards(seg_chunks);
+    // Plan this segment's chunks. Resume safety does not depend on the
+    // boundaries: merging any contiguous in-order chunking reproduces
+    // the sequential build, so a resumed run may cut different chunks
+    // than the interrupted one and still converge bit-identically.
+    std::vector<std::uint64_t> seg_costs;
+    if (!fixed_chunks && !costs.empty()) {
+      seg_costs.assign(costs.begin() + static_cast<std::ptrdiff_t>(seg_begin),
+                       costs.begin() +
+                           static_cast<std::ptrdiff_t>(seg_begin + seg_items));
+    }
+    const ChunkPlan plan = make_plan(seg_items, options, threads, seg_costs);
+    std::vector<NbhdGraph> shards(plan.num_chunks());
     ParallelRunControl ctrl;
     ctrl.cancel = &token;
     ctrl.stall_timeout_ms = options.stall_timeout_ms;
-    const ParallelRunResult run = pool.run_cancellable(
-        seg_items, chunk,
+    const ParallelRunResult run = pool.run_plan(
+        plan,
         [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
           // Deterministic frame-budget gate: start the chunk iff its
           // first frame (relative to this run's start) lies below the
@@ -275,7 +317,9 @@ ResumableBuildResult run_resumable(const Lcp& lcp,
         },
         ctrl);
     const std::size_t done_items =
-        std::min(seg_items, run.completed_prefix_chunks * chunk);
+        run.completed_prefix_chunks == 0
+            ? 0
+            : plan.ranges[run.completed_prefix_chunks - 1].second;
     for (std::size_t ci = 0; ci < run.completed_prefix_chunks; ++ci) {
       acc.merge(std::move(shards[ci]));
     }
@@ -318,6 +362,17 @@ ResumableBuildResult run_resumable(const Lcp& lcp,
   return result;
 }
 
+/// Per-frame labeling counts for the adaptive planner -- skipped (empty)
+/// when a fixed chunk size is pinned, since the plan would ignore them.
+std::vector<std::uint64_t> maybe_frame_costs(
+    const Lcp& lcp, const std::vector<Graph>& graphs,
+    const std::vector<EnumFrame>& frames, const ParallelEnumOptions& options) {
+  if (options.frames_per_chunk >= 1) {
+    return {};
+  }
+  return frame_costs(lcp, graphs, frames);
+}
+
 /// Error for the plain overloads when an interrupt-aware build did not
 /// run to completion.
 [[noreturn]] void throw_incomplete(const char* builder,
@@ -354,7 +409,9 @@ NbhdGraph build_exhaustive(const Lcp& lcp, const std::vector<Graph>& graphs,
     const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
     const auto frames = enumerate_frames(yes_graphs, options.enums);
     return build_sharded(
-        frames.size(), options, [&](std::size_t i, NbhdGraph& shard) {
+        frames.size(), options,
+        maybe_frame_costs(lcp, yes_graphs, frames, options),
+        [&](std::size_t i, NbhdGraph& shard) {
           for_each_labeled_instance_in_frame(
               lcp, yes_graphs, frames[i], options.enums,
               [&](const Instance& inst) {
@@ -376,7 +433,8 @@ ResumableBuildResult build_exhaustive_resumable(
   const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
   const auto frames = enumerate_frames(yes_graphs, options.enums);
   return run_resumable(
-      lcp, frames, options, "exhaustive",
+      lcp, frames, maybe_frame_costs(lcp, yes_graphs, frames, options),
+      options, "exhaustive",
       [&](const EnumFrame& frame, NbhdGraph& shard, BudgetTracker& tracker) {
         std::uint64_t seen = 0;
         const bool finished = for_each_labeled_instance_in_frame(
@@ -415,8 +473,11 @@ NbhdGraph build_proved(const Lcp& lcp, const std::vector<Graph>& graphs,
   if (options.plain()) {
     const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
     const auto frames = enumerate_frames(yes_graphs, options.enums);
+    // Proved builds do one prove() per frame -- near-uniform work, so no
+    // cost model: the planner falls back to evenly-sized chunks.
     return build_sharded(
-        frames.size(), options, [&](std::size_t i, NbhdGraph& shard) {
+        frames.size(), options, /*costs=*/{},
+        [&](std::size_t i, NbhdGraph& shard) {
           const auto inst = proved_instance_in_frame(lcp, yes_graphs, frames[i]);
           if (inst.has_value()) {
             shard.absorb(lcp.decoder(), *inst, lcp.k());
@@ -436,7 +497,7 @@ ResumableBuildResult build_proved_resumable(const Lcp& lcp,
   const auto yes_graphs = filter_yes_graphs(graphs, lcp.k());
   const auto frames = enumerate_frames(yes_graphs, options.enums);
   return run_resumable(
-      lcp, frames, options, "proved",
+      lcp, frames, /*costs=*/{}, options, "proved",
       [&](const EnumFrame& frame, NbhdGraph& shard, BudgetTracker& tracker) {
         const auto inst = proved_instance_in_frame(lcp, yes_graphs, frame);
         if (inst.has_value()) {
@@ -466,7 +527,7 @@ NbhdGraph build_from_instances(const Decoder& decoder,
                   "build_from_instances does not support budgets, "
                   "cancellation, or checkpointing; use the frame-based "
                   "*_resumable builders for interruptible sweeps");
-  return build_sharded(instances.size(), options,
+  return build_sharded(instances.size(), options, /*costs=*/{},
                        [&](std::size_t i, NbhdGraph& shard) {
                          shard.absorb(decoder, instances[i], k);
                        });

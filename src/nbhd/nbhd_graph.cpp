@@ -30,6 +30,45 @@ class AbsorbTimer {
 
 }  // namespace
 
+std::pair<int, bool> NbhdGraph::find_or_register(View&& view,
+                                                const Provenance& prov) {
+  const std::uint64_t fp = view.fingerprint();
+  auto [it, opened] = fp_head_.try_emplace(fp, -1);
+  int* slot = &it->second;
+  while (*slot != -1) {
+    const int idx = *slot;
+    if (views_structurally_equal(views_[static_cast<std::size_t>(idx)],
+                                 view)) {
+      return {idx, false};
+    }
+    slot = &fp_next_[static_cast<std::size_t>(idx)];
+  }
+  const int idx = num_views();
+  *slot = idx;  // before the push_backs: slot may point into fp_next_
+  views_.push_back(std::move(view));
+  fp_next_.push_back(-1);
+  view_prov_.push_back(prov);
+  adj_.add_node();
+  return {idx, true};
+}
+
+void NbhdGraph::register_edge(int a, int b, const Provenance& prov) {
+  if (a == b) {
+    if (!adj_.has_edge(a, a)) {
+      adj_.add_loop(a);
+    }
+  } else if (!adj_.has_edge(a, b)) {
+    adj_.add_edge(a, b);
+  }
+  const int lo = std::min(a, b);
+  const int hi = std::max(a, b);
+  const auto [it, fresh] = edge_index_.try_emplace(
+      pack_edge(lo, hi), static_cast<int>(edge_records_.size()));
+  if (fresh) {
+    edge_records_.push_back(EdgeProv{lo, hi, prov});
+  }
+}
+
 int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
                       bool require_yes) {
   const AbsorbTimer timer(&stats_.absorb_ns);
@@ -48,16 +87,12 @@ int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
     if (!decoder.accept(view)) {
       continue;
     }
-    const std::string key = canonical_key(view);
-    auto [it, fresh] = index_.try_emplace(key, static_cast<int>(views_.size()));
-    if (fresh) {
-      views_.push_back(std::move(view));
-      view_prov_.push_back(Provenance{instance_index, v, -1});
-      adj_.add_node();
-    } else {
+    const auto [idx, fresh] =
+        find_or_register(std::move(view), Provenance{instance_index, v, -1});
+    if (!fresh) {
       ++stats_.views_deduped;
     }
-    node_view[static_cast<std::size_t>(v)] = it->second;
+    node_view[static_cast<std::size_t>(v)] = idx;
   }
 
   // Yes-instance-compatibility edges between accepting views.
@@ -67,20 +102,10 @@ int NbhdGraph::absorb(const Decoder& decoder, const Instance& inst, int k,
     if (a == -1 || b == -1) {
       continue;
     }
-    if (a == b) {
-      if (!adj_.has_edge(a, a)) {
-        adj_.add_loop(a);
-      }
-    } else if (!adj_.has_edge(a, b)) {
-      adj_.add_edge(a, b);
-    }
-    const auto key = std::make_pair(std::min(a, b), std::max(a, b));
-    if (edge_prov_.find(key) == edge_prov_.end()) {
-      // Store endpoints so that `node` realizes view min(a, b).
-      const bool swap = a > b;
-      edge_prov_[key] =
-          Provenance{instance_index, swap ? e.v : e.u, swap ? e.u : e.v};
-    }
+    // Store endpoints so that `node` realizes view min(a, b).
+    const bool swap = a > b;
+    register_edge(
+        a, b, Provenance{instance_index, swap ? e.v : e.u, swap ? e.u : e.v});
   }
   return instance_index;
 }
@@ -91,22 +116,21 @@ void NbhdGraph::merge(NbhdGraph&& other) {
 
   // Re-register other's views in other's registration order: that is the
   // order a sequential build would have first seen them in, given that
-  // this graph's instances all precede other's.
+  // this graph's instances all precede other's. The fingerprint is
+  // cached on the moved-in views, so the re-registration pays hash-map
+  // lookups and (on chain hits) direct comparisons, never a fresh
+  // canonical encode.
   std::vector<int> remap(other.views_.size(), -1);
   for (std::size_t i = 0; i < other.views_.size(); ++i) {
-    const std::string key = canonical_key(other.views_[i]);
-    auto [it, fresh] = index_.try_emplace(key, static_cast<int>(views_.size()));
-    if (fresh) {
-      Provenance prov = other.view_prov_[i];
-      prov.instance += offset;
-      views_.push_back(std::move(other.views_[i]));
-      view_prov_.push_back(prov);
-      adj_.add_node();
-    } else {
+    Provenance prov = other.view_prov_[i];
+    prov.instance += offset;
+    const auto [idx, fresh] =
+        find_or_register(std::move(other.views_[i]), prov);
+    if (!fresh) {
       // First seen on both sides; ours has the lower instance index.
       ++stats_.views_deduped;
     }
-    remap[i] = it->second;
+    remap[i] = idx;
   }
 
   // Compatibility edges (adjacency lists are sorted, so insertion order
@@ -126,20 +150,25 @@ void NbhdGraph::merge(NbhdGraph&& other) {
   // Edge provenance: keep ours where both sides saw the edge (lower
   // instance index), import other's otherwise. Other's provenance is
   // oriented by other's local view order; re-orient when the remap flips
-  // which endpoint carries the smaller index.
-  for (auto& [key, prov] : other.edge_prov_) {
-    const int a = remap[static_cast<std::size_t>(key.first)];
-    const int b = remap[static_cast<std::size_t>(key.second)];
-    const auto merged_key = std::make_pair(std::min(a, b), std::max(a, b));
-    if (edge_prov_.find(merged_key) != edge_prov_.end()) {
+  // which endpoint carries the smaller index. Records are visited in
+  // other's insertion order (deterministic; distinct records land on
+  // distinct merged keys because the view remap is injective).
+  for (const EdgeProv& rec : other.edge_records_) {
+    const int a = remap[static_cast<std::size_t>(rec.a)];
+    const int b = remap[static_cast<std::size_t>(rec.b)];
+    const int lo = std::min(a, b);
+    const int hi = std::max(a, b);
+    const auto [it, fresh] = edge_index_.try_emplace(
+        pack_edge(lo, hi), static_cast<int>(edge_records_.size()));
+    if (!fresh) {
       continue;
     }
-    Provenance adjusted = prov;
+    Provenance adjusted = rec.prov;
     adjusted.instance += offset;
     if (a > b) {
       std::swap(adjusted.node, adjusted.other);
     }
-    edge_prov_[merged_key] = adjusted;
+    edge_records_.push_back(EdgeProv{lo, hi, adjusted});
   }
 
   next_instance_ += other.next_instance_;
@@ -159,16 +188,27 @@ const Provenance& NbhdGraph::view_provenance(int i) const {
 }
 
 const Provenance* NbhdGraph::edge_provenance(int a, int b) const {
-  const auto it = edge_prov_.find({std::min(a, b), std::max(a, b)});
-  return it == edge_prov_.end() ? nullptr : &it->second;
+  const auto it = edge_index_.find(pack_edge(std::min(a, b), std::max(a, b)));
+  if (it == edge_index_.end()) {
+    return nullptr;
+  }
+  return &edge_records_[static_cast<std::size_t>(it->second)].prov;
 }
 
 int NbhdGraph::index_of(const View& v) const {
-  // Routed through the compute-once canonical cache: the key packing is a
-  // memcpy of the cached code, not a fresh port-ordered BFS.
-  const auto it = index_.find(canonical_key(v));
-  SHLCP_DCHECK(v.canonical_cached());
-  return it == index_.end() ? -1 : it->second;
+  // Fingerprint gate, then the exact chain walk -- no canonical code and
+  // no key string is materialized for a lookup.
+  const auto it = fp_head_.find(v.fingerprint());
+  if (it == fp_head_.end()) {
+    return -1;
+  }
+  for (int idx = it->second; idx != -1;
+       idx = fp_next_[static_cast<std::size_t>(idx)]) {
+    if (views_structurally_equal(views_[static_cast<std::size_t>(idx)], v)) {
+      return idx;
+    }
+  }
+  return -1;
 }
 
 std::optional<std::vector<int>> NbhdGraph::odd_cycle() const {
@@ -329,22 +369,26 @@ Json NbhdGraph::to_json() const {
   out["view_prov"] = std::move(view_prov);
   out["adj"] = graph_to_json(adj_);
   // Edge provenance in sorted key order, so the document (and therefore
-  // the checkpoint digest) is deterministic.
-  std::vector<std::pair<int, int>> keys;
-  keys.reserve(edge_prov_.size());
-  for (const auto& [key, prov] : edge_prov_) {
-    keys.push_back(key);
+  // the checkpoint digest) is deterministic regardless of record
+  // insertion order.
+  std::vector<int> handles(edge_records_.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    handles[i] = static_cast<int>(i);
   }
-  std::sort(keys.begin(), keys.end());
+  std::sort(handles.begin(), handles.end(), [&](int x, int y) {
+    const EdgeProv& rx = edge_records_[static_cast<std::size_t>(x)];
+    const EdgeProv& ry = edge_records_[static_cast<std::size_t>(y)];
+    return std::make_pair(rx.a, rx.b) < std::make_pair(ry.a, ry.b);
+  });
   Json edge_prov = Json::array();
-  for (const auto& key : keys) {
+  for (const int h : handles) {
+    const EdgeProv& rec = edge_records_[static_cast<std::size_t>(h)];
     Json entry = Json::array();
-    entry.push_back(Json(key.first));
-    entry.push_back(Json(key.second));
-    const Provenance& prov = edge_prov_.at(key);
-    entry.push_back(Json(prov.instance));
-    entry.push_back(Json(prov.node));
-    entry.push_back(Json(prov.other));
+    entry.push_back(Json(rec.a));
+    entry.push_back(Json(rec.b));
+    entry.push_back(Json(rec.prov.instance));
+    entry.push_back(Json(rec.prov.node));
+    entry.push_back(Json(rec.prov.other));
     edge_prov.push_back(std::move(entry));
   }
   out["edge_prov"] = std::move(edge_prov);
@@ -364,14 +408,14 @@ NbhdGraph NbhdGraph::from_json(const Json& j) {
                   "NbhdGraph record: views / view_prov size mismatch");
   for (std::size_t i = 0; i < views.size(); ++i) {
     View view = view_from_json(views.at(i));
-    const std::string key = canonical_key(view);
-    const auto [it, fresh] =
-        out.index_.try_emplace(key, static_cast<int>(out.views_.size()));
-    SHLCP_CHECK_MSG(fresh, format("NbhdGraph record: duplicate view #%d",
-                                  static_cast<int>(i)));
-    out.views_.push_back(std::move(view));
-    out.view_prov_.push_back(provenance_from_json(view_prov.at(i)));
+    const auto [idx, fresh] = out.find_or_register(
+        std::move(view), provenance_from_json(view_prov.at(i)));
+    SHLCP_CHECK_MSG(fresh && idx == static_cast<int>(i),
+                    format("NbhdGraph record: duplicate view #%d",
+                           static_cast<int>(i)));
   }
+  // find_or_register grew a node-only adjacency; replace it with the
+  // recorded one (validated against the view count below).
   out.adj_ = graph_from_json(j.at("adj"));
   SHLCP_CHECK_MSG(out.adj_.num_nodes() == out.num_views(),
                   "NbhdGraph record: adjacency size disagrees with views");
@@ -387,7 +431,10 @@ NbhdGraph NbhdGraph::from_json(const Json& j) {
     prov.instance = static_cast<int>(entry.at(std::size_t{2}).as_int());
     prov.node = static_cast<Node>(entry.at(std::size_t{3}).as_int());
     prov.other = static_cast<Node>(entry.at(std::size_t{4}).as_int());
-    out.edge_prov_[{a, b}] = prov;
+    const auto [it, fresh] = out.edge_index_.try_emplace(
+        pack_edge(a, b), static_cast<int>(out.edge_records_.size()));
+    SHLCP_CHECK_MSG(fresh, "edge_prov entry duplicated");
+    out.edge_records_.push_back(EdgeProv{a, b, prov});
   }
   out.next_instance_ = static_cast<int>(j.at("next_instance").as_int());
   out.stats_.views_deduped = j.at("stats").at("views_deduped").as_uint();
@@ -405,6 +452,18 @@ void publish_build_metrics(const NbhdGraph& nbhd) {
   metrics::counter("nbhd.build.edges")
       .add(static_cast<std::uint64_t>(nbhd.num_edges()));
   metrics::histogram("nbhd.build.absorb_ns").record(nbhd.stats().absorb_ns);
+  // Fingerprint-gate accounting, derived from the final graph so
+  // sequential and parallel builds publish identical values: a miss is a
+  // registration whose fingerprint proved it fresh with no exact
+  // comparison (one per distinct fingerprint); everything else -- dedup
+  // confirmations and the rare true collisions -- walked a chain.
+  const std::uint64_t registrations =
+      static_cast<std::uint64_t>(nbhd.num_views()) +
+      nbhd.stats().views_deduped;
+  const std::uint64_t misses = nbhd.num_fingerprint_chains();
+  metrics::counter("enum.fingerprint_misses").add(misses);
+  metrics::counter("enum.fingerprint_hits")
+      .add(registrations >= misses ? registrations - misses : 0);
 }
 
 }  // namespace shlcp

@@ -25,7 +25,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -125,6 +124,16 @@ class NbhdGraph {
   /// Number of instances absorbed so far.
   [[nodiscard]] int num_instances_absorbed() const { return next_instance_; }
 
+  /// Number of distinct view fingerprints seen (= registrations that the
+  /// fingerprint gate proved fresh without any exact comparison). The
+  /// derived split published to the metrics registry is
+  /// fingerprint_misses = this, fingerprint_hits = registrations - this;
+  /// deriving from the final graph keeps sequential and parallel builds
+  /// publishing identical values (a shard-local tally would not merge).
+  [[nodiscard]] std::uint64_t num_fingerprint_chains() const {
+    return fp_head_.size();
+  }
+
   /// Builder accounting (dedupe hits, time in absorb). Merge sums shard
   /// stats, so parallel and sequential builds agree on views_deduped.
   [[nodiscard]] const NbhdStats& stats() const { return stats_; }
@@ -142,20 +151,44 @@ class NbhdGraph {
   static NbhdGraph from_json(const Json& j);
 
  private:
-  struct PairHash {
-    std::size_t operator()(const std::pair<int, int>& p) const {
-      // Edge endpoints are small dense view indices: pack into one word.
-      return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.first))
-           << 32) |
-          static_cast<std::uint32_t>(p.second));
-    }
+  /// Edge endpoints are small dense view indices: pack into one word
+  /// (a <= b) for the edge-record index.
+  static std::uint64_t pack_edge(int a, int b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  }
+
+  /// One first-seen edge-provenance record. Records live in a contiguous
+  /// vector (insertion order) addressed by integer handles; the hash map
+  /// only stores packed-key -> handle.
+  struct EdgeProv {
+    int a = 0;  // a <= b
+    int b = 0;
+    Provenance prov;
   };
 
-  std::unordered_map<std::string, int> index_;
+  /// Fingerprint-gated registration: looks `view` up via its cached
+  /// 64-bit fingerprint and the per-fingerprint chain, comparing
+  /// candidates with views_structurally_equal (exact; no canonical code
+  /// materialized). Registers the view with `prov` when absent. Returns
+  /// (view index, freshly-registered).
+  std::pair<int, bool> find_or_register(View&& view, const Provenance& prov);
+
+  /// Registers the compatibility edge {a, b} (or the loop when a == b)
+  /// and its first-seen provenance, preserving an existing record.
+  void register_edge(int a, int b, const Provenance& prov);
+
+  // Dedup index: fingerprint -> first view index of the chain, with
+  // per-view chain links in registration order. No per-view key string
+  // is ever materialized; exact dedup is fingerprint gate + direct
+  // structural comparison against the (usually single-entry) chain.
+  std::unordered_map<std::uint64_t, int> fp_head_;
+  std::vector<int> fp_next_;  // parallel to views_; -1 terminates a chain
   std::vector<View> views_;
   std::vector<Provenance> view_prov_;
-  std::unordered_map<std::pair<int, int>, Provenance, PairHash> edge_prov_;
+  // Edge provenance as flat records + packed-key handle index.
+  std::vector<EdgeProv> edge_records_;
+  std::unordered_map<std::uint64_t, int> edge_index_;
   Graph adj_;
   int next_instance_ = 0;
   NbhdStats stats_;

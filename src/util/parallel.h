@@ -1,28 +1,43 @@
 // A small fixed-size worker pool for the exhaustive sweeps.
 //
 // The Lemma 3.1 enumeration splits into independent (graph, ports, ids)
-// frames, so the parallel strategy is plain data parallelism: partition a
-// dense item range [0, n) into contiguous chunks, hand chunks to workers
-// dynamically (an atomic counter, so uneven frames load-balance), and let
-// the caller reduce per-chunk results *in chunk-index order*. Chunks are
-// contiguous in item order, so a chunk-ordered reduce visits items in
+// frames, so the parallel strategy is plain data parallelism over a dense
+// item range [0, n). Work distribution is two-layered:
+//
+//  * A deterministic *chunk plan* splits the range into contiguous,
+//    ascending [begin, end) ranges. uniform_plan cuts fixed-size chunks;
+//    adaptive_plan cuts by per-item cost estimates, so cheap items batch
+//    into coarse chunks and expensive items split finer (the dense/sparse
+//    decomposition of the frame space). The plan depends only on its
+//    inputs, never on timing.
+//  * A work-stealing scheduler executes the plan: each pool thread owns a
+//    deque of plan indices (the plan is pre-partitioned contiguously
+//    across threads), pops from its own front, and when empty steals the
+//    back half of the most-loaded victim's deque. Which thread runs which
+//    chunk is timing-dependent; *what* each chunk computes is not.
+//
+// The caller reduces per-chunk results *in plan-index order*. Chunks are
+// contiguous in item order, so a plan-ordered reduce visits items in
 // exactly the sequential order -- that is what makes the parallel
 // neighborhood-graph build bit-identical to the sequential one (see
-// NbhdGraph::merge).
+// NbhdGraph::merge), independent of chunk sizes and steal timing.
 //
-// Error handling is deterministic and fail-fast: if chunk bodies throw,
-// remaining *queued* chunks are cancelled (already-running chunks finish)
-// and the exception from the lowest-indexed failing chunk is rethrown.
+// Error handling is deterministic and fail-fast: once a chunk body
+// throws, queued chunks *above* the lowest failing index are cancelled
+// (already-running chunks finish, and chunks below it still run -- a
+// sequential loop would have executed them before reaching the error),
+// so the rethrown exception is exactly the one a sequential run of the
+// same plan would have surfaced, regardless of steal timing.
 //
-// Cancellation: run_cancellable takes a CancelToken plus an optional
-// stall watchdog. Workers stop claiming new chunks once the token trips;
-// chunk bodies additionally poll the token at their own safe points and
-// may abort mid-chunk (returning false). The run then reports the
-// *completed chunk prefix* -- the largest p such that chunks [0, p) all
-// ran to completion -- which is what lets a budgeted V(D, n) build keep a
-// deterministic, resumable amount of work (nbhd/aviews.h). Chunks beyond
-// the prefix may also have completed; the caller discards them, trading a
-// bounded amount of redone work for exact sequential semantics.
+// Cancellation: run_cancellable / run_plan take a CancelToken plus an
+// optional stall watchdog. Workers stop claiming new chunks once the
+// token trips; chunk bodies additionally poll the token at their own safe
+// points and may abort mid-chunk (returning false). The run then reports
+// the *completed chunk prefix* -- the largest p such that chunks [0, p)
+// all ran to completion -- which is what lets a budgeted V(D, n) build
+// keep a deterministic, resumable amount of work (nbhd/aviews.h). Chunks
+// beyond the prefix may also have completed; the caller discards them,
+// trading a bounded amount of redone work for exact sequential semantics.
 
 #pragma once
 
@@ -32,8 +47,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "util/budget.h"
@@ -45,8 +62,39 @@ namespace shlcp {
 /// std::thread::hardware_concurrency() (minimum 1).
 int resolve_num_threads(int requested = 0);
 
+/// A deterministic work-distribution plan: contiguous, ascending
+/// [begin, end) item ranges exactly covering [0, num_items). Chunk i of a
+/// run executes ranges[i]; reducing per-chunk results in index order
+/// reproduces sequential item order.
+struct ChunkPlan {
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  /// True when the plan was cut by per-item costs (adaptive_plan); feeds
+  /// the parallel.chunks_adaptive metric.
+  bool adaptive = false;
+
+  [[nodiscard]] std::size_t num_chunks() const { return ranges.size(); }
+  [[nodiscard]] std::size_t num_items() const {
+    return ranges.empty() ? 0 : ranges.back().second;
+  }
+};
+
+/// Fixed-size chunks of `chunk` items (the last may be short): the
+/// legacy frame-partitioned layout, kept for callers that pin a chunk
+/// size (and as the degenerate plan when no costs are known).
+ChunkPlan uniform_plan(std::size_t n, std::size_t chunk);
+
+/// Cost-adaptive chunks: greedily cuts [0, costs.size()) so every chunk
+/// carries roughly total_cost / (threads * ranges_per_thread) worth of
+/// work. Runs of cheap items batch into one coarse chunk; an expensive
+/// item (>= the target by itself) gets a chunk of its own, so one dense
+/// frame never drags a whole coarse chunk's tail. Deterministic in its
+/// inputs. Zero costs are treated as 1 so empty-looking items still make
+/// progress.
+ChunkPlan adaptive_plan(const std::vector<std::uint64_t>& costs, int threads,
+                        std::size_t ranges_per_thread = 8);
+
 /// Body run once per chunk: `chunk_index` is dense and in item order
-/// (chunk c covers items [c * chunk, min((c + 1) * chunk, n))).
+/// (chunk c covers the plan's ranges[c]).
 using ChunkBody =
     std::function<void(std::size_t chunk_index, std::size_t begin,
                        std::size_t end)>;
@@ -59,7 +107,7 @@ using CancellableChunkBody =
     std::function<bool(std::size_t chunk_index, std::size_t begin,
                        std::size_t end)>;
 
-/// Cancellation plumbing for one run_cancellable call.
+/// Cancellation plumbing for one run_cancellable / run_plan call.
 struct ParallelRunControl {
   /// Stop flag polled before every chunk claim; chunk bodies should poll
   /// it too. May be null (no external cancellation).
@@ -78,8 +126,14 @@ struct ParallelRunResult {
   /// Chunks [0, completed_prefix_chunks) all ran to completion; the
   /// caller may reduce exactly this prefix deterministically.
   std::size_t completed_prefix_chunks = 0;
-  /// Total chunks of the range.
+  /// Total chunks of the plan.
   std::size_t num_chunks = 0;
+  /// Chunks that actually started (claims; <= num_chunks when stopped).
+  std::size_t chunks_claimed = 0;
+  /// Work-stealing transfers during the run (0 on a 1-thread pool; also
+  /// published as the parallel.steals counter). Timing-dependent --
+  /// diagnostics, never part of the deterministic result.
+  std::size_t steals = 0;
   /// True iff the run stopped before completing every chunk.
   [[nodiscard]] bool stopped() const {
     return completed_prefix_chunks < num_chunks;
@@ -87,8 +141,8 @@ struct ParallelRunResult {
 };
 
 /// Fixed-size pool of worker threads. The calling thread participates in
-/// every parallel_for_chunks, so a pool of size t uses t OS threads total
-/// (t - 1 background workers). A pool of size 1 runs everything inline.
+/// every run, so a pool of size t uses t OS threads total (t - 1
+/// background workers). A pool of size 1 runs everything inline.
 class WorkerPool {
  public:
   /// Spawns num_threads - 1 background workers; requires num_threads >= 1.
@@ -105,20 +159,29 @@ class WorkerPool {
 
   /// Splits [0, n) into ceil(n / chunk) contiguous chunks of size `chunk`
   /// (the last may be short) and runs `body` once per chunk, distributing
-  /// chunks dynamically across the pool. Blocks until every chunk is done.
-  /// If bodies throw, remaining queued chunks are cancelled and the
-  /// exception of the lowest-indexed chunk that threw is rethrown.
+  /// chunks across the pool with work stealing. Blocks until every chunk
+  /// is done. If bodies throw, queued chunks above the lowest failing
+  /// index are cancelled and its exception is rethrown (see the
+  /// error-handling contract above).
   /// Not reentrant: must not be called from inside a chunk body.
   void parallel_for_chunks(std::size_t n, std::size_t chunk,
                            const ChunkBody& body);
 
-  /// Cancellable variant: stops claiming chunks when ctrl.cancel trips
-  /// (or a body throws), and reports the completed chunk prefix instead
-  /// of requiring full completion. Exceptions still rethrow the
-  /// lowest-indexed one after the run winds down.
+  /// Cancellable variant over fixed-size chunks: stops claiming chunks
+  /// when ctrl.cancel trips (or a body throws), and reports the completed
+  /// chunk prefix instead of requiring full completion. Exceptions still
+  /// rethrow the lowest-indexed one after the run winds down.
   ParallelRunResult run_cancellable(std::size_t n, std::size_t chunk,
                                     const CancellableChunkBody& body,
                                     const ParallelRunControl& ctrl);
+
+  /// The general form: executes an explicit (possibly cost-adaptive)
+  /// chunk plan with the work-stealing scheduler. `plan` must outlive the
+  /// call. Same cancellation, prefix, and error semantics as
+  /// run_cancellable.
+  ParallelRunResult run_plan(const ChunkPlan& plan,
+                             const CancellableChunkBody& body,
+                             const ParallelRunControl& ctrl);
 
   /// Progress heartbeat for the stall watchdog: long-running chunk
   /// bodies call this at their safe points (e.g. once per frame) so a
@@ -128,13 +191,27 @@ class WorkerPool {
   }
 
  private:
-  void worker_loop();
-  void run_chunks();
-  ParallelRunResult run_job(std::size_t n, std::size_t chunk,
+  /// One thread's share of the plan: plan indices [head, tail), owner
+  /// pops at head, thieves take the back half of [head, tail). Guarded
+  /// by mu (leaf lock: never held while taking the pool mutex).
+  struct alignas(64) Deque {
+    std::mutex mu;
+    std::size_t head = 0;
+    std::size_t tail = 0;
+  };
+
+  /// Claim outcomes for one scheduler step of run_chunks.
+  static constexpr std::size_t kNoChunk = static_cast<std::size_t>(-1);
+
+  void worker_loop(std::size_t self);
+  void run_chunks(std::size_t self);
+  std::size_t claim_chunk(std::size_t self);
+  ParallelRunResult run_job(const ChunkPlan& plan,
                             const CancellableChunkBody& body,
                             const ParallelRunControl& ctrl);
 
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<Deque>> queues_;  // one per pool thread
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // workers: a new job or shutdown
@@ -146,13 +223,18 @@ class WorkerPool {
   // workers only after observing the bump under mu_ (or claim-guarded by
   // active_claimers_, which the caller waits on before resetting).
   const CancellableChunkBody* body_ = nullptr;
+  const ChunkPlan* plan_ = nullptr;
   CancelToken* job_cancel_ = nullptr;  // may be null
-  std::size_t job_n_ = 0;
-  std::size_t job_chunk_ = 0;
   std::size_t num_chunks_ = 0;
-  std::atomic<std::size_t> next_chunk_{0};
-  std::atomic<bool> stop_claims_{false};  // fail-fast / cancellation latch
+  std::atomic<bool> stop_claims_{true};  // cancellation / teardown latch
+  // Lowest chunk index that has thrown this job (kNoChunk = none).
+  // Claimed chunks at or above it are skipped, chunks below it still
+  // run, so the surfaced exception is deterministically the one a
+  // sequential loop would have hit -- regardless of steal timing.
+  std::atomic<std::size_t> error_bound_{kNoChunk};
   std::atomic<std::uint64_t> progress_{0};  // watchdog heartbeat counter
+  std::atomic<std::size_t> claims_{0};    // chunks started this job
+  std::atomic<std::size_t> steals_{0};    // steal transfers this job
   std::vector<char> chunk_done_;     // guarded by mu_
   int active_claimers_ = 0;          // guarded by mu_
   std::size_t error_chunk_ = 0;      // guarded by mu_

@@ -87,7 +87,143 @@ std::vector<std::int64_t> compute_canonical_code(const View& v) {
   return code;
 }
 
+/// SplitMix64 finalizer: the avalanche stage behind the fingerprint mix.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The encoder behind View::fingerprint. Per-node hashes are combined
+/// with commutative operators (sum and xor), so the value is invariant
+/// under local reindexing by construction -- no BFS, no sorting, no
+/// allocation. See the header for what it deliberately leaves out.
+std::uint64_t compute_fingerprint(const View& v) {
+  const int n = v.num_nodes();
+  std::uint64_t header = mix64(0x51f0u ^ static_cast<std::uint64_t>(v.radius));
+  header = mix64(header ^ static_cast<std::uint64_t>(v.id_bound));
+  header = mix64(header ^ static_cast<std::uint64_t>(n));
+  header = mix64(header ^ static_cast<std::uint64_t>(v.g.num_edges()));
+  std::uint64_t sum = 0;
+  std::uint64_t xr = 0;
+  for (Node x = 0; x < n; ++x) {
+    const auto xi = static_cast<std::size_t>(x);
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(v.dist[xi]));
+    h = mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(v.ids[xi])));
+    const Certificate& cert = v.labels[xi];
+    h = mix64(h ^ static_cast<std::uint64_t>(cert.bits));
+    h = mix64(h ^ cert.fields.size());
+    for (const int f : cert.fields) {
+      h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(f)));
+    }
+    const auto& px = v.ports[xi];
+    h = mix64(h ^ px.size());
+    std::uint64_t port_mix = 0;
+    for (const Port p : px) {
+      port_mix += mix64(0xb0a7ull + static_cast<std::uint64_t>(p));
+    }
+    h = mix64(h ^ port_mix);
+    if (x == v.center) {
+      h = mix64(h ^ 0xCE17E5ull);
+    }
+    sum += h;
+    xr ^= h;
+  }
+  return mix64(header ^ sum) ^ mix64(xr ^ 0x5EEDull);
+}
+
 }  // namespace
+
+std::uint64_t View::fingerprint() const {
+  if (!fp_cached_) {
+    fp_ = compute_fingerprint(*this);
+    fp_cached_ = true;
+  }
+  return fp_;
+}
+
+std::uint64_t view_fingerprint(const View& v) { return v.fingerprint(); }
+
+bool views_structurally_equal(const View& a, const View& b) {
+  if (&a == &b) {
+    return true;
+  }
+  // When both sides already paid for exact codes, comparing them is the
+  // cheapest exact test available.
+  if (a.canonical_cached() && b.canonical_cached()) {
+    return a.canonical() == b.canonical();
+  }
+  const int n = a.num_nodes();
+  if (n != b.num_nodes() || a.radius != b.radius ||
+      a.id_bound != b.id_bound || a.g.num_edges() != b.g.num_edges()) {
+    return false;
+  }
+  const auto node_matches = [&](Node x, Node y) {
+    const auto xi = static_cast<std::size_t>(x);
+    const auto yi = static_cast<std::size_t>(y);
+    return a.dist[xi] == b.dist[yi] && a.ids[xi] == b.ids[yi] &&
+           a.labels[xi] == b.labels[yi];
+  };
+  if (!node_matches(a.center, b.center)) {
+    return false;
+  }
+  // Dual port-ordered BFS: map_ab is the unique candidate isomorphism
+  // (port rigidity), grown edge by edge; any mismatch refutes equality.
+  std::vector<Node> map_ab(static_cast<std::size_t>(n), -1);
+  std::vector<char> seen_b(static_cast<std::size_t>(n), 0);
+  std::vector<Node> queue;
+  queue.reserve(static_cast<std::size_t>(n));
+  map_ab[static_cast<std::size_t>(a.center)] = b.center;
+  seen_b[static_cast<std::size_t>(b.center)] = 1;
+  queue.push_back(a.center);
+  std::vector<std::pair<Port, Node>> by_port_a;
+  std::vector<std::pair<Port, Node>> by_port_b;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const Node x = queue[qi];
+    const Node y = map_ab[static_cast<std::size_t>(x)];
+    const auto nb_a = a.g.neighbors(x);
+    const auto nb_b = b.g.neighbors(y);
+    if (nb_a.size() != nb_b.size()) {
+      return false;
+    }
+    const auto& pa = a.ports[static_cast<std::size_t>(x)];
+    const auto& pb = b.ports[static_cast<std::size_t>(y)];
+    by_port_a.clear();
+    by_port_b.clear();
+    for (std::size_t i = 0; i < nb_a.size(); ++i) {
+      by_port_a.emplace_back(pa[i], nb_a[i]);
+      by_port_b.emplace_back(pb[i], nb_b[i]);
+    }
+    std::sort(by_port_a.begin(), by_port_a.end());
+    std::sort(by_port_b.begin(), by_port_b.end());
+    for (std::size_t i = 0; i < by_port_a.size(); ++i) {
+      if (by_port_a[i].first != by_port_b[i].first) {
+        return false;
+      }
+      const Node na = by_port_a[i].second;
+      const Node nb = by_port_b[i].second;
+      const Node mapped = map_ab[static_cast<std::size_t>(na)];
+      if (mapped != -1) {
+        if (mapped != nb) {
+          return false;
+        }
+        continue;
+      }
+      if (seen_b[static_cast<std::size_t>(nb)] != 0 ||
+          !node_matches(na, nb)) {
+        return false;
+      }
+      map_ab[static_cast<std::size_t>(na)] = nb;
+      seen_b[static_cast<std::size_t>(nb)] = 1;
+      queue.push_back(na);
+    }
+  }
+  // Views are connected from the center, and n plus all per-node degrees
+  // matched, so reaching here means the bijection is complete.
+  return static_cast<int>(queue.size()) == n;
+}
 
 const std::vector<std::int64_t>& View::canonical() const {
   // Cache-pressure counters for the enumeration hot path: each View

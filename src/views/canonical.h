@@ -39,6 +39,28 @@ std::string canonical_key(const View& v);
 /// by the port-ordered BFS (order[0] == center).
 std::vector<Node> canonical_order(const View& v);
 
+/// Cheap order-invariant 64-bit pre-canonical fingerprint: a commutative
+/// mix of the per-node data (distance, identifier, certificate, degree,
+/// incident-port multiset) plus the global header (radius, id bound, node
+/// and edge counts). Equal views always have equal fingerprints, so the
+/// fingerprint can *gate* dedup: only fingerprint collisions need an
+/// exact comparison. It deliberately ignores how ports pair up across an
+/// edge (that is what keeps it allocation-free and sort-free), so
+/// distinct views CAN collide -- collisions are resolved by
+/// views_structurally_equal, never assumed away. Computed once per View
+/// object and cached (View::fingerprint); this returns the cached value.
+std::uint64_t view_fingerprint(const View& v);
+
+/// Exact structural equality (the same relation as canonical-code
+/// equality) via a dual port-ordered BFS from the two centers, comparing
+/// as it walks. Port rigidity (file comment) makes the candidate
+/// isomorphism unique, so one pass decides. Early-exits on the first
+/// mismatch and materializes no canonical code; when both sides already
+/// carry cached codes it just compares those. This is the workhorse
+/// behind operator==(View, View) and the fingerprint-gated dedup in
+/// NbhdGraph.
+bool views_structurally_equal(const View& a, const View& b);
+
 /// Hash functor over views. Hashes the bytes of the cached canonical code
 /// directly (no key string is materialized, no re-canonicalization).
 struct ViewHash {

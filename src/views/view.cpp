@@ -88,9 +88,13 @@ std::string View::to_string() const {
 }
 
 bool operator==(const View& a, const View& b) {
-  // Compares the compute-once cached codes; no re-canonicalization on
-  // repeated comparisons of the same objects.
-  return a.canonical() == b.canonical();
+  // Fingerprint reject first (cheap, cached), then the exact dual-BFS
+  // comparison -- no canonical code is materialized for a comparison
+  // unless both sides already cached one.
+  if (a.fingerprint() != b.fingerprint()) {
+    return false;
+  }
+  return views_structurally_equal(a, b);
 }
 
 }  // namespace shlcp

@@ -98,24 +98,41 @@ struct View {
   [[nodiscard]] std::string to_string() const;
 
   /// The canonical code (views/canonical.h), computed once on first use
-  /// and shared by copies. Everything downstream of view equality --
-  /// canonical_key, ViewHash, NbhdGraph::index_of -- routes through this
-  /// cache, so the port-ordered BFS runs once per distinct view object
-  /// instead of once per comparison. Not synchronized: concurrent first
-  /// use on the SAME View object is a data race (the parallel sweep only
-  /// shares views that are worker-local or frozen after registration).
+  /// and shared by copies. The wire/cache surfaces (canonical_key,
+  /// ViewHash) route through this cache, so the port-ordered BFS runs
+  /// once per distinct view object instead of once per comparison; the
+  /// enumeration hot path itself dedups via fingerprint() +
+  /// views_structurally_equal and never has to materialize a code. Not
+  /// synchronized: concurrent first use on the SAME View object is a
+  /// data race (the parallel sweep only shares views that are
+  /// worker-local or frozen after registration).
   [[nodiscard]] const std::vector<std::int64_t>& canonical() const;
 
   /// True iff the canonical code has been computed (for assertions).
   [[nodiscard]] bool canonical_cached() const { return canon_ != nullptr; }
 
-  /// Drops the cached code. Any code that mutates a view's fields after
-  /// canonical() may have run must call this (the in-class mutators
-  /// anonymized / with_remapped_ids do).
-  void invalidate_canonical_cache() { canon_.reset(); }
+  /// The order-invariant pre-canonical fingerprint (views/canonical.h),
+  /// computed once on first use and cached. Same synchronization caveat
+  /// as canonical(): concurrent first use on the SAME View object is a
+  /// data race; the parallel sweep only shares worker-local or frozen
+  /// views.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// True iff the fingerprint has been computed (for assertions).
+  [[nodiscard]] bool fingerprint_cached() const { return fp_cached_; }
+
+  /// Drops the cached code and fingerprint. Any code that mutates a
+  /// view's fields after canonical() / fingerprint() may have run must
+  /// call this (the in-class mutators anonymized / with_remapped_ids do).
+  void invalidate_canonical_cache() {
+    canon_.reset();
+    fp_cached_ = false;
+  }
 
  private:
   mutable std::shared_ptr<const std::vector<std::int64_t>> canon_;
+  mutable std::uint64_t fp_ = 0;
+  mutable bool fp_cached_ = false;
 };
 
 /// Structural equality via canonical encodings (see views/canonical.h).

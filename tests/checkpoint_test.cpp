@@ -341,6 +341,44 @@ TEST(CheckpointTest, ProvedBuilderResumesBitIdentically) {
   expect_identical(seq, res.nbhd);
 }
 
+TEST(CheckpointTest, AdaptiveChunkingResumesBitIdentically) {
+  // Same kill-and-resume drill, but under the default cost-adaptive chunk
+  // plan (frames_per_chunk = 0): segment boundaries fall on checkpoint
+  // cadence rather than whole-chunk multiples, and each segment re-cuts
+  // its own plan from the sliced frame costs. The resumed result must
+  // still be bit-identical to the uninterrupted sequential build.
+  const DegreeOneLcp lcp;
+  std::vector<Graph> graphs;
+  for (const Graph& g : connected_bipartite(4)) {
+    if (g.min_degree() == 1) {
+      graphs.push_back(g);
+    }
+  }
+  EnumOptions enums;
+  enums.all_ports = true;
+  const NbhdGraph seq = build_exhaustive(lcp, graphs, enums);
+  ASSERT_GT(seq.num_views(), 0);
+  for (const int threads : {1, 2}) {
+    ParallelEnumOptions options;
+    options.enums = enums;
+    options.num_threads = threads;
+    ASSERT_EQ(options.frames_per_chunk, 0) << "adaptive must be the default";
+    options.checkpoint.directory =
+        fresh_ckpt_dir(format("resume_adaptive_t%d", threads));
+    options.checkpoint.every_frames = 3;
+    options.budget.max_frames = 3;
+    ResumableBuildResult res;
+    int runs = 0;
+    do {
+      res = build_exhaustive_resumable(lcp, graphs, options);
+      ASSERT_LT(++runs, 100) << "resume loop did not converge";
+    } while (!res.complete);
+    EXPECT_GT(runs, 1) << "the budget was supposed to interrupt the build";
+    EXPECT_GT(res.resumed_frames, 0u) << "t" << threads;
+    expect_identical(seq, res.nbhd);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // No silent truncation.
 

@@ -229,6 +229,171 @@ TEST(WorkerPoolTest, EmptyRangeIsANoop) {
   EXPECT_EQ(calls, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Chunk plans and the work-stealing scheduler.
+
+TEST(ChunkPlanTest, UniformPlanShape) {
+  const ChunkPlan plan = uniform_plan(10, 4);
+  EXPECT_FALSE(plan.adaptive);
+  EXPECT_EQ(plan.num_items(), 10u);
+  ASSERT_EQ(plan.num_chunks(), 3u);
+  EXPECT_EQ(plan.ranges[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(plan.ranges[1], (std::pair<std::size_t, std::size_t>{4, 8}));
+  EXPECT_EQ(plan.ranges[2], (std::pair<std::size_t, std::size_t>{8, 10}));
+  EXPECT_EQ(uniform_plan(0, 4).num_chunks(), 0u);
+}
+
+TEST(ChunkPlanTest, AdaptivePlanBatchesCheapAndIsolatesDense) {
+  // target = 108 / (2 threads * 1 range) = 54: the lone cost-100 item
+  // must get a chunk of its own, the unit-cost runs batch around it.
+  const std::vector<std::uint64_t> costs{1, 1, 1, 1, 100, 1, 1, 1, 1};
+  const ChunkPlan plan = adaptive_plan(costs, 2, 1);
+  EXPECT_TRUE(plan.adaptive);
+  ASSERT_EQ(plan.num_chunks(), 3u);
+  EXPECT_EQ(plan.ranges[0], (std::pair<std::size_t, std::size_t>{0, 4}));
+  EXPECT_EQ(plan.ranges[1], (std::pair<std::size_t, std::size_t>{4, 5}));
+  EXPECT_EQ(plan.ranges[2], (std::pair<std::size_t, std::size_t>{5, 9}));
+}
+
+TEST(ChunkPlanTest, AdaptivePlanAlwaysCoversContiguously) {
+  // Whatever the cost profile (zeros included), the plan must be
+  // contiguous ascending ranges exactly covering [0, n).
+  const std::vector<std::vector<std::uint64_t>> profiles{
+      {},
+      {0},
+      {5},
+      {0, 0, 0, 0},
+      {1, 1000, 1, 1000, 1},
+      {9, 9, 9, 9, 9, 9, 9, 9},
+      {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13},
+  };
+  for (const auto& costs : profiles) {
+    for (const int threads : {1, 2, 4}) {
+      const ChunkPlan plan = adaptive_plan(costs, threads, 2);
+      EXPECT_EQ(plan.num_items(), costs.size());
+      std::size_t expect_begin = 0;
+      for (const auto& [begin, end] : plan.ranges) {
+        EXPECT_EQ(begin, expect_begin);
+        EXPECT_LT(begin, end);
+        expect_begin = end;
+      }
+      EXPECT_EQ(expect_begin, costs.size());
+    }
+  }
+}
+
+TEST(WorkerPoolTest, RunPlanExecutesSkewedPlanExactlyOnce) {
+  // A deliberately skewed hand-built plan: one huge range plus many tiny
+  // ones. Every item must run exactly once at every pool size.
+  ChunkPlan plan;
+  plan.ranges = {{0, 50}, {50, 51}, {51, 52}, {52, 60}, {60, 61}, {61, 70}};
+  for (const int threads : {1, 2, 4}) {
+    WorkerPool pool(threads);
+    std::vector<std::atomic<int>> hits(70);
+    const ParallelRunResult res = pool.run_plan(
+        plan,
+        [&](std::size_t, std::size_t b, std::size_t e) {
+          for (std::size_t i = b; i < e; ++i) {
+            hits[i].fetch_add(1);
+          }
+          return true;
+        },
+        ParallelRunControl{});
+    EXPECT_FALSE(res.stopped());
+    EXPECT_EQ(res.chunks_claimed, plan.num_chunks());
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "item " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(WorkerPoolTest, StealsDrainABlockedOwnersShare) {
+  // Two pool threads, ten unit chunks: the caller owns chunks 0-4, the
+  // worker 5-9. Chunk 0 blocks until all nine other chunks have run --
+  // which is only possible if whoever is NOT stuck in chunk 0 steals the
+  // blocked owner's remaining share. Completion therefore proves at
+  // least one steal happened (and the counter must say so).
+  WorkerPool pool(2);
+  const ChunkPlan plan = uniform_plan(10, 1);
+  std::atomic<int> others_done{0};
+  const ParallelRunResult res = pool.run_plan(
+      plan,
+      [&](std::size_t ci, std::size_t, std::size_t) {
+        if (ci == 0) {
+          while (others_done.load() < 9) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          }
+        } else {
+          others_done.fetch_add(1);
+        }
+        return true;
+      },
+      ParallelRunControl{});
+  EXPECT_FALSE(res.stopped());
+  EXPECT_EQ(res.chunks_claimed, 10u);
+  EXPECT_GE(res.steals, 1u);
+}
+
+TEST(WorkerPoolTest, LateHighErrorStillRethrowsTheSequentialOne) {
+  // Regression: with pre-partitioned deques a high chunk can throw
+  // *before* the owner of a lower failing chunk ever reaches it. The
+  // fail-fast bound must only prune chunks above the lowest error, so
+  // chunk 1 still runs, still throws, and wins the rethrow -- exactly
+  // what a sequential loop over the plan would have surfaced.
+  WorkerPool pool(2);
+  const ChunkPlan plan = uniform_plan(8, 1);  // caller owns 0-3, worker 4-7
+  std::atomic<bool> high_thrown{false};
+  try {
+    pool.run_plan(
+        plan,
+        [&](std::size_t ci, std::size_t, std::size_t) {
+          if (ci == 6) {
+            high_thrown.store(true);
+            throw std::runtime_error("chunk 6");
+          }
+          if (ci == 1) {
+            // Guarantee the race: chunk 1 does not run until the high
+            // error has already been recorded.
+            while (!high_thrown.load()) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+            throw std::runtime_error("chunk 1");
+          }
+          return true;
+        },
+        ParallelRunControl{});
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");
+  }
+}
+
+TEST(WorkerPoolTest, RunPlanReportsCompletedPrefixOnCancel) {
+  // Prefix semantics must hold on adaptive (non-uniform) plans too.
+  ChunkPlan plan;
+  plan.ranges = {{0, 3}, {3, 4}, {4, 9}, {9, 10}, {10, 20}};
+  plan.adaptive = true;
+  WorkerPool pool(1);
+  CancelToken token;
+  ParallelRunControl ctrl;
+  ctrl.cancel = &token;
+  const ParallelRunResult res = pool.run_plan(
+      plan,
+      [&](std::size_t ci, std::size_t, std::size_t) {
+        if (ci == 2) {
+          token.request_stop(StopReason::kCancelRequested);
+          return false;
+        }
+        return true;
+      },
+      ctrl);
+  EXPECT_TRUE(res.stopped());
+  // Sequential claim order on one thread: chunks 0 and 1 completed.
+  EXPECT_EQ(res.completed_prefix_chunks, 2u);
+  EXPECT_EQ(plan.ranges[res.completed_prefix_chunks - 1].second, 4u);
+}
+
 TEST(ParallelTest, ResolveNumThreads) {
   EXPECT_EQ(resolve_num_threads(3), 3);
   ASSERT_EQ(setenv("SHLCP_NUM_THREADS", "5", 1), 0);
@@ -328,6 +493,79 @@ TEST(ParallelEnumTest, ExhaustiveDegreeOneMatchesSequential) {
     const NbhdGraph par =
         build_exhaustive(lcp, graphs, par_options(enums, threads));
     expect_identical(seq, par);
+  }
+}
+
+TEST(ParallelEnumTest, AdaptivePlanDefaultMatchesSequential) {
+  // The default frames_per_chunk = 0 routes through frame_costs +
+  // adaptive_plan: chunk boundaries differ from the pinned-chunk layout,
+  // but the merged result must still be bit-identical to sequential.
+  const DegreeOneLcp lcp;
+  std::vector<Graph> graphs;
+  for (const Graph& g : connected_bipartite(4)) {
+    if (g.min_degree() == 1) {
+      graphs.push_back(g);
+    }
+  }
+  EnumOptions enums;
+  enums.all_ports = true;
+  const NbhdGraph seq = build_exhaustive(lcp, graphs, enums);
+  ASSERT_GT(seq.num_views(), 0);
+  for (const int threads : {2, 4}) {
+    ParallelEnumOptions options;
+    options.enums = enums;
+    options.num_threads = threads;
+    ASSERT_EQ(options.frames_per_chunk, 0);  // adaptive is the default
+    const NbhdGraph par = build_exhaustive(lcp, graphs, options);
+    expect_identical(seq, par);
+  }
+}
+
+TEST(ParallelEnumTest, FrameCostsMatchLabelingProducts) {
+  const DegreeOneLcp lcp;
+  const std::vector<Graph> graphs{make_path(2), make_path(4)};
+  EnumOptions enums;
+  const auto frames = enumerate_frames(graphs, enums);
+  const auto costs = frame_costs(lcp, graphs, frames);
+  ASSERT_EQ(costs.size(), frames.size());
+  // Cross-check each cost against the actual labeling count of its frame.
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    std::uint64_t count = 0;
+    for_each_labeled_instance_in_frame(lcp, graphs, frames[i], enums,
+                                       [&](const Instance&) {
+                                         ++count;
+                                         return true;
+                                       });
+    EXPECT_EQ(costs[i], count) << "frame " << i;
+  }
+}
+
+TEST(ParallelEnumTest, FingerprintCollisionsDedupExactly) {
+  // The all-ports sweep registers distinct views that differ only in how
+  // cross-edge port pairs line up -- exactly the fingerprint's designed
+  // blind spot -- so some dedup chains hold more than one view. The
+  // exact chain comparison must still keep every registered view
+  // pairwise distinct.
+  const DegreeOneLcp lcp;
+  std::vector<Graph> graphs;
+  for (const Graph& g : connected_bipartite(4)) {
+    if (g.min_degree() == 1) {
+      graphs.push_back(g);
+    }
+  }
+  EnumOptions enums;
+  enums.all_ports = true;
+  const NbhdGraph nbhd = build_exhaustive(lcp, graphs, enums);
+  ASSERT_GT(nbhd.num_views(), 1);
+  EXPECT_LT(nbhd.num_fingerprint_chains(),
+            static_cast<std::uint64_t>(nbhd.num_views()))
+      << "expected fingerprint collisions in the all-ports family";
+  for (int i = 0; i < nbhd.num_views(); ++i) {
+    EXPECT_EQ(nbhd.index_of(nbhd.view(i)), i);
+    for (int j = i + 1; j < nbhd.num_views(); ++j) {
+      EXPECT_FALSE(nbhd.view(i) == nbhd.view(j))
+          << "views " << i << " and " << j << " should be distinct";
+    }
   }
 }
 

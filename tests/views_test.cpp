@@ -213,6 +213,102 @@ TEST(CompatTest, ConflictingInteriorDetected) {
   EXPECT_FALSE(compatible_at_id(mu1, 4, mu2));
 }
 
+// ---------------------------------------------------------------------------
+// The order-invariant pre-canonical fingerprint (views/canonical.h).
+
+TEST(FingerprintTest, EqualViewsHaveEqualFingerprints) {
+  // Equal views with potentially different local index layouts (two
+  // symmetric centers) must fingerprint identically -- the value is
+  // invariant under local reindexing by construction.
+  Instance inst = Instance::canonical(make_path(6));
+  for (Node v = 0; v < 6; ++v) {
+    inst.labels.at(v) = Certificate{{7}, 3};
+  }
+  const View a = inst.view_of(2, 1, true);
+  const View b = inst.view_of(3, 1, true);
+  ASSERT_TRUE(a == b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), view_fingerprint(a));
+}
+
+TEST(FingerprintTest, CachedOnceAndInvalidated) {
+  const Instance inst = labeled_instance(make_path(4));
+  View v = inst.view_of(1, 1, false);
+  EXPECT_FALSE(v.fingerprint_cached());
+  const std::uint64_t fp = v.fingerprint();
+  EXPECT_TRUE(v.fingerprint_cached());
+  EXPECT_EQ(v.fingerprint(), fp);
+  // The mutating copiers drop the cache and re-derive a different value
+  // (ids are part of the fingerprint).
+  const View anon = v.anonymized();
+  EXPECT_FALSE(anon.fingerprint_cached());
+  EXPECT_NE(anon.fingerprint(), fp);
+}
+
+TEST(FingerprintTest, SensitiveToLabelsIdsAndDistances) {
+  const Instance inst = labeled_instance(make_path(5));
+  Instance other = inst;
+  other.labels.at(1) = Certificate{{999}, 8};
+  EXPECT_NE(inst.view_of(2, 1, false).fingerprint(),
+            other.view_of(2, 1, false).fingerprint());
+  EXPECT_NE(inst.view_of(2, 1, false).fingerprint(),
+            inst.view_of(2, 1, true).fingerprint());  // anonymized
+  EXPECT_NE(inst.view_of(2, 1, false).fingerprint(),
+            inst.view_of(2, 2, false).fingerprint());  // radius
+}
+
+/// A hand-built radius-1 anonymous path view 0 - center - 2 whose two
+/// edges carry the given (center-side, far-side) port pairs. Per-node
+/// port *multisets* depend only on the four values, but the *pairing*
+/// of center port to far port is structural.
+View port_path_view(Port c0, Port f0, Port c2, Port f2) {
+  View v;
+  v.g = Graph(3);
+  v.g.add_edge(0, 1);
+  v.g.add_edge(1, 2);
+  v.center = 1;
+  v.radius = 1;
+  v.dist = {1, 0, 1};
+  v.ids = {-1, -1, -1};
+  v.labels = std::vector<Certificate>(3);
+  v.id_bound = 0;
+  // Parallel to g.neighbors(x): node 0 sees {1}, node 1 sees {0, 2},
+  // node 2 sees {1}.
+  v.ports = {{f0}, {c0, c2}, {f2}};
+  return v;
+}
+
+TEST(FingerprintTest, CollidingDistinctViewsStayDistinct) {
+  // The fingerprint deliberately ignores how cross-edge port pairs line
+  // up, so these two views collide: both have one neighbor carrying port
+  // 0 and one carrying port 1, but A pairs center-port 0 with far-port 1
+  // while B pairs center-port 0 with far-port 0. The exact comparisons
+  // must still tell them apart -- this is the collision case the
+  // NbhdGraph dedup chains exist for.
+  const View a = port_path_view(/*c0=*/0, /*f0=*/1, /*c2=*/1, /*f2=*/0);
+  const View b = port_path_view(/*c0=*/0, /*f0=*/0, /*c2=*/1, /*f2=*/1);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_FALSE(views_structurally_equal(a, b));
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.canonical(), b.canonical());
+}
+
+TEST(FingerprintTest, StructurallyEqualAgreesWithCanonicalCodes) {
+  // Cross-check the two exact comparisons against each other over a mix
+  // of equal and unequal pairs.
+  const Instance inst = labeled_instance(make_cycle(5));
+  std::vector<View> views;
+  for (Node v = 0; v < 5; ++v) {
+    views.push_back(inst.view_of(v, 1, false));
+    views.push_back(inst.view_of(v, 2, true));
+  }
+  for (const View& a : views) {
+    for (const View& b : views) {
+      EXPECT_EQ(views_structurally_equal(a, b), a.canonical() == b.canonical());
+    }
+  }
+}
+
 TEST(ViewsTest, ToStringSmoke) {
   const Instance inst = labeled_instance(make_path(3));
   const View v = inst.view_of(1, 1, false);

@@ -4,6 +4,7 @@
 Usage:
     check_bench_json.py BENCH_sim.json [BENCH_parallel_enum.json ...]
     check_bench_json.py --service BENCH_service.json
+    check_bench_json.py --parallel BENCH_parallel_enum.json
     check_bench_json.py --trace trace.jsonl
     check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
 
@@ -15,6 +16,15 @@ With --service it additionally enforces the service-bench contract of
 EXPERIMENTS.md E19 on a BENCH_service.json: a nonzero request count, a
 warm-cache hit rate inside [0, 1], a passing bit-identity verification,
 and a populated per-endpoint latency histogram for every cacheable op.
+With --parallel it additionally enforces the enumeration hot-path
+contract on a BENCH_parallel_enum.json: a sequential case plus a full
+threads_* speedup curve with positive throughput everywhere, the
+fingerprint-gate accounting (hits + misses == registrations per build),
+canonical-code computes <= 0.7x registrations (the dedup gate must avoid
+at least 30% of the exact-code work; in practice it avoids nearly all of
+it), and -- in non-smoke runs on a machine with >= 2 hardware threads --
+a 2-thread speedup of at least 1.0 (single-core machines only get a
+warning, since speedup is not measurable there).
 With --ckpt it validates checkpoint directories written by the resumable
 V(D, n) builders (schema shlcp.ckpt.v1, pinned in src/nbhd/checkpoint.h):
 exact manifest keys and types, frames_done <= num_frames, known status
@@ -173,6 +183,83 @@ def check_service(path):
     return ok
 
 
+PARALLEL_CASE_INTS = ["canonical_computes", "fingerprint_hits",
+                      "fingerprint_misses", "steals", "chunks_adaptive"]
+PARALLEL_CASE_FLOATS = ["seconds", "instances_per_sec", "speedup"]
+
+
+def check_parallel(path):
+    """check_report plus the BENCH_parallel_enum.json contract."""
+    ok = check_report(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return False  # already reported by check_report
+    if not isinstance(doc, dict):
+        return False
+
+    meta = doc.get("meta", {})
+    registrations = meta.get("registrations")
+    if not isinstance(registrations, int) or isinstance(registrations, bool) \
+            or registrations <= 0:
+        return fail(path, f"meta.registrations must be a positive integer, "
+                          f"got {registrations!r}")
+
+    cases = {c.get("name"): c.get("values", {})
+             for c in doc.get("cases", []) if isinstance(c, dict)}
+    run = doc.get("run", {})
+    smoke = run.get("smoke") is True
+    hw = run.get("hardware_concurrency", 0)
+    required = ["sequential", "threads_1", "threads_2"]
+    if not smoke:
+        required += ["threads_4", "threads_8"]
+    for name in required:
+        if name not in cases:
+            ok = fail(path, f"missing case {name!r} (speedup curve is "
+                            "incomplete)")
+    for name, values in cases.items():
+        for key in PARALLEL_CASE_FLOATS:
+            v = values.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or v <= 0:
+                ok = fail(path, f"{name}.{key} must be a positive number, "
+                                f"got {v!r}")
+        for key in PARALLEL_CASE_INTS:
+            v = values.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                ok = fail(path, f"{name}.{key} must be a non-negative "
+                                f"integer, got {v!r}")
+        if not ok:
+            continue
+        # The fingerprint gate's accounting is exact per build: every
+        # registration is either a chain-opening miss or a gated hit.
+        hits = values["fingerprint_hits"]
+        misses = values["fingerprint_misses"]
+        if hits + misses != registrations:
+            ok = fail(path, f"{name}: fingerprint_hits ({hits}) + "
+                            f"fingerprint_misses ({misses}) != "
+                            f"registrations ({registrations})")
+        computes = values["canonical_computes"]
+        if computes > 0.7 * registrations:
+            ok = fail(path, f"{name}: canonical_computes ({computes}) "
+                            f"exceeds 0.7 x registrations ({registrations})"
+                            " -- the fingerprint gate is not avoiding exact"
+                            " canonical-code work")
+    two = cases.get("threads_2", {})
+    speedup2 = two.get("speedup")
+    if isinstance(speedup2, (int, float)) and not isinstance(speedup2, bool):
+        if smoke or hw < 2:
+            if speedup2 < 1.0:
+                print(f"{path}: note: threads_2 speedup is {speedup2:.2f} "
+                      f"(smoke={smoke}, hardware_concurrency={hw}; "
+                      "not enforced)")
+        elif speedup2 < 1.0:
+            ok = fail(path, f"threads_2 speedup is {speedup2:.2f} < 1.0 on "
+                            f"a {hw}-thread machine in a non-smoke run")
+    return ok
+
+
 def check_trace(path):
     ok = True
     try:
@@ -273,6 +360,8 @@ def main(argv):
         return 2
     if argv[1] == "--service":
         paths, checker = argv[2:], check_service
+    elif argv[1] == "--parallel":
+        paths, checker = argv[2:], check_parallel
     elif argv[1] == "--trace":
         paths, checker = argv[2:], check_trace
     elif argv[1] == "--ckpt":
