@@ -23,6 +23,20 @@
 //   --allow-refused      "draining" responses are not failures
 //   --require-hit-rate X fail unless final cache hit-rate >= X
 //
+// Resilient mode (--retries / --chaos, --socket only): instead of one
+// pipelined connection, C worker threads each drive their own
+// service/client.h Client -- per-attempt timeouts, capped exponential
+// backoff with deterministic jitter, reconnect-on-failure, integrity
+// digests both ways -- optionally through a client-side FaultyTransport
+// chaos plan. Retry/reconnect/shed accounting is printed at the end.
+//
+//   --timeout-ms T       per-attempt response timeout (default 5000)
+//   --retries R          max attempts per request (default 1 = off)
+//   --backoff-ms B       base backoff between attempts (default 10)
+//   --chaos DESC         client-side ChaosPlan descriptor (see
+//                        src/service/chaos.h), e.g. the REPRO string of
+//                        a chaos bench failure
+//
 // Exit status: 0 iff every response was ok (or an allowed refusal) and
 // the hit-rate requirement (if any) held.
 
@@ -33,6 +47,7 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <poll.h>
@@ -41,8 +56,11 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "service/chaos.h"
+#include "service/client.h"
 #include "service/proto.h"
 #include "sim/faults.h"
+#include "util/check.h"
 #include "util/json.h"
 #include "util/rng.h"
 
@@ -50,6 +68,7 @@ namespace {
 
 using shlcp::FaultPlan;
 using shlcp::Json;
+using shlcp::svc::ChaosPlan;
 using shlcp::svc::encode_frame;
 using shlcp::svc::FrameReader;
 
@@ -202,6 +221,172 @@ std::uint64_t percentile(std::vector<std::uint64_t> xs, double p) {
   return xs[std::min(i, xs.size() - 1)];
 }
 
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Resilient socket mode: `concurrency` threads, each driving its own
+/// Client over its own connection (requests striped across workers so
+/// the stream content matches the pipelined mode's). Returns the exit
+/// code.
+int run_resilient(const char* socket_path, std::uint64_t total,
+                  std::uint64_t concurrency, const std::string& mix,
+                  std::uint64_t seed, std::uint64_t repeat_keys,
+                  std::uint64_t deadline_ms, bool allow_refused,
+                  double require_hit_rate,
+                  const shlcp::svc::ClientOptions& base_options) {
+  struct WorkerOut {
+    std::map<std::string, OpTally> tallies;
+    shlcp::svc::ClientStats stats;
+    std::uint64_t refused = 0;
+    std::uint64_t lost = 0;
+  };
+  std::vector<WorkerOut> outs(concurrency);
+  std::vector<std::thread> workers;
+  const std::uint64_t t0 = now_us();
+  for (std::uint64_t w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerOut& out = outs[w];
+      shlcp::svc::ClientOptions options = base_options;
+      // Per-worker fault/jitter streams: same plan shape, independent
+      // deterministic schedules (the whole run replays from --seed).
+      options.chaos.seed = mix64(options.chaos.seed ^ (0xC4A05ULL + w));
+      options.retry.seed = mix64(options.retry.seed ^ (0xBAC0FFULL + w));
+      shlcp::svc::Client client(
+          shlcp::svc::Client::unix_connector(socket_path, options.chaos),
+          options);
+      for (std::uint64_t i = w; i < total; i += concurrency) {
+        const std::uint64_t slot = repeat_keys == 0 ? i : i % repeat_keys;
+        const std::uint64_t key_variant =
+            shlcp::Rng(seed * 7919 + slot).next_u64() >> 8;
+        const std::string op = pick_op(mix, key_variant);
+        const Json params = make_params(op, key_variant);
+        const std::uint64_t sent_us = now_us();
+        const shlcp::svc::CallResult r =
+            client.call(op, params, deadline_ms);
+        OpTally& tally = out.tallies[op];
+        ++tally.count;
+        tally.latencies_us.push_back(now_us() - sent_us);
+        if (!r.ok) {
+          if (r.error_code == "draining") {
+            ++out.refused;
+          } else if (r.error_code.empty()) {
+            ++out.lost;  // transport/timeout after all retries
+          } else {
+            ++tally.errors;
+            std::fprintf(stderr, "loadgen: [%s] %s: %s\n", op.c_str(),
+                         r.error_code.c_str(), r.error_detail.c_str());
+          }
+        }
+      }
+      out.stats = client.stats();
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const double elapsed_s = static_cast<double>(now_us() - t0) / 1e6;
+
+  std::map<std::string, OpTally> tallies;
+  shlcp::svc::ClientStats stats;
+  std::uint64_t refused = 0;
+  std::uint64_t lost = 0;
+  for (WorkerOut& out : outs) {
+    for (auto& [op, tally] : out.tallies) {
+      OpTally& merged = tallies[op];
+      merged.count += tally.count;
+      merged.errors += tally.errors;
+      merged.latencies_us.insert(merged.latencies_us.end(),
+                                 tally.latencies_us.begin(),
+                                 tally.latencies_us.end());
+    }
+    stats.calls += out.stats.calls;
+    stats.attempts += out.stats.attempts;
+    stats.retries += out.stats.retries;
+    stats.reconnects += out.stats.reconnects;
+    stats.timeouts += out.stats.timeouts;
+    stats.transport_errors += out.stats.transport_errors;
+    stats.digest_mismatches += out.stats.digest_mismatches;
+    stats.refused_overloaded += out.stats.refused_overloaded;
+    stats.refused_draining += out.stats.refused_draining;
+    stats.refused_deadline += out.stats.refused_deadline;
+    stats.refused_integrity += out.stats.refused_integrity;
+    stats.backoff_ms_total += out.stats.backoff_ms_total;
+    refused += out.refused;
+    lost += out.lost;
+  }
+
+  // Final hit-rate probe over a clean (chaos-free) connection.
+  double hit_rate = -1.0;
+  {
+    shlcp::svc::ClientOptions options = base_options;
+    options.chaos = ChaosPlan{};
+    shlcp::svc::Client client(
+        shlcp::svc::Client::unix_connector(socket_path, options.chaos),
+        options);
+    const shlcp::svc::CallResult r = client.call("info", Json::object());
+    if (r.ok) {
+      const Json result = Json::parse(r.result_dump);
+      hit_rate = result.at("cache").at("hit_rate").as_double();
+    }
+  }
+
+  std::uint64_t errors = 0;
+  std::uint64_t done = 0;
+  std::printf("%-16s %8s %8s %10s %10s\n", "op", "count", "errors", "p50_us",
+              "p99_us");
+  for (const auto& [op, tally] : tallies) {
+    errors += tally.errors;
+    done += tally.count;
+    std::printf("%-16s %8llu %8llu %10llu %10llu\n", op.c_str(),
+                static_cast<unsigned long long>(tally.count),
+                static_cast<unsigned long long>(tally.errors),
+                static_cast<unsigned long long>(
+                    percentile(tally.latencies_us, 0.50)),
+                static_cast<unsigned long long>(
+                    percentile(tally.latencies_us, 0.99)));
+  }
+  std::printf(
+      "total %llu requests in %.2fs (%.1f req/s), %llu errors, %llu refused, "
+      "%llu lost\n",
+      static_cast<unsigned long long>(done), elapsed_s,
+      elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0,
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(refused),
+      static_cast<unsigned long long>(lost));
+  std::printf(
+      "resilience: attempts=%llu retries=%llu reconnects=%llu timeouts=%llu "
+      "transport_errors=%llu digest_mismatches=%llu shed_seen=%llu "
+      "integrity_seen=%llu backoff_ms=%llu\n",
+      static_cast<unsigned long long>(stats.attempts),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.reconnects),
+      static_cast<unsigned long long>(stats.timeouts),
+      static_cast<unsigned long long>(stats.transport_errors),
+      static_cast<unsigned long long>(stats.digest_mismatches),
+      static_cast<unsigned long long>(stats.refused_overloaded),
+      static_cast<unsigned long long>(stats.refused_integrity),
+      static_cast<unsigned long long>(stats.backoff_ms_total));
+  if (hit_rate >= 0) {
+    std::printf("cache_hit_rate=%.4f\n", hit_rate);
+  }
+
+  if (errors > 0) {
+    return 1;
+  }
+  if (!allow_refused && (refused > 0 || lost > 0)) {
+    return 1;
+  }
+  if (require_hit_rate >= 0 && hit_rate < require_hit_rate) {
+    std::fprintf(stderr, "loadgen: hit rate %.4f below required %.4f\n",
+                 hit_rate, require_hit_rate);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +400,10 @@ int main(int argc, char** argv) {
   std::uint64_t deadline_ms = 0;
   bool allow_refused = false;
   double require_hit_rate = -1.0;
+  std::uint64_t timeout_ms = 5000;
+  int retries = 1;
+  std::uint64_t backoff_ms = 10;
+  std::string chaos_desc;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -245,12 +434,21 @@ int main(int argc, char** argv) {
       allow_refused = true;
     } else if (arg == "--require-hit-rate") {
       require_hit_rate = std::atof(next());
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--retries") {
+      retries = std::atoi(next());
+    } else if (arg == "--backoff-ms") {
+      backoff_ms = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--chaos") {
+      chaos_desc = next();
     } else {
       std::fprintf(stderr,
                    "usage: %s (--spawn SHLCPD | --socket PATH) [--requests N] "
                    "[--concurrency C] [--mix M] [--seed S] [--repeat-keys K] "
                    "[--deadline-ms D] [--allow-refused] "
-                   "[--require-hit-rate X]\n",
+                   "[--require-hit-rate X] [--timeout-ms T] [--retries R] "
+                   "[--backoff-ms B] [--chaos DESC]\n",
                    argv[0]);
       return 2;
     }
@@ -261,6 +459,31 @@ int main(int argc, char** argv) {
     return 2;
   }
   concurrency = std::max<std::uint64_t>(1, std::min(concurrency, total));
+
+  const bool resilient = retries > 1 || !chaos_desc.empty();
+  if (resilient) {
+    if (socket_path == nullptr) {
+      std::fprintf(stderr, "%s: --retries/--chaos need --socket\n", argv[0]);
+      return 2;
+    }
+    shlcp::svc::ClientOptions options;
+    options.timeout_ms = timeout_ms;
+    options.retry.max_attempts = std::max(retries, 1);
+    options.retry.base_backoff_ms = backoff_ms;
+    options.retry.seed = seed;
+    if (!chaos_desc.empty()) {
+      try {
+        options.chaos = ChaosPlan::parse(chaos_desc);
+      } catch (const shlcp::CheckError& e) {
+        std::fprintf(stderr, "%s: bad --chaos descriptor: %s\n", argv[0],
+                     e.what());
+        return 2;
+      }
+    }
+    return run_resilient(socket_path, total, concurrency, mix, seed,
+                         repeat_keys, deadline_ms, allow_refused,
+                         require_hit_rate, options);
+  }
 
   Endpoint ep = spawn_path != nullptr ? spawn_daemon(spawn_path)
                                       : connect_socket(socket_path);

@@ -12,6 +12,9 @@
 //
 //   --threads N          worker threads (0 = SHLCP_NUM_THREADS / auto)
 //   --batch N            max requests dispatched per batch (default 32)
+//   --queue-max N        admission queue cap; past it requests are shed
+//                        with "overloaded" (default 512, 0 = unbounded)
+//   --inflight-max N     per-connection in-flight cap (default 128)
 //   --cache-bytes N      artifact-cache byte budget (default 64 MiB)
 //   --cache-dir PATH     persist artifacts to PATH (default: off)
 //   --max-frame-bytes N  per-request frame cap (default 4 MiB)
@@ -29,6 +32,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s (--pipe | --socket PATH) [--threads N] [--batch N]\n"
+      "       [--queue-max N] [--inflight-max N]\n"
       "       [--cache-bytes N] [--cache-dir PATH] [--max-frame-bytes N]\n",
       argv0);
   return 2;
@@ -61,6 +65,10 @@ int main(int argc, char** argv) {
       options.num_threads = std::atoi(next());
     } else if (arg == "--batch") {
       options.batch_max = std::atoi(next());
+    } else if (arg == "--queue-max") {
+      options.queue_max = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--inflight-max") {
+      options.conn_inflight_max = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--cache-bytes") {
       options.service.cache.max_bytes =
           static_cast<std::size_t>(std::atoll(next()));

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -30,6 +31,11 @@ metrics::Counter& miss_counter() {
 }
 metrics::Counter& eviction_counter() {
   static metrics::Counter& c = metrics::counter("service.cache.evictions");
+  return c;
+}
+metrics::Counter& store_failure_counter() {
+  static metrics::Counter& c =
+      metrics::counter("service.cache.store_failures");
   return c;
 }
 
@@ -62,7 +68,15 @@ std::string artifact_key(std::string_view op, const Json& params) {
   return payload;
 }
 
-ArtifactCache::ArtifactCache(CacheConfig config) : config_(std::move(config)) {}
+ArtifactCache::ArtifactCache(CacheConfig config) : config_(std::move(config)) {
+  if (!config_.directory.empty()) {
+    // Best-effort: a daemon pointed at a fresh path should not require
+    // an out-of-band mkdir. If creation fails (path is a file, no
+    // permission), stores degrade to non-fatal failures below.
+    std::error_code ec;
+    std::filesystem::create_directories(config_.directory, ec);
+  }
+}
 
 std::optional<std::string> ArtifactCache::get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -105,7 +119,17 @@ void ArtifactCache::insert(const std::string& key, const std::string& value) {
   stats_.entries = lru_.size();
   evict_to_fit();
   if (!config_.directory.empty()) {
-    store_to_disk(key, value);
+    // Persistence is an optimization, never a correctness dependency:
+    // the value just computed is valid whether or not the disk store
+    // lands, so a full/unwritable/vanished directory must not turn a
+    // successful request into an error. Count the failure and move on;
+    // the entry simply will not survive a restart.
+    try {
+      store_to_disk(key, value);
+    } catch (const CheckError&) {
+      ++stats_.store_failures;
+      store_failure_counter().inc();
+    }
   }
 }
 

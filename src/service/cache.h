@@ -30,7 +30,11 @@
 // and its own FNV-1a digest of the payload; a corrupt, truncated,
 // wrong-schema, or wrong-key (filename collision) file is treated as a
 // miss (never an error), so a stale cache directory can always be
-// pointed at safely.
+// pointed at safely. The directory is created on construction if
+// missing, and a failed store (unwritable or vanished directory) is
+// counted in CacheStats::store_failures but never surfaced to the
+// caller: persistence is an optimization, and a request whose result
+// was computed successfully must not fail because the disk copy did.
 
 #pragma once
 
@@ -65,8 +69,9 @@ struct CacheStats {
   std::uint64_t disk_hits = 0;  // misses served from the directory
   std::uint64_t misses = 0;     // true misses (caller must compute)
   std::uint64_t evictions = 0;
-  std::uint64_t bytes = 0;    // current resident bytes
-  std::uint64_t entries = 0;  // current resident entries
+  std::uint64_t store_failures = 0;  // disk stores that did not land
+  std::uint64_t bytes = 0;           // current resident bytes
+  std::uint64_t entries = 0;         // current resident entries
 
   /// Fraction of lookups served without recomputation.
   [[nodiscard]] double hit_rate() const {

@@ -246,6 +246,10 @@ Request parse_request(const Json& j) {
       req.params = value;
     } else if (key == "deadline_ms") {
       req.deadline_ms = value.as_uint();
+    } else if (key == "check") {
+      SHLCP_CHECK_MSG(value.is_string(),
+                      "request: check must be a digest string");
+      req.check = value.as_string();
     } else {
       SHLCP_CHECK_MSG(false,
                       format("request: unknown member '%s'", key.c_str()));
@@ -258,18 +262,23 @@ Request parse_request(const Json& j) {
   return req;
 }
 
-Json ok_response(const Json& id, Json result, bool cached) {
+Json ok_response(const Json& id, Json result, bool cached,
+                 std::string_view digest) {
   Json r = Json::object();
   r["schema"] = kWireSchema;
   r["id"] = id;
   r["ok"] = true;
   r["cached"] = cached;
+  if (!digest.empty()) {
+    r["digest"] = digest;
+  }
   r["result"] = std::move(result);
   return r;
 }
 
 Json error_response(const Json& id, std::string_view code,
-                    std::string_view message, std::string_view repro) {
+                    std::string_view message, std::string_view repro,
+                    std::int64_t retry_after_ms) {
   Json r = Json::object();
   r["schema"] = kWireSchema;
   r["id"] = id;
@@ -278,6 +287,9 @@ Json error_response(const Json& id, std::string_view code,
   err["code"] = code;
   err["message"] = message;
   err["repro"] = repro;
+  if (retry_after_ms >= 0) {
+    err["retry_after_ms"] = retry_after_ms;
+  }
   return r;
 }
 

@@ -16,14 +16,29 @@
 // Requests and responses are plain Json objects:
 //
 //   request:   {"id": <any>, "op": <string>, "params": <object>,
-//               "deadline_ms": <uint, optional>}
+//               "deadline_ms": <uint, optional>,
+//               "check": <string, optional>}
 //   response:  {"schema": "shlcp.svc.v1", "id": <echoed>, "ok": true,
-//               "cached": <bool>, "result": {...}}
+//               "cached": <bool>, "digest": <string>, "result": {...}}
 //          or  {"schema": "shlcp.svc.v1", "id": <echoed>, "ok": false,
-//               "error": {"code": ..., "message": ..., "repro": ...}}
+//               "error": {"code": ..., "message": ..., "repro": ...,
+//                         "retry_after_ms": <uint, optional>}}
 //
 // The "repro" member carries the lcp/audit-style single-line repro
 // string when the failure concerns a concrete distributed run.
+//
+// End-to-end integrity (the resilience layer, DESIGN.md §14): a
+// request's optional "check" is fnv1a_hex(artifact_key(op, params)).
+// The dispatcher recomputes it from the params it actually parsed and
+// refuses a mismatch with the "integrity" error -- so a transport that
+// flips a byte inside a well-formed request gets a retriable refusal,
+// never a wrong answer under the client's original question. The
+// symmetric "digest" member of an ok response is fnv1a_hex of the
+// dumped "result" document; clients verify it and treat a mismatch as
+// a transport failure (reconnect + retry). Error responses carry no
+// digest -- they are advisory, and a corrupted one at worst triggers a
+// spurious retry. "retry_after_ms" is the server's backpressure hint on
+// "overloaded" refusals.
 //
 // This header also hosts the canonical JSON form used for cache keying
 // (object keys sorted recursively, compact dump) and the codecs between
@@ -114,6 +129,7 @@ struct Request {
   std::string op;
   Json params;  // always an object (default empty)
   std::uint64_t deadline_ms = 0;  // 0 = none
+  std::string check;  // expected fnv1a_hex(artifact_key); "" = unchecked
 };
 
 /// Validates the envelope shape; throws CheckError naming the offending
@@ -122,9 +138,13 @@ struct Request {
 Request parse_request(const Json& j);
 
 /// Response builders. `id` is echoed verbatim (null when the request
-/// was too malformed to carry one).
-Json ok_response(const Json& id, Json result, bool cached);
+/// was too malformed to carry one). `digest` is fnv1a_hex of the dumped
+/// result document ("" omits the member -- pre-resilience responses).
+/// `retry_after_ms` >= 0 adds the backpressure hint to the error object.
+Json ok_response(const Json& id, Json result, bool cached,
+                 std::string_view digest = "");
 Json error_response(const Json& id, std::string_view code,
-                    std::string_view message, std::string_view repro = "");
+                    std::string_view message, std::string_view repro = "",
+                    std::int64_t retry_after_ms = -1);
 
 }  // namespace shlcp::svc

@@ -73,11 +73,48 @@ struct PendingRequest {
   int conn = -1;  // socket mode: owning connection index
 };
 
+/// Admission policy shared by both transport loops.
+struct Admission {
+  std::size_t queue_max = 0;          // 0 = unbounded
+  std::size_t conn_inflight_max = 0;  // 0 = unbounded
+  int batch_max = 32;
+  HealthState* health = nullptr;
+};
+
+/// Backpressure hint for a shed frame: roughly how long the backlog
+/// ahead needs to dispatch, assuming ~10 ms per batch, capped so a
+/// wildly overloaded server never tells clients to sleep forever.
+std::int64_t retry_after_hint_ms(std::size_t depth, int batch_max) {
+  const std::size_t batches =
+      depth / static_cast<std::size_t>(std::max(batch_max, 1)) + 1;
+  return static_cast<std::int64_t>(std::min<std::size_t>(batches * 10, 1000));
+}
+
+/// Builds the "overloaded" refusal for a frame that was never admitted.
+/// The body is parsed only to salvage the request id (the response must
+/// be matchable client-side); a frame too corrupt to parse is shed with
+/// a null id.
+std::string shed_response(const std::string& body, std::string_view what,
+                          std::size_t depth, int batch_max) {
+  Json id;
+  try {
+    const Json req = Json::parse(body);
+    if (req.is_object() && req.contains("id")) {
+      id = req.at("id");
+    }
+  } catch (const CheckError&) {
+  }
+  metrics::counter("service.shed").inc();
+  return error_response(id, kErrOverloaded, what, "",
+                        retry_after_hint_ms(depth, batch_max))
+      .dump();
+}
+
 /// Dispatches up to batch_max queued requests across the pool and
 /// returns the responses in queue order (paired with their Pending).
 std::vector<std::pair<PendingRequest, std::string>> dispatch_batch(
     Service& service, WorkerPool& pool, std::deque<PendingRequest>& queue,
-    int batch_max) {
+    int batch_max, HealthState* health) {
   const std::size_t count =
       std::min(queue.size(), static_cast<std::size_t>(batch_max));
   std::vector<PendingRequest> batch;
@@ -90,6 +127,9 @@ std::vector<std::pair<PendingRequest, std::string>> dispatch_batch(
       .record(count);
   metrics::gauge("service.queue.depth")
       .set(static_cast<std::int64_t>(queue.size()));
+  if (health != nullptr) {
+    health->queue_depth.store(queue.size(), std::memory_order_relaxed);
+  }
 
   const std::uint64_t dispatch_ms = now_ms();
   std::vector<std::string> responses(count);
@@ -119,19 +159,61 @@ std::vector<std::pair<PendingRequest, std::string>> dispatch_batch(
   return out;
 }
 
-/// Drains a FrameReader into the queue. Returns false on a protocol
-/// error, with the bad_frame response already appended to `responses`
-/// (the stream is then unrecoverable).
+/// Drains a FrameReader into the queue, applying admission control.
+/// Frames past the global queue cap or the connection's in-flight cap
+/// are shed: their "overloaded" refusal is appended to `error_out`
+/// (flushed to the same connection) and the stream stays healthy.
+/// `conn_inflight` counts this connection's admitted-but-unanswered
+/// requests; the dispatch loop decrements it per response. Returns
+/// false on a protocol error, with the bad_frame response already
+/// appended to `error_out` (the stream is then unrecoverable).
 bool extract_frames(FrameReader& reader, std::deque<PendingRequest>& queue,
-                    int conn, std::vector<std::string>* error_out) {
+                    int conn, std::size_t* conn_inflight,
+                    const Admission& admission,
+                    std::vector<std::string>* error_out) {
   std::string frame;
   std::string error;
   while (true) {
     switch (reader.next(&frame, &error)) {
-      case FrameReader::Next::kFrame:
-        queue.push_back(PendingRequest{std::move(frame), now_ms(), conn});
+      case FrameReader::Next::kFrame: {
+        if (admission.queue_max > 0 && queue.size() >= admission.queue_max) {
+          if (admission.health != nullptr) {
+            admission.health->shed_total.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          }
+          error_out->push_back(shed_response(
+              frame,
+              format("admission queue full (%zu queued); back off and retry",
+                     queue.size()),
+              queue.size(), admission.batch_max));
+        } else if (admission.conn_inflight_max > 0 &&
+                   conn_inflight != nullptr &&
+                   *conn_inflight >= admission.conn_inflight_max) {
+          if (admission.health != nullptr) {
+            admission.health->shed_total.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          }
+          error_out->push_back(shed_response(
+              frame,
+              format("connection in-flight cap (%zu) reached; await "
+                     "responses before pipelining more",
+                     admission.conn_inflight_max),
+              queue.size(), admission.batch_max));
+        } else {
+          queue.push_back(PendingRequest{std::move(frame), now_ms(), conn});
+          if (conn_inflight != nullptr) {
+            ++*conn_inflight;
+          }
+          if (admission.health != nullptr) {
+            admission.health->admitted_total.fetch_add(
+                1, std::memory_order_relaxed);
+            admission.health->queue_depth.store(queue.size(),
+                                                std::memory_order_relaxed);
+          }
+        }
         frame.clear();
         break;
+      }
       case FrameReader::Next::kNeedMore:
         return true;
       case FrameReader::Next::kError:
@@ -148,6 +230,11 @@ bool extract_frames(FrameReader& reader, std::deque<PendingRequest>& queue,
 int serve_pipe(const ServerOptions& options) {
   ::signal(SIGPIPE, SIG_IGN);
   Service service(options.service);
+  HealthState health;
+  health.queue_max.store(options.queue_max, std::memory_order_relaxed);
+  service.attach_health(&health);
+  const Admission admission{options.queue_max, options.conn_inflight_max,
+                            options.batch_max, &health};
   CancelToken local_token;
   CancelToken* cancel = options.cancel != nullptr ? options.cancel : &local_token;
   std::optional<SigintGuard> sigint;
@@ -157,6 +244,7 @@ int serve_pipe(const ServerOptions& options) {
   WorkerPool pool(resolve_num_threads(options.num_threads));
   FrameReader reader(options.max_frame_bytes);
   std::deque<PendingRequest> queue;
+  std::size_t inflight = 0;  // the pipe is one connection
   bool eof = false;
   bool broken = false;  // framing lost
 
@@ -168,7 +256,10 @@ int serve_pipe(const ServerOptions& options) {
     // still queued with the "draining" error, so this terminates.
     while (!queue.empty()) {
       for (auto& [req, response] :
-           dispatch_batch(service, pool, queue, options.batch_max)) {
+           dispatch_batch(service, pool, queue, options.batch_max, &health)) {
+        if (inflight > 0) {
+          --inflight;
+        }
         if (!write_all(options.out_fd, encode_frame(response))) {
           return 1;
         }
@@ -198,7 +289,8 @@ int serve_pipe(const ServerOptions& options) {
       if (n > 0) {
         reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
         std::vector<std::string> frame_errors;
-        if (!extract_frames(reader, queue, -1, &frame_errors)) {
+        if (!extract_frames(reader, queue, -1, &inflight, admission,
+                            &frame_errors)) {
           broken = true;
         }
         for (const std::string& e : frame_errors) {
@@ -238,6 +330,11 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
   }
 
   Service service(options.service);
+  HealthState health;
+  health.queue_max.store(options.queue_max, std::memory_order_relaxed);
+  service.attach_health(&health);
+  const Admission admission{options.queue_max, options.conn_inflight_max,
+                            options.batch_max, &health};
   CancelToken local_token;
   CancelToken* cancel = options.cancel != nullptr ? options.cancel : &local_token;
   std::optional<SigintGuard> sigint;
@@ -250,6 +347,7 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
     int fd = -1;
     FrameReader reader;
     bool broken = false;
+    std::size_t inflight = 0;  // admitted frames not yet answered
     std::string outbuf;       // responses not yet accepted by the kernel
     std::size_t outpos = 0;   // consumed prefix of outbuf
 
@@ -279,8 +377,11 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
   // POLLOUT -- one slow reader must never stall dispatch for the rest.
   const auto flush_conn = [&](Connection& c) -> bool {
     while (c.outpos < c.outbuf.size()) {
-      const ssize_t n = ::write(c.fd, c.outbuf.data() + c.outpos,
-                                c.outbuf.size() - c.outpos);
+      // MSG_NOSIGNAL: a client that vanished mid-response must produce
+      // EPIPE (slot reclaimed below), never a process-killing SIGPIPE
+      // -- belt to the SIG_IGN suspenders above.
+      const ssize_t n = ::send(c.fd, c.outbuf.data() + c.outpos,
+                               c.outbuf.size() - c.outpos, MSG_NOSIGNAL);
       if (n > 0) {
         c.outpos += static_cast<std::size_t>(n);
         continue;
@@ -320,11 +421,15 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
     }
     while (!queue.empty()) {
       for (auto& [req, response] :
-           dispatch_batch(service, pool, queue, options.batch_max)) {
-        if (req.conn >= 0 && req.conn < static_cast<int>(conns.size()) &&
-            conns[static_cast<std::size_t>(req.conn)].fd >= 0) {
-          send_conn(conns[static_cast<std::size_t>(req.conn)],
-                    encode_frame(response));
+           dispatch_batch(service, pool, queue, options.batch_max, &health)) {
+        if (req.conn >= 0 && req.conn < static_cast<int>(conns.size())) {
+          Connection& owner = conns[static_cast<std::size_t>(req.conn)];
+          if (owner.inflight > 0) {
+            --owner.inflight;
+          }
+          if (owner.fd >= 0) {
+            send_conn(owner, encode_frame(response));
+          }
         }
       }
       if (cancel->stop_requested() && !service.draining()) {
@@ -407,7 +512,8 @@ int serve_socket(const std::string& path, const ServerOptions& options) {
       if (n > 0) {
         c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
         std::vector<std::string> frame_errors;
-        if (!extract_frames(c.reader, queue, conn_index, &frame_errors)) {
+        if (!extract_frames(c.reader, queue, conn_index, &c.inflight,
+                            admission, &frame_errors)) {
           c.broken = true;
         }
         for (const std::string& e : frame_errors) {

@@ -31,7 +31,17 @@
 // connection is closed) and flush on POLLOUT. POLLERR/POLLNVAL close
 // the connection, closed slots are reclaimed between poll rounds, and
 // a drain flushes still-buffered responses for a bounded grace window
-// before teardown.
+// before teardown. Socket sends use MSG_NOSIGNAL (and both loops
+// ignore SIGPIPE) so a vanished client can never kill the daemon.
+//
+// Overload shedding (DESIGN.md §14): admission is bounded by
+// ServerOptions::queue_max globally and conn_inflight_max per
+// connection. A frame past either cap is answered immediately with the
+// "overloaded" error carrying a retry_after_ms hint scaled to the
+// backlog -- the client backs off, the queue never grows without
+// bound, and accepted requests keep their latency. Admission/shed
+// totals and live queue depth feed the service's `health` op through
+// a shared HealthState.
 
 #pragma once
 
@@ -52,6 +62,15 @@ struct ServerOptions {
   int num_threads = 0;
   /// Max requests dispatched as one batch.
   int batch_max = 32;
+  /// Admission cap on queued-but-undispatched requests. A frame
+  /// arriving past it is refused with "overloaded" plus a
+  /// retry_after_ms backpressure hint instead of growing the queue
+  /// without bound. 0 = unbounded (the pre-resilience behavior).
+  std::size_t queue_max = 512;
+  /// Per-connection cap on admitted-but-unanswered requests, so one
+  /// pipelining-happy client cannot monopolize the admission queue
+  /// (pipe mode counts the pipe as one connection). 0 = unbounded.
+  std::size_t conn_inflight_max = 128;
   /// Per-frame byte cap (FrameReader).
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Pipe mode endpoints (tests inject socketpair/pipe fds here).

@@ -13,6 +13,7 @@
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "nbhd/aviews.h"
+#include "nbhd/checkpoint.h"
 #include "nbhd/witness.h"
 #include "sim/engine.h"
 #include "util/check.h"
@@ -120,7 +121,7 @@ Service::~Service() = default;
 
 std::vector<std::string> Service::ops() {
   return {"run_decoder", "check_coloring", "search_witness", "build_nbhd",
-          "info"};
+          "info", "health"};
 }
 
 std::string Service::handle_text(const std::string& body,
@@ -167,27 +168,49 @@ Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
   const std::uint64_t start = now_ns();
   trace::Span span("service.request");
 
+  // End-to-end integrity: the client's "check" digest commits to the
+  // (op, params) it meant to send. Recompute from what actually arrived
+  // and refuse a mismatch -- a request corrupted in flight must get a
+  // retriable error, never an answer to the corrupted question.
+  const std::string key = artifact_key(req.op, req.params);
+  if (!req.check.empty() && req.check != fnv1a_hex(key)) {
+    metrics::counter("service.errors").inc();
+    metrics::counter("service.integrity_rejects").inc();
+    return error_response(
+        req.id, kErrIntegrity,
+        format("request digest %s does not match the received payload (%s); "
+               "the frame was corrupted in transit -- retry",
+               req.check.c_str(), fnv1a_hex(key).c_str()));
+  }
+
   // Cache probe: cacheable ops replay the stored result bytes.
   const bool is_known_op =
       req.op == "run_decoder" || req.op == "check_coloring" ||
-      req.op == "search_witness" || req.op == "build_nbhd" || req.op == "info";
-  const bool cacheable = is_known_op && req.op != "info";
-  std::string key;
+      req.op == "search_witness" || req.op == "build_nbhd" ||
+      req.op == "info" || req.op == "health";
+  const bool cacheable = is_known_op && req.op != "info" && req.op != "health";
   if (cacheable) {
-    key = artifact_key(req.op, req.params);
     if (std::optional<std::string> cached = cache_.get(key)) {
       latency.record(now_ns() - start);
-      return ok_response(req.id, Json::parse(*cached), /*cached=*/true);
+      return ok_response(req.id, Json::parse(*cached), /*cached=*/true,
+                         fnv1a_hex(*cached));
     }
   }
 
+  // Deadline budget for the dispatch itself (0 = unbounded). The
+  // pre-work check above guarantees elapsed_ms <= deadline_ms here.
+  const std::uint64_t remaining_ms =
+      req.deadline_ms > 0 ? req.deadline_ms - elapsed_ms : 0;
+
   try {
-    Json result = dispatch(req);
+    Json result = dispatch(req, remaining_ms);
+    std::string dumped = result.dump();
+    std::string digest = fnv1a_hex(dumped);
     if (cacheable) {
-      cache_.insert(key, result.dump());
+      cache_.insert(key, dumped);
     }
     latency.record(now_ns() - start);
-    return ok_response(req.id, std::move(result), /*cached=*/false);
+    return ok_response(req.id, std::move(result), /*cached=*/false, digest);
   } catch (const ServiceError& e) {
     metrics::counter("service.errors").inc();
     latency.record(now_ns() - start);
@@ -203,7 +226,7 @@ Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
   }
 }
 
-Json Service::dispatch(const Request& req) {
+Json Service::dispatch(const Request& req, std::uint64_t remaining_ms) {
   if (req.op == "run_decoder") {
     return op_run_decoder(req.params);
   }
@@ -214,10 +237,13 @@ Json Service::dispatch(const Request& req) {
     return op_search_witness(req.params);
   }
   if (req.op == "build_nbhd") {
-    return op_build_nbhd(req.params);
+    return op_build_nbhd(req.params, remaining_ms);
   }
   if (req.op == "info") {
     return op_info();
+  }
+  if (req.op == "health") {
+    return op_health();
   }
   throw ServiceError{kErrUnknownOp,
                      format("unknown op '%s'", req.op.c_str()), ""};
@@ -533,7 +559,8 @@ std::vector<Graph> Service::resolve_graphs(const Json& specs) const {
   return graphs;
 }
 
-Json Service::op_build_nbhd(const Json& params) const {
+Json Service::op_build_nbhd(const Json& params,
+                            std::uint64_t remaining_ms) const {
   const std::string lcp_name = member_string(params, "lcp", "");
   if (lcp_name.empty()) {
     throw_params("build_nbhd: missing 'lcp'");
@@ -551,13 +578,40 @@ Json Service::op_build_nbhd(const Json& params) const {
       member_int(params, "max_labelings_per_frame", 2'000'000));
 
   const std::string build = member_string(params, "build", "proved");
-  NbhdGraph nbhd;
-  if (build == "exhaustive") {
-    nbhd = build_exhaustive(lcp, graphs, enums);
-  } else if (build == "proved") {
-    nbhd = build_proved(lcp, graphs, enums);
-  } else {
+  if (build != "exhaustive" && build != "proved") {
     throw_params("build_nbhd: 'build' must be \"exhaustive\" or \"proved\"");
+  }
+  NbhdGraph nbhd;
+  if (remaining_ms == 0) {
+    nbhd = build == "exhaustive" ? build_exhaustive(lcp, graphs, enums)
+                                 : build_proved(lcp, graphs, enums);
+  } else {
+    // Cancel-at-boundary deadline enforcement: build_nbhd is the one op
+    // long enough to expire mid-flight, so run the sweep under a wall
+    // budget and stop at the next frame boundary once the deadline
+    // passes. An expired build is refused -- a truncated V(D, n) is
+    // never answered or cached (the completed resumable result is
+    // bit-identical to the plain build, so cacheability is unaffected).
+    ParallelEnumOptions options;
+    options.enums = enums;
+    options.num_threads = 1;
+    options.budget.wall_ms = remaining_ms;
+    ResumableBuildResult res =
+        build == "exhaustive"
+            ? build_exhaustive_resumable(lcp, graphs, options)
+            : build_proved_resumable(lcp, graphs, options);
+    if (!res.complete) {
+      metrics::counter("service.deadline_cancels").inc();
+      throw ServiceError{
+          kErrDeadline,
+          format("build_nbhd expired its %llu ms deadline budget after "
+                 "%llu of %llu frames",
+                 static_cast<unsigned long long>(remaining_ms),
+                 static_cast<unsigned long long>(res.frames_done),
+                 static_cast<unsigned long long>(res.num_frames)),
+          ""};
+    }
+    nbhd = std::move(res.nbhd);
   }
 
   Json result = Json::object();
@@ -597,8 +651,38 @@ Json Service::op_info() const {
   cache_json["disk_hits"] = stats.disk_hits;
   cache_json["misses"] = stats.misses;
   cache_json["evictions"] = stats.evictions;
+  cache_json["store_failures"] = stats.store_failures;
   cache_json["bytes"] = stats.bytes;
   cache_json["entries"] = stats.entries;
+  cache_json["hit_rate"] = stats.hit_rate();
+  return result;
+}
+
+Json Service::op_health() const {
+  Json result = Json::object();
+  result["schema"] = kWireSchema;
+  result["draining"] = draining();
+  Json& queue = (result["queue"] = Json::object());
+  if (health_ != nullptr) {
+    queue["depth"] = health_->queue_depth.load(std::memory_order_relaxed);
+    queue["max"] = health_->queue_max.load(std::memory_order_relaxed);
+    queue["admitted"] = health_->admitted_total.load(std::memory_order_relaxed);
+    queue["shed"] = health_->shed_total.load(std::memory_order_relaxed);
+  } else {
+    // In-process use (no transport loop): the dispatcher has no queue.
+    queue["depth"] = 0;
+    queue["max"] = 0;
+    queue["admitted"] = 0;
+    queue["shed"] = 0;
+  }
+  const CacheStats stats = cache_.stats();
+  Json& cache_json = (result["cache"] = Json::object());
+  cache_json["hits"] = stats.hits;
+  cache_json["disk_hits"] = stats.disk_hits;
+  cache_json["misses"] = stats.misses;
+  cache_json["entries"] = stats.entries;
+  cache_json["store_failures"] = stats.store_failures;
+  cache_json["bytes"] = stats.bytes;
   cache_json["hit_rate"] = stats.hit_rate();
   return result;
 }

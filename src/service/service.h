@@ -24,11 +24,23 @@
 //                   build_exhaustive / build_proved and report its
 //                   shape + 2-colorability.
 //   info            service metadata + live cache stats (never cached).
+//   health          load snapshot for routers and supervisors: queue
+//                   depth/cap, admitted/shed totals, drain state, cache
+//                   stats (never cached; see HealthState).
 //
 // The first four are cached: the dispatcher stores the *dumped* result
 // string under artifact_key(op, params), so a hit replays the original
 // bytes. Every op bumps service.<op>.requests and records into the
 // service.<op>.latency_ns histogram; errors bump service.errors.
+//
+// Resilience (DESIGN.md §14): a request's optional "check" digest is
+// recomputed from the parsed params and a mismatch is refused with
+// "integrity" (a corrupted-in-flight request is never answered); every
+// ok response carries a "digest" of its result bytes for client-side
+// verification. deadline_ms is enforced twice: before work (queue
+// delay already past it -> "deadline_exceeded" without dispatch) and
+// at frame boundaries inside build_nbhd (the one op long enough to
+// expire mid-flight), via the resumable builders' wall budget.
 //
 // Draining: begin_drain() flips a flag after which every request is
 // answered with the "draining" error and nothing new is dispatched --
@@ -57,10 +69,23 @@ inline constexpr const char* kErrUnknownOp = "unknown_op";
 inline constexpr const char* kErrInvalidParams = "invalid_params";
 inline constexpr const char* kErrDeadline = "deadline_exceeded";
 inline constexpr const char* kErrDraining = "draining";
+inline constexpr const char* kErrOverloaded = "overloaded";
+inline constexpr const char* kErrIntegrity = "integrity";
 inline constexpr const char* kErrInternal = "internal";
 
 struct ServiceConfig {
   CacheConfig cache;
+};
+
+/// Live load counters of the transport loop, surfaced by the `health`
+/// op -- the fields a shard router polls to steer traffic. The server
+/// owns one and attaches it; atomics because the poll thread writes
+/// while worker threads read mid-dispatch.
+struct HealthState {
+  std::atomic<std::uint64_t> queue_depth{0};     // admitted, not dispatched
+  std::atomic<std::uint64_t> queue_max{0};       // admission cap (0 = none)
+  std::atomic<std::uint64_t> admitted_total{0};  // frames accepted
+  std::atomic<std::uint64_t> shed_total{0};      // refused "overloaded"
 };
 
 /// Transport-independent request dispatcher. Thread-safe: handle() may
@@ -92,16 +117,24 @@ class Service {
 
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
 
+  /// Surfaces the transport loop's load counters through the `health`
+  /// op. Not owned; must outlive every handle() call. Without one the
+  /// op reports zeros (in-process use).
+  void attach_health(const HealthState* health) { health_ = health; }
+
   /// Stable list of the operations this service answers.
   [[nodiscard]] static std::vector<std::string> ops();
 
  private:
-  Json dispatch(const Request& req);
+  /// `remaining_ms` is the request's unexpired deadline budget (0 =
+  /// none); long-running ops stop at the next frame boundary past it.
+  Json dispatch(const Request& req, std::uint64_t remaining_ms);
   Json op_run_decoder(const Json& params) const;
   Json op_check_coloring(const Json& params) const;
   Json op_search_witness(const Json& params) const;
-  Json op_build_nbhd(const Json& params) const;
+  Json op_build_nbhd(const Json& params, std::uint64_t remaining_ms) const;
   Json op_info() const;
+  Json op_health() const;
 
   const Lcp& find_lcp(const std::string& name) const;
   /// Resolves params["instance"]: a pool name or an inline object.
@@ -114,6 +147,7 @@ class Service {
   std::vector<NamedInstance> pool_;
   ArtifactCache cache_;
   std::atomic<bool> draining_{false};
+  const HealthState* health_ = nullptr;
 };
 
 }  // namespace shlcp::svc

@@ -180,6 +180,31 @@ TEST(Framing, OversizedFrameRejectedNotBuffered) {
   EXPECT_NE(error.find("cap"), std::string::npos) << error;
 }
 
+// Regression: the byte cap must trigger even when the length prefix
+// dribbles in one byte per poll wakeup (next() called between feeds,
+// exactly as the server's read loop does), the error must name the
+// declared length, and the failure must stay sticky for the rest of
+// the connection.
+TEST(Framing, ByteCapRejectionWithSplitHeader) {
+  FrameReader reader(/*max_frame_bytes=*/16);
+  std::string frame;
+  std::string error;
+  for (const char c : {'1', '0', '0'}) {
+    reader.feed(std::string_view(&c, 1));
+    ASSERT_EQ(reader.next(&frame, &error), FrameReader::Next::kNeedMore);
+    ASSERT_FALSE(reader.failed());
+  }
+  const char nl = '\n';
+  reader.feed(std::string_view(&nl, 1));
+  ASSERT_EQ(reader.next(&frame, &error), FrameReader::Next::kError);
+  EXPECT_NE(error.find("100"), std::string::npos) << error;
+  EXPECT_NE(error.find("16"), std::string::npos) << error;
+  // Sticky: well-formed frames after the oversize claim stay rejected.
+  reader.feed(encode_frame("{}"));
+  EXPECT_EQ(reader.next(&frame, &error), FrameReader::Next::kError);
+  EXPECT_TRUE(reader.failed());
+}
+
 TEST(Framing, GarbageHeaderRejected) {
   FrameReader reader;
   reader.feed("xyz\n{}\n");
@@ -291,11 +316,13 @@ TEST(RequestEnvelope, ParsesMinimalAndFullRequests) {
 
   const Request full = parse_request(Json::parse(
       R"({"id": 7, "op": "check_coloring", "params": {"k": 2},
-          "deadline_ms": 1500})"));
+          "deadline_ms": 1500, "check": "fnv:00000000deadbeef"})"));
   EXPECT_EQ(full.id.as_int(), 7);
   EXPECT_EQ(full.op, "check_coloring");
   EXPECT_EQ(full.params.at("k").as_int(), 2);
   EXPECT_EQ(full.deadline_ms, 1500u);
+  EXPECT_EQ(full.check, "fnv:00000000deadbeef");
+  EXPECT_EQ(minimal.check, "");  // absent = unchecked
 }
 
 // Unknown members are rejected loudly: a client typo ("dedline_ms")
@@ -317,6 +344,9 @@ TEST(RequestEnvelope, MalformedEnvelopesRejected) {
   EXPECT_THROW(
       parse_request(Json::parse(R"({"op": "info", "deadline_ms": -1})")),
       CheckError);
+  EXPECT_THROW(
+      parse_request(Json::parse(R"({"op": "info", "check": 5})")),
+      CheckError);
 }
 
 TEST(RequestEnvelope, ResponseBuilders) {
@@ -333,6 +363,25 @@ TEST(RequestEnvelope, ResponseBuilders) {
   EXPECT_EQ(err.at("error").at("code").as_string(), "invalid_params");
   EXPECT_EQ(err.at("error").at("message").as_string(), "boom");
   EXPECT_EQ(err.at("error").at("repro").as_string(), "REPRO x");
+}
+
+// The resilience members are strictly additive: omitted by default (so
+// pre-resilience captures stay byte-stable), present exactly when the
+// builder is given one.
+TEST(RequestEnvelope, ResilienceMembersAreAdditive) {
+  const Json bare = ok_response(Json(std::int64_t{1}), Json::parse("{}"),
+                                /*cached=*/false);
+  EXPECT_FALSE(bare.contains("digest"));
+  const Json digested =
+      ok_response(Json(std::int64_t{1}), Json::parse("{}"),
+                  /*cached=*/false, "fnv:1234567812345678");
+  EXPECT_EQ(digested.at("digest").as_string(), "fnv:1234567812345678");
+
+  const Json plain = error_response(Json(), "overloaded", "queue full");
+  EXPECT_FALSE(plain.at("error").contains("retry_after_ms"));
+  const Json hinted = error_response(Json(), "overloaded", "queue full", "",
+                                     /*retry_after_ms=*/25);
+  EXPECT_EQ(hinted.at("error").at("retry_after_ms").as_int(), 25);
 }
 
 }  // namespace

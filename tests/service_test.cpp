@@ -277,6 +277,30 @@ TEST(ServiceErrors, GridDimensionOverflowRejected) {
   }
 }
 
+// Cancel-at-boundary deadline enforcement: a build too large for its
+// deadline_ms budget is refused with deadline_exceeded at the next
+// frame boundary -- a truncated V(D, n) is never answered. One frame
+// per graph: three exhaustive 8-9-node enumerations are far past a
+// 1 ms budget by the first boundary, yet each individual frame is
+// small, so the call both expires reliably and returns promptly.
+TEST(ServiceErrors, DeadlineExpiresMidBuildAtFrameBoundary) {
+  Service service;
+  Json params = Json::object();
+  params["lcp"] = "degree-one";
+  Json& graphs = (params["graphs"] = Json::array());
+  for (const char* spec : {"path:8", "cycle:8", "path:9"}) {
+    graphs.push_back(spec);
+  }
+  params["build"] = "exhaustive";
+  Json req = make_request(1, "build_nbhd", params);
+  req["deadline_ms"] = 1;
+  const Json response = service.handle(req);
+  EXPECT_EQ(error_code(response), kErrDeadline);
+  EXPECT_NE(response.at("error").at("message").as_string().find("deadline"),
+            std::string::npos)
+      << response.dump();
+}
+
 TEST(ServiceErrors, DrainRefusesEverything) {
   Service service;
   EXPECT_FALSE(service.draining());
@@ -353,6 +377,41 @@ TEST(ServiceCache, PersistsAcrossInstances) {
   EXPECT_EQ(cold.stats().hits, 1u);
 }
 
+TEST(ServiceCache, CreatesMissingDirectoryAndSurvivesUnwritableOne) {
+  // A daemon pointed at a fresh --cache-dir must not require an
+  // out-of-band mkdir: construction creates the directory.
+  const fs::path dir = fs::path(::testing::TempDir()) / "shlcp_cache_mkdir" /
+                       "nested" / "deeper";
+  fs::remove_all(fs::path(::testing::TempDir()) / "shlcp_cache_mkdir");
+  CacheConfig config;
+  config.directory = dir.string();
+
+  const std::string key = artifact_key("info", Json::parse("{}"));
+  {
+    ArtifactCache fresh(config);
+    EXPECT_TRUE(fs::is_directory(dir));
+    fresh.insert(key, "payload");
+    EXPECT_EQ(fresh.stats().store_failures, 0u);
+  }
+  ArtifactCache cold(config);
+  EXPECT_TRUE(cold.get(key).has_value());
+
+  // An unwritable "directory" (here: the path names a regular file, so
+  // creation fails) degrades stores to counted non-fatal failures --
+  // the computed value stays served from memory, never an exception.
+  const fs::path blocker = fs::path(::testing::TempDir()) / "shlcp_cache_file";
+  fs::remove_all(blocker);
+  { std::ofstream out(blocker); out << "in the way"; }
+  CacheConfig bad;
+  bad.directory = blocker.string();
+  ArtifactCache degraded(bad);
+  degraded.insert(key, "payload");
+  EXPECT_EQ(degraded.stats().store_failures, 1u);
+  const std::optional<std::string> served = degraded.get(key);
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(*served, "payload");
+}
+
 TEST(ServiceCache, CorruptDiskEntryIsMissNotError) {
   const fs::path dir = fs::path(::testing::TempDir()) / "shlcp_cache_corrupt";
   fs::remove_all(dir);
@@ -400,6 +459,17 @@ TEST(ServiceCache, CorruptDiskEntryIsMissNotError) {
               fnv1a_hex("payload"));
   ArtifactCache c3(config);
   EXPECT_FALSE(c3.get(key).has_value());
+
+  // Torn write: a kill -9 mid-write leaves a short prefix of a valid
+  // entry on disk. Must be a miss (never an abort), and a subsequent
+  // insert repairs the entry in place.
+  write_entry(key, fnv1a_hex("payload"));
+  fs::resize_file(file, 10);
+  ArtifactCache c4(config);
+  EXPECT_FALSE(c4.get(key).has_value());
+  c4.insert(key, "payload");
+  ArtifactCache c5(config);
+  EXPECT_TRUE(c5.get(key).has_value());
 }
 
 // Two requests must never share an entry unless their canonical
@@ -572,6 +642,133 @@ TEST(PipeServer, DrainsOnCancelWithoutAcceptingNewWork) {
     }
     EXPECT_EQ(error_code(Json::parse(*body)), kErrDraining);
   }
+}
+
+// ---------------------------------------------------------------------
+// Overload shedding (DESIGN.md §14).
+
+/// Writes `count` pipelined info requests as ONE atomic pipe write, so
+/// the server's read loop ingests the whole burst in one gulp and the
+/// admission policy sees it at once (deterministic shed counts).
+void write_burst(int fd, std::int64_t count) {
+  std::string burst;
+  for (std::int64_t id = 1; id <= count; ++id) {
+    burst += encode_frame(make_request(id, "info", Json::object()).dump());
+  }
+  ASSERT_LT(burst.size(), 4096u);  // PIPE_BUF: single-write atomicity
+  ASSERT_EQ(::write(fd, burst.data(), burst.size()),
+            static_cast<ssize_t>(burst.size()));
+}
+
+TEST(PipeServer, ShedsPastQueueCapWithRetryAfterHint) {
+  Pipe to_server;
+  Pipe from_server;
+  CancelToken token;
+  ServerOptions options;
+  options.in_fd = to_server.read_fd;
+  options.out_fd = from_server.write_fd;
+  options.cancel = &token;
+  options.num_threads = 2;
+  options.queue_max = 2;
+  options.conn_inflight_max = 0;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_pipe(options); });
+
+  write_burst(to_server.write_fd, 5);
+  FrameReader reader;
+  int oks = 0;
+  int shed = 0;
+  for (int i = 0; i < 5; ++i) {
+    const std::optional<std::string> body =
+        read_frame(from_server.read_fd, reader);
+    ASSERT_TRUE(body.has_value()) << i;
+    const Json resp = Json::parse(*body);
+    if (resp.at("ok").as_bool()) {
+      ++oks;
+    } else {
+      ++shed;
+      EXPECT_EQ(resp.at("error").at("code").as_string(), kErrOverloaded);
+      // The refusal carries a positive backpressure hint.
+      EXPECT_GT(resp.at("error").at("retry_after_ms").as_int(), 0)
+          << resp.dump();
+    }
+  }
+  EXPECT_EQ(oks, 2);  // exactly queue_max admitted
+  EXPECT_EQ(shed, 3);
+
+  // The health op reports the episode: cap, admissions, sheds.
+  const std::string probe =
+      encode_frame(make_request(9, "health", Json::object()).dump());
+  ASSERT_EQ(::write(to_server.write_fd, probe.data(), probe.size()),
+            static_cast<ssize_t>(probe.size()));
+  const std::optional<std::string> body =
+      read_frame(from_server.read_fd, reader);
+  ASSERT_TRUE(body.has_value());
+  const Json health = ok_result(Json::parse(*body));
+  EXPECT_FALSE(health.at("draining").as_bool());
+  EXPECT_EQ(health.at("queue").at("max").as_uint(), 2u);
+  EXPECT_EQ(health.at("queue").at("admitted").as_uint(), 3u);  // 2 + probe
+  EXPECT_EQ(health.at("queue").at("shed").as_uint(), 3u);
+  EXPECT_TRUE(health.at("cache").contains("hit_rate"));
+
+  ::close(to_server.write_fd);
+  to_server.write_fd = -1;
+  server.join();
+  EXPECT_EQ(exit_code, 0);
+}
+
+TEST(PipeServer, ShedsPastConnectionInflightCap) {
+  Pipe to_server;
+  Pipe from_server;
+  CancelToken token;
+  ServerOptions options;
+  options.in_fd = to_server.read_fd;
+  options.out_fd = from_server.write_fd;
+  options.cancel = &token;
+  options.queue_max = 0;       // the global cap must not be the trigger
+  options.conn_inflight_max = 1;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_pipe(options); });
+
+  write_burst(to_server.write_fd, 3);
+  FrameReader reader;
+  int oks = 0;
+  int shed = 0;
+  for (int i = 0; i < 3; ++i) {
+    const std::optional<std::string> body =
+        read_frame(from_server.read_fd, reader);
+    ASSERT_TRUE(body.has_value()) << i;
+    const Json resp = Json::parse(*body);
+    if (resp.at("ok").as_bool()) {
+      ++oks;
+    } else {
+      ++shed;
+      EXPECT_EQ(resp.at("error").at("code").as_string(), kErrOverloaded);
+      EXPECT_NE(resp.at("error").at("message").as_string().find("in-flight"),
+                std::string::npos)
+          << resp.dump();
+    }
+  }
+  EXPECT_EQ(oks, 1);
+  EXPECT_EQ(shed, 2);
+
+  // A shed is per-frame, not per-connection: once the in-flight request
+  // is answered, the stream accepts work again.
+  const std::string more =
+      encode_frame(make_request(7, "info", Json::object()).dump());
+  ASSERT_EQ(::write(to_server.write_fd, more.data(), more.size()),
+            static_cast<ssize_t>(more.size()));
+  const std::optional<std::string> body =
+      read_frame(from_server.read_fd, reader);
+  ASSERT_TRUE(body.has_value());
+  EXPECT_TRUE(Json::parse(*body).at("ok").as_bool());
+
+  ::close(to_server.write_fd);
+  to_server.write_fd = -1;
+  server.join();
+  EXPECT_EQ(exit_code, 0);
 }
 
 // ---------------------------------------------------------------------

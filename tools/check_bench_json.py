@@ -5,6 +5,7 @@ Usage:
     check_bench_json.py BENCH_sim.json [BENCH_parallel_enum.json ...]
     check_bench_json.py --service BENCH_service.json
     check_bench_json.py --parallel BENCH_parallel_enum.json
+    check_bench_json.py --chaos BENCH_chaos.json
     check_bench_json.py --trace trace.jsonl
     check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
 
@@ -16,6 +17,13 @@ With --service it additionally enforces the service-bench contract of
 EXPERIMENTS.md E19 on a BENCH_service.json: a nonzero request count, a
 warm-cache hit rate inside [0, 1], a passing bit-identity verification,
 and a populated per-endpoint latency histogram for every cacheable op.
+With --chaos it additionally enforces the resilience contract of
+EXPERIMENTS.md E21 on a BENCH_chaos.json: zero wrong responses, at
+least 3 kill -9/restart cycles, exact outcome accounting per pass
+(ok + refused + errors + lost == requests), zero unattributed errors,
+zero lost calls under the calm-wire crash pass, a replayed fault
+schedule, and the crash-consistent disk-cache probes (pre-crash disk
+hit, torn-entry-is-miss) both passing.
 With --parallel it additionally enforces the enumeration hot-path
 contract on a BENCH_parallel_enum.json: a sequential case plus a full
 threads_* speedup curve with positive throughput everywhere, the
@@ -180,6 +188,80 @@ def check_service(path):
             ok = fail(path, f"missing endpoint histogram {name!r}")
         elif not hist.get("count"):
             ok = fail(path, f"endpoint histogram {name!r} recorded nothing")
+    return ok
+
+
+CHAOS_MIN_KILLS = 3
+CHAOS_PASSES = ["chaos", "crash"]
+CHAOS_PASS_INTS = ["requests", "ok", "refused", "errors", "lost", "retries",
+                   "reconnects", "timeouts", "digest_mismatches"]
+CHAOS_FLAGS = ["replay_match", "disk_hit_after_restart", "torn_entry_is_miss",
+               "accounting_exact"]
+
+
+def check_chaos(path):
+    """check_report plus the BENCH_chaos.json contract (E21)."""
+    ok = check_report(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return False  # already reported by check_report
+    if not isinstance(doc, dict):
+        return False
+
+    meta = doc.get("meta", {})
+
+    def meta_int(key):
+        v = meta.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            return None
+        return v
+
+    kills = meta_int("kills")
+    if kills is None or kills < CHAOS_MIN_KILLS:
+        ok = fail(path, f"meta.kills must be an integer >= {CHAOS_MIN_KILLS}, "
+                        f"got {meta.get('kills')!r}")
+    if meta_int("wrong_responses") != 0:
+        ok = fail(path, "meta.wrong_responses must be exactly 0 (a completed "
+                        "response differed from the oracle)")
+    repro = meta.get("repro")
+    if not isinstance(repro, str) or repro.count(";") != 6:
+        ok = fail(path, f"meta.repro must be a 7-field ChaosPlan descriptor, "
+                        f"got {repro!r}")
+    for key in CHAOS_FLAGS:
+        if meta.get(key) is not True:
+            ok = fail(path, f"meta.{key} must be true, got {meta.get(key)!r}")
+
+    for prefix in CHAOS_PASSES:
+        values = {}
+        for key in CHAOS_PASS_INTS:
+            v = meta_int(f"{prefix}_{key}")
+            if v is None:
+                ok = fail(path, f"meta.{prefix}_{key} must be a non-negative "
+                                f"integer, got {meta.get(f'{prefix}_{key}')!r}")
+            values[key] = v
+        if any(v is None for v in values.values()):
+            continue
+        if values["requests"] == 0:
+            ok = fail(path, f"meta.{prefix}_requests is 0: the {prefix} pass "
+                            "never ran")
+            continue
+        # Every call must be accounted for exactly once (wrong responses
+        # are already required to be zero above).
+        accounted = (values["ok"] + values["refused"] + values["errors"]
+                     + values["lost"])
+        if accounted != values["requests"]:
+            ok = fail(path, f"{prefix} pass accounting is inexact: ok + "
+                            f"refused + errors + lost = {accounted} != "
+                            f"requests = {values['requests']}")
+        if values["errors"] != 0:
+            ok = fail(path, f"meta.{prefix}_errors must be 0 (unattributed "
+                            f"wire errors), got {values['errors']}")
+    crash_lost = meta_int("crash_lost")
+    if crash_lost is not None and crash_lost != 0:
+        ok = fail(path, f"meta.crash_lost must be 0: retries must absorb "
+                        f"every kill -9 on a calm wire, got {crash_lost}")
     return ok
 
 
@@ -362,6 +444,8 @@ def main(argv):
         paths, checker = argv[2:], check_service
     elif argv[1] == "--parallel":
         paths, checker = argv[2:], check_parallel
+    elif argv[1] == "--chaos":
+        paths, checker = argv[2:], check_chaos
     elif argv[1] == "--trace":
         paths, checker = argv[2:], check_trace
     elif argv[1] == "--ckpt":
