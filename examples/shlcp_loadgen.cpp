@@ -1,34 +1,54 @@
-// shlcp_loadgen -- closed-loop load generator for shlcpd.
+// shlcp_loadgen -- load generator for shlcpd and shlcp_router.
 //
-// Drives a mixed 4-endpoint workload against a running daemon, either
-// by spawning one itself over pipes or by connecting to a socket:
+// Drives a mixed 4-endpoint workload against a running daemon, by
+// spawning one itself over pipes, or by connecting to a unix socket or
+// a TCP endpoint (a backend or the router -- both speak the same
+// framing):
 //
 //   shlcp_loadgen --spawn build/examples/shlcpd --requests 200
 //   shlcp_loadgen --socket /tmp/shlcp.sock --concurrency 16
+//   shlcp_loadgen --tcp 127.0.0.1:7400 --open-loop --rate 500
 //
 // The request stream is deterministic in --seed: request i draws from a
 // fixed generator table at index derived from (seed, i), so two runs
 // are comparable. --repeat-keys K folds the stream onto K distinct
 // request payloads, which makes the expected warm cache hit-rate
-// (K < requests) a controlled quantity -- the CI smoke job asserts
-// hit-rate > 0 this way.
+// (K < requests) a controlled quantity -- the CI smoke jobs assert
+// hit-rate this way.
 //
 // Options:
 //   --requests N         total requests (default 200)
-//   --concurrency C      max outstanding requests (default 8)
+//   --concurrency C      max outstanding requests / worker threads
+//                        (default 8)
 //   --mix M              mixed | run | check | witness | build
 //   --seed S             stream seed (default 1)
 //   --repeat-keys K      distinct payloads; 0 = all distinct (default 32)
 //   --deadline-ms D      attach this deadline to every request
 //   --allow-refused      "draining" responses are not failures
 //   --require-hit-rate X fail unless final cache hit-rate >= X
+//   --slo-p99-us X       fail unless the overall p99 latency <= X us
 //
-// Resilient mode (--retries / --chaos, --socket only): instead of one
-// pipelined connection, C worker threads each drive their own
-// service/client.h Client -- per-attempt timeouts, capped exponential
-// backoff with deterministic jitter, reconnect-on-failure, integrity
-// digests both ways -- optionally through a client-side FaultyTransport
-// chaos plan. Retry/reconnect/shed accounting is printed at the end.
+// Closed loop vs open loop. The default closed loop (send a request
+// whenever a slot frees) under-reports tail latency: when the server
+// stalls, the generator stops sending, so the stall is charged to one
+// request instead of every request that *would* have been sent --
+// coordinated omission. --open-loop fixes this: request k has the
+// scheduled send time t0 + k/rate, workers sleep until the schedule
+// (never until the server is ready), and latency is measured from the
+// *scheduled* time, so server backlog is charged to every request it
+// delays. Open-loop mode reports the corrected p99 and the achieved
+// vs offered rate; it requires --socket or --tcp.
+//
+//   --open-loop          scheduled send times (coordinated-omission safe)
+//   --rate R             open-loop offered rate, req/s (default 200)
+//
+// Resilient mode (--retries / --chaos / --open-loop; --socket or
+// --tcp): instead of one pipelined connection, C worker threads each
+// drive their own service/client.h Client -- per-attempt timeouts,
+// capped exponential backoff with deterministic jitter,
+// reconnect-on-failure, integrity digests both ways -- optionally
+// through a client-side FaultyTransport chaos plan.
+// Retry/reconnect/shed accounting is printed at the end.
 //
 //   --timeout-ms T       per-attempt response timeout (default 5000)
 //   --retries R          max attempts per request (default 1 = off)
@@ -38,10 +58,11 @@
 //                        a chaos bench failure
 //
 // Exit status: 0 iff every response was ok (or an allowed refusal) and
-// the hit-rate requirement (if any) held.
+// the hit-rate / SLO requirements (if any) held.
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,6 +71,9 @@
 #include <thread>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -120,6 +144,33 @@ Endpoint connect_socket(const char* path) {
     std::perror("connect");
     std::exit(1);
   }
+  return Endpoint{fd, fd, -1};
+}
+
+Endpoint connect_tcp(const std::string& host, int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    std::exit(1);
+  }
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "loadgen: bad TCP host '%s' (numeric IPv4 only)\n",
+                 host.c_str());
+    std::exit(1);
+  }
+  int rc;
+  do {
+    rc = connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    std::perror("connect");
+    std::exit(1);
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Endpoint{fd, fd, -1};
 }
 
@@ -227,15 +278,19 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-/// Resilient socket mode: `concurrency` threads, each driving its own
-/// Client over its own connection (requests striped across workers so
-/// the stream content matches the pipelined mode's). Returns the exit
-/// code.
-int run_resilient(const char* socket_path, std::uint64_t total,
+/// Resilient mode: `concurrency` threads, each driving its own Client
+/// over its own connection to `target` ("unix:<path>" or
+/// "tcp:<host>:<port>"; requests striped across workers so the stream
+/// content matches the pipelined mode's). In open-loop mode request i
+/// is sent at its scheduled time t0 + i/rate and latency is measured
+/// from that schedule, not the actual send -- the coordinated-omission
+/// correction. Returns the exit code.
+int run_resilient(const std::string& target, std::uint64_t total,
                   std::uint64_t concurrency, const std::string& mix,
                   std::uint64_t seed, std::uint64_t repeat_keys,
                   std::uint64_t deadline_ms, bool allow_refused,
-                  double require_hit_rate,
+                  double require_hit_rate, double slo_p99_us, bool open_loop,
+                  double rate,
                   const shlcp::svc::ClientOptions& base_options) {
   struct WorkerOut {
     std::map<std::string, OpTally> tallies;
@@ -255,15 +310,27 @@ int run_resilient(const char* socket_path, std::uint64_t total,
       options.chaos.seed = mix64(options.chaos.seed ^ (0xC4A05ULL + w));
       options.retry.seed = mix64(options.retry.seed ^ (0xBAC0FFULL + w));
       shlcp::svc::Client client(
-          shlcp::svc::Client::unix_connector(socket_path, options.chaos),
-          options);
+          shlcp::svc::Client::connector_for(target, options.chaos), options);
       for (std::uint64_t i = w; i < total; i += concurrency) {
         const std::uint64_t slot = repeat_keys == 0 ? i : i % repeat_keys;
         const std::uint64_t key_variant =
             shlcp::Rng(seed * 7919 + slot).next_u64() >> 8;
         const std::string op = pick_op(mix, key_variant);
         const Json params = make_params(op, key_variant);
-        const std::uint64_t sent_us = now_us();
+        std::uint64_t sent_us = now_us();
+        if (open_loop) {
+          // Sleep until request i's scheduled send time -- never until
+          // the server is ready -- and charge latency from the
+          // schedule, so a stall is billed to every request it delays.
+          const std::uint64_t sched_us =
+              t0 + static_cast<std::uint64_t>(static_cast<double>(i) * 1e6 /
+                                              rate);
+          if (sent_us < sched_us) {
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(sched_us - sent_us));
+          }
+          sent_us = sched_us;
+        }
         const shlcp::svc::CallResult r =
             client.call(op, params, deadline_ms);
         OpTally& tally = out.tallies[op];
@@ -324,8 +391,7 @@ int run_resilient(const char* socket_path, std::uint64_t total,
     shlcp::svc::ClientOptions options = base_options;
     options.chaos = ChaosPlan{};
     shlcp::svc::Client client(
-        shlcp::svc::Client::unix_connector(socket_path, options.chaos),
-        options);
+        shlcp::svc::Client::connector_for(target, options.chaos), options);
     const shlcp::svc::CallResult r = client.call("info", Json::object());
     if (r.ok) {
       const Json result = Json::parse(r.result_dump);
@@ -335,11 +401,14 @@ int run_resilient(const char* socket_path, std::uint64_t total,
 
   std::uint64_t errors = 0;
   std::uint64_t done = 0;
+  std::vector<std::uint64_t> overall_us;
   std::printf("%-16s %8s %8s %10s %10s\n", "op", "count", "errors", "p50_us",
               "p99_us");
   for (const auto& [op, tally] : tallies) {
     errors += tally.errors;
     done += tally.count;
+    overall_us.insert(overall_us.end(), tally.latencies_us.begin(),
+                      tally.latencies_us.end());
     std::printf("%-16s %8llu %8llu %10llu %10llu\n", op.c_str(),
                 static_cast<unsigned long long>(tally.count),
                 static_cast<unsigned long long>(tally.errors),
@@ -348,6 +417,7 @@ int run_resilient(const char* socket_path, std::uint64_t total,
                 static_cast<unsigned long long>(
                     percentile(tally.latencies_us, 0.99)));
   }
+  const std::uint64_t p99_us = percentile(overall_us, 0.99);
   std::printf(
       "total %llu requests in %.2fs (%.1f req/s), %llu errors, %llu refused, "
       "%llu lost\n",
@@ -356,6 +426,12 @@ int run_resilient(const char* socket_path, std::uint64_t total,
       static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(refused),
       static_cast<unsigned long long>(lost));
+  if (open_loop) {
+    std::printf("open-loop: offered %.1f req/s, achieved %.1f req/s\n", rate,
+                elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0);
+  }
+  std::printf("p99_us_overall=%llu\n",
+              static_cast<unsigned long long>(p99_us));
   std::printf(
       "resilience: attempts=%llu retries=%llu reconnects=%llu timeouts=%llu "
       "transport_errors=%llu digest_mismatches=%llu shed_seen=%llu "
@@ -384,6 +460,11 @@ int run_resilient(const char* socket_path, std::uint64_t total,
                  hit_rate, require_hit_rate);
     return 1;
   }
+  if (slo_p99_us >= 0 && static_cast<double>(p99_us) > slo_p99_us) {
+    std::fprintf(stderr, "loadgen: overall p99 %lluus above SLO %.0fus\n",
+                 static_cast<unsigned long long>(p99_us), slo_p99_us);
+    return 1;
+  }
   return 0;
 }
 
@@ -392,6 +473,7 @@ int run_resilient(const char* socket_path, std::uint64_t total,
 int main(int argc, char** argv) {
   const char* spawn_path = nullptr;
   const char* socket_path = nullptr;
+  std::string tcp;
   std::uint64_t total = 200;
   std::uint64_t concurrency = 8;
   std::string mix = "mixed";
@@ -400,6 +482,9 @@ int main(int argc, char** argv) {
   std::uint64_t deadline_ms = 0;
   bool allow_refused = false;
   double require_hit_rate = -1.0;
+  double slo_p99_us = -1.0;
+  bool open_loop = false;
+  double rate = 200.0;
   std::uint64_t timeout_ms = 5000;
   int retries = 1;
   std::uint64_t backoff_ms = 10;
@@ -418,6 +503,14 @@ int main(int argc, char** argv) {
       spawn_path = next();
     } else if (arg == "--socket") {
       socket_path = next();
+    } else if (arg == "--tcp") {
+      tcp = next();
+    } else if (arg == "--open-loop") {
+      open_loop = true;
+    } else if (arg == "--rate") {
+      rate = std::atof(next());
+    } else if (arg == "--slo-p99-us") {
+      slo_p99_us = std::atof(next());
     } else if (arg == "--requests") {
       total = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--concurrency") {
@@ -444,26 +537,40 @@ int main(int argc, char** argv) {
       chaos_desc = next();
     } else {
       std::fprintf(stderr,
-                   "usage: %s (--spawn SHLCPD | --socket PATH) [--requests N] "
+                   "usage: %s (--spawn SHLCPD | --socket PATH | --tcp "
+                   "[HOST:]PORT) [--requests N] "
                    "[--concurrency C] [--mix M] [--seed S] [--repeat-keys K] "
                    "[--deadline-ms D] [--allow-refused] "
-                   "[--require-hit-rate X] [--timeout-ms T] [--retries R] "
+                   "[--require-hit-rate X] [--slo-p99-us X] "
+                   "[--open-loop] [--rate R] [--timeout-ms T] [--retries R] "
                    "[--backoff-ms B] [--chaos DESC]\n",
                    argv[0]);
       return 2;
     }
   }
-  if ((spawn_path == nullptr) == (socket_path == nullptr)) {
-    std::fprintf(stderr, "%s: need exactly one of --spawn / --socket\n",
+  const int n_targets = (spawn_path != nullptr ? 1 : 0) +
+                        (socket_path != nullptr ? 1 : 0) +
+                        (tcp.empty() ? 0 : 1);
+  if (n_targets != 1) {
+    std::fprintf(stderr, "%s: need exactly one of --spawn / --socket / --tcp\n",
                  argv[0]);
+    return 2;
+  }
+  if (!tcp.empty() && tcp.find(':') == std::string::npos) {
+    tcp = "127.0.0.1:" + tcp;
+  }
+  if (open_loop && rate <= 0) {
+    std::fprintf(stderr, "%s: --rate must be positive\n", argv[0]);
     return 2;
   }
   concurrency = std::max<std::uint64_t>(1, std::min(concurrency, total));
 
-  const bool resilient = retries > 1 || !chaos_desc.empty();
+  const bool resilient = retries > 1 || !chaos_desc.empty() || open_loop;
   if (resilient) {
-    if (socket_path == nullptr) {
-      std::fprintf(stderr, "%s: --retries/--chaos need --socket\n", argv[0]);
+    if (spawn_path != nullptr) {
+      std::fprintf(stderr,
+                   "%s: --retries/--chaos/--open-loop need --socket or --tcp\n",
+                   argv[0]);
       return 2;
     }
     shlcp::svc::ClientOptions options;
@@ -480,13 +587,23 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    return run_resilient(socket_path, total, concurrency, mix, seed,
-                         repeat_keys, deadline_ms, allow_refused,
-                         require_hit_rate, options);
+    const std::string target = socket_path != nullptr
+                                   ? "unix:" + std::string(socket_path)
+                                   : "tcp:" + tcp;
+    return run_resilient(target, total, concurrency, mix, seed, repeat_keys,
+                         deadline_ms, allow_refused, require_hit_rate,
+                         slo_p99_us, open_loop, rate, options);
   }
 
-  Endpoint ep = spawn_path != nullptr ? spawn_daemon(spawn_path)
-                                      : connect_socket(socket_path);
+  Endpoint ep;
+  if (spawn_path != nullptr) {
+    ep = spawn_daemon(spawn_path);
+  } else if (socket_path != nullptr) {
+    ep = connect_socket(socket_path);
+  } else {
+    const std::size_t colon = tcp.rfind(':');
+    ep = connect_tcp(tcp.substr(0, colon), std::atoi(tcp.c_str() + colon + 1));
+  }
 
   // Closed loop: keep up to `concurrency` requests outstanding, match
   // responses by echoed id.
@@ -621,10 +738,13 @@ int main(int argc, char** argv) {
   }
 
   std::uint64_t errors = 0;
+  std::vector<std::uint64_t> overall_us;
   std::printf("%-16s %8s %8s %10s %10s\n", "op", "count", "errors", "p50_us",
               "p99_us");
   for (const auto& [op, tally] : tallies) {
     errors += tally.errors;
+    overall_us.insert(overall_us.end(), tally.latencies_us.begin(),
+                      tally.latencies_us.end());
     std::printf("%-16s %8llu %8llu %10llu %10llu\n", op.c_str(),
                 static_cast<unsigned long long>(tally.count),
                 static_cast<unsigned long long>(tally.errors),
@@ -633,6 +753,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     percentile(tally.latencies_us, 0.99)));
   }
+  const std::uint64_t p99_us = percentile(overall_us, 0.99);
   std::printf(
       "total %llu requests in %.2fs (%.1f req/s), %llu errors, %llu refused, "
       "%llu lost\n",
@@ -641,6 +762,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(refused),
       static_cast<unsigned long long>(transport_lost));
+  std::printf("p99_us_overall=%llu\n",
+              static_cast<unsigned long long>(p99_us));
   if (hit_rate >= 0) {
     std::printf("cache_hit_rate=%.4f\n", hit_rate);
   }
@@ -654,6 +777,11 @@ int main(int argc, char** argv) {
   if (require_hit_rate >= 0 && hit_rate < require_hit_rate) {
     std::fprintf(stderr, "loadgen: hit rate %.4f below required %.4f\n",
                  hit_rate, require_hit_rate);
+    return 1;
+  }
+  if (slo_p99_us >= 0 && static_cast<double>(p99_us) > slo_p99_us) {
+    std::fprintf(stderr, "loadgen: overall p99 %lluus above SLO %.0fus\n",
+                 static_cast<unsigned long long>(p99_us), slo_p99_us);
     return 1;
   }
   return 0;

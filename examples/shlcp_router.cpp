@@ -1,0 +1,144 @@
+// shlcp_router -- consistent-hash shard router for a shlcpd fleet.
+//
+// Listens on any combination of unix / TCP / HTTP (the same transports
+// and flags as shlcpd) and forwards every request to one of N shlcpd
+// backends, chosen by hashing the request's canonical artifact key
+// onto a vnode ring (src/service/router.h; DESIGN.md §15). The fleet's
+// artifact caches shard disjointly -- a key always lands on the same
+// backend -- and a dead backend's keys (only those) fail over to the
+// next replica in ring order.
+//
+//   shlcp_router --backend tcp:127.0.0.1:7401
+//                --backend tcp:127.0.0.1:7402
+//                --tcp 127.0.0.1:7400 --http 127.0.0.1:7480
+//
+// Backends are "NAME=TARGET" or bare "TARGET" where TARGET is
+// "unix:<path>" or "tcp:<host>:<port>". Naming backends keeps ring
+// placement stable when a backend's address changes. SIGINT drains the
+// router exactly like shlcpd (in-flight forwards finish; new requests
+// get "draining"; exit 0). Options beyond shlcpd's listener set:
+//
+//   --backend SPEC          repeat per backend (at least one)
+//   --vnodes N              ring points per backend (default 64)
+//   --replicas N            distinct backends tried per request (default 2)
+//   --probe-interval-ms N   down-backend reprobe interval (default 1000)
+//   --timeout-ms N          per-attempt backend timeout (default 5000)
+//   --retries N             per-backend Client attempts (default 4)
+//   --backoff-ms N          Client base backoff (default 10)
+//   --seed N                retry-jitter seed (default 0)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "service/router.h"
+#include "service/server.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --backend SPEC [--backend SPEC ...]\n"
+      "       (--socket PATH | --tcp [HOST:]PORT | --http [HOST:]PORT ...)\n"
+      "       [--port-file PATH] [--vnodes N] [--replicas N]\n"
+      "       [--probe-interval-ms N] [--timeout-ms N] [--retries N]\n"
+      "       [--backoff-ms N] [--seed N] [--threads N] [--batch N]\n"
+      "       [--queue-max N] [--inflight-max N] [--max-frame-bytes N]\n"
+      "  SPEC = [NAME=]unix:<path> | [NAME=]tcp:<host>:<port>\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using shlcp::svc::BackendSpec;
+  using shlcp::svc::Router;
+  using shlcp::svc::RouterOptions;
+  using shlcp::svc::ServerOptions;
+  using shlcp::svc::TransportSpec;
+
+  RouterOptions router_options;
+  TransportSpec transports;
+  ServerOptions options;
+  options.arm_sigint = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--backend") {
+      BackendSpec spec;
+      const char* value = next();
+      if (!BackendSpec::parse(value, &spec)) {
+        std::fprintf(stderr, "%s: malformed backend spec '%s'\n", argv[0],
+                     value);
+        return 2;
+      }
+      router_options.backends.push_back(std::move(spec));
+    } else if (arg == "--socket") {
+      transports.unix_path = next();
+    } else if (arg == "--tcp") {
+      transports.tcp = next();
+    } else if (arg == "--http") {
+      transports.http = next();
+    } else if (arg == "--port-file") {
+      transports.port_file = next();
+    } else if (arg == "--vnodes") {
+      router_options.vnodes = std::atoi(next());
+    } else if (arg == "--replicas") {
+      router_options.replica_attempts = std::atoi(next());
+    } else if (arg == "--probe-interval-ms") {
+      router_options.probe_interval_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--timeout-ms") {
+      router_options.client.timeout_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--retries") {
+      router_options.client.retry.max_attempts = std::atoi(next());
+    } else if (arg == "--backoff-ms") {
+      router_options.client.retry.base_backoff_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      router_options.client.retry.seed =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      options.num_threads = std::atoi(next());
+    } else if (arg == "--batch") {
+      options.batch_max = std::atoi(next());
+    } else if (arg == "--queue-max") {
+      options.queue_max = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--inflight-max") {
+      options.conn_inflight_max = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--max-frame-bytes") {
+      options.max_frame_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (router_options.backends.empty()) {
+    return usage(argv[0]);
+  }
+  if (transports.unix_path.empty() && transports.tcp.empty() &&
+      transports.http.empty()) {
+    return usage(argv[0]);
+  }
+
+  Router router(router_options);
+  const int alive = router.probe_all();
+  std::fprintf(stderr, "shlcp_router: %d/%zu backend(s) alive at startup\n",
+               alive, router_options.backends.size());
+  for (const auto& b : router.backend_stats()) {
+    std::fprintf(stderr, "shlcp_router:   %s -> %s [%s]\n", b.name.c_str(),
+                 b.target.c_str(), b.alive ? "up" : "down");
+  }
+
+  options.dispatcher = &router;
+  return shlcp::svc::serve_transports(transports, options);
+}

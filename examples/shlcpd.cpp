@@ -1,15 +1,28 @@
 // shlcpd -- the certification service daemon.
 //
 // Serves the shlcp.svc.v1 protocol (length-prefixed JSONL requests,
-// see src/service/proto.h) either over stdin/stdout or a unix-domain
-// socket:
+// see src/service/proto.h) over stdin/stdout, a unix-domain socket,
+// TCP, and/or an HTTP/1.1 JSON gateway (OPERATIONS.md is the operator
+// handbook):
 //
-//   shlcpd --pipe                      # tests / CI / loadgen --spawn
-//   shlcpd --socket /tmp/shlcp.sock    # long-lived daemon
+//   shlcpd --pipe                        # tests / CI / loadgen --spawn
+//   shlcpd --socket /tmp/shlcp.sock      # long-lived local daemon
+//   shlcpd --tcp 127.0.0.1:7400          # fleet backend (JSONL framing)
+//   shlcpd --http 0.0.0.0:7480           # curl-able gateway
+//
+// The stream transports combine freely (--socket + --tcp + --http is
+// one process, one Service, one artifact cache behind all three);
+// --pipe is exclusive. Port 0 binds an ephemeral port; pass
+// --port-file to have the bound endpoints published as JSON once every
+// listener is up -- that is how bench_fleet and scripts discover them.
 //
 // SIGINT drains: in-flight requests finish, queued and later requests
 // get the "draining" error, then the process exits 0. Options:
 //
+//   --tcp [HOST:]PORT    JSONL-over-TCP listener (default host
+//                        127.0.0.1; port 0 = ephemeral)
+//   --http [HOST:]PORT   HTTP/1.1 gateway (same host/port grammar)
+//   --port-file PATH     write {"unix":..,"tcp":..,"http":..} when ready
 //   --threads N          worker threads (0 = SHLCP_NUM_THREADS / auto)
 //   --batch N            max requests dispatched per batch (default 32)
 //   --queue-max N        admission queue cap; past it requests are shed
@@ -17,7 +30,7 @@
 //   --inflight-max N     per-connection in-flight cap (default 128)
 //   --cache-bytes N      artifact-cache byte budget (default 64 MiB)
 //   --cache-dir PATH     persist artifacts to PATH (default: off)
-//   --max-frame-bytes N  per-request frame cap (default 4 MiB)
+//   --max-frame-bytes N  per-request frame / HTTP body cap (default 4 MiB)
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,7 +44,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s (--pipe | --socket PATH) [--threads N] [--batch N]\n"
+      "usage: %s (--pipe | --socket PATH | --tcp [HOST:]PORT | --http\n"
+      "       [HOST:]PORT ...) [--port-file PATH] [--threads N] [--batch N]\n"
       "       [--queue-max N] [--inflight-max N]\n"
       "       [--cache-bytes N] [--cache-dir PATH] [--max-frame-bytes N]\n",
       argv0);
@@ -42,9 +56,10 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   using shlcp::svc::ServerOptions;
+  using shlcp::svc::TransportSpec;
 
   bool pipe_mode = false;
-  std::string socket_path;
+  TransportSpec transports;
   ServerOptions options;
   options.arm_sigint = true;
 
@@ -60,7 +75,13 @@ int main(int argc, char** argv) {
     if (arg == "--pipe") {
       pipe_mode = true;
     } else if (arg == "--socket") {
-      socket_path = next();
+      transports.unix_path = next();
+    } else if (arg == "--tcp") {
+      transports.tcp = next();
+    } else if (arg == "--http") {
+      transports.http = next();
+    } else if (arg == "--port-file") {
+      transports.port_file = next();
     } else if (arg == "--threads") {
       options.num_threads = std::atoi(next());
     } else if (arg == "--batch") {
@@ -80,13 +101,26 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (pipe_mode == !socket_path.empty()) {
-    return usage(argv[0]);  // exactly one transport
+  const bool stream_mode = !transports.unix_path.empty() ||
+                           !transports.tcp.empty() ||
+                           !transports.http.empty();
+  if (pipe_mode == stream_mode) {
+    return usage(argv[0]);  // pipe XOR at least one stream listener
   }
 
   if (pipe_mode) {
     return shlcp::svc::serve_pipe(options);
   }
-  std::fprintf(stderr, "shlcpd: serving on %s\n", socket_path.c_str());
-  return shlcp::svc::serve_socket(socket_path, options);
+  if (!transports.unix_path.empty()) {
+    std::fprintf(stderr, "shlcpd: serving unix %s\n",
+                 transports.unix_path.c_str());
+  }
+  if (!transports.tcp.empty()) {
+    std::fprintf(stderr, "shlcpd: serving tcp %s\n", transports.tcp.c_str());
+  }
+  if (!transports.http.empty()) {
+    std::fprintf(stderr, "shlcpd: serving http %s\n",
+                 transports.http.c_str());
+  }
+  return shlcp::svc::serve_transports(transports, options);
 }

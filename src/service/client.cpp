@@ -1,5 +1,8 @@
 #include "service/client.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -8,6 +11,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -80,6 +84,71 @@ Client::Connector Client::unix_connector(std::string path, ChaosPlan chaos) {
     }
     return std::make_unique<FaultyTransport>(fd, fd, chaos);
   };
+}
+
+Client::Connector Client::tcp_connector(std::string host, int port,
+                                        ChaosPlan chaos) {
+  return [host = std::move(host), port,
+          chaos = std::move(chaos)]() -> std::unique_ptr<FaultyTransport> {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return nullptr;
+    }
+    sockaddr_in addr = {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return nullptr;
+    }
+    int rc;
+    do {
+      rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+      ::close(fd);
+      return nullptr;
+    }
+    // Request/response protocol: never trade latency for coalescing.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::make_unique<FaultyTransport>(fd, fd, chaos);
+  };
+}
+
+Client::Connector Client::connector_for(const std::string& target,
+                                        ChaosPlan chaos) {
+  if (target.rfind("unix:", 0) == 0) {
+    const std::string path = target.substr(5);
+    if (path.empty()) {
+      return {};
+    }
+    return unix_connector(path, std::move(chaos));
+  }
+  if (target.rfind("tcp:", 0) == 0) {
+    const std::string hostport = target.substr(4);
+    const std::size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= hostport.size()) {
+      return {};
+    }
+    const std::string host = hostport.substr(0, colon);
+    const std::string port_part = hostport.substr(colon + 1);
+    if (port_part.find_first_not_of("0123456789") != std::string::npos ||
+        port_part.size() > 5) {
+      return {};
+    }
+    const int port = std::atoi(port_part.c_str());
+    if (port <= 0 || port > 65535) {
+      return {};
+    }
+    return tcp_connector(host, port, std::move(chaos));
+  }
+  if (target.empty()) {
+    return {};
+  }
+  return unix_connector(target, std::move(chaos));  // bare unix path
 }
 
 bool Client::ensure_connected() {

@@ -124,6 +124,18 @@ class Client {
   /// options.chaos to every connection it opens.
   static Connector unix_connector(std::string path, ChaosPlan chaos);
 
+  /// Connector for a TCP backend at numeric-IPv4 `host`:`port`
+  /// (TCP_NODELAY set -- the protocol is request/response).
+  static Connector tcp_connector(std::string host, int port,
+                                 ChaosPlan chaos);
+
+  /// Connector for a backend target spec: "unix:<path>" or
+  /// "tcp:<host>:<port>" (a bare path is taken as unix). Returns an
+  /// empty Connector on a malformed spec. This is the grammar
+  /// shlcp_router and shlcp_loadgen accept for backends.
+  static Connector connector_for(const std::string& target,
+                                 ChaosPlan chaos);
+
   /// One request, retried per the policy. `deadline_ms` > 0 is attached
   /// to the request (each attempt gets the full budget afresh).
   CallResult call(const std::string& op, const Json& params,

@@ -1,0 +1,484 @@
+#include "service/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "nbhd/checkpoint.h"
+#include "service/cache.h"
+#include "util/check.h"
+#include "util/format.h"
+#include "util/metrics.h"
+
+namespace shlcp::svc {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// 64-bit FNV-1a: the ring hash. Deliberately the same family as the
+/// integrity digests (nbhd/checkpoint.h) but kept raw -- ring points
+/// are compared, never printed.
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer on top of FNV-1a. Raw FNV of near-identical
+/// short strings ("b0#17" vs "b1#17") leaves the low bits correlated,
+/// which clusters a backend's vnodes into runs and can starve a
+/// backend of keys entirely (observed: 3 one-letter backends, 64
+/// vnodes each, one backend owning 0/600 keys). The finalizer
+/// decorrelates placement; balance then scales with vnodes as
+/// intended.
+std::uint64_t ring_point(std::string_view bytes) {
+  std::uint64_t x = fnv1a64(bytes);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Cap kept small: each cached Client holds one live connection to the
+/// backend; a burst past the cap just pays a reconnect.
+constexpr std::size_t kMaxIdleClients = 8;
+
+}  // namespace
+
+bool BackendSpec::parse(const std::string& arg, BackendSpec* out) {
+  std::string name;
+  std::string target = arg;
+  const std::size_t eq = arg.find('=');
+  if (eq != std::string::npos) {
+    name = arg.substr(0, eq);
+    target = arg.substr(eq + 1);
+    if (name.empty()) {
+      return false;
+    }
+  }
+  if (target.empty() || !Client::connector_for(target, ChaosPlan{})) {
+    return false;
+  }
+  out->name = name.empty() ? target : name;
+  out->target = target;
+  return true;
+}
+
+HashRing::HashRing(const std::vector<std::string>& names, int vnodes)
+    : num_backends_(static_cast<int>(names.size())) {
+  SHLCP_CHECK_MSG(!names.empty(), "hash ring needs at least one backend");
+  const int per = std::max(vnodes, 1);
+  ring_.reserve(names.size() * static_cast<std::size_t>(per));
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    for (int v = 0; v < per; ++v) {
+      ring_.emplace_back(ring_point(format("%s#%d", names[b].c_str(), v)),
+                         static_cast<int>(b));
+    }
+  }
+  // Point ties (vanishingly rare) resolve by backend index, so the
+  // ring order is deterministic for every (names, vnodes) input.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint64_t HashRing::point_of(std::string_view key) {
+  return ring_point(key);
+}
+
+std::vector<int> HashRing::preference(std::uint64_t point) const {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(num_backends_));
+  std::vector<bool> seen(static_cast<std::size_t>(num_backends_), false);
+  // Clockwise walk from the first vnode at or past `point`.
+  const auto start = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, std::numeric_limits<int>::min()));
+  const std::size_t begin =
+      static_cast<std::size_t>(start - ring_.begin()) % ring_.size();
+  for (std::size_t step = 0;
+       step < ring_.size() &&
+       order.size() < static_cast<std::size_t>(num_backends_);
+       ++step) {
+    const int b = ring_[(begin + step) % ring_.size()].second;
+    if (!seen[static_cast<std::size_t>(b)]) {
+      seen[static_cast<std::size_t>(b)] = true;
+      order.push_back(b);
+    }
+  }
+  for (int b = 0; b < num_backends_; ++b) {
+    if (!seen[static_cast<std::size_t>(b)]) {
+      order.push_back(b);
+    }
+  }
+  return order;
+}
+
+/// One backend: its spec, liveness, counters, and a pool of resilient
+/// Clients (each Client is single-threaded; concurrent router requests
+/// to the same backend each borrow their own).
+struct Router::Backend {
+  BackendSpec spec;
+  std::atomic<bool> alive{true};
+  std::atomic<std::uint64_t> down_since_ms{0};
+  std::atomic<std::uint64_t> forwarded{0};
+  std::atomic<std::uint64_t> answered{0};
+  std::atomic<std::uint64_t> rerouted{0};
+  std::mutex mu;
+  std::vector<std::unique_ptr<Client>> idle;
+
+  std::unique_ptr<Client> borrow(const ClientOptions& options) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!idle.empty()) {
+        std::unique_ptr<Client> c = std::move(idle.back());
+        idle.pop_back();
+        return c;
+      }
+    }
+    return std::make_unique<Client>(
+        Client::connector_for(spec.target, options.chaos), options);
+  }
+
+  void give_back(std::unique_ptr<Client> c) {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (idle.size() < kMaxIdleClients) {
+      idle.push_back(std::move(c));
+    }
+  }
+};
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      ring_(
+          [&] {
+            std::vector<std::string> names;
+            names.reserve(options_.backends.size());
+            for (const BackendSpec& b : options_.backends) {
+              names.push_back(b.name);
+            }
+            return names;
+          }(),
+          options_.vnodes) {
+  backends_.reserve(options_.backends.size());
+  for (const BackendSpec& spec : options_.backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->spec = spec;
+    backends_.push_back(std::move(backend));
+  }
+}
+
+Router::~Router() = default;
+
+std::string Router::handle_text(const std::string& body,
+                                std::uint64_t elapsed_ms) {
+  Json request;
+  try {
+    request = Json::parse(body);
+  } catch (const CheckError& e) {
+    metrics::counter("router.errors").inc();
+    return error_response(Json(), kErrInvalidRequest, e.what()).dump();
+  }
+  return handle(request, elapsed_ms).dump();
+}
+
+Json Router::handle(const Json& request, std::uint64_t elapsed_ms) {
+  metrics::counter("router.requests").inc();
+  const Json id = request.is_object() && request.contains("id")
+                      ? request.at("id")
+                      : Json();
+  if (draining()) {
+    metrics::counter("router.errors").inc();
+    return error_response(id, kErrDraining,
+                          "router is draining; resubmit elsewhere");
+  }
+  Request req;
+  try {
+    req = parse_request(request);
+  } catch (const CheckError& e) {
+    metrics::counter("router.errors").inc();
+    return error_response(id, kErrInvalidRequest, e.what());
+  }
+  if (req.deadline_ms > 0 && elapsed_ms > req.deadline_ms) {
+    metrics::counter("router.errors").inc();
+    return error_response(
+        id, kErrDeadline,
+        format("request waited %llu ms past its %llu ms deadline",
+               static_cast<unsigned long long>(elapsed_ms),
+               static_cast<unsigned long long>(req.deadline_ms)));
+  }
+  // Refuse a corrupted request here rather than shipping it across the
+  // fleet -- same contract as Service::handle.
+  if (!req.check.empty()) {
+    const std::string key = artifact_key(req.op, req.params);
+    if (req.check != fnv1a_hex(key)) {
+      metrics::counter("router.errors").inc();
+      return error_response(
+          req.id, kErrIntegrity,
+          format("request digest %s does not match the received payload "
+                 "(%s); the frame was corrupted in transit -- retry",
+                 req.check.c_str(), fnv1a_hex(key).c_str()));
+    }
+  }
+  // Remaining deadline budget travels to the backend.
+  if (req.deadline_ms > 0) {
+    req.deadline_ms -= elapsed_ms;
+  }
+
+  if (req.op == "info") {
+    return aggregate_info(req);
+  }
+  if (req.op == "health") {
+    return aggregate_health(req);
+  }
+  return route(req);
+}
+
+bool Router::forward(Backend& b, const Request& req, CallResult* out) {
+  std::unique_ptr<Client> client = b.borrow(options_.client);
+  *out = client->call(req.op, req.params, req.deadline_ms);
+  if (out->ok) {
+    b.alive.store(true, std::memory_order_relaxed);
+    b.give_back(std::move(client));
+    return true;
+  }
+  if (out->error_code == kErrInvalidParams ||
+      out->error_code == kErrUnknownOp || out->error_code == kErrInternal) {
+    // The backend answered; the answer is "your request is wrong" (or
+    // "I am broken in a way a sibling will be too"). Rerouting cannot
+    // fix it -- return it verbatim.
+    b.alive.store(true, std::memory_order_relaxed);
+    b.give_back(std::move(client));
+    return true;
+  }
+  // Transport death ("" code), draining, or still overloaded / past
+  // deadline after the Client's own retry budget: mark the backend
+  // down and move to the next replica. The pooled client is dropped --
+  // its connection state is suspect.
+  if (out->error_code.empty() || out->error_code == kErrDraining) {
+    b.alive.store(false, std::memory_order_relaxed);
+    b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+  }
+  return false;
+}
+
+Json Router::route(const Request& req) {
+  const std::string key = artifact_key(req.op, req.params);
+  const std::vector<int> pref = ring_.preference(HashRing::point_of(key));
+  const int max_tries =
+      std::max(1, std::min(options_.replica_attempts,
+                           static_cast<int>(pref.size())));
+  const std::uint64_t now = now_ms();
+
+  // Pass 1: backends believed alive (plus any due a reprobe). Pass 2
+  // (only if pass 1 found none to try): everyone, in ring order --
+  // better to probe a "dead" backend than to refuse outright.
+  std::vector<int> plan;
+  plan.reserve(pref.size());
+  for (const int idx : pref) {
+    Backend& b = *backends_[static_cast<std::size_t>(idx)];
+    const bool due_reprobe =
+        now - b.down_since_ms.load(std::memory_order_relaxed) >=
+        options_.probe_interval_ms;
+    if (b.alive.load(std::memory_order_relaxed) || due_reprobe) {
+      plan.push_back(idx);
+    }
+  }
+  if (plan.empty()) {
+    plan = pref;
+  }
+
+  int tried = 0;
+  CallResult last;
+  for (const int idx : plan) {
+    if (tried >= max_tries) {
+      break;
+    }
+    ++tried;
+    Backend& b = *backends_[static_cast<std::size_t>(idx)];
+    b.forwarded.fetch_add(1, std::memory_order_relaxed);
+    if (forward(b, req, &last)) {
+      b.answered.fetch_add(1, std::memory_order_relaxed);
+      Json response = last.response;
+      response["id"] = req.id;  // restore the caller's id; result bytes
+                                // and digest pass through untouched
+      return response;
+    }
+    b.rerouted.fetch_add(1, std::memory_order_relaxed);
+    metrics::counter("router.reroutes").inc();
+  }
+
+  metrics::counter("router.errors").inc();
+  const std::string detail =
+      last.error_code.empty()
+          ? std::string("unreachable")
+          : format("last error '%s': %s", last.error_code.c_str(),
+                   last.error_detail.c_str());
+  return error_response(
+      req.id, kErrOverloaded,
+      format("no backend answered after %d replica attempt(s); %s", tried,
+             detail.c_str()),
+      "", 50);
+}
+
+Json Router::aggregate_info(const Request& req) {
+  std::vector<std::pair<int, Json>> results;  // backend index, result
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend& b = *backends_[i];
+    std::unique_ptr<Client> client = b.borrow(options_.client);
+    CallResult r = client->call(req.op, req.params, req.deadline_ms);
+    if (r.ok) {
+      b.alive.store(true, std::memory_order_relaxed);
+      b.give_back(std::move(client));
+      results.emplace_back(static_cast<int>(i),
+                           r.response.at("result"));
+    } else {
+      b.alive.store(false, std::memory_order_relaxed);
+      b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+    }
+  }
+  if (results.empty()) {
+    metrics::counter("router.errors").inc();
+    return error_response(req.id, kErrOverloaded,
+                          "no backend reachable for info", "", 50);
+  }
+
+  // Fleet view: registry members from the first healthy backend (they
+  // are identical across the fleet), cache counters summed, hit_rate
+  // recomputed from the sums.
+  const Json& first = results.front().second;
+  Json result = Json::object();
+  result["schema"] = first.at("schema");
+  result["ops"] = first.at("ops");
+  result["lcps"] = first.at("lcps");
+  result["instances"] = first.at("instances");
+  result["draining"] = draining();
+  Json& cache = (result["cache"] = Json::object());
+  static constexpr const char* kSummed[] = {
+      "hits",  "disk_hits", "misses", "evictions",
+      "store_failures", "bytes", "entries"};
+  std::uint64_t hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  for (const char* field : kSummed) {
+    std::uint64_t total = 0;
+    for (const auto& [idx, r] : results) {
+      total += r.at("cache").at(field).as_uint();
+    }
+    cache[field] = total;
+    if (std::string_view(field) == "hits") hits = total;
+    if (std::string_view(field) == "disk_hits") disk_hits = total;
+    if (std::string_view(field) == "misses") misses = total;
+  }
+  const std::uint64_t lookups = hits + disk_hits + misses;
+  cache["hit_rate"] = lookups == 0 ? 0.0
+                                   : static_cast<double>(hits + disk_hits) /
+                                         static_cast<double>(lookups);
+
+  Json& router = (result["router"] = Json::object());
+  router["backends"] = static_cast<std::uint64_t>(backends_.size());
+  router["reachable"] = static_cast<std::uint64_t>(results.size());
+  return ok_response(req.id, std::move(result), /*cached=*/false, "");
+}
+
+Json Router::aggregate_health(const Request& req) {
+  Json result = Json::object();
+  result["schema"] = kWireSchema;
+  result["draining"] = draining();
+  Json& queue = (result["queue"] = Json::object());
+  const HealthState* health = health_.load(std::memory_order_acquire);
+  queue["depth"] =
+      health != nullptr
+          ? health->queue_depth.load(std::memory_order_relaxed)
+          : 0;
+  queue["max"] = health != nullptr
+                     ? health->queue_max.load(std::memory_order_relaxed)
+                     : 0;
+  queue["admitted"] =
+      health != nullptr
+          ? health->admitted_total.load(std::memory_order_relaxed)
+          : 0;
+  queue["shed"] = health != nullptr
+                      ? health->shed_total.load(std::memory_order_relaxed)
+                      : 0;
+
+  Json& fleet = (result["backends"] = Json::array());
+  for (std::size_t i = 0; i < backends_.size(); ++i) {
+    Backend& b = *backends_[i];
+    Json entry = Json::object();
+    entry["name"] = b.spec.name;
+    entry["target"] = b.spec.target;
+    std::unique_ptr<Client> client = b.borrow(options_.client);
+    CallResult r = client->call(req.op, req.params, req.deadline_ms);
+    if (r.ok) {
+      b.alive.store(true, std::memory_order_relaxed);
+      b.give_back(std::move(client));
+      entry["alive"] = true;
+      entry["health"] = r.response.at("result");
+    } else {
+      b.alive.store(false, std::memory_order_relaxed);
+      b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+      entry["alive"] = false;
+    }
+    entry["forwarded"] = b.forwarded.load(std::memory_order_relaxed);
+    entry["answered"] = b.answered.load(std::memory_order_relaxed);
+    entry["rerouted"] = b.rerouted.load(std::memory_order_relaxed);
+    fleet.push_back(std::move(entry));
+  }
+  return ok_response(req.id, std::move(result), /*cached=*/false, "");
+}
+
+int Router::probe_all() {
+  Request probe;
+  probe.op = "health";
+  probe.params = Json::object();
+  int alive = 0;
+  for (const auto& backend : backends_) {
+    CallResult r;
+    Backend& b = *backend;
+    std::unique_ptr<Client> client = b.borrow(options_.client);
+    r = client->call("health", Json::object());
+    if (r.ok) {
+      b.alive.store(true, std::memory_order_relaxed);
+      b.give_back(std::move(client));
+      ++alive;
+    } else {
+      b.alive.store(false, std::memory_order_relaxed);
+      b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+    }
+  }
+  return alive;
+}
+
+std::vector<RouterBackendStats> Router::backend_stats() const {
+  std::vector<RouterBackendStats> out;
+  out.reserve(backends_.size());
+  for (const auto& backend : backends_) {
+    RouterBackendStats s;
+    s.name = backend->spec.name;
+    s.target = backend->spec.target;
+    s.alive = backend->alive.load(std::memory_order_relaxed);
+    s.forwarded = backend->forwarded.load(std::memory_order_relaxed);
+    s.answered = backend->answered.load(std::memory_order_relaxed);
+    s.rerouted = backend->rerouted.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<int> Router::preference_for(const std::string& op,
+                                        const Json& params) const {
+  return ring_.preference(HashRing::point_of(artifact_key(op, params)));
+}
+
+}  // namespace shlcp::svc

@@ -1,0 +1,167 @@
+// Consistent-hash shard router over a fleet of shlcpd backends.
+//
+// Router is a Dispatcher (service.h), so it sits behind the exact
+// transport loops shlcpd uses -- shlcp_router is shlcpd with a Router
+// where the Service would be. Each forwarded request keys on
+// artifact_key(op, params), the same canonical string the backends key
+// their artifact caches on, hashed onto a ring of vnodes (DESIGN.md
+// §15). Two consequences, both load-bearing:
+//
+//   Disjoint cache sharding. A given (op, params) always lands on the
+//   same backend, so the fleet's caches partition the key space: N
+//   backends hold N caches' worth of artifacts with zero duplicate
+//   computes. bench_fleet verifies this by construction (sum of
+//   per-backend cache misses == number of distinct keys sent).
+//
+//   Rebalance-on-death. The ring is never rebuilt; a dead backend is
+//   skipped along each key's ring preference order. Keys owned by
+//   live backends keep their owner (their caches stay warm), and only
+//   the dead backend's keys move -- to the next vnode successor, which
+//   recomputes (or re-caches) them. When the backend returns, its keys
+//   return with it.
+//
+// Forwarding uses the resilient Client (client.h): per-attempt
+// timeouts, capped backoff, reconnects, end-to-end integrity digests.
+// On top of that the router retries *across replicas*: a backend that
+// is unreachable, draining, or still overloaded after the Client's own
+// retry budget gets marked down and the request moves to the next
+// distinct backend in ring order (bounded by replica_attempts).
+// Because backends key their caches identically and ops are pure, a
+// rerouted request is idempotent -- the worst case is one duplicate
+// compute on the fallback replica, never a wrong answer. Backend
+// errors that name a caller bug (invalid_params, unknown_op, internal)
+// are returned verbatim; rerouting cannot fix those.
+//
+// A backend marked down is reprobed lazily: after probe_interval_ms it
+// gets one live request again (plus explicit probe_all() sweeps, which
+// shlcp_router runs at startup). `info` and `health` fan out to every
+// backend and aggregate, so one curl of the router answers for the
+// fleet.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/client.h"
+#include "service/service.h"
+
+namespace shlcp::svc {
+
+/// One backend of the fleet.
+struct BackendSpec {
+  std::string name;    // ring identity (stable across restarts)
+  std::string target;  // "unix:<path>" or "tcp:<host>:<port>"
+
+  /// Parses "NAME=TARGET" or bare "TARGET" (name defaults to target).
+  /// Returns false on a malformed spec (empty name/target or a target
+  /// connector_for rejects).
+  static bool parse(const std::string& arg, BackendSpec* out);
+};
+
+/// The consistent-hash ring: `vnodes` points per backend, placed at
+/// mix64(fnv1a64(name + "#" + i)) -- the splitmix64 finalizer keeps
+/// near-identical vnode names from clustering. Key lookup walks
+/// clockwise from
+/// point_of(key); the preference order is the sequence of *distinct*
+/// backends encountered, extended to cover every backend.
+class HashRing {
+ public:
+  HashRing(const std::vector<std::string>& names, int vnodes);
+
+  /// Where a canonical request key lands on the ring.
+  [[nodiscard]] static std::uint64_t point_of(std::string_view key);
+
+  /// Backend indexes in failover order for a key at `point`: the
+  /// owner first, then each successor backend once, then any backend
+  /// with no vnode on the walk. Size == backend count, each index
+  /// exactly once.
+  [[nodiscard]] std::vector<int> preference(std::uint64_t point) const;
+
+  [[nodiscard]] int backends() const { return num_backends_; }
+
+ private:
+  std::vector<std::pair<std::uint64_t, int>> ring_;  // sorted points
+  int num_backends_;
+};
+
+struct RouterOptions {
+  std::vector<BackendSpec> backends;
+  /// Vnodes per backend. More = smoother key balance, larger ring.
+  int vnodes = 64;
+  /// Per-backend Client discipline (timeouts, retry/backoff, chaos,
+  /// digest verification). retry.seed seeds the deterministic jitter.
+  ClientOptions client;
+  /// Distinct backends tried per request before giving up with
+  /// "overloaded" (1 = no failover).
+  int replica_attempts = 2;
+  /// How long a backend marked down stays skipped before a live
+  /// request reprobes it.
+  std::uint64_t probe_interval_ms = 1000;
+};
+
+/// Live per-backend counters (snapshot via Router::backend_stats).
+struct RouterBackendStats {
+  std::string name;
+  std::string target;
+  bool alive = true;
+  std::uint64_t forwarded = 0;  // requests attempted on this backend
+  std::uint64_t answered = 0;   // ok or verbatim backend error
+  std::uint64_t rerouted = 0;   // moved on to the next replica
+};
+
+class Router : public Dispatcher {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router() override;
+
+  std::string handle_text(const std::string& body,
+                          std::uint64_t elapsed_ms) override;
+  Json handle(const Json& request, std::uint64_t elapsed_ms = 0);
+
+  void begin_drain() override {
+    draining_.store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool draining() const override {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  void attach_health(const HealthState* health) override {
+    health_.store(health, std::memory_order_release);
+  }
+
+  /// Probes every backend with a short `health` call; marks each
+  /// up/down accordingly. Returns the number alive.
+  int probe_all();
+
+  [[nodiscard]] std::vector<RouterBackendStats> backend_stats() const;
+
+  /// The ring's backend preference order for one request's canonical
+  /// key -- exposed so tests and bench_fleet can verify ownership
+  /// without re-deriving the hash.
+  [[nodiscard]] std::vector<int> preference_for(
+      const std::string& op, const Json& params) const;
+
+ private:
+  struct Backend;
+
+  /// One forwarding attempt on backend b. Returns true when `out` is
+  /// the final answer (ok or verbatim error); false = move to the next
+  /// replica.
+  bool forward(Backend& b, const Request& req, CallResult* out);
+  Json route(const Request& req);
+  Json aggregate_info(const Request& req);
+  Json aggregate_health(const Request& req);
+
+  RouterOptions options_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::atomic<bool> draining_{false};
+  std::atomic<const HealthState*> health_{nullptr};
+};
+
+}  // namespace shlcp::svc

@@ -1,22 +1,22 @@
 #include "service/server.h"
 
-#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
-#include <cstring>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
-#include <fcntl.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
-#include "util/check.h"
-#include "util/format.h"
+#include "service/http.h"
+#include "service/netloop.h"
 #include "util/metrics.h"
 #include "util/parallel.h"
 
@@ -24,26 +24,7 @@ namespace shlcp::svc {
 
 namespace {
 
-/// Poll timeout: how stale the CancelToken check may get. The SIGINT
-/// handler is installed with signal() (SA_RESTART on glibc), so the
-/// token -- never an interrupted syscall -- is the wake-up signal.
 constexpr int kPollTimeoutMs = 100;
-
-/// Per-connection cap on buffered-but-unsent response bytes. A client
-/// that stops reading gets its connection closed instead of growing
-/// the buffer (and stalling nothing else -- sockets are non-blocking).
-constexpr std::size_t kMaxConnWriteBufferBytes = 64u << 20;
-
-/// Grace window after drain for flushing buffered responses to slow
-/// readers before the sockets are torn down.
-constexpr std::uint64_t kDrainFlushMs = 2000;
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) {
-    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  }
-}
 
 std::uint64_t now_ms() {
   return static_cast<std::uint64_t>(
@@ -66,150 +47,23 @@ bool write_all(int fd, std::string_view data) {
   return true;
 }
 
-/// One admitted request awaiting dispatch.
-struct PendingRequest {
-  std::string body;
-  std::uint64_t admit_ms = 0;
-  int conn = -1;  // socket mode: owning connection index
-};
-
-/// Admission policy shared by both transport loops.
-struct Admission {
-  std::size_t queue_max = 0;          // 0 = unbounded
-  std::size_t conn_inflight_max = 0;  // 0 = unbounded
-  int batch_max = 32;
-  HealthState* health = nullptr;
-};
-
-/// Backpressure hint for a shed frame: roughly how long the backlog
-/// ahead needs to dispatch, assuming ~10 ms per batch, capped so a
-/// wildly overloaded server never tells clients to sleep forever.
-std::int64_t retry_after_hint_ms(std::size_t depth, int batch_max) {
-  const std::size_t batches =
-      depth / static_cast<std::size_t>(std::max(batch_max, 1)) + 1;
-  return static_cast<std::int64_t>(std::min<std::size_t>(batches * 10, 1000));
-}
-
-/// Builds the "overloaded" refusal for a frame that was never admitted.
-/// The body is parsed only to salvage the request id (the response must
-/// be matchable client-side); a frame too corrupt to parse is shed with
-/// a null id.
-std::string shed_response(const std::string& body, std::string_view what,
-                          std::size_t depth, int batch_max) {
-  Json id;
-  try {
-    const Json req = Json::parse(body);
-    if (req.is_object() && req.contains("id")) {
-      id = req.at("id");
-    }
-  } catch (const CheckError&) {
-  }
-  metrics::counter("service.shed").inc();
-  return error_response(id, kErrOverloaded, what, "",
-                        retry_after_hint_ms(depth, batch_max))
-      .dump();
-}
-
-/// Dispatches up to batch_max queued requests across the pool and
-/// returns the responses in queue order (paired with their Pending).
-std::vector<std::pair<PendingRequest, std::string>> dispatch_batch(
-    Service& service, WorkerPool& pool, std::deque<PendingRequest>& queue,
-    int batch_max, HealthState* health) {
-  const std::size_t count =
-      std::min(queue.size(), static_cast<std::size_t>(batch_max));
-  std::vector<PendingRequest> batch;
-  batch.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    batch.push_back(std::move(queue.front()));
-    queue.pop_front();
-  }
-  metrics::histogram("service.batch.size", metrics::HistogramLayout::count())
-      .record(count);
-  metrics::gauge("service.queue.depth")
-      .set(static_cast<std::int64_t>(queue.size()));
-  if (health != nullptr) {
-    health->queue_depth.store(queue.size(), std::memory_order_relaxed);
-  }
-
-  const std::uint64_t dispatch_ms = now_ms();
-  std::vector<std::string> responses(count);
-  const auto run_one = [&](std::size_t i) {
-    const std::uint64_t elapsed = dispatch_ms > batch[i].admit_ms
-                                      ? dispatch_ms - batch[i].admit_ms
-                                      : 0;
-    responses[i] = service.handle_text(batch[i].body, elapsed);
-  };
-  if (count == 1) {
-    run_one(0);
-  } else {
-    pool.parallel_for_chunks(count, 1,
-                             [&](std::size_t, std::size_t begin,
-                                 std::size_t end) {
-                               for (std::size_t i = begin; i < end; ++i) {
-                                 run_one(i);
-                               }
-                             });
-  }
-
-  std::vector<std::pair<PendingRequest, std::string>> out;
-  out.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    out.emplace_back(std::move(batch[i]), std::move(responses[i]));
-  }
-  return out;
-}
-
 /// Drains a FrameReader into the queue, applying admission control.
-/// Frames past the global queue cap or the connection's in-flight cap
-/// are shed: their "overloaded" refusal is appended to `error_out`
-/// (flushed to the same connection) and the stream stays healthy.
-/// `conn_inflight` counts this connection's admitted-but-unanswered
-/// requests; the dispatch loop decrements it per response. Returns
-/// false on a protocol error, with the bad_frame response already
-/// appended to `error_out` (the stream is then unrecoverable).
+/// Shed refusals and the terminal bad_frame response are appended to
+/// `error_out` as response *bodies* (the caller frames them). Returns
+/// false on a protocol error -- the stream is then unrecoverable.
 bool extract_frames(FrameReader& reader, std::deque<PendingRequest>& queue,
-                    int conn, std::size_t* conn_inflight,
-                    const Admission& admission,
+                    std::size_t* conn_inflight, const Admission& admission,
                     std::vector<std::string>* error_out) {
   std::string frame;
   std::string error;
   while (true) {
     switch (reader.next(&frame, &error)) {
       case FrameReader::Next::kFrame: {
-        if (admission.queue_max > 0 && queue.size() >= admission.queue_max) {
-          if (admission.health != nullptr) {
-            admission.health->shed_total.fetch_add(1,
-                                                   std::memory_order_relaxed);
-          }
-          error_out->push_back(shed_response(
-              frame,
-              format("admission queue full (%zu queued); back off and retry",
-                     queue.size()),
-              queue.size(), admission.batch_max));
-        } else if (admission.conn_inflight_max > 0 &&
-                   conn_inflight != nullptr &&
-                   *conn_inflight >= admission.conn_inflight_max) {
-          if (admission.health != nullptr) {
-            admission.health->shed_total.fetch_add(1,
-                                                   std::memory_order_relaxed);
-          }
-          error_out->push_back(shed_response(
-              frame,
-              format("connection in-flight cap (%zu) reached; await "
-                     "responses before pipelining more",
-                     admission.conn_inflight_max),
-              queue.size(), admission.batch_max));
-        } else {
-          queue.push_back(PendingRequest{std::move(frame), now_ms(), conn});
-          if (conn_inflight != nullptr) {
-            ++*conn_inflight;
-          }
-          if (admission.health != nullptr) {
-            admission.health->admitted_total.fetch_add(
-                1, std::memory_order_relaxed);
-            admission.health->queue_depth.store(queue.size(),
-                                                std::memory_order_relaxed);
-          }
+        std::string refusal = admit_request(
+            queue, PendingRequest{std::move(frame), now_ms(), -1, 0, false},
+            conn_inflight, admission);
+        if (!refusal.empty()) {
+          error_out->push_back(std::move(refusal));
         }
         frame.clear();
         break;
@@ -225,18 +79,81 @@ bool extract_frames(FrameReader& reader, std::deque<PendingRequest>& queue,
   }
 }
 
+/// JSONL framing over a stream connection: requests and responses are
+/// matched by their "id" member, so tags carry nothing and responses
+/// never force a close. A framing error emits one canned bad_frame
+/// frame and ends the stream.
+class JsonlProtocol final : public ConnProtocol {
+ public:
+  explicit JsonlProtocol(std::size_t max_frame_bytes)
+      : reader_(max_frame_bytes) {}
+
+  void on_bytes(std::string_view data, Output* out) override {
+    if (reader_.failed()) {
+      return;  // stream already condemned; drop trailing bytes
+    }
+    reader_.feed(data);
+    std::string frame;
+    std::string error;
+    while (true) {
+      switch (reader_.next(&frame, &error)) {
+        case FrameReader::Next::kFrame:
+          out->requests.push_back(Inbound{std::move(frame), 0, false});
+          frame.clear();
+          break;
+        case FrameReader::Next::kNeedMore:
+          return;
+        case FrameReader::Next::kError:
+          out->requests.push_back(Inbound{
+              encode_frame(
+                  error_response(Json(), kErrBadFrame, error).dump()),
+              0, true});
+          out->close = true;
+          return;
+      }
+    }
+  }
+
+  std::string encode_response(std::uint64_t /*tag*/,
+                              const std::string& response,
+                              bool* /*close_after*/) override {
+    return encode_frame(response);
+  }
+
+  std::string encode_shed(const Inbound& /*req*/,
+                          const std::string& refusal_body,
+                          bool* /*close_after*/) override {
+    return encode_frame(refusal_body);
+  }
+
+ private:
+  FrameReader reader_;
+};
+
+std::unique_ptr<ConnProtocol> make_jsonl(std::size_t max_frame_bytes) {
+  return std::make_unique<JsonlProtocol>(max_frame_bytes);
+}
+
 }  // namespace
 
 int serve_pipe(const ServerOptions& options) {
   ::signal(SIGPIPE, SIG_IGN);
-  Service service(options.service);
-  HealthState health;
-  health.queue_max.store(options.queue_max, std::memory_order_relaxed);
-  service.attach_health(&health);
+  std::unique_ptr<Service> owned_service;
+  Dispatcher* dispatcher = options.dispatcher;
+  if (dispatcher == nullptr) {
+    owned_service = std::make_unique<Service>(options.service);
+    dispatcher = owned_service.get();
+  }
+  HealthState owned_health;
+  HealthState* health =
+      options.health != nullptr ? options.health : &owned_health;
+  health->queue_max.store(options.queue_max, std::memory_order_relaxed);
+  dispatcher->attach_health(health);
   const Admission admission{options.queue_max, options.conn_inflight_max,
-                            options.batch_max, &health};
+                            options.batch_max, health};
   CancelToken local_token;
-  CancelToken* cancel = options.cancel != nullptr ? options.cancel : &local_token;
+  CancelToken* cancel =
+      options.cancel != nullptr ? options.cancel : &local_token;
   std::optional<SigintGuard> sigint;
   if (options.arm_sigint) {
     sigint.emplace(*cancel);
@@ -249,14 +166,15 @@ int serve_pipe(const ServerOptions& options) {
   bool broken = false;  // framing lost
 
   while (true) {
-    if (cancel->stop_requested() && !service.draining()) {
-      service.begin_drain();
+    if (cancel->stop_requested() && !dispatcher->draining()) {
+      dispatcher->begin_drain();
     }
-    // Flush the queue first: once draining, Service answers everything
-    // still queued with the "draining" error, so this terminates.
+    // Flush the queue first: once draining, the dispatcher answers
+    // everything still queued with the "draining" error, so this
+    // terminates.
     while (!queue.empty()) {
-      for (auto& [req, response] :
-           dispatch_batch(service, pool, queue, options.batch_max, &health)) {
+      for (auto& [req, response] : dispatch_batch(
+               *dispatcher, pool, queue, options.batch_max, health)) {
         if (inflight > 0) {
           --inflight;
         }
@@ -264,11 +182,11 @@ int serve_pipe(const ServerOptions& options) {
           return 1;
         }
       }
-      if (cancel->stop_requested() && !service.draining()) {
-        service.begin_drain();
+      if (cancel->stop_requested() && !dispatcher->draining()) {
+        dispatcher->begin_drain();
       }
     }
-    if (eof || broken || service.draining()) {
+    if (eof || broken || dispatcher->draining()) {
       break;
     }
 
@@ -289,7 +207,7 @@ int serve_pipe(const ServerOptions& options) {
       if (n > 0) {
         reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
         std::vector<std::string> frame_errors;
-        if (!extract_frames(reader, queue, -1, &inflight, admission,
+        if (!extract_frames(reader, queue, &inflight, admission,
                             &frame_errors)) {
           broken = true;
         }
@@ -311,262 +229,159 @@ int serve_pipe(const ServerOptions& options) {
 }
 
 int serve_socket(const std::string& path, const ServerOptions& options) {
-  ::signal(SIGPIPE, SIG_IGN);
-  SHLCP_CHECK_MSG(path.size() < sizeof(sockaddr_un{}.sun_path),
-                  "socket path too long");
-  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listen_fd < 0) {
+  return serve_stream(listen_unix(path), options, make_jsonl);
+}
+
+int serve_tcp(const std::string& host, int port,
+              const ServerOptions& options) {
+  int bound = 0;
+  StreamListener listener = listen_tcp(host, port, &bound);
+  if (listener.fd >= 0 && options.bound_port != nullptr) {
+    options.bound_port->store(bound, std::memory_order_release);
+  }
+  return serve_stream(std::move(listener), options, make_jsonl);
+}
+
+bool parse_hostport(const std::string& spec, std::string* host, int* port) {
+  std::string host_part = "127.0.0.1";
+  std::string port_part = spec;
+  const std::size_t colon = spec.rfind(':');
+  if (colon != std::string::npos) {
+    host_part = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  if (host_part.empty() || port_part.empty() ||
+      port_part.find_first_not_of("0123456789") != std::string::npos ||
+      port_part.size() > 5) {
+    return false;
+  }
+  const long value = std::strtol(port_part.c_str(), nullptr, 10);
+  if (value < 0 || value > 65535) {
+    return false;
+  }
+  *host = host_part;
+  *port = static_cast<int>(value);
+  return true;
+}
+
+int serve_transports(const TransportSpec& spec,
+                     const ServerOptions& options_in) {
+  if (spec.unix_path.empty() && spec.tcp.empty() && spec.http.empty()) {
     return 1;
   }
-  ::unlink(path.c_str());
-  sockaddr_un addr = {};
-  addr.sun_family = AF_UNIX;
-  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0 ||
-      ::listen(listen_fd, 64) != 0) {
-    ::close(listen_fd);
+  std::string tcp_host;
+  int tcp_port = 0;
+  if (!spec.tcp.empty() && !parse_hostport(spec.tcp, &tcp_host, &tcp_port)) {
+    return 1;
+  }
+  std::string http_host;
+  int http_port = 0;
+  if (!spec.http.empty() &&
+      !parse_hostport(spec.http, &http_host, &http_port)) {
     return 1;
   }
 
-  Service service(options.service);
-  HealthState health;
-  health.queue_max.store(options.queue_max, std::memory_order_relaxed);
-  service.attach_health(&health);
-  const Admission admission{options.queue_max, options.conn_inflight_max,
-                            options.batch_max, &health};
-  CancelToken local_token;
-  CancelToken* cancel = options.cancel != nullptr ? options.cancel : &local_token;
+  // One dispatcher / health / cancel behind every listener: the caches
+  // and drain state are shared, and a single SIGINT drains the fleet
+  // of loops together.
+  ServerOptions options = options_in;
+  std::unique_ptr<Service> owned_service;
+  if (options.dispatcher == nullptr) {
+    owned_service = std::make_unique<Service>(options.service);
+    options.dispatcher = owned_service.get();
+  }
+  HealthState owned_health;
+  if (options.health == nullptr) {
+    options.health = &owned_health;
+  }
+  options.health->queue_max.store(options.queue_max,
+                                  std::memory_order_relaxed);
+  options.dispatcher->attach_health(options.health);
+  CancelToken owned_cancel;
+  if (options.cancel == nullptr) {
+    options.cancel = &owned_cancel;
+  }
   std::optional<SigintGuard> sigint;
   if (options.arm_sigint) {
-    sigint.emplace(*cancel);
-  }
-  WorkerPool pool(resolve_num_threads(options.num_threads));
-
-  struct Connection {
-    int fd = -1;
-    FrameReader reader;
-    bool broken = false;
-    std::size_t inflight = 0;  // admitted frames not yet answered
-    std::string outbuf;       // responses not yet accepted by the kernel
-    std::size_t outpos = 0;   // consumed prefix of outbuf
-
-    explicit Connection(int f, std::size_t max_frame)
-        : fd(f), reader(max_frame) {}
-
-    [[nodiscard]] std::size_t pending_out() const {
-      return outbuf.size() - outpos;
-    }
-  };
-  std::vector<Connection> conns;
-  std::deque<PendingRequest> queue;
-  bool accepting = true;
-
-  const auto close_conn = [&](Connection& c) {
-    if (c.fd >= 0) {
-      ::close(c.fd);
-      c.fd = -1;
-    }
-    c.outbuf.clear();
-    c.outpos = 0;
-  };
-
-  // Writes as much of c.outbuf as the (non-blocking) socket accepts.
-  // Returns false if the connection died. A full socket buffer is not
-  // an error: the remainder stays queued and the poll loop watches
-  // POLLOUT -- one slow reader must never stall dispatch for the rest.
-  const auto flush_conn = [&](Connection& c) -> bool {
-    while (c.outpos < c.outbuf.size()) {
-      // MSG_NOSIGNAL: a client that vanished mid-response must produce
-      // EPIPE (slot reclaimed below), never a process-killing SIGPIPE
-      // -- belt to the SIG_IGN suspenders above.
-      const ssize_t n = ::send(c.fd, c.outbuf.data() + c.outpos,
-                               c.outbuf.size() - c.outpos, MSG_NOSIGNAL);
-      if (n > 0) {
-        c.outpos += static_cast<std::size_t>(n);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return true;
-      }
-      close_conn(c);
-      return false;
-    }
-    c.outbuf.clear();
-    c.outpos = 0;
-    return true;
-  };
-
-  const auto send_conn = [&](Connection& c, std::string_view frame) {
-    if (c.fd < 0) {
-      return;
-    }
-    c.outbuf.append(frame.data(), frame.size());
-    if (flush_conn(c) && c.pending_out() > kMaxConnWriteBufferBytes) {
-      close_conn(c);  // reader has stalled; do not buffer unboundedly
-    }
-  };
-
-  while (true) {
-    if (cancel->stop_requested() && !service.draining()) {
-      service.begin_drain();
-      if (accepting) {
-        accepting = false;
-        ::close(listen_fd);
-        ::unlink(path.c_str());
-      }
-    }
-    while (!queue.empty()) {
-      for (auto& [req, response] :
-           dispatch_batch(service, pool, queue, options.batch_max, &health)) {
-        if (req.conn >= 0 && req.conn < static_cast<int>(conns.size())) {
-          Connection& owner = conns[static_cast<std::size_t>(req.conn)];
-          if (owner.inflight > 0) {
-            --owner.inflight;
-          }
-          if (owner.fd >= 0) {
-            send_conn(owner, encode_frame(response));
-          }
-        }
-      }
-      if (cancel->stop_requested() && !service.draining()) {
-        service.begin_drain();
-        if (accepting) {
-          accepting = false;
-          ::close(listen_fd);
-          ::unlink(path.c_str());
-        }
-      }
-    }
-    if (service.draining()) {
-      break;  // queue flushed above; refuse everything else
-    }
-
-    // The queue is empty here, so no PendingRequest.conn index is
-    // live: reclaim the slots (and FrameReader buffers) of closed
-    // connections instead of scanning them forever.
-    conns.erase(std::remove_if(conns.begin(), conns.end(),
-                               [](const Connection& c) { return c.fd < 0; }),
-                conns.end());
-
-    std::vector<pollfd> pfds;
-    std::vector<int> conn_of_pfd;  // -1 = the listener
-    if (accepting) {
-      pfds.push_back({listen_fd, POLLIN, 0});
-      conn_of_pfd.push_back(-1);
-    }
-    for (std::size_t i = 0; i < conns.size(); ++i) {
-      if (conns[i].fd >= 0) {
-        // A broken (framing-lost) connection only lingers to flush its
-        // bad_frame response; it is never read again.
-        const short events = static_cast<short>(
-            (conns[i].broken ? 0 : POLLIN) |
-            (conns[i].pending_out() > 0 ? POLLOUT : 0));
-        pfds.push_back({conns[i].fd, events, 0});
-        conn_of_pfd.push_back(static_cast<int>(i));
-      }
-    }
-    const int rc = ::poll(pfds.data(), pfds.size(), kPollTimeoutMs);
-    if (rc < 0 && errno != EINTR) {
-      break;
-    }
-    if (rc <= 0) {
-      continue;
-    }
-
-    for (std::size_t pi = 0; pi < pfds.size(); ++pi) {
-      if (conn_of_pfd[pi] < 0) {
-        if ((pfds[pi].revents & POLLIN) != 0) {
-          const int client = ::accept(listen_fd, nullptr, nullptr);
-          if (client >= 0) {
-            set_nonblocking(client);
-            conns.emplace_back(client, options.max_frame_bytes);
-          }
-        }
-        continue;
-      }
-      const int conn_index = conn_of_pfd[pi];
-      Connection& c = conns[static_cast<std::size_t>(conn_index)];
-      if ((pfds[pi].revents & (POLLERR | POLLNVAL)) != 0) {
-        close_conn(c);  // a dead fd must not busy-spin the poll loop
-        continue;
-      }
-      if ((pfds[pi].revents & POLLOUT) != 0 && !flush_conn(c)) {
-        continue;
-      }
-      if (c.broken) {
-        // Close once the bad_frame response is out (or the peer left).
-        if (c.pending_out() == 0 || (pfds[pi].revents & POLLHUP) != 0) {
-          close_conn(c);
-        }
-        continue;
-      }
-      if ((pfds[pi].revents & (POLLIN | POLLHUP)) == 0) {
-        continue;
-      }
-      char buf[64 << 10];
-      const ssize_t n = ::read(c.fd, buf, sizeof buf);
-      if (n > 0) {
-        c.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
-        std::vector<std::string> frame_errors;
-        if (!extract_frames(c.reader, queue, conn_index, &c.inflight,
-                            admission, &frame_errors)) {
-          c.broken = true;
-        }
-        for (const std::string& e : frame_errors) {
-          send_conn(c, encode_frame(e));
-        }
-        if (c.broken && c.pending_out() == 0) {
-          close_conn(c);  // response delivered; otherwise flush first
-        }
-      } else if (n == 0 || (errno != EINTR && errno != EAGAIN &&
-                            errno != EWOULDBLOCK)) {
-        close_conn(c);
-      }
-    }
+    sigint.emplace(*options.cancel);
+    options.arm_sigint = false;  // armed once, here, not per loop
   }
 
-  // Drain contract: in-flight requests were answered above, but their
-  // frames may still sit in write buffers. Give slow readers a bounded
-  // grace window before tearing the sockets down.
-  const std::uint64_t flush_deadline = now_ms() + kDrainFlushMs;
-  while (now_ms() < flush_deadline) {
-    std::vector<pollfd> pfds;
-    std::vector<std::size_t> conn_of_pfd;
-    for (std::size_t i = 0; i < conns.size(); ++i) {
-      if (conns[i].fd >= 0 && conns[i].pending_out() > 0) {
-        pfds.push_back({conns[i].fd, POLLOUT, 0});
-        conn_of_pfd.push_back(i);
-      }
-    }
-    if (pfds.empty()) {
-      break;
-    }
-    if (::poll(pfds.data(), pfds.size(), kPollTimeoutMs) < 0 &&
-        errno != EINTR) {
-      break;
-    }
-    for (std::size_t pi = 0; pi < pfds.size(); ++pi) {
-      Connection& c = conns[conn_of_pfd[pi]];
-      if ((pfds[pi].revents & (POLLERR | POLLNVAL | POLLHUP)) != 0) {
-        close_conn(c);
-      } else if ((pfds[pi].revents & POLLOUT) != 0) {
-        flush_conn(c);
-      }
-    }
+  std::atomic<int> tcp_bound{0};
+  std::atomic<int> http_bound{0};
+  std::vector<std::thread> loops;
+  std::vector<int> codes;
+  codes.reserve(3);
+
+  if (!spec.unix_path.empty()) {
+    codes.push_back(0);
+    int* code = &codes.back();
+    loops.emplace_back([&, code] {
+      *code = serve_socket(spec.unix_path, options);
+    });
+  }
+  if (!spec.tcp.empty()) {
+    codes.push_back(0);
+    int* code = &codes.back();
+    ServerOptions tcp_options = options;
+    tcp_options.bound_port = &tcp_bound;
+    loops.emplace_back([&, code, tcp_options, tcp_host, tcp_port] {
+      *code = serve_tcp(tcp_host, tcp_port, tcp_options);
+    });
+  }
+  if (!spec.http.empty()) {
+    codes.push_back(0);
+    int* code = &codes.back();
+    ServerOptions http_options = options;
+    http_options.bound_port = &http_bound;
+    loops.emplace_back([&, code, http_options, http_host, http_port] {
+      *code = serve_http(http_host, http_port, http_options);
+    });
   }
 
-  for (Connection& c : conns) {
-    close_conn(c);
+  if (!spec.port_file.empty()) {
+    // Wait (bounded) for every requested listener to come up, then
+    // publish the endpoints -- the handshake scripts and bench_fleet
+    // use to discover ephemeral ports.
+    const std::uint64_t deadline = now_ms() + 10'000;
+    while (now_ms() < deadline) {
+      const bool unix_ready =
+          spec.unix_path.empty() ||
+          std::filesystem::exists(std::filesystem::path(spec.unix_path));
+      const bool tcp_ready =
+          spec.tcp.empty() || tcp_bound.load(std::memory_order_acquire) > 0;
+      const bool http_ready =
+          spec.http.empty() || http_bound.load(std::memory_order_acquire) > 0;
+      if (unix_ready && tcp_ready && http_ready) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    Json doc = Json::object();
+    doc["schema"] = "shlcp.ports.v1";
+    if (!spec.unix_path.empty()) {
+      doc["unix"] = spec.unix_path;
+    }
+    if (!spec.tcp.empty()) {
+      doc["tcp"] = tcp_bound.load(std::memory_order_acquire);
+    }
+    if (!spec.http.empty()) {
+      doc["http"] = http_bound.load(std::memory_order_acquire);
+    }
+    const std::string tmp = spec.port_file + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << doc.dump() << "\n";
+    }
+    std::filesystem::rename(tmp, spec.port_file);  // atomic publish
   }
-  if (accepting) {
-    ::close(listen_fd);
-    ::unlink(path.c_str());
+
+  int worst = 0;
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    loops[i].join();
+    worst = std::max(worst, codes[i]);
   }
-  return 0;
+  return worst;
 }
 
 }  // namespace shlcp::svc

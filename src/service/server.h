@@ -1,6 +1,6 @@
-// Transport loops of shlcpd: pipe mode and unix-domain-socket mode.
+// Transport loops of shlcpd: pipe, unix-domain socket, and TCP.
 //
-// Both loops share the same shape: accumulate bytes into FrameReaders,
+// All loops share the same shape: accumulate bytes into FrameReaders,
 // extract complete request frames, batch up to ServerOptions::batch_max
 // of them, dispatch the batch across a WorkerPool (one request per
 // work unit -- the service's operations are internally sequential, so
@@ -8,14 +8,22 @@
 // back in arrival order. Each request is stamped at admission; the
 // queueing delay is charged against its deadline_ms by Service::handle.
 //
+// The socket and TCP loops are the same code: serve_stream (netloop.h)
+// with a JSONL ConnProtocol over a differently-bound listener. The
+// HTTP gateway (http.h) is that loop again with an HTTP protocol.
+// serve_transports runs any combination of them concurrently over one
+// shared dispatcher, health state, and cancel token -- which is how
+// shlcpd exposes --socket, --tcp, and --http at once with a single
+// artifact cache behind all three.
+//
 // Readiness is poll()-driven with a short timeout rather than blocking
 // reads, because the repo's SigintGuard installs its handler with
 // signal() (glibc semantics: SA_RESTART), so a blocking read would
 // never observe a ^C -- the loop instead polls the CancelToken every
-// wakeup. On a trip the server calls Service::begin_drain(): requests
-// already dispatched finish and are delivered, every frame still
-// queued (or arriving later) is answered with the "draining" error,
-// the socket listener stops accepting, and the loop exits 0 once the
+// wakeup. On a trip the server calls Dispatcher::begin_drain():
+// requests already dispatched finish and are delivered, every frame
+// still queued (or arriving later) is answered with the "draining"
+// error, the listeners stop accepting, and the loop exits 0 once the
 // queue is flushed. That three-part contract (finish in-flight, refuse
 // queued, exit clean) is pinned by tests/service_test.cpp and
 // exercised with a real SIGINT in the CI service-smoke job.
@@ -23,15 +31,15 @@
 // A FrameReader protocol error (malformed header, oversized frame) is
 // answered with one "bad_frame" error response and ends that stream --
 // framing is unrecoverable once the length prefix is lost. In pipe
-// mode that ends the server; in socket mode only that connection.
+// mode that ends the server; in stream modes only that connection.
 //
-// Socket-mode connections are non-blocking with per-connection write
+// Stream-mode connections are non-blocking with per-connection write
 // buffers: a client that stops reading never stalls dispatch for the
 // others -- its responses queue (up to a 64 MiB cap, then the
 // connection is closed) and flush on POLLOUT. POLLERR/POLLNVAL close
 // the connection, closed slots are reclaimed between poll rounds, and
 // a drain flushes still-buffered responses for a bounded grace window
-// before teardown. Socket sends use MSG_NOSIGNAL (and both loops
+// before teardown. Socket sends use MSG_NOSIGNAL (and all loops
 // ignore SIGPIPE) so a vanished client can never kill the daemon.
 //
 // Overload shedding (DESIGN.md §14): admission is bounded by
@@ -45,6 +53,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <string>
 
@@ -56,7 +65,17 @@ namespace shlcp::svc {
 
 struct ServerOptions {
   /// Dispatcher configuration (LCP registry is fixed; cache is tunable).
+  /// Ignored when `dispatcher` is set.
   ServiceConfig service;
+  /// The request handler behind this transport. Null (the default) =
+  /// the loop owns a Service built from `service`. Non-null (not
+  /// owned; must outlive the serve call) lets several transports share
+  /// one Service -- or put a Router behind them.
+  Dispatcher* dispatcher = nullptr;
+  /// Load counters shared across transports (not owned). Null = the
+  /// loop owns one. serve_transports injects one instance into every
+  /// loop so the `health` op aggregates all listeners.
+  HealthState* health = nullptr;
   /// Worker threads for batch dispatch; 0 resolves via SHLCP_NUM_THREADS
   /// then the hardware (util/parallel.h).
   int num_threads = 0;
@@ -71,11 +90,15 @@ struct ServerOptions {
   /// pipelining-happy client cannot monopolize the admission queue
   /// (pipe mode counts the pipe as one connection). 0 = unbounded.
   std::size_t conn_inflight_max = 128;
-  /// Per-frame byte cap (FrameReader).
+  /// Per-frame byte cap (FrameReader); HTTP body cap in the gateway.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Pipe mode endpoints (tests inject socketpair/pipe fds here).
   int in_fd = 0;
   int out_fd = 1;
+  /// TCP/HTTP: receives the actually-bound port once listening (the
+  /// caller passed port 0 for an ephemeral one). Not owned; written
+  /// once, from the serving thread, before the first accept.
+  std::atomic<int>* bound_port = nullptr;
   /// External stop flag (not owned; must outlive the serve call). When
   /// null the server uses an internal token, reachable only via SIGINT.
   CancelToken* cancel = nullptr;
@@ -93,5 +116,36 @@ int serve_pipe(const ServerOptions& options);
 /// number of concurrent connections; per-connection framing errors close
 /// only that connection. Runs until the cancel token trips.
 int serve_socket(const std::string& path, const ServerOptions& options);
+
+/// Same loop and framing over TCP at host:port (numeric IPv4; port 0 =
+/// ephemeral, reported through options.bound_port). One fleet backend =
+/// one serve_tcp daemon; the router (router.h) consistent-hashes
+/// request keys across them.
+int serve_tcp(const std::string& host, int port,
+              const ServerOptions& options);
+
+/// Which listeners serve_transports should run. Empty string = that
+/// transport is disabled. tcp/http take "[HOST:]PORT" (default host
+/// 127.0.0.1; port 0 = ephemeral).
+struct TransportSpec {
+  std::string unix_path;
+  std::string tcp;
+  std::string http;
+  /// When set, a JSON document {"unix": path?, "tcp": port?, "http":
+  /// port?} is written here once every requested listener is bound --
+  /// how scripts and bench_fleet discover ephemeral ports.
+  std::string port_file;
+};
+
+/// Parses "[HOST:]PORT" (host defaults to 127.0.0.1). Returns false on
+/// a malformed spec.
+bool parse_hostport(const std::string& spec, std::string* host, int* port);
+
+/// Runs every requested listener concurrently over ONE dispatcher, one
+/// HealthState, and one cancel token (shared cache, shared drain: a
+/// SIGINT drains all transports together). Blocks until all loops
+/// exit; returns the worst exit code. At least one transport must be
+/// enabled.
+int serve_transports(const TransportSpec& spec, const ServerOptions& options);
 
 }  // namespace shlcp::svc

@@ -663,11 +663,12 @@ Json Service::op_health() const {
   result["schema"] = kWireSchema;
   result["draining"] = draining();
   Json& queue = (result["queue"] = Json::object());
-  if (health_ != nullptr) {
-    queue["depth"] = health_->queue_depth.load(std::memory_order_relaxed);
-    queue["max"] = health_->queue_max.load(std::memory_order_relaxed);
-    queue["admitted"] = health_->admitted_total.load(std::memory_order_relaxed);
-    queue["shed"] = health_->shed_total.load(std::memory_order_relaxed);
+  const HealthState* health = health_.load(std::memory_order_acquire);
+  if (health != nullptr) {
+    queue["depth"] = health->queue_depth.load(std::memory_order_relaxed);
+    queue["max"] = health->queue_max.load(std::memory_order_relaxed);
+    queue["admitted"] = health->admitted_total.load(std::memory_order_relaxed);
+    queue["shed"] = health->shed_total.load(std::memory_order_relaxed);
   } else {
     // In-process use (no transport loop): the dispatcher has no queue.
     queue["depth"] = 0;

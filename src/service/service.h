@@ -88,14 +88,43 @@ struct HealthState {
   std::atomic<std::uint64_t> shed_total{0};      // refused "overloaded"
 };
 
+/// What a transport loop needs from whatever answers its requests.
+/// Service implements it by computing locally; Router (router.h)
+/// implements it by forwarding to a fleet of backends -- which is what
+/// lets shlcpd's pipe/unix/TCP/HTTP loops and shlcp_router share one
+/// server implementation (netloop.h) verbatim.
+///
+/// Implementations must be thread-safe: the server dispatches a batch
+/// of handle_text() calls concurrently across a WorkerPool.
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Handles one raw frame body: parse, dispatch, serialize. Never
+  /// throws -- malformed input becomes an error response.
+  /// `elapsed_ms` is how long the request has already waited since
+  /// admission (the server's queue delay); it is charged against the
+  /// request's deadline_ms.
+  virtual std::string handle_text(const std::string& body,
+                                  std::uint64_t elapsed_ms) = 0;
+
+  /// After this, every request is refused with the "draining" error.
+  virtual void begin_drain() = 0;
+  [[nodiscard]] virtual bool draining() const = 0;
+
+  /// Surfaces the transport loop's load counters through the `health`
+  /// op. Not owned; must outlive every handle call.
+  virtual void attach_health(const HealthState* health) = 0;
+};
+
 /// Transport-independent request dispatcher. Thread-safe: handle() may
 /// be called concurrently (the server batches requests across a
 /// WorkerPool); the registries are immutable after construction and the
 /// cache locks internally.
-class Service {
+class Service : public Dispatcher {
  public:
   explicit Service(ServiceConfig config = {});
-  ~Service();
+  ~Service() override;
 
   /// Handles one raw frame body: parse, dispatch, serialize. Never
   /// throws -- malformed input becomes an error response.
@@ -103,15 +132,17 @@ class Service {
   /// admission (the server's queue delay); it is charged against the
   /// request's deadline_ms.
   std::string handle_text(const std::string& body,
-                          std::uint64_t elapsed_ms = 0);
+                          std::uint64_t elapsed_ms = 0) override;
 
   /// Same, on an already-parsed document.
   Json handle(const Json& request, std::uint64_t elapsed_ms = 0);
 
   /// After this, every request is refused with the "draining" error.
-  void begin_drain() { draining_.store(true, std::memory_order_relaxed); }
+  void begin_drain() override {
+    draining_.store(true, std::memory_order_relaxed);
+  }
 
-  [[nodiscard]] bool draining() const {
+  [[nodiscard]] bool draining() const override {
     return draining_.load(std::memory_order_relaxed);
   }
 
@@ -119,8 +150,12 @@ class Service {
 
   /// Surfaces the transport loop's load counters through the `health`
   /// op. Not owned; must outlive every handle() call. Without one the
-  /// op reports zeros (in-process use).
-  void attach_health(const HealthState* health) { health_ = health; }
+  /// op reports zeros (in-process use). Atomic because several
+  /// transport loops (serve_transports) attach the same shared state
+  /// concurrently at startup.
+  void attach_health(const HealthState* health) override {
+    health_.store(health, std::memory_order_release);
+  }
 
   /// Stable list of the operations this service answers.
   [[nodiscard]] static std::vector<std::string> ops();
@@ -147,7 +182,7 @@ class Service {
   std::vector<NamedInstance> pool_;
   ArtifactCache cache_;
   std::atomic<bool> draining_{false};
-  const HealthState* health_ = nullptr;
+  std::atomic<const HealthState*> health_{nullptr};
 };
 
 }  // namespace shlcp::svc

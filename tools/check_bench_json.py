@@ -6,6 +6,7 @@ Usage:
     check_bench_json.py --service BENCH_service.json
     check_bench_json.py --parallel BENCH_parallel_enum.json
     check_bench_json.py --chaos BENCH_chaos.json
+    check_bench_json.py --fleet BENCH_fleet.json
     check_bench_json.py --trace trace.jsonl
     check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
 
@@ -24,6 +25,13 @@ least 3 kill -9/restart cycles, exact outcome accounting per pass
 zero lost calls under the calm-wire crash pass, a replayed fault
 schedule, and the crash-consistent disk-cache probes (pre-crash disk
 hit, torn-entry-is-miss) both passing.
+With --fleet it additionally enforces the shard-router contract of
+EXPERIMENTS.md E22 on a BENCH_fleet.json: bit-identity verification
+against the in-process oracle (meta.verified), zero duplicate cache
+computes fleet-wide (disjoint ownership: the sum of per-backend misses
+equals the distinct-key count), zero reroutes and exact first-preference
+ownership with every backend alive, a backends_1 baseline case plus at
+least one larger fleet, and positive throughput in every case.
 With --parallel it additionally enforces the enumeration hot-path
 contract on a BENCH_parallel_enum.json: a sequential case plus a full
 threads_* speedup curve with positive throughput everywhere, the
@@ -265,6 +273,74 @@ def check_chaos(path):
     return ok
 
 
+FLEET_CASE_INTS = ["backends", "requests", "ok", "errors", "wrong",
+                   "sum_misses", "duplicate_computes", "reroutes"]
+
+
+def check_fleet(path):
+    """check_report plus the BENCH_fleet.json contract (E22)."""
+    ok = check_report(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return False  # already reported by check_report
+    if not isinstance(doc, dict):
+        return False
+
+    meta = doc.get("meta", {})
+    requests = meta.get("requests")
+    if not isinstance(requests, int) or isinstance(requests, bool) \
+            or requests <= 0:
+        ok = fail(path, f"meta.requests must be a positive integer, "
+                        f"got {requests!r}")
+    if meta.get("verified") is not True:
+        ok = fail(path, "meta.verified must be true (routed responses were "
+                        "not bit-identical to direct Service calls)")
+    if meta.get("errors") != 0:
+        ok = fail(path, f"meta.errors must be 0, got {meta.get('errors')!r}")
+    if meta.get("duplicate_computes") != 0:
+        ok = fail(path, "meta.duplicate_computes must be 0 (the fleet's "
+                        "caches must shard disjointly), got "
+                        f"{meta.get('duplicate_computes')!r}")
+    if meta.get("ownership_ok") is not True:
+        ok = fail(path, "meta.ownership_ok must be true (a request was not "
+                        "answered by its key's first-preference backend)")
+    distinct = meta.get("distinct_keys")
+    if not isinstance(distinct, int) or isinstance(distinct, bool) \
+            or distinct <= 0:
+        ok = fail(path, f"meta.distinct_keys must be a positive integer, "
+                        f"got {distinct!r}")
+
+    cases = {c.get("name"): c.get("values", {})
+             for c in doc.get("cases", []) if isinstance(c, dict)}
+    larger = [n for n in cases if n.startswith("backends_")
+              and n != "backends_1"]
+    if "backends_1" not in cases:
+        ok = fail(path, "missing case 'backends_1' (no single-backend "
+                        "baseline for the scaling curve)")
+    if not larger:
+        ok = fail(path, "no backends_N case with N > 1 (no scaling curve)")
+    for name, values in cases.items():
+        for key in FLEET_CASE_INTS:
+            v = values.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+                ok = fail(path, f"{name}.{key} must be a non-negative "
+                                f"integer, got {v!r}")
+        rps = values.get("req_per_s")
+        if not isinstance(rps, (int, float)) or isinstance(rps, bool) \
+                or rps <= 0:
+            ok = fail(path, f"{name}.req_per_s must be a positive number, "
+                            f"got {rps!r}")
+        for key in ("errors", "wrong", "duplicate_computes", "reroutes"):
+            if values.get(key) != 0:
+                ok = fail(path, f"{name}.{key} must be 0, "
+                                f"got {values.get(key)!r}")
+        if values.get("ownership_ok") is not True:
+            ok = fail(path, f"{name}.ownership_ok must be true")
+    return ok
+
+
 PARALLEL_CASE_INTS = ["canonical_computes", "fingerprint_hits",
                       "fingerprint_misses", "steals", "chunks_adaptive"]
 PARALLEL_CASE_FLOATS = ["seconds", "instances_per_sec", "speedup"]
@@ -446,6 +522,8 @@ def main(argv):
         paths, checker = argv[2:], check_parallel
     elif argv[1] == "--chaos":
         paths, checker = argv[2:], check_chaos
+    elif argv[1] == "--fleet":
+        paths, checker = argv[2:], check_fleet
     elif argv[1] == "--trace":
         paths, checker = argv[2:], check_trace
     elif argv[1] == "--ckpt":
