@@ -26,25 +26,53 @@
 //   --retries N             per-backend Client attempts (default 4)
 //   --backoff-ms N          Client base backoff (default 10)
 //   --seed N                retry-jitter seed (default 0)
+//
+// Supervised mode (src/service/supervisor.h) replaces --backend: the
+// router fork/execs its own shlcpd fleet, monitors it, and restarts
+// whatever dies -- crash-looping backends are quarantined by a circuit
+// breaker and their keys spill to replicas until a trial restart
+// sticks. Each backend gets a unix socket, log, and persistent
+// disk-cache directory under --spawn-dir, so restarts are warm. SIGINT
+// drains the router, then SIGINTs the fleet and reaps it.
+//
+//   shlcp_router --spawn 3 --spawn-dir /tmp/fleet --http 127.0.0.1:7480
+//
+//   --spawn N               spawn and supervise N shlcpd backends
+//   --spawn-dir PATH        fleet state root (default /tmp/shlcp_fleet)
+//   --shlcpd PATH           backend binary ($SHLCP_SHLCPD / auto-detect)
+//   --backend-threads N     worker threads per backend (default 2)
+//   --backend-cache-bytes N backend disk-cache budget
+//   --restart-backoff-ms N  base restart backoff (default 100)
+//   --restart-backoff-max-ms N  backoff cap (default 2000)
+//   --breaker-failures N    crashes in window that quarantine (default 5)
+//   --breaker-window-ms N   crash-loop window (default 30000)
+//   --half-open-ms N        quarantine -> trial-restart delay (default 2000)
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "service/router.h"
 #include "service/server.h"
+#include "service/supervisor.h"
 
 namespace {
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --backend SPEC [--backend SPEC ...]\n"
+      "usage: %s (--backend SPEC [--backend SPEC ...] | --spawn N)\n"
       "       (--socket PATH | --tcp [HOST:]PORT | --http [HOST:]PORT ...)\n"
       "       [--port-file PATH] [--vnodes N] [--replicas N]\n"
       "       [--probe-interval-ms N] [--timeout-ms N] [--retries N]\n"
       "       [--backoff-ms N] [--seed N] [--threads N] [--batch N]\n"
       "       [--queue-max N] [--inflight-max N] [--max-frame-bytes N]\n"
+      "       [--spawn-dir PATH] [--shlcpd PATH] [--backend-threads N]\n"
+      "       [--backend-cache-bytes N] [--restart-backoff-ms N]\n"
+      "       [--restart-backoff-max-ms N] [--breaker-failures N]\n"
+      "       [--breaker-window-ms N] [--half-open-ms N]\n"
       "  SPEC = [NAME=]unix:<path> | [NAME=]tcp:<host>:<port>\n",
       argv0);
   return 2;
@@ -57,12 +85,17 @@ int main(int argc, char** argv) {
   using shlcp::svc::Router;
   using shlcp::svc::RouterOptions;
   using shlcp::svc::ServerOptions;
+  using shlcp::svc::Supervisor;
+  using shlcp::svc::SupervisorOptions;
   using shlcp::svc::TransportSpec;
 
   RouterOptions router_options;
   TransportSpec transports;
   ServerOptions options;
   options.arm_sigint = true;
+  SupervisorOptions supervisor_options;
+  supervisor_options.backends = 0;  // --spawn N turns supervision on
+  supervisor_options.work_dir = "/tmp/shlcp_fleet";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,16 +151,64 @@ int main(int argc, char** argv) {
       options.conn_inflight_max = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--max-frame-bytes") {
       options.max_frame_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--spawn") {
+      supervisor_options.backends = std::atoi(next());
+    } else if (arg == "--spawn-dir") {
+      supervisor_options.work_dir = next();
+    } else if (arg == "--shlcpd") {
+      supervisor_options.shlcpd_path = next();
+    } else if (arg == "--backend-threads") {
+      supervisor_options.backend_threads = std::atoi(next());
+    } else if (arg == "--backend-cache-bytes") {
+      supervisor_options.backend_args.emplace_back("--cache-bytes");
+      supervisor_options.backend_args.emplace_back(next());
+    } else if (arg == "--restart-backoff-ms") {
+      supervisor_options.restart.base_backoff_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--restart-backoff-max-ms") {
+      supervisor_options.restart.max_backoff_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--breaker-failures") {
+      supervisor_options.breaker_failures = std::atoi(next());
+    } else if (arg == "--breaker-window-ms") {
+      supervisor_options.breaker_window_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--half-open-ms") {
+      supervisor_options.half_open_after_ms =
+          static_cast<std::uint64_t>(std::atoll(next()));
     } else {
       return usage(argv[0]);
     }
   }
-  if (router_options.backends.empty()) {
+  const bool spawning = supervisor_options.backends > 0;
+  if (spawning == !router_options.backends.empty()) {
+    // Exactly one of --spawn / --backend must select the fleet.
     return usage(argv[0]);
   }
   if (transports.unix_path.empty() && transports.tcp.empty() &&
       transports.http.empty()) {
     return usage(argv[0]);
+  }
+
+  std::unique_ptr<Supervisor> supervisor;
+  if (spawning) {
+    if (supervisor_options.shlcpd_path.empty()) {
+      supervisor_options.shlcpd_path = Supervisor::find_shlcpd(argv[0]);
+    }
+    if (supervisor_options.shlcpd_path.empty()) {
+      std::fprintf(stderr,
+                   "%s: cannot locate shlcpd (pass --shlcpd or set "
+                   "$SHLCP_SHLCPD)\n",
+                   argv[0]);
+      return 2;
+    }
+    supervisor_options.restart.seed = router_options.client.retry.seed;
+    supervisor = std::make_unique<Supervisor>(supervisor_options);
+    if (!supervisor->start()) {
+      std::fprintf(stderr, "%s: fleet failed to start\n", argv[0]);
+      return 1;
+    }
+    router_options.backends = supervisor->backend_specs();
   }
 
   Router router(router_options);
@@ -138,7 +219,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "shlcp_router:   %s -> %s [%s]\n", b.name.c_str(),
                  b.target.c_str(), b.alive ? "up" : "down");
   }
+  if (supervisor) {
+    supervisor->attach_router(&router);
+    supervisor->start_monitor();
+  }
 
   options.dispatcher = &router;
-  return shlcp::svc::serve_transports(transports, options);
+  const int code = shlcp::svc::serve_transports(transports, options);
+  if (supervisor) {
+    // Drain order matters: the router stopped accepting first, so no
+    // request is in flight toward a backend we are about to SIGINT.
+    supervisor->stop();
+  }
+  return code;
 }

@@ -62,7 +62,9 @@ Client::~Client() = default;
 Client::Connector Client::unix_connector(std::string path, ChaosPlan chaos) {
   return [path = std::move(path),
           chaos = std::move(chaos)]() -> std::unique_ptr<FaultyTransport> {
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // CLOEXEC: a supervisor may fork+exec backends from the process
+    // holding this connection; the child must not inherit it.
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
       return nullptr;
     }
@@ -90,7 +92,7 @@ Client::Connector Client::tcp_connector(std::string host, int port,
                                         ChaosPlan chaos) {
   return [host = std::move(host), port,
           chaos = std::move(chaos)]() -> std::unique_ptr<FaultyTransport> {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
       return nullptr;
     }
@@ -176,12 +178,15 @@ Client::Attempt Client::attempt_once(const std::string& body,
                                      const std::string& wire_id,
                                      CallResult* out,
                                      std::int64_t* retry_after_ms) {
+  out->fail_kind = CallResult::FailKind::kNone;
   if (!ensure_connected()) {
+    out->fail_kind = CallResult::FailKind::kConnRefused;
     return Attempt::kRetriable;  // connector failed; nothing to drop
   }
   if (!transport_->write_all(encode_frame(body))) {
     stats_.transport_errors += 1;
     drop_connection();
+    out->fail_kind = CallResult::FailKind::kTransport;
     return Attempt::kRetriableReconnect;
   }
   const std::uint64_t deadline = now_ms() + options_.timeout_ms;
@@ -201,6 +206,7 @@ Client::Attempt Client::attempt_once(const std::string& body,
         stats_.transport_errors += 1;
         drop_connection();
         out->error_detail = format("framing lost: %s", error.c_str());
+        out->fail_kind = CallResult::FailKind::kTransport;
         return Attempt::kRetriableReconnect;
       }
       Json resp;
@@ -294,6 +300,7 @@ Client::Attempt Client::attempt_once(const std::string& body,
       out->error_detail =
           format("attempt timed out after %llu ms",
                  static_cast<unsigned long long>(options_.timeout_ms));
+      out->fail_kind = CallResult::FailKind::kTimeout;
       return Attempt::kRetriableReconnect;
     }
     pollfd pfd = {transport_->poll_fd(), POLLIN, 0};
@@ -305,6 +312,7 @@ Client::Attempt Client::attempt_once(const std::string& body,
       stats_.transport_errors += 1;
       drop_connection();
       out->error_detail = "poll failed";
+      out->fail_kind = CallResult::FailKind::kTransport;
       return Attempt::kRetriableReconnect;
     }
     if (rc == 0) {
@@ -316,12 +324,14 @@ Client::Attempt Client::attempt_once(const std::string& body,
       stats_.transport_errors += 1;
       drop_connection();
       out->error_detail = "connection lost";
+      out->fail_kind = CallResult::FailKind::kTransport;
       return Attempt::kRetriableReconnect;
     }
     if (n == 0) {
       stats_.transport_errors += 1;
       drop_connection();
       out->error_detail = "connection closed by server";
+      out->fail_kind = CallResult::FailKind::kTransport;
       return Attempt::kRetriableReconnect;
     }
     reader_->feed(std::string_view(buf, static_cast<std::size_t>(n)));

@@ -94,6 +94,18 @@ struct ClientStats {
 
 /// Outcome of one call() after retries.
 struct CallResult {
+  /// How the *final* attempt failed below the protocol. The router and
+  /// the supervisor's wedge detection need the distinction a bare ""
+  /// error code erases: a refused connection means the backend process
+  /// is gone (mark down, reroute), a timeout means it is alive but not
+  /// answering (slow or wedged -- counted separately in fleet health).
+  enum class FailKind {
+    kNone,         // ok, or the server answered with an error code
+    kConnRefused,  // connect() failed: nothing is listening
+    kTimeout,      // connected, but no response within timeout_ms
+    kTransport,    // write/read/poll failure, EOF, reset, lost framing
+  };
+
   /// True iff a verified ok response arrived.
   bool ok = false;
   /// The final wire response (null when every attempt failed below the
@@ -105,6 +117,7 @@ struct CallResult {
   /// !ok only: the wire error code, or "" for sub-protocol failures.
   std::string error_code;
   std::string error_detail;
+  FailKind fail_kind = FailKind::kNone;
   int attempts = 0;
 };
 

@@ -45,6 +45,13 @@ void set_nonblocking(int fd) {
   }
 }
 
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) {
+    ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+  }
+}
+
 std::uint64_t now_ms() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -181,6 +188,13 @@ StreamListener listen_unix(const std::string& path) {
     ::close(fd);
     return {};
   }
+  // Nonblocking: poll's readability hint on a listener is advisory --
+  // a queued connection can be gone again by the time accept runs, and
+  // a blocking accept would then pin the loop past every cancel check.
+  // CLOEXEC: listener fds must not leak into exec'd children (the
+  // supervisor forks backends from a process running this loop).
+  set_nonblocking(fd);
+  set_cloexec(fd);
   return {fd, [path] { ::unlink(path.c_str()); }};
 }
 
@@ -213,6 +227,8 @@ StreamListener listen_tcp(const std::string& host, int port,
                       ? static_cast<int>(ntohs(bound.sin_port))
                       : port;
   }
+  set_nonblocking(fd);  // same blocked-accept hazard as listen_unix
+  set_cloexec(fd);
   return {fd, nullptr};
 }
 
@@ -418,9 +434,12 @@ int serve_stream(StreamListener listener, const ServerOptions& options,
     for (std::size_t pi = 0; pi < pfds.size(); ++pi) {
       if (conn_of_pfd[pi] < 0) {
         if ((pfds[pi].revents & POLLIN) != 0) {
+          // EAGAIN is normal here (nonblocking listener, advisory
+          // POLLIN); the connection will be re-reported if still queued.
           const int client = ::accept(listen_fd, nullptr, nullptr);
           if (client >= 0) {
             set_nonblocking(client);
+            set_cloexec(client);
             conns.emplace_back(client,
                                make_protocol(options.max_frame_bytes));
           }

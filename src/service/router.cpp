@@ -130,10 +130,17 @@ std::vector<int> HashRing::preference(std::uint64_t point) const {
 struct Router::Backend {
   BackendSpec spec;
   std::atomic<bool> alive{true};
+  std::atomic<bool> quarantined{false};
   std::atomic<std::uint64_t> down_since_ms{0};
   std::atomic<std::uint64_t> forwarded{0};
   std::atomic<std::uint64_t> answered{0};
   std::atomic<std::uint64_t> rerouted{0};
+  std::atomic<std::uint64_t> conn_refused{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  // Supervisor-pushed (set_backend_runtime); surfaced in fleet health.
+  std::atomic<std::uint64_t> restarts{0};
+  std::atomic<std::int64_t> last_exit{-1};
+  std::atomic<std::int64_t> pid{-1};
   std::mutex mu;
   std::vector<std::unique_ptr<Client>> idle;
 
@@ -244,6 +251,54 @@ Json Router::handle(const Json& request, std::uint64_t elapsed_ms) {
   return route(req);
 }
 
+void Router::mark_down(Backend& b, const CallResult& r) {
+  b.alive.store(false, std::memory_order_relaxed);
+  b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+  // Connection-refused = nothing listening (the process is gone);
+  // timeout = listening but not answering (slow or wedged). Both
+  // reroute, but the supervisor's wedge detection and fleet health
+  // need them counted apart.
+  if (r.fail_kind == CallResult::FailKind::kConnRefused) {
+    b.conn_refused.fetch_add(1, std::memory_order_relaxed);
+  } else if (r.fail_kind == CallResult::FailKind::kTimeout) {
+    b.timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Router::Backend* Router::find_backend(const std::string& name) {
+  for (const auto& backend : backends_) {
+    if (backend->spec.name == name) {
+      return backend.get();
+    }
+  }
+  return nullptr;
+}
+
+bool Router::set_backend_runtime(const std::string& name,
+                                 const BackendRuntime& runtime) {
+  Backend* b = find_backend(name);
+  if (b == nullptr) {
+    return false;
+  }
+  b->quarantined.store(runtime.quarantined, std::memory_order_relaxed);
+  b->restarts.store(runtime.restarts, std::memory_order_relaxed);
+  b->last_exit.store(runtime.last_exit, std::memory_order_relaxed);
+  b->pid.store(runtime.pid, std::memory_order_relaxed);
+  return true;
+}
+
+bool Router::set_backend_alive(const std::string& name, bool alive) {
+  Backend* b = find_backend(name);
+  if (b == nullptr) {
+    return false;
+  }
+  b->alive.store(alive, std::memory_order_relaxed);
+  if (!alive) {
+    b->down_since_ms.store(now_ms(), std::memory_order_relaxed);
+  }
+  return true;
+}
+
 bool Router::forward(Backend& b, const Request& req, CallResult* out) {
   std::unique_ptr<Client> client = b.borrow(options_.client);
   *out = client->call(req.op, req.params, req.deadline_ms);
@@ -266,8 +321,7 @@ bool Router::forward(Backend& b, const Request& req, CallResult* out) {
   // down and move to the next replica. The pooled client is dropped --
   // its connection state is suspect.
   if (out->error_code.empty() || out->error_code == kErrDraining) {
-    b.alive.store(false, std::memory_order_relaxed);
-    b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+    mark_down(b, *out);
   }
   return false;
 }
@@ -282,11 +336,16 @@ Json Router::route(const Request& req) {
 
   // Pass 1: backends believed alive (plus any due a reprobe). Pass 2
   // (only if pass 1 found none to try): everyone, in ring order --
-  // better to probe a "dead" backend than to refuse outright.
+  // better to probe a "dead" backend than to refuse outright. A
+  // quarantined backend is in neither pass: its breaker is open, and
+  // no request may block on it (the supervisor owns reprobing it).
   std::vector<int> plan;
   plan.reserve(pref.size());
   for (const int idx : pref) {
     Backend& b = *backends_[static_cast<std::size_t>(idx)];
+    if (b.quarantined.load(std::memory_order_relaxed)) {
+      continue;
+    }
     const bool due_reprobe =
         now - b.down_since_ms.load(std::memory_order_relaxed) >=
         options_.probe_interval_ms;
@@ -295,7 +354,12 @@ Json Router::route(const Request& req) {
     }
   }
   if (plan.empty()) {
-    plan = pref;
+    for (const int idx : pref) {
+      if (!backends_[static_cast<std::size_t>(idx)]->quarantined.load(
+              std::memory_order_relaxed)) {
+        plan.push_back(idx);
+      }
+    }
   }
 
   int tried = 0;
@@ -335,6 +399,9 @@ Json Router::aggregate_info(const Request& req) {
   std::vector<std::pair<int, Json>> results;  // backend index, result
   for (std::size_t i = 0; i < backends_.size(); ++i) {
     Backend& b = *backends_[i];
+    if (b.quarantined.load(std::memory_order_relaxed)) {
+      continue;  // breaker open: never block an aggregation on it
+    }
     std::unique_ptr<Client> client = b.borrow(options_.client);
     CallResult r = client->call(req.op, req.params, req.deadline_ms);
     if (r.ok) {
@@ -343,8 +410,7 @@ Json Router::aggregate_info(const Request& req) {
       results.emplace_back(static_cast<int>(i),
                            r.response.at("result"));
     } else {
-      b.alive.store(false, std::memory_order_relaxed);
-      b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+      mark_down(b, r);
     }
   }
   if (results.empty()) {
@@ -418,21 +484,32 @@ Json Router::aggregate_health(const Request& req) {
     Json entry = Json::object();
     entry["name"] = b.spec.name;
     entry["target"] = b.spec.target;
-    std::unique_ptr<Client> client = b.borrow(options_.client);
-    CallResult r = client->call(req.op, req.params, req.deadline_ms);
-    if (r.ok) {
-      b.alive.store(true, std::memory_order_relaxed);
-      b.give_back(std::move(client));
-      entry["alive"] = true;
-      entry["health"] = r.response.at("result");
-    } else {
-      b.alive.store(false, std::memory_order_relaxed);
-      b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+    if (b.quarantined.load(std::memory_order_relaxed)) {
+      // Breaker open: report without probing -- the health op must
+      // never block on a quarantined backend either.
       entry["alive"] = false;
+    } else {
+      std::unique_ptr<Client> client = b.borrow(options_.client);
+      CallResult r = client->call(req.op, req.params, req.deadline_ms);
+      if (r.ok) {
+        b.alive.store(true, std::memory_order_relaxed);
+        b.give_back(std::move(client));
+        entry["alive"] = true;
+        entry["health"] = r.response.at("result");
+      } else {
+        mark_down(b, r);
+        entry["alive"] = false;
+      }
     }
+    entry["quarantined"] = b.quarantined.load(std::memory_order_relaxed);
     entry["forwarded"] = b.forwarded.load(std::memory_order_relaxed);
     entry["answered"] = b.answered.load(std::memory_order_relaxed);
     entry["rerouted"] = b.rerouted.load(std::memory_order_relaxed);
+    entry["conn_refused"] = b.conn_refused.load(std::memory_order_relaxed);
+    entry["timeouts"] = b.timeouts.load(std::memory_order_relaxed);
+    entry["restarts"] = b.restarts.load(std::memory_order_relaxed);
+    entry["last_exit"] = b.last_exit.load(std::memory_order_relaxed);
+    entry["pid"] = b.pid.load(std::memory_order_relaxed);
     fleet.push_back(std::move(entry));
   }
   return ok_response(req.id, std::move(result), /*cached=*/false, "");
@@ -446,6 +523,9 @@ int Router::probe_all() {
   for (const auto& backend : backends_) {
     CallResult r;
     Backend& b = *backend;
+    if (b.quarantined.load(std::memory_order_relaxed)) {
+      continue;  // the supervisor owns reprobing a quarantined backend
+    }
     std::unique_ptr<Client> client = b.borrow(options_.client);
     r = client->call("health", Json::object());
     if (r.ok) {
@@ -453,8 +533,7 @@ int Router::probe_all() {
       b.give_back(std::move(client));
       ++alive;
     } else {
-      b.alive.store(false, std::memory_order_relaxed);
-      b.down_since_ms.store(now_ms(), std::memory_order_relaxed);
+      mark_down(b, r);
     }
   }
   return alive;
@@ -468,9 +547,15 @@ std::vector<RouterBackendStats> Router::backend_stats() const {
     s.name = backend->spec.name;
     s.target = backend->spec.target;
     s.alive = backend->alive.load(std::memory_order_relaxed);
+    s.quarantined = backend->quarantined.load(std::memory_order_relaxed);
     s.forwarded = backend->forwarded.load(std::memory_order_relaxed);
     s.answered = backend->answered.load(std::memory_order_relaxed);
     s.rerouted = backend->rerouted.load(std::memory_order_relaxed);
+    s.conn_refused = backend->conn_refused.load(std::memory_order_relaxed);
+    s.timeouts = backend->timeouts.load(std::memory_order_relaxed);
+    s.restarts = backend->restarts.load(std::memory_order_relaxed);
+    s.last_exit = backend->last_exit.load(std::memory_order_relaxed);
+    s.pid = backend->pid.load(std::memory_order_relaxed);
     out.push_back(std::move(s));
   }
   return out;

@@ -34,9 +34,23 @@
 //
 // A backend marked down is reprobed lazily: after probe_interval_ms it
 // gets one live request again (plus explicit probe_all() sweeps, which
-// shlcp_router runs at startup). `info` and `health` fan out to every
-// backend and aggregate, so one curl of the router answers for the
-// fleet.
+// shlcp_router runs at startup). Transport failures are classified by
+// CallResult::fail_kind: connection-refused means the process is gone
+// (down, reroute) while a timeout means it is alive but slow or wedged
+// -- both reroute, but fleet health counts them separately so the
+// supervisor's wedge detection has a real signal.
+//
+// Quarantine is the harder state (supervisor.h): a backend whose
+// crash-loop breaker is open is *not* merely down -- it is excluded
+// from routing plans, startup probes, and fleet fan-outs entirely, so
+// no request (or aggregation) ever blocks on it. Its ring keys spill
+// to the next replica in preference order, exactly like death, and
+// return when the supervisor closes the breaker. The supervisor pushes
+// quarantine flags, restart counts, last exit status, and pids through
+// set_backend_runtime(); fleet `health` reports them per backend.
+//
+// `info` and `health` fan out to every (non-quarantined) backend and
+// aggregate, so one curl of the router answers for the fleet.
 
 #pragma once
 
@@ -110,9 +124,23 @@ struct RouterBackendStats {
   std::string name;
   std::string target;
   bool alive = true;
+  bool quarantined = false;     // breaker open: excluded from routing
   std::uint64_t forwarded = 0;  // requests attempted on this backend
   std::uint64_t answered = 0;   // ok or verbatim backend error
   std::uint64_t rerouted = 0;   // moved on to the next replica
+  std::uint64_t conn_refused = 0;  // failures with nothing listening
+  std::uint64_t timeouts = 0;      // failures that timed out (slow/wedged)
+  std::uint64_t restarts = 0;      // supervisor-pushed respawn count
+  std::int64_t last_exit = -1;     // supervisor-pushed; -1 = never exited
+  std::int64_t pid = -1;           // supervisor-pushed; -1 = not running
+};
+
+/// Supervisor-pushed runtime state for one backend (supervisor.h).
+struct BackendRuntime {
+  bool quarantined = false;
+  std::uint64_t restarts = 0;
+  std::int64_t last_exit = -1;
+  std::int64_t pid = -1;
 };
 
 class Router : public Dispatcher {
@@ -134,9 +162,23 @@ class Router : public Dispatcher {
     health_.store(health, std::memory_order_release);
   }
 
-  /// Probes every backend with a short `health` call; marks each
-  /// up/down accordingly. Returns the number alive.
+  /// Probes every non-quarantined backend with a short `health` call;
+  /// marks each up/down accordingly (a quarantined backend is skipped
+  /// and counted as not alive). Returns the number alive.
   int probe_all();
+
+  /// Stamps supervisor-owned runtime state onto the named backend.
+  /// Flipping quarantined on removes the backend from every routing
+  /// plan and fan-out until it is flipped off again. Returns false for
+  /// an unknown name.
+  bool set_backend_runtime(const std::string& name,
+                           const BackendRuntime& runtime);
+
+  /// Supervisor hook: force the liveness bit (true right after a
+  /// successful respawn so traffic returns without waiting out the
+  /// lazy reprobe interval; false the moment a crash is reaped).
+  /// Returns false for an unknown name.
+  bool set_backend_alive(const std::string& name, bool alive);
 
   [[nodiscard]] std::vector<RouterBackendStats> backend_stats() const;
 
@@ -153,6 +195,10 @@ class Router : public Dispatcher {
   /// the final answer (ok or verbatim error); false = move to the next
   /// replica.
   bool forward(Backend& b, const Request& req, CallResult* out);
+  Backend* find_backend(const std::string& name);
+  /// Marks b down and bumps its refused/timeout counter per the
+  /// failure kind of `r`.
+  static void mark_down(Backend& b, const CallResult& r);
   Json route(const Request& req);
   Json aggregate_info(const Request& req);
   Json aggregate_health(const Request& req);

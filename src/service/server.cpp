@@ -381,6 +381,15 @@ int serve_transports(const TransportSpec& spec,
     loops[i].join();
     worst = std::max(worst, codes[i]);
   }
+  if (!spec.port_file.empty()) {
+    // The readiness handshake in reverse: remove the published port
+    // file once every loop has exited, so a supervisor or script can
+    // never mistake a previous incarnation's file for a live one. A
+    // crash (SIGKILL) leaves the file behind by definition -- which is
+    // why the supervisor also removes it before each spawn.
+    std::error_code ec;
+    std::filesystem::remove(spec.port_file, ec);
+  }
   return worst;
 }
 

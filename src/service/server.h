@@ -133,7 +133,9 @@ struct TransportSpec {
   std::string http;
   /// When set, a JSON document {"unix": path?, "tcp": port?, "http":
   /// port?} is written here once every requested listener is bound --
-  /// how scripts and bench_fleet discover ephemeral ports.
+  /// how scripts, bench_fleet, and the supervisor discover ephemeral
+  /// ports. Removed again on graceful exit, so the file's existence is
+  /// a truthful readiness signal (a stale file always means a crash).
   std::string port_file;
 };
 

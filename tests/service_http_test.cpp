@@ -194,7 +194,11 @@ TEST(HttpParser, ConnectionHeaderAndVersionResolveKeepAlive) {
 /// down through the cancel token and asserts the drain exit code.
 class HttpGateway : public ::testing::Test {
  protected:
-  void SetUp() override {
+  void SetUp() override { boot(); }
+
+  /// Spawns the gateway with the current options_. Split out of SetUp
+  /// so subclasses can tune admission caps before booting.
+  void boot() {
     options_.cancel = &token_;
     options_.num_threads = 2;
     options_.bound_port = &port_;
@@ -410,6 +414,64 @@ TEST_F(HttpGateway, ConnectionCloseIsHonored) {
   // The server closes after the response: the next read must be EOF.
   char byte;
   EXPECT_EQ(::read(fd, &byte, 1), 0);
+  ::close(fd);
+}
+
+/// The gateway with a per-connection in-flight cap of one: the second
+/// of two pipelined requests is always shed.
+class HttpGatewayShed : public HttpGateway {
+ protected:
+  void SetUp() override {
+    options_.conn_inflight_max = 1;
+    boot();
+  }
+};
+
+TEST_F(HttpGatewayShed, ShedIs429WithRetryAfterConsistentWithTheBody) {
+  // Two pipelined POSTs arrive in one segment; with conn_inflight_max=1
+  // both are admitted-or-shed in the same poll round, so the second is
+  // refused deterministically -- no timing involved. The HTTP mapping
+  // under test: status 429, a Retry-After header in *integral seconds*,
+  // and the header agreeing (ceiling division) with the JSONL envelope's
+  // retry_after_ms for the very same shed decision.
+  const int fd = connect_fd();
+  const std::string body_json =
+      "{\"instance\": \"cycle6\", \"k\": 2}";
+  const std::string post =
+      "POST /v1/check_coloring HTTP/1.1\r\nContent-Length: " +
+      std::to_string(body_json.size()) + "\r\n\r\n" + body_json;
+  send_all(fd, post + post);
+
+  int status = 0;
+  std::string wire;
+  std::string headers;
+  std::string body;
+  ASSERT_TRUE(read_response(fd, &wire, &status, &headers, &body));
+  EXPECT_EQ(status, 200) << body;
+
+  ASSERT_TRUE(read_response(fd, &wire, &status, &headers, &body));
+  EXPECT_EQ(status, 429) << body;
+  const Json envelope = Json::parse(body);
+  ASSERT_FALSE(envelope.at("ok").as_bool());
+  const Json& error = envelope.at("error");
+  EXPECT_EQ(error.at("code").as_string(), "overloaded");
+  ASSERT_TRUE(error.contains("retry_after_ms"));
+  const std::int64_t retry_after_ms = error.at("retry_after_ms").as_int();
+  EXPECT_GT(retry_after_ms, 0);
+
+  const std::size_t at = headers.find("Retry-After: ");
+  ASSERT_NE(at, std::string::npos) << headers;
+  const std::size_t value_start = at + std::strlen("Retry-After: ");
+  const std::size_t value_end = headers.find("\r\n", value_start);
+  ASSERT_NE(value_end, std::string::npos);
+  const std::string value =
+      headers.substr(value_start, value_end - value_start);
+  ASSERT_FALSE(value.empty());
+  for (const char c : value) {
+    EXPECT_TRUE(c >= '0' && c <= '9')
+        << "Retry-After must be integral seconds, got '" << value << "'";
+  }
+  EXPECT_EQ(std::atoll(value.c_str()), (retry_after_ms + 999) / 1000);
   ::close(fd);
 }
 

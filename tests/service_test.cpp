@@ -20,6 +20,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -825,6 +826,54 @@ TEST(SocketServer, ServesSequentialConnectionsAndExitsOnCancel) {
   server.join();
   EXPECT_EQ(exit_code, 0);
   EXPECT_FALSE(fs::exists(path));  // unlinked on exit
+}
+
+TEST(TransportServer, PortFileIsPublishedWhileServingAndRemovedOnDrain) {
+  // The --port-file readiness handshake, both directions: published
+  // (atomically) once the listeners are bound, removed again on a
+  // graceful drain. The reverse direction is what makes a *leftover*
+  // port file a truthful crash marker for the supervisor -- a clean
+  // exit never leaves one behind.
+  const std::string sock =
+      (fs::path(::testing::TempDir()) / "shlcp_pf.sock").string();
+  const std::string port_file =
+      (fs::path(::testing::TempDir()) / "shlcp_pf.ports.json").string();
+  fs::remove(port_file);
+
+  CancelToken token;
+  ServerOptions options;
+  options.cancel = &token;
+  options.num_threads = 2;
+  TransportSpec spec;
+  spec.unix_path = sock;
+  spec.port_file = port_file;
+
+  int exit_code = -1;
+  std::thread server([&] { exit_code = serve_transports(spec, options); });
+
+  bool published = false;
+  for (int attempt = 0; attempt < 250; ++attempt) {
+    if (fs::exists(port_file)) {
+      published = true;
+      break;
+    }
+    ::usleep(20'000);
+  }
+  ASSERT_TRUE(published) << "port file never published";
+  {
+    std::ifstream in(port_file);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const Json ports = Json::parse(buf.str());
+    EXPECT_EQ(ports.at("unix").as_string(), sock);
+  }
+
+  token.request_stop(StopReason::kCancelRequested);
+  server.join();
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_FALSE(fs::exists(port_file))  // the satellite assertion
+      << "graceful exit must remove the port file";
+  EXPECT_FALSE(fs::exists(sock));
 }
 
 }  // namespace

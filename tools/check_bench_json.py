@@ -7,6 +7,7 @@ Usage:
     check_bench_json.py --parallel BENCH_parallel_enum.json
     check_bench_json.py --chaos BENCH_chaos.json
     check_bench_json.py --fleet BENCH_fleet.json
+    check_bench_json.py --supervisor BENCH_supervisor.json
     check_bench_json.py --trace trace.jsonl
     check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
 
@@ -32,6 +33,13 @@ computes fleet-wide (disjoint ownership: the sum of per-backend misses
 equals the distinct-key count), zero reroutes and exact first-preference
 ownership with every backend alive, a backends_1 baseline case plus at
 least one larger fleet, and positive throughput in every case.
+With --supervisor it additionally enforces the self-healing contract of
+EXPERIMENTS.md E23 on a BENCH_supervisor.json: at least 5 SIGKILLed
+backends, zero wrong responses, restarts >= kills (every crash was
+auto-restarted within the budget, no backend left quarantined), the
+warm-restart disk-cache probe passing, and exact stream accounting
+(ok + refused + errors + lost == requests, with errors and lost both
+zero -- the router answers every request even mid-crash).
 With --parallel it additionally enforces the enumeration hot-path
 contract on a BENCH_parallel_enum.json: a sequential case plus a full
 threads_* speedup curve with positive throughput everywhere, the
@@ -341,6 +349,77 @@ def check_fleet(path):
     return ok
 
 
+SUPERVISOR_MIN_KILLS = 5
+SUPERVISOR_STREAM_INTS = ["stream_requests", "stream_ok", "stream_refused",
+                          "stream_errors", "stream_lost"]
+SUPERVISOR_FLAGS = ["budget_ok", "warm_hit_after_restart",
+                    "all_running_at_end", "accounting_exact"]
+
+
+def check_supervisor(path):
+    """check_report plus the BENCH_supervisor.json contract (E23)."""
+    ok = check_report(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return False  # already reported by check_report
+    if not isinstance(doc, dict):
+        return False
+
+    meta = doc.get("meta", {})
+
+    def meta_int(key):
+        v = meta.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            return None
+        return v
+
+    kills = meta_int("kills")
+    if kills is None or kills < SUPERVISOR_MIN_KILLS:
+        ok = fail(path, f"meta.kills must be an integer >= "
+                        f"{SUPERVISOR_MIN_KILLS}, got {meta.get('kills')!r}")
+    if meta_int("wrong_responses") != 0:
+        ok = fail(path, "meta.wrong_responses must be exactly 0 (a routed "
+                        "response differed from the oracle)")
+    restarts = meta_int("restarts")
+    if restarts is None or kills is None or restarts < kills:
+        ok = fail(path, f"meta.restarts ({meta.get('restarts')!r}) must be "
+                        f">= meta.kills ({meta.get('kills')!r}): every "
+                        "SIGKILL must have been auto-restarted")
+    if meta.get("any_quarantined") is not False:
+        ok = fail(path, "meta.any_quarantined must be false (spaced kills "
+                        "must never trip the crash-loop breaker)")
+    for key in SUPERVISOR_FLAGS:
+        if meta.get(key) is not True:
+            ok = fail(path, f"meta.{key} must be true, got {meta.get(key)!r}")
+
+    values = {}
+    for key in SUPERVISOR_STREAM_INTS:
+        v = meta_int(key)
+        if v is None:
+            ok = fail(path, f"meta.{key} must be a non-negative integer, "
+                            f"got {meta.get(key)!r}")
+        values[key] = v
+    if all(v is not None for v in values.values()):
+        if values["stream_requests"] == 0:
+            ok = fail(path, "meta.stream_requests is 0: the load stream "
+                            "never ran")
+        else:
+            accounted = (values["stream_ok"] + values["stream_refused"]
+                         + values["stream_errors"] + values["stream_lost"])
+            if accounted != values["stream_requests"]:
+                ok = fail(path, "stream accounting is inexact: ok + refused "
+                                f"+ errors + lost = {accounted} != requests "
+                                f"= {values['stream_requests']}")
+            for key in ("stream_errors", "stream_lost"):
+                if values[key] != 0:
+                    ok = fail(path, f"meta.{key} must be 0 (the router must "
+                                    "answer every request even mid-crash), "
+                                    f"got {values[key]}")
+    return ok
+
+
 PARALLEL_CASE_INTS = ["canonical_computes", "fingerprint_hits",
                       "fingerprint_misses", "steals", "chunks_adaptive"]
 PARALLEL_CASE_FLOATS = ["seconds", "instances_per_sec", "speedup"]
@@ -524,6 +603,8 @@ def main(argv):
         paths, checker = argv[2:], check_chaos
     elif argv[1] == "--fleet":
         paths, checker = argv[2:], check_fleet
+    elif argv[1] == "--supervisor":
+        paths, checker = argv[2:], check_supervisor
     elif argv[1] == "--trace":
         paths, checker = argv[2:], check_trace
     elif argv[1] == "--ckpt":
