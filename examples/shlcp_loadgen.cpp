@@ -57,6 +57,19 @@
 //                        src/service/chaos.h), e.g. the REPRO string of
 //                        a chaos bench failure
 //
+// Interactive mode (--interactive; --socket or --tcp): instead of the
+// stateless 4-endpoint mix, each of C workers drives honest
+// commit-reveal k-coloring sessions end to end over session_open /
+// session_step (schema shlcp.ia.v1): per round, commit to a freshly
+// permuted coloring of the pool instance, receive the server's edge
+// challenge, open the two endpoints. --requests counts whole sessions,
+// --rounds sets the per-session round count. Session ids stay out of
+// the reserved c<digits> retry-alias namespace (see service/proto.h).
+// The run fails if any honest session is rejected or errors out.
+//
+//   --interactive        drive commit-reveal sessions instead of the mix
+//   --rounds R           challenge rounds per session (default 2)
+//
 // Exit status: 0 iff every response was ok (or an allowed refusal) and
 // the hit-rate / SLO requirements (if any) held.
 
@@ -80,15 +93,22 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "interactive/commit.h"
+#include "interactive/protocol.h"
 #include "service/chaos.h"
 #include "service/client.h"
 #include "service/proto.h"
 #include "sim/faults.h"
 #include "util/check.h"
+#include "util/format.h"
 #include "util/json.h"
 #include "util/rng.h"
 
 namespace {
+
+using shlcp::mix64;
 
 using shlcp::FaultPlan;
 using shlcp::Json;
@@ -270,12 +290,6 @@ std::uint64_t percentile(std::vector<std::uint64_t> xs, double p) {
   const std::size_t i = static_cast<std::size_t>(
       p * static_cast<double>(xs.size() - 1) + 0.5);
   return xs[std::min(i, xs.size() - 1)];
-}
-
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
 }
 
 /// Resilient mode: `concurrency` threads, each driving its own Client
@@ -468,6 +482,159 @@ int run_resilient(const std::string& target, std::uint64_t total,
   return 0;
 }
 
+/// Interactive mode: C workers, each driving honest commit-reveal
+/// sessions end to end through its own Client. One session is live per
+/// worker at a time, so the daemon's per-connection cap is never in
+/// play; a refused or rejected honest session is a failure. Session ids
+/// are "lg-<worker>-<index>", outside the reserved c<digits> namespace.
+int run_interactive(const std::string& target, std::uint64_t total,
+                    std::uint64_t concurrency, std::uint64_t seed,
+                    std::uint64_t rounds,
+                    const shlcp::svc::ClientOptions& base_options) {
+  const shlcp::Graph cycle = shlcp::make_cycle(6);
+  const std::optional<std::vector<int>> coloring =
+      shlcp::k_coloring(cycle, 2);
+  if (!coloring.has_value()) {
+    std::fprintf(stderr, "loadgen: cycle6 has no 2-coloring?\n");
+    return 1;
+  }
+  struct WorkerOut {
+    std::uint64_t sessions = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t errors = 0;
+    std::vector<std::uint64_t> latencies_us;  // whole-session latency
+  };
+  std::vector<WorkerOut> outs(concurrency);
+  std::vector<std::thread> workers;
+  const std::uint64_t t0 = now_us();
+  for (std::uint64_t w = 0; w < concurrency; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerOut& out = outs[w];
+      shlcp::svc::ClientOptions options = base_options;
+      options.retry.seed = mix64(options.retry.seed ^ (0xBAC0FFULL + w));
+      shlcp::svc::Client client(
+          shlcp::svc::Client::connector_for(target, options.chaos), options);
+      for (std::uint64_t i = w; i < total; i += concurrency) {
+        const std::string id = shlcp::format(
+            "lg-%llu-%llu", static_cast<unsigned long long>(w),
+            static_cast<unsigned long long>(i));
+        const std::uint64_t sent_us = now_us();
+        ++out.sessions;
+        Json open_params = Json::object();
+        open_params["session"] = id;
+        open_params["instance"] = "cycle6";
+        open_params["k"] = 2;
+        open_params["rounds"] = rounds;
+        // The wire carries signed ints; keep the per-session seed in
+        // the int63 range the server can read back.
+        open_params["seed"] =
+            static_cast<std::int64_t>(mix64(seed ^ i) >> 1);
+        shlcp::svc::CallResult r =
+            client.call("session_open", open_params, 0);
+        if (!r.ok) {
+          ++out.errors;
+          std::fprintf(stderr, "loadgen: [session_open %s] %s: %s\n",
+                       id.c_str(), r.error_code.c_str(),
+                       r.error_detail.c_str());
+          continue;
+        }
+        shlcp::ia::CommitProver prover(*coloring, 2, id, mix64(seed + i));
+        bool verdict = false;
+        bool failed = false;
+        for (std::uint64_t round = 0; round < rounds && !failed; ++round) {
+          Json commit = Json::object();
+          commit["type"] = "commit";
+          Json& arr = (commit["commitments"] = Json::array());
+          for (const std::uint64_t c : prover.commit_round()) {
+            arr.push_back(shlcp::ia::hex16(c));
+          }
+          Json params = Json::object();
+          params["session"] = id;
+          params["msg"] = std::move(commit);
+          r = client.call("session_step", params, 0);
+          if (!r.ok) {
+            failed = true;
+            break;
+          }
+          const Json committed = Json::parse(r.result_dump);
+          const Json& challenge = committed.at("reply").at("challenge");
+          Json open = Json::object();
+          open["type"] = "open";
+          Json& opens = (open["opens"] = Json::array());
+          for (std::size_t e = 0; e < 2; ++e) {
+            const shlcp::ia::Opening o =
+                prover.open(static_cast<int>(challenge.at(e).as_int()));
+            Json& entry = opens.push_back(Json::array());
+            entry.push_back(o.node);
+            entry.push_back(o.color);
+            entry.push_back(shlcp::ia::hex16(o.nonce));
+          }
+          Json open_step = Json::object();
+          open_step["session"] = id;
+          open_step["msg"] = std::move(open);
+          r = client.call("session_step", open_step, 0);
+          if (!r.ok) {
+            failed = true;
+            break;
+          }
+          const Json stepped = Json::parse(r.result_dump);
+          if (stepped.at("completed").as_bool()) {
+            verdict = stepped.at("reply").at("verdict").as_bool();
+          }
+        }
+        if (failed) {
+          ++out.errors;
+          std::fprintf(stderr, "loadgen: [session %s] %s: %s\n", id.c_str(),
+                       r.error_code.c_str(), r.error_detail.c_str());
+          // Best-effort cleanup so a half-done session does not linger
+          // until the TTL sweep.
+          Json close_params = Json::object();
+          close_params["session"] = id;
+          client.call("session_close", close_params, 0);
+          continue;
+        }
+        if (verdict) {
+          ++out.accepted;
+        } else {
+          ++out.errors;
+          std::fprintf(stderr,
+                       "loadgen: [session %s] honest session rejected\n",
+                       id.c_str());
+        }
+        out.latencies_us.push_back(now_us() - sent_us);
+      }
+    });
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+  const double elapsed_s = static_cast<double>(now_us() - t0) / 1e6;
+
+  std::uint64_t sessions = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t errors = 0;
+  std::vector<std::uint64_t> overall_us;
+  for (WorkerOut& out : outs) {
+    sessions += out.sessions;
+    accepted += out.accepted;
+    errors += out.errors;
+    overall_us.insert(overall_us.end(), out.latencies_us.begin(),
+                      out.latencies_us.end());
+  }
+  std::printf(
+      "interactive: %llu sessions in %.2fs (%.1f sessions/s), %llu rounds "
+      "each, %llu accepted, %llu errors\n",
+      static_cast<unsigned long long>(sessions), elapsed_s,
+      elapsed_s > 0 ? static_cast<double>(sessions) / elapsed_s : 0.0,
+      static_cast<unsigned long long>(rounds),
+      static_cast<unsigned long long>(accepted),
+      static_cast<unsigned long long>(errors));
+  std::printf("session_p50_us=%llu session_p99_us=%llu\n",
+              static_cast<unsigned long long>(percentile(overall_us, 0.50)),
+              static_cast<unsigned long long>(percentile(overall_us, 0.99)));
+  return errors == 0 && accepted == sessions ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -489,6 +656,8 @@ int main(int argc, char** argv) {
   int retries = 1;
   std::uint64_t backoff_ms = 10;
   std::string chaos_desc;
+  bool interactive = false;
+  std::uint64_t rounds = 2;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -535,6 +704,10 @@ int main(int argc, char** argv) {
       backoff_ms = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--chaos") {
       chaos_desc = next();
+    } else if (arg == "--interactive") {
+      interactive = true;
+    } else if (arg == "--rounds") {
+      rounds = std::strtoull(next(), nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s (--spawn SHLCPD | --socket PATH | --tcp "
@@ -543,7 +716,8 @@ int main(int argc, char** argv) {
                    "[--deadline-ms D] [--allow-refused] "
                    "[--require-hit-rate X] [--slo-p99-us X] "
                    "[--open-loop] [--rate R] [--timeout-ms T] [--retries R] "
-                   "[--backoff-ms B] [--chaos DESC]\n",
+                   "[--backoff-ms B] [--chaos DESC] "
+                   "[--interactive] [--rounds R]\n",
                    argv[0]);
       return 2;
     }
@@ -564,6 +738,27 @@ int main(int argc, char** argv) {
     return 2;
   }
   concurrency = std::max<std::uint64_t>(1, std::min(concurrency, total));
+
+  if (interactive) {
+    if (spawn_path != nullptr) {
+      std::fprintf(stderr, "%s: --interactive needs --socket or --tcp\n",
+                   argv[0]);
+      return 2;
+    }
+    if (rounds == 0) {
+      std::fprintf(stderr, "%s: --rounds must be positive\n", argv[0]);
+      return 2;
+    }
+    shlcp::svc::ClientOptions options;
+    options.timeout_ms = timeout_ms;
+    options.retry.max_attempts = std::max(retries, 1);
+    options.retry.base_backoff_ms = backoff_ms;
+    options.retry.seed = seed;
+    const std::string target = socket_path != nullptr
+                                   ? "unix:" + std::string(socket_path)
+                                   : "tcp:" + tcp;
+    return run_interactive(target, total, concurrency, seed, rounds, options);
+  }
 
   const bool resilient = retries > 1 || !chaos_desc.empty() || open_loop;
   if (resilient) {

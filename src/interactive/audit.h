@@ -1,0 +1,146 @@
+// Audited invariants of the interactive protocol: binding, hiding, and
+// the soundness-amplification envelope.
+//
+// These extend the lcp/audit invariant family ("completeness",
+// "soundness", "degraded-view", "attribution") with two interactive
+// ones, reported through the same AuditReport/AuditFinding machinery so
+// bench gates and repro conventions carry over:
+//
+//   "binding"  no prover can open two colors for one commitment, a
+//              replayed opening is strictly rejected, and a transcript
+//              attacked in transit (byte corruption in the style of
+//              service/chaos.h's ChaosPlan, keyed by the same
+//              seed/permille discipline) can never yield an accepting
+//              session whose transcript fails independent
+//              re-verification. The audit runs a bounded
+//              second-preimage search against the commitment plus
+//              machine-level forgery/replay/corruption drills.
+//
+//   "hiding"   the transcript leaks nothing about the coloring: for a
+//              proper coloring, the ordered color pair revealed on the
+//              challenged edge is uniform over the k*(k-1) distinct
+//              pairs -- the *same* distribution for every proper
+//              coloring, which is exactly distribution-independence.
+//              Checked with a chi-square test against uniform, run
+//              per ground-truth coloring across permutation-randomized
+//              sessions (threshold via the Wilson-Hilferty cube-root
+//              approximation at z = 3.09, alpha ~ 1e-3).
+//
+// measure_amplification records the cheating-prover acceptance curve:
+// a prover whose best coloring leaves >= 1 monochromatic edge survives
+// R rounds with probability <= (1 - 1/m)^R; bench_interactive gates the
+// measured curve against that envelope plus binomial noise.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "interactive/protocol.h"
+#include "lcp/audit.h"
+
+namespace shlcp::ia {
+
+/// One transcript attack: per-message byte corruption at
+/// `corrupt_permille`, keyed by (seed, message index) via Rng::stream.
+/// Mirrors service/chaos.h's ChaosPlan fields so the bench can replay
+/// the standard chaos family against session transcripts verbatim.
+struct TranscriptAttack {
+  std::string label;
+  std::uint64_t seed = 0;
+  int corrupt_permille = 0;
+};
+
+/// The default attack family: off / light / heavy / always corruption.
+std::vector<TranscriptAttack> standard_attacks(std::uint64_t seed);
+
+struct BindingAuditOptions {
+  std::uint64_t seed = 0xB1D1;
+  std::uint64_t rounds = 4;
+  /// Honest sessions driven through the JSON adapter per attack.
+  int sessions_per_attack = 4;
+  /// Nonce tries per wrong color in the second-preimage search.
+  int forgery_attempts = 2048;
+  /// Machine-level forged opens (each needs a fresh session).
+  int machine_forgeries = 16;
+  /// Empty -> standard_attacks(seed).
+  std::vector<TranscriptAttack> attacks;
+};
+
+struct BindingAuditResult {
+  AuditReport report;
+  std::uint64_t sessions = 0;
+  std::uint64_t forgeries_tried = 0;
+  std::uint64_t replays_tried = 0;
+  std::uint64_t corrupted_messages = 0;
+  std::uint64_t violations = 0;  // == report.findings with "binding"
+};
+
+/// `coloring` must be proper for (g, k) -- the honest sessions the
+/// attacks ride on have to be acceptable in the first place.
+BindingAuditResult audit_interactive_binding(const std::string& instance_name,
+                                             const Graph& g,
+                                             const std::vector<int>& coloring,
+                                             int k,
+                                             const BindingAuditOptions& opt);
+
+struct HidingAuditOptions {
+  std::uint64_t seed = 0x41D1;
+  /// Sessions per ground-truth coloring.
+  int sessions = 64;
+  std::uint64_t rounds = 8;
+  /// One-sided normal quantile of the chi-square threshold
+  /// (Wilson-Hilferty); 3.09 ~ alpha 1e-3.
+  double z = 3.09;
+};
+
+struct HidingColoringStat {
+  double chi2 = 0.0;
+  std::uint64_t samples = 0;
+  bool ok = false;
+};
+
+struct HidingAuditResult {
+  AuditReport report;
+  int df = 0;
+  double threshold = 0.0;
+  std::vector<HidingColoringStat> per_coloring;
+};
+
+/// Every entry of `colorings` must be proper for (g, k).
+HidingAuditResult audit_interactive_hiding(
+    const std::string& instance_name, const Graph& g,
+    const std::vector<std::vector<int>>& colorings, int k,
+    const HidingAuditOptions& opt);
+
+/// Wilson-Hilferty chi-square upper critical value for `df` degrees of
+/// freedom at one-sided normal quantile `z`.
+double chi_square_threshold(int df, double z);
+
+struct AmplificationOptions {
+  std::uint64_t seed = 0xA3B1;
+  int sessions = 256;  // per round count
+  std::vector<std::uint64_t> round_counts = {1, 2, 4, 8};
+  double slack_z = 3.0;
+};
+
+struct AmplificationPoint {
+  std::uint64_t rounds = 0;
+  int sessions = 0;
+  int accepted = 0;
+  double rate = 0.0;
+  double envelope = 0.0;  // (1 - 1/m)^rounds
+  double sigma = 0.0;     // binomial noise at the envelope
+  bool within = false;    // rate <= envelope + slack_z * sigma
+};
+
+/// Runs cheating sessions (the prover commits `cheat_coloring`, which
+/// must have >= 1 monochromatic edge) and measures acceptance per round
+/// count against the (1 - 1/m)^R envelope.
+std::vector<AmplificationPoint> measure_amplification(
+    const Graph& g, const std::vector<int>& cheat_coloring, int k,
+    const AmplificationOptions& opt);
+
+}  // namespace shlcp::ia

@@ -1,0 +1,191 @@
+#include "interactive/protocol.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace shlcp::ia {
+
+namespace {
+
+/// Pulls an integer member with a range check; StateError is not
+/// appropriate here -- open-time validation throws CheckError so the
+/// service reports invalid_params.
+std::int64_t open_param_int(const Json& params, std::string_view key,
+                            std::int64_t def, std::int64_t lo,
+                            std::int64_t hi) {
+  if (!params.contains(key)) {
+    return def;
+  }
+  const Json& v = params.at(key);
+  SHLCP_CHECK_MSG(v.is_integer(),
+                  format("'%s' must be an integer", std::string(key).c_str()));
+  const std::int64_t x = v.as_int();
+  SHLCP_CHECK_MSG(
+      x >= lo && x <= hi,
+      format("'%s' must be in [%lld, %lld]", std::string(key).c_str(),
+             static_cast<long long>(lo), static_cast<long long>(hi)));
+  return x;
+}
+
+[[noreturn]] void bad_msg(std::string why) { throw StateError(std::move(why)); }
+
+std::uint64_t msg_hex(const Json& v, const char* what) {
+  if (!v.is_string()) {
+    bad_msg(format("%s must be a 16-hex-digit string", what));
+  }
+  const std::optional<std::uint64_t> parsed = parse_hex64(v.as_string());
+  if (!parsed) {
+    bad_msg(format("%s is not a hex value: '%s'", what,
+                   v.as_string().c_str()));
+  }
+  return *parsed;
+}
+
+}  // namespace
+
+KColCommitSession::KColCommitSession(Graph g, int k, std::uint64_t rounds,
+                                     std::uint64_t challenge_seed,
+                                     std::string session_id)
+    : machine_(std::move(g), k, rounds, challenge_seed,
+               std::move(session_id)) {}
+
+Json KColCommitSession::step(const Json& msg) {
+    if (!msg.is_object() || !msg.contains("type") ||
+        !msg.at("type").is_string()) {
+      bad_msg("session message must be an object with a string 'type'");
+    }
+    const std::string& type = msg.at("type").as_string();
+    StepOutcome out;
+    if (type == "commit") {
+      out = machine_.on_commit(parse_commitments(msg));
+    } else if (type == "open") {
+      const auto [a, b] = parse_opens(msg);
+      out = machine_.on_open(a, b);
+    } else {
+      bad_msg(format("unknown message type '%s' (known: commit, open)",
+                     type.c_str()));
+    }
+    if (!out.accepted) {
+      bad_msg(out.error);
+    }
+    Json reply = Json::object();
+    reply["schema"] = kInteractiveSchema;
+    reply["state"] = to_string(out.state);
+    reply["rounds_done"] = out.rounds_done;
+    if (out.challenge) {
+      Json& ch = (reply["challenge"] = Json::array());
+      ch.push_back(out.challenge->u);
+      ch.push_back(out.challenge->v);
+    }
+    if (out.round_ok) {
+      reply["round_ok"] = *out.round_ok;
+      if (!out.round_fail.empty()) {
+        reply["round_fail"] = out.round_fail;
+      }
+    }
+    if (out.verdict) {
+      reply["verdict"] = *out.verdict;
+    }
+    return reply;
+}
+
+bool KColCommitSession::done() const {
+  return machine_.state() == SessionState::kDone;
+}
+
+Json KColCommitSession::describe() const {
+    Json d = Json::object();
+    d["schema"] = kInteractiveSchema;
+    d["protocol"] = "kcol-commit";
+    d["state"] = to_string(machine_.state());
+    d["rounds_done"] = machine_.rounds_done();
+    d["rounds"] = machine_.rounds();
+    d["n"] = machine_.graph().num_nodes();
+    d["m"] = machine_.graph().num_edges();
+    d["k"] = machine_.k();
+    if (machine_.state() == SessionState::kDone) {
+      d["verdict"] = machine_.verdict();
+    }
+    return d;
+}
+
+std::vector<std::uint64_t> KColCommitSession::parse_commitments(
+    const Json& msg) const {
+    if (!msg.contains("commitments") || !msg.at("commitments").is_array()) {
+      bad_msg("commit message needs a 'commitments' array");
+    }
+    std::vector<std::uint64_t> commits;
+    commits.reserve(msg.at("commitments").size());
+    for (const Json& c : msg.at("commitments").items()) {
+      commits.push_back(msg_hex(c, "each commitment"));
+    }
+    return commits;
+}
+
+std::pair<Opening, Opening> KColCommitSession::parse_opens(
+    const Json& msg) const {
+    if (!msg.contains("opens") || !msg.at("opens").is_array() ||
+        msg.at("opens").size() != 2) {
+      bad_msg("open message needs an 'opens' array of exactly 2 entries");
+    }
+    Opening parsed[2];
+    for (std::size_t i = 0; i < 2; ++i) {
+      const Json& o = msg.at("opens").at(i);
+      if (!o.is_array() || o.size() != 3 || !o.at(0).is_integer() ||
+          !o.at(1).is_integer()) {
+        bad_msg("each open entry must be [node, color, \"<nonce hex>\"]");
+      }
+      parsed[i].node = static_cast<int>(o.at(0).as_int());
+      parsed[i].color = static_cast<int>(o.at(1).as_int());
+      parsed[i].nonce = msg_hex(o.at(2), "each nonce");
+    }
+    return {parsed[0], parsed[1]};
+}
+
+std::string hex16(std::uint64_t v) {
+  return format("%016llx", static_cast<unsigned long long>(v));
+}
+
+std::optional<std::uint64_t> parse_hex64(std::string_view s) {
+  if (s.empty() || s.size() > 16) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    int digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return v;
+}
+
+std::unique_ptr<InteractiveSession> KColCommitProtocol::open(
+    const OpenContext& ctx) const {
+  SHLCP_CHECK_MSG(ctx.graph.num_edges() >= 1,
+                  "kcol-commit: the instance needs at least one edge");
+  const int k =
+      static_cast<int>(open_param_int(*ctx.params, "k", 2, 2, 64));
+  const auto rounds = static_cast<std::uint64_t>(
+      open_param_int(*ctx.params, "rounds", 8, 1, 4096));
+  return std::make_unique<KColCommitSession>(ctx.graph, k, rounds,
+                                             ctx.challenge_seed,
+                                             ctx.session_id);
+}
+
+std::vector<std::unique_ptr<InteractiveProtocol>> standard_protocols() {
+  std::vector<std::unique_ptr<InteractiveProtocol>> protocols;
+  protocols.push_back(std::make_unique<KColCommitProtocol>());
+  return protocols;
+}
+
+}  // namespace shlcp::ia

@@ -1,0 +1,131 @@
+// Property-generic interactive session interface + the k-coloring
+// commit-reveal protocol behind it.
+//
+// The hiding framework is not k-coloring-specific (the same authors'
+// follow-up, arXiv 2502.13854, applies it to bipartiteness), so the
+// session plumbing -- the service's SessionTable, the wire ops, the
+// loadgen workload -- talks to sessions only through this interface.
+// A new certified property plugs in by implementing InteractiveProtocol
+// and registering it in standard_protocols(); the service, router
+// affinity, TTL accounting, and bench harness come for free.
+//
+// Message adapter contract (wire schema shlcp.ia.v1): a session step is
+// one JSON object with a "type" member. For kcol-commit:
+//
+//   {"type": "commit", "commitments": ["<16 hex>", ...]}   one per node
+//     reply: {"schema", "state": "await_open", "rounds_done",
+//             "challenge": [u, v]}
+//   {"type": "open", "opens": [[node, color, "<16 hex nonce>"], x2]}
+//     reply: {"schema", "state", "rounds_done", "round_ok",
+//             "round_fail"?, "verdict"? }
+//
+// A message that is malformed or does not fit the session's current
+// state throws StateError: the session is *unchanged* and the service
+// surfaces the wire error "session_state" (HTTP 409). This mirrors
+// SessionMachine's strict-transition rule one layer up.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "interactive/session.h"
+#include "util/json.h"
+
+namespace shlcp::ia {
+
+/// Thrown by InteractiveSession::step on a message that is rejected
+/// without touching session state (wire code "session_state").
+class StateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One live session, protocol-agnostic.
+class InteractiveSession {
+ public:
+  virtual ~InteractiveSession() = default;
+
+  /// Delivers one prover message and returns the verifier's reply.
+  /// Throws StateError on strict rejection (session unchanged).
+  virtual Json step(const Json& msg) = 0;
+
+  /// True once the session reached its verdict (no further steps).
+  [[nodiscard]] virtual bool done() const = 0;
+
+  /// State snapshot: {"schema", "protocol", "state", "rounds_done",
+  /// ...protocol extras}. Session open/close replies embed it.
+  [[nodiscard]] virtual Json describe() const = 0;
+};
+
+/// Everything a protocol gets to open a session. The host resolves
+/// params["instance"] to a Graph up front (every graph-property
+/// protocol needs one); protocol-specific members stay in `params`.
+struct OpenContext {
+  std::string session_id;
+  Graph graph;
+  const Json* params = nullptr;
+  std::uint64_t challenge_seed = 0;
+};
+
+class InteractiveProtocol {
+ public:
+  virtual ~InteractiveProtocol() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Validates params and opens a session. Throws CheckError on bad
+  /// parameters (the service maps it to invalid_params).
+  [[nodiscard]] virtual std::unique_ptr<InteractiveSession> open(
+      const OpenContext& ctx) const = 0;
+};
+
+/// Commit-reveal k-colorability (interactive/session.h). Params:
+/// "k" (int, default 2, range [2, 64]) and "rounds" (int, default 8,
+/// range [1, 4096]).
+class KColCommitProtocol : public InteractiveProtocol {
+ public:
+  [[nodiscard]] std::string name() const override { return "kcol-commit"; }
+  [[nodiscard]] std::unique_ptr<InteractiveSession> open(
+      const OpenContext& ctx) const override;
+};
+
+/// The kcol-commit session: the JSON message adapter over
+/// SessionMachine. Public (rather than hidden behind the factory) so
+/// the binding audit can drive byte-corrupted messages through the
+/// *real* wire adapter and still re-verify the underlying transcript.
+class KColCommitSession : public InteractiveSession {
+ public:
+  KColCommitSession(Graph g, int k, std::uint64_t rounds,
+                    std::uint64_t challenge_seed, std::string session_id);
+
+  Json step(const Json& msg) override;
+  [[nodiscard]] bool done() const override;
+  [[nodiscard]] Json describe() const override;
+
+  [[nodiscard]] const SessionMachine& machine() const { return machine_; }
+
+ private:
+  std::vector<std::uint64_t> parse_commitments(const Json& msg) const;
+  std::pair<Opening, Opening> parse_opens(const Json& msg) const;
+
+  SessionMachine machine_;
+};
+
+/// All shipped interactive protocols, in registration order.
+std::vector<std::unique_ptr<InteractiveProtocol>> standard_protocols();
+
+/// "%016llx" of `v` -- the wire spelling of commitments and nonces.
+std::string hex16(std::uint64_t v);
+
+/// Parses 1..16 hex digits; nullopt on anything else.
+std::optional<std::uint64_t> parse_hex64(std::string_view s);
+
+}  // namespace shlcp::ia

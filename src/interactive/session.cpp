@@ -1,0 +1,209 @@
+#include "interactive/session.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace shlcp::ia {
+
+const char* to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kAwaitCommit:
+      return "await_commit";
+    case SessionState::kAwaitOpen:
+      return "await_open";
+    case SessionState::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+SessionMachine::SessionMachine(Graph g, int k, std::uint64_t rounds,
+                               std::uint64_t challenge_seed,
+                               std::string session_id)
+    : g_(std::move(g)),
+      k_(k),
+      rounds_(rounds),
+      challenge_seed_(challenge_seed),
+      session_id_(std::move(session_id)) {
+  SHLCP_CHECK_MSG(g_.num_edges() >= 1,
+                  "SessionMachine: a challenge needs at least one edge");
+  SHLCP_CHECK_MSG(k_ >= 2, "SessionMachine: need k >= 2");
+  SHLCP_CHECK_MSG(rounds_ >= 1, "SessionMachine: need rounds >= 1");
+}
+
+Edge SessionMachine::challenge_for(std::uint64_t round) const {
+  Rng rng = Rng::stream(challenge_seed_, kDomChallenge, round);
+  const auto m = static_cast<std::uint64_t>(g_.num_edges());
+  return g_.edges()[static_cast<std::size_t>(rng.next_below(m))];
+}
+
+StepOutcome SessionMachine::snapshot() const {
+  StepOutcome out;
+  out.accepted = true;
+  out.state = state_;
+  out.rounds_done = rounds_done_;
+  if (state_ == SessionState::kDone) {
+    out.verdict = verdict_;
+  }
+  return out;
+}
+
+StepOutcome SessionMachine::reject(std::string why) const {
+  StepOutcome out;
+  out.accepted = false;
+  out.error = std::move(why);
+  out.state = state_;
+  out.rounds_done = rounds_done_;
+  return out;
+}
+
+StepOutcome SessionMachine::on_commit(
+    const std::vector<std::uint64_t>& commitments) {
+  if (state_ != SessionState::kAwaitCommit) {
+    return reject(format("commit in state %s (round %llu)", to_string(state_),
+                         static_cast<unsigned long long>(rounds_done_)));
+  }
+  if (static_cast<int>(commitments.size()) != g_.num_nodes()) {
+    return reject(format("commit must cover every node: got %zu, need %d",
+                         commitments.size(), g_.num_nodes()));
+  }
+  RoundRecord rec;
+  rec.commitments = commitments;
+  rec.challenge = challenge_for(rounds_done_);
+  transcript_.push_back(std::move(rec));
+  state_ = SessionState::kAwaitOpen;
+
+  StepOutcome out = snapshot();
+  out.challenge = transcript_.back().challenge;
+  return out;
+}
+
+StepOutcome SessionMachine::on_open(const Opening& a, const Opening& b) {
+  if (state_ != SessionState::kAwaitOpen) {
+    return reject(format("open in state %s (round %llu)", to_string(state_),
+                         static_cast<unsigned long long>(rounds_done_)));
+  }
+  RoundRecord& rec = transcript_.back();
+  const Edge ch = rec.challenge;
+  // Shape first: both challenged endpoints, each exactly once. A
+  // mismatch is a strict rejection (session unchanged) -- the prover
+  // answered the wrong question, it was not caught cheating.
+  const Opening* for_u = nullptr;
+  const Opening* for_v = nullptr;
+  for (const Opening* o : {&a, &b}) {
+    if (o->node == ch.u && for_u == nullptr) {
+      for_u = o;
+    } else if (o->node == ch.v && for_v == nullptr) {
+      for_v = o;
+    } else {
+      return reject(format(
+          "open must reveal exactly the challenged edge {%d, %d}; got node %d",
+          ch.u, ch.v, o->node));
+    }
+  }
+
+  // Verification: from here on the message is an answer to the
+  // challenge, and any failure consumes the session.
+  rec.opened = true;
+  rec.open_u = *for_u;
+  rec.open_v = *for_v;
+  std::string fail;
+  for (const Opening* o : {for_u, for_v}) {
+    if (o->color < 0 || o->color >= k_) {
+      fail = format("node %d revealed color %d outside [0, %d)", o->node,
+                    o->color, k_);
+      break;
+    }
+    const std::uint64_t expect =
+        rec.commitments[static_cast<std::size_t>(o->node)];
+    const std::uint64_t got =
+        commitment(session_id_, rounds_done_, o->node, o->color, o->nonce);
+    if (got != expect) {
+      fail = format("node %d opening does not bind: commitment %016llx, "
+                    "opened to %016llx",
+                    o->node, static_cast<unsigned long long>(expect),
+                    static_cast<unsigned long long>(got));
+      break;
+    }
+  }
+  if (fail.empty() && for_u->color == for_v->color) {
+    fail = format("challenged edge {%d, %d} is monochromatic (color %d)",
+                  ch.u, ch.v, for_u->color);
+  }
+
+  rec.ok = fail.empty();
+  rec.fail = fail;
+  StepOutcome out;
+  if (rec.ok) {
+    ++rounds_done_;
+    if (rounds_done_ == rounds_) {
+      state_ = SessionState::kDone;
+      verdict_ = true;
+    } else {
+      state_ = SessionState::kAwaitCommit;
+    }
+  } else {
+    state_ = SessionState::kDone;
+    verdict_ = false;
+  }
+  out = snapshot();
+  out.round_ok = rec.ok;
+  out.round_fail = rec.fail;
+  return out;
+}
+
+std::string SessionMachine::verify_transcript() const {
+  for (std::size_t r = 0; r < transcript_.size(); ++r) {
+    const RoundRecord& rec = transcript_[r];
+    const auto round = static_cast<std::uint64_t>(r);
+    if (static_cast<int>(rec.commitments.size()) != g_.num_nodes()) {
+      return format("round %zu: %zu commitments for %d nodes", r,
+                    rec.commitments.size(), g_.num_nodes());
+    }
+    if (!(rec.challenge == challenge_for(round))) {
+      return format("round %zu: challenge {%d, %d} is not the seeded draw", r,
+                    rec.challenge.u, rec.challenge.v);
+    }
+    if (!rec.opened) {
+      continue;  // session ended (or was abandoned) before the opening
+    }
+    const bool shape_ok = rec.open_u.node == rec.challenge.u &&
+                          rec.open_v.node == rec.challenge.v;
+    if (!shape_ok) {
+      return format("round %zu: openings {%d, %d} do not match challenge "
+                    "{%d, %d}",
+                    r, rec.open_u.node, rec.open_v.node, rec.challenge.u,
+                    rec.challenge.v);
+    }
+    bool binds = true;
+    for (const Opening* o : {&rec.open_u, &rec.open_v}) {
+      binds = binds && o->color >= 0 && o->color < k_ &&
+              commitment(session_id_, round, o->node, o->color, o->nonce) ==
+                  rec.commitments[static_cast<std::size_t>(o->node)];
+    }
+    const bool judged_ok =
+        binds && rec.open_u.color != rec.open_v.color;
+    if (judged_ok != rec.ok) {
+      return format("round %zu: recorded verdict %s disagrees with "
+                    "re-verification %s",
+                    r, rec.ok ? "ok" : "fail", judged_ok ? "ok" : "fail");
+    }
+  }
+  if (state_ == SessionState::kDone && verdict_) {
+    if (rounds_done_ != rounds_) {
+      return format("accepted after %llu of %llu rounds",
+                    static_cast<unsigned long long>(rounds_done_),
+                    static_cast<unsigned long long>(rounds_));
+    }
+    for (const RoundRecord& rec : transcript_) {
+      if (!rec.opened || !rec.ok) {
+        return "accepted with an unopened or failed round in the transcript";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace shlcp::ia

@@ -1,0 +1,131 @@
+// The verifier's session state machine of the interactive protocol.
+//
+// SessionMachine is pure: no clocks, no transport, no locks -- one
+// instance is one session's verifier, fed prover messages and returning
+// typed outcomes. The lifecycle is
+//
+//   kAwaitCommit --on_commit--> kAwaitOpen --on_open--> kAwaitCommit
+//        |                                    |            (next round)
+//        |                                    +--> kDone (verdict)
+//        +------------------ (any misuse) ----+
+//
+// with *strict state-transition rejection*: a message that arrives in
+// the wrong state or with the wrong shape (wrong commitment count,
+// opening of a non-challenged node, duplicate endpoint) is refused
+// without touching the session -- StepOutcome::accepted == false and
+// the machine stays exactly where it was. Only a *well-formed* opening
+// that fails verification (commitment mismatch, equal or out-of-range
+// colors) consumes the session: the round fails, the verdict is reject,
+// and the machine is done. The distinction matters operationally: a
+// retried or reordered frame must not burn a session, but a prover
+// caught cheating must not get another try.
+//
+// Challenges are drawn from Rng::stream(challenge_seed, kDomChallenge,
+// round), so a session's full challenge sequence is a pure function of
+// (challenge_seed, round count) -- transcripts replay exactly, which is
+// what lets the audits re-verify them independently.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "interactive/commit.h"
+
+namespace shlcp::ia {
+
+enum class SessionState { kAwaitCommit, kAwaitOpen, kDone };
+
+/// Wire spelling of a state ("await_commit", "await_open", "done").
+const char* to_string(SessionState state);
+
+/// One round of the transcript, as the verifier recorded it.
+struct RoundRecord {
+  std::vector<std::uint64_t> commitments;
+  Edge challenge{0, 0};
+  bool opened = false;
+  Opening open_u;  // endpoint challenge.u (when opened)
+  Opening open_v;  // endpoint challenge.v (when opened)
+  bool ok = false;
+  std::string fail;  // why the round failed ("" when ok or unopened)
+};
+
+/// Outcome of delivering one prover message.
+struct StepOutcome {
+  /// False = strict rejection: the message did not fit the current
+  /// state or shape and the session is unchanged. `error` says why.
+  bool accepted = false;
+  std::string error;
+
+  SessionState state = SessionState::kAwaitCommit;
+  std::uint64_t rounds_done = 0;
+
+  /// Set when a commit was accepted: the edge to open.
+  std::optional<Edge> challenge;
+  /// Set when a well-formed open was judged: did the round verify?
+  std::optional<bool> round_ok;
+  std::string round_fail;
+  /// Set when state == kDone: the session verdict.
+  std::optional<bool> verdict;
+};
+
+class SessionMachine {
+ public:
+  /// Requires num_edges >= 1 (a challenge needs an edge), k >= 2, and
+  /// rounds >= 1; the caller validates user input first (the service
+  /// maps violations to invalid_params).
+  SessionMachine(Graph g, int k, std::uint64_t rounds,
+                 std::uint64_t challenge_seed, std::string session_id);
+
+  /// Round commitment: exactly one entry per node.
+  StepOutcome on_commit(const std::vector<std::uint64_t>& commitments);
+
+  /// Opening of the challenged edge's endpoints, in either order.
+  StepOutcome on_open(const Opening& a, const Opening& b);
+
+  [[nodiscard]] SessionState state() const { return state_; }
+  [[nodiscard]] std::uint64_t rounds() const { return rounds_; }
+  [[nodiscard]] std::uint64_t rounds_done() const { return rounds_done_; }
+  /// Meaningful once state() == kDone.
+  [[nodiscard]] bool verdict() const { return verdict_; }
+  [[nodiscard]] const Graph& graph() const { return g_; }
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] const std::string& session_id() const { return session_id_; }
+  [[nodiscard]] const std::vector<RoundRecord>& transcript() const {
+    return transcript_;
+  }
+
+  /// The challenge the machine draws (or drew) for `round`; pure in
+  /// (challenge_seed, round). Exposed so audits and tests can predict
+  /// and re-verify transcripts without replaying the session.
+  [[nodiscard]] Edge challenge_for(std::uint64_t round) const;
+
+  /// Independent re-verification of a recorded transcript against this
+  /// session's parameters: every opened round's challenge must match
+  /// challenge_for, both openings must recompute their commitments, and
+  /// the revealed colors must be distinct and in range. Returns "" when
+  /// consistent, else a one-line description of the first violation.
+  /// The binding audit runs this over accepted sessions -- an accepted
+  /// transcript that fails re-verification is a binding violation.
+  [[nodiscard]] std::string verify_transcript() const;
+
+ private:
+  StepOutcome reject(std::string why) const;
+  StepOutcome snapshot() const;
+
+  Graph g_;
+  int k_;
+  std::uint64_t rounds_;
+  std::uint64_t challenge_seed_;
+  std::string session_id_;
+
+  SessionState state_ = SessionState::kAwaitCommit;
+  std::uint64_t rounds_done_ = 0;
+  bool verdict_ = false;
+  std::vector<RoundRecord> transcript_;
+};
+
+}  // namespace shlcp::ia

@@ -23,12 +23,6 @@ std::uint64_t hash_string(const std::string& s) {
   return h;
 }
 
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 /// Nodes accepting in one faulty run, sorted.
 std::vector<Node> accepting_nodes(const FaultyRunResult& res) {
   std::vector<Node> acc;

@@ -16,14 +16,6 @@ namespace shlcp::svc {
 
 namespace {
 
-/// splitmix64 finalizer; same role as in sim/faults.cpp -- keys per-event
-/// generators so fault decisions depend only on (seed, op index, kind).
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 /// Extracts "key=value" from `field`, checking the key.
 std::string expect_field(const std::string& field, const char* key) {
   const std::string prefix = std::string(key) + "=";

@@ -42,6 +42,7 @@ const char* reason_of(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
     case 413: return "Payload Too Large";
     case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
@@ -56,6 +57,8 @@ const char* reason_of(int status) {
 /// Wire error code -> HTTP status (the table in http.h).
 int status_of(std::string_view code) {
   if (code == kErrUnknownOp) return 404;
+  if (code == kErrSessionNotFound) return 404;
+  if (code == kErrSessionState) return 409;
   if (code == kErrOverloaded) return 429;
   if (code == kErrDraining) return 503;
   if (code == kErrDeadline) return 504;

@@ -149,7 +149,8 @@ std::vector<std::pair<PendingRequest, std::string>> dispatch_batch(
     const std::uint64_t elapsed = dispatch_ms > batch[i].admit_ms
                                       ? dispatch_ms - batch[i].admit_ms
                                       : 0;
-    responses[i] = dispatcher.handle_text(batch[i].body, elapsed);
+    responses[i] = dispatcher.handle_text(batch[i].body, elapsed,
+                                          batch[i].conn);
   };
   if (count == 1) {
     run_one(0);

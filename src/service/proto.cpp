@@ -293,4 +293,32 @@ Json error_response(const Json& id, std::string_view code,
   return r;
 }
 
+std::string session_id_error(std::string_view id) {
+  if (id.empty() || id.size() > 64) {
+    return "session id must be 1..64 bytes";
+  }
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == ':' || c == '-';
+    if (!ok) {
+      return "session id must use only [A-Za-z0-9._:-]";
+    }
+  }
+  // Reserved: "c<digits>" is the Client's per-attempt wire-id namespace
+  // (retry aliasing detection); a session id there could make a late
+  // retry response impersonate a session reply.
+  if (id.size() >= 2 && id[0] == 'c') {
+    bool all_digits = true;
+    for (std::size_t i = 1; i < id.size(); ++i) {
+      all_digits = all_digits && id[i] >= '0' && id[i] <= '9';
+    }
+    if (all_digits) {
+      return "session ids matching c<digits> are reserved for client "
+             "retry aliases";
+    }
+  }
+  return "";
+}
+
 }  // namespace shlcp::svc

@@ -40,6 +40,21 @@
 // spurious retry. "retry_after_ms" is the server's backpressure hint on
 // "overloaded" refusals.
 //
+// Stateful sessions (DESIGN.md §17): the session_open / session_step /
+// session_close ops carry a *client-chosen* session id in
+// params["session"], present on every message of the session. The id is
+// the affinity key -- the router hashes it (not the full params) so all
+// steps of one session land on the backend that holds its state -- and
+// the client's correlation handle. Session ids are 1..64 bytes of
+// [A-Za-z0-9._:-], with one reserved namespace: ids matching c<digits>
+// (e.g. "c0", "c17") are REJECTED at session_open, because Client
+// stamps its per-attempt wire ids from exactly that namespace
+// ("c%llu", client.cpp) to detect late responses of abandoned retry
+// attempts. A session id aliasing a retry id could make a stale
+// response for attempt N look like a fresh answer about session "cN";
+// keeping the namespaces disjoint makes that aliasing impossible by
+// construction. session_id_error() is the single validator.
+//
 // This header also hosts the canonical JSON form used for cache keying
 // (object keys sorted recursively, compact dump) and the codecs between
 // the library's value types (Graph, Instance, Labeling) and their wire
@@ -146,5 +161,10 @@ Json ok_response(const Json& id, Json result, bool cached,
 Json error_response(const Json& id, std::string_view code,
                     std::string_view message, std::string_view repro = "",
                     std::int64_t retry_after_ms = -1);
+
+/// Validates a client-chosen session id: 1..64 bytes of [A-Za-z0-9._:-]
+/// and not inside the reserved retry-alias namespace c<digits> (see the
+/// header comment). Returns "" when valid, else the reason.
+std::string session_id_error(std::string_view id);
 
 }  // namespace shlcp::svc

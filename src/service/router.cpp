@@ -308,10 +308,14 @@ bool Router::forward(Backend& b, const Request& req, CallResult* out) {
     return true;
   }
   if (out->error_code == kErrInvalidParams ||
-      out->error_code == kErrUnknownOp || out->error_code == kErrInternal) {
+      out->error_code == kErrUnknownOp || out->error_code == kErrInternal ||
+      out->error_code == kErrSessionNotFound ||
+      out->error_code == kErrSessionState) {
     // The backend answered; the answer is "your request is wrong" (or
     // "I am broken in a way a sibling will be too"). Rerouting cannot
-    // fix it -- return it verbatim.
+    // fix it -- return it verbatim. Session errors are authoritative
+    // too: the ring sent us to the one backend that would hold this
+    // session, so a sibling can only say "not found" less honestly.
     b.alive.store(true, std::memory_order_relaxed);
     b.give_back(std::move(client));
     return true;
@@ -327,7 +331,7 @@ bool Router::forward(Backend& b, const Request& req, CallResult* out) {
 }
 
 Json Router::route(const Request& req) {
-  const std::string key = artifact_key(req.op, req.params);
+  const std::string key = routing_key(req.op, req.params);
   const std::vector<int> pref = ring_.preference(HashRing::point_of(key));
   const int max_tries =
       std::max(1, std::min(options_.replica_attempts,
@@ -561,9 +565,25 @@ std::vector<RouterBackendStats> Router::backend_stats() const {
   return out;
 }
 
+std::string Router::routing_key(const std::string& op, const Json& params) {
+  const bool is_session_op = op == "session_open" || op == "session_step" ||
+                             op == "session_close";
+  if (is_session_op && params.is_object() && params.contains("session") &&
+      params.at("session").is_string()) {
+    // The id alone: every message of one session must hash to the same
+    // ring point, and only session_open carries the full params. The
+    // "session\n" prefix keeps the namespace disjoint from
+    // artifact_key's "<schema>\n<op>\n..." shape. An op with a missing
+    // or non-string id falls through to the stateless key; the backend
+    // rejects it with invalid_params either way.
+    return format("session\n%s", params.at("session").as_string().c_str());
+  }
+  return artifact_key(op, params);
+}
+
 std::vector<int> Router::preference_for(const std::string& op,
                                         const Json& params) const {
-  return ring_.preference(HashRing::point_of(artifact_key(op, params)));
+  return ring_.preference(HashRing::point_of(routing_key(op, params)));
 }
 
 }  // namespace shlcp::svc

@@ -182,11 +182,22 @@ class Router : public Dispatcher {
 
   [[nodiscard]] std::vector<RouterBackendStats> backend_stats() const;
 
-  /// The ring's backend preference order for one request's canonical
+  /// The ring's backend preference order for one request's routing
   /// key -- exposed so tests and bench_fleet can verify ownership
   /// without re-deriving the hash.
   [[nodiscard]] std::vector<int> preference_for(
       const std::string& op, const Json& params) const;
+
+  /// What the ring hashes for one request. Stateless ops key on
+  /// artifact_key(op, params) (cache locality). Session ops key on the
+  /// session id alone, so session_open/step/close of one session share
+  /// a routing key regardless of the rest of their params -- every step
+  /// lands on the backend that holds the session state, and on a
+  /// backend death the whole session fails over to the same successor
+  /// (the session is lost, but the replies are coherent: the successor
+  /// answers session_not_found rather than half the fleet guessing).
+  [[nodiscard]] static std::string routing_key(const std::string& op,
+                                               const Json& params);
 
  private:
   struct Backend;

@@ -12,6 +12,8 @@
 #include "certify/watermelon.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
+#include "interactive/commit.h"
+#include "interactive/protocol.h"
 #include "nbhd/aviews.h"
 #include "nbhd/checkpoint.h"
 #include "nbhd/witness.h"
@@ -31,6 +33,8 @@ struct ServiceError {
   std::string code;
   std::string message;
   std::string repro;
+  // >= 0 adds the backpressure hint to the wire error (cap refusals).
+  std::int64_t retry_after_ms = -1;
 };
 
 [[noreturn]] void throw_params(std::string message) {
@@ -89,6 +93,18 @@ Json int_vector_to_json(const std::vector<int>& xs) {
   return arr;
 }
 
+Json session_counters_json(const ia::SessionCounters& c) {
+  Json j = Json::object();
+  j["live"] = c.live;
+  j["opened"] = c.opened;
+  j["refused"] = c.refused;
+  j["completed"] = c.completed;
+  j["expired"] = c.expired;
+  j["aborted"] = c.aborted;
+  j["steps"] = c.steps;
+  return j;
+}
+
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -101,7 +117,13 @@ std::uint64_t now_ns() {
 Service::Service(ServiceConfig config)
     : config_(std::move(config)),
       pool_(audit_instance_pool()),
-      cache_(config_.cache) {
+      cache_(config_.cache),
+      protocols_(ia::standard_protocols()),
+      sessions_(
+          ia::SessionLimits{config_.sessions.ttl_ms,
+                            config_.sessions.global_max,
+                            config_.sessions.per_conn_max},
+          config_.sessions.clock) {
   // Every named scheme a request can refer to, repaired and literal
   // variants alike (the literal ones exist exactly so their failures
   // can be replayed on demand).
@@ -120,12 +142,19 @@ Service::Service(ServiceConfig config)
 Service::~Service() = default;
 
 std::vector<std::string> Service::ops() {
-  return {"run_decoder", "check_coloring", "search_witness", "build_nbhd",
-          "info", "health"};
+  return {"run_decoder",  "check_coloring", "search_witness",
+          "build_nbhd",   "info",           "health",
+          "session_open", "session_step",   "session_close"};
 }
 
 std::string Service::handle_text(const std::string& body,
                                  std::uint64_t elapsed_ms) {
+  return handle_text(body, elapsed_ms, /*conn=*/-1);
+}
+
+std::string Service::handle_text(const std::string& body,
+                                 std::uint64_t elapsed_ms,
+                                 std::int64_t conn) {
   Json request;
   try {
     request = Json::parse(body);
@@ -133,10 +162,11 @@ std::string Service::handle_text(const std::string& body,
     metrics::counter("service.errors").inc();
     return error_response(Json(), kErrInvalidRequest, e.what()).dump();
   }
-  return handle(request, elapsed_ms).dump();
+  return handle(request, elapsed_ms, conn).dump();
 }
 
-Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
+Json Service::handle(const Json& request, std::uint64_t elapsed_ms,
+                     std::int64_t conn) {
   metrics::counter("service.requests").inc();
   const Json id = request.is_object() && request.contains("id")
                       ? request.at("id")
@@ -183,12 +213,18 @@ Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
                req.check.c_str(), fnv1a_hex(key).c_str()));
   }
 
-  // Cache probe: cacheable ops replay the stored result bytes.
+  // Cache probe: cacheable ops replay the stored result bytes. The
+  // session ops are stateful (each call advances a live session), so
+  // they are never cached.
+  const bool is_session_op = req.op == "session_open" ||
+                             req.op == "session_step" ||
+                             req.op == "session_close";
   const bool is_known_op =
       req.op == "run_decoder" || req.op == "check_coloring" ||
       req.op == "search_witness" || req.op == "build_nbhd" ||
-      req.op == "info" || req.op == "health";
-  const bool cacheable = is_known_op && req.op != "info" && req.op != "health";
+      req.op == "info" || req.op == "health" || is_session_op;
+  const bool cacheable = is_known_op && req.op != "info" &&
+                         req.op != "health" && !is_session_op;
   if (cacheable) {
     if (std::optional<std::string> cached = cache_.get(key)) {
       latency.record(now_ns() - start);
@@ -203,7 +239,7 @@ Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
       req.deadline_ms > 0 ? req.deadline_ms - elapsed_ms : 0;
 
   try {
-    Json result = dispatch(req, remaining_ms);
+    Json result = dispatch(req, remaining_ms, conn);
     std::string dumped = result.dump();
     std::string digest = fnv1a_hex(dumped);
     if (cacheable) {
@@ -214,7 +250,8 @@ Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
   } catch (const ServiceError& e) {
     metrics::counter("service.errors").inc();
     latency.record(now_ns() - start);
-    return error_response(req.id, e.code, e.message, e.repro);
+    return error_response(req.id, e.code, e.message, e.repro,
+                          e.retry_after_ms);
   } catch (const CheckError& e) {
     metrics::counter("service.errors").inc();
     latency.record(now_ns() - start);
@@ -226,7 +263,17 @@ Json Service::handle(const Json& request, std::uint64_t elapsed_ms) {
   }
 }
 
-Json Service::dispatch(const Request& req, std::uint64_t remaining_ms) {
+Json Service::dispatch(const Request& req, std::uint64_t remaining_ms,
+                       std::int64_t conn) {
+  if (req.op == "session_open") {
+    return op_session_open(req.params, conn);
+  }
+  if (req.op == "session_step") {
+    return op_session_step(req.params);
+  }
+  if (req.op == "session_close") {
+    return op_session_close(req.params);
+  }
   if (req.op == "run_decoder") {
     return op_run_decoder(req.params);
   }
@@ -629,7 +676,143 @@ Json Service::op_build_nbhd(const Json& params,
   return result;
 }
 
-Json Service::op_info() const {
+const ia::InteractiveProtocol& Service::find_protocol(
+    const std::string& name) const {
+  for (const auto& protocol : protocols_) {
+    if (protocol->name() == name) {
+      return *protocol;
+    }
+  }
+  std::string known;
+  for (const auto& protocol : protocols_) {
+    if (!known.empty()) {
+      known += ", ";
+    }
+    known += protocol->name();
+  }
+  throw ServiceError{
+      kErrInvalidParams,
+      format("unknown interactive protocol '%s' (known: %s)", name.c_str(),
+             known.c_str()),
+      ""};
+}
+
+std::string Service::session_param(const Json& params) {
+  if (!params.contains("session") || !params.at("session").is_string()) {
+    throw_params("session ops need a string 'session' id");
+  }
+  const std::string& id = params.at("session").as_string();
+  const std::string why = session_id_error(id);
+  if (!why.empty()) {
+    throw_params(format("bad session id '%s': %s", id.c_str(), why.c_str()));
+  }
+  return id;
+}
+
+Json Service::op_session_open(const Json& params, std::int64_t conn) {
+  const std::string id = session_param(params);
+  const std::string protocol_name =
+      member_string(params, "protocol", "kcol-commit");
+  const ia::InteractiveProtocol& protocol = find_protocol(protocol_name);
+  if (!params.contains("instance")) {
+    throw_params("session_open: missing 'instance'");
+  }
+  std::string instance_name;
+  ia::OpenContext ctx;
+  ctx.graph = resolve_instance(params.at("instance"), &instance_name).g;
+  if (ctx.graph.num_edges() < 1) {
+    throw_params(format("session_open: instance '%s' has no edge to "
+                        "challenge",
+                        instance_name.c_str()));
+  }
+  ctx.session_id = id;
+  ctx.params = &params;
+  // The challenge seed mixes the service's base, the client's optional
+  // contribution, and the session id: deterministic given the request
+  // (replayable), distinct across sessions by construction.
+  const auto user_seed =
+      static_cast<std::uint64_t>(member_int(params, "seed", 0));
+  ctx.challenge_seed = Rng::stream(config_.sessions.seed ^ user_seed,
+                                   ia::kDomChallenge, ia::fnv1a64(id))
+                           .next_u64();
+
+  const ia::SessionTable::Refusal refusal = sessions_.open(
+      id, conn, [&] { return protocol.open(ctx); });
+  switch (refusal) {
+    case ia::SessionTable::Refusal::kNone:
+      break;
+    case ia::SessionTable::Refusal::kExists:
+      throw ServiceError{
+          kErrSessionState,
+          format("session '%s' is already open", id.c_str()), ""};
+    case ia::SessionTable::Refusal::kGlobalCap:
+    case ia::SessionTable::Refusal::kOwnerCap: {
+      // The shed path: same code and backpressure hint shape as queue
+      // admission, so clients and routers treat both identically.
+      metrics::counter("service.sessions.refused").inc();
+      const auto hint =
+          static_cast<std::int64_t>(config_.sessions.ttl_ms / 4 + 1);
+      throw ServiceError{
+          kErrOverloaded,
+          refusal == ia::SessionTable::Refusal::kGlobalCap
+              ? format("session table full (%zu live)",
+                       static_cast<std::size_t>(config_.sessions.global_max))
+              : format("connection session cap reached (%zu)",
+                       static_cast<std::size_t>(config_.sessions.per_conn_max)),
+          "", hint};
+    }
+  }
+  metrics::counter("service.sessions.opened").inc();
+  Json result = Json::object();
+  result["session"] = id;
+  result["instance"] = instance_name;
+  result["describe"] = sessions_.describe(id);
+  return result;
+}
+
+Json Service::op_session_step(const Json& params) {
+  const std::string id = session_param(params);
+  if (!params.contains("msg") || !params.at("msg").is_object()) {
+    throw_params("session_step: missing object 'msg'");
+  }
+  ia::SessionTable::StepResult step = sessions_.step(id, params.at("msg"));
+  if (!step.found) {
+    throw ServiceError{
+        kErrSessionNotFound,
+        format("no live session '%s' (never opened, expired, or already "
+               "done)",
+               id.c_str()),
+        ""};
+  }
+  if (step.state_error) {
+    throw ServiceError{kErrSessionState, step.error, ""};
+  }
+  Json result = Json::object();
+  result["session"] = id;
+  result["reply"] = std::move(step.reply);
+  result["completed"] = step.completed;
+  return result;
+}
+
+Json Service::op_session_close(const Json& params) {
+  const std::string id = session_param(params);
+  ia::SessionTable::CloseResult closed = sessions_.close(id);
+  if (!closed.found) {
+    throw ServiceError{
+        kErrSessionNotFound,
+        format("no live session '%s' (never opened, expired, or already "
+               "done)",
+               id.c_str()),
+        ""};
+  }
+  Json result = Json::object();
+  result["session"] = id;
+  result["closed"] = true;
+  result["final"] = std::move(closed.final_state);
+  return result;
+}
+
+Json Service::op_info() {
   Json result = Json::object();
   result["schema"] = kWireSchema;
   Json& ops_json = (result["ops"] = Json::array());
@@ -645,6 +828,19 @@ Json Service::op_info() const {
     pool_json.push_back(named.name);
   }
   result["draining"] = draining();
+  Json& interactive = (result["interactive"] = Json::object());
+  interactive["schema"] = ia::kInteractiveSchema;
+  Json& protocols = (interactive["protocols"] = Json::array());
+  for (const auto& protocol : protocols_) {
+    protocols.push_back(protocol->name());
+  }
+  interactive["sessions"] = session_counters_json(session_counters());
+  Json& limits = (interactive["limits"] = Json::object());
+  limits["ttl_ms"] = sessions_.limits().ttl_ms;
+  limits["global_max"] =
+      static_cast<std::int64_t>(sessions_.limits().global_max);
+  limits["per_conn_max"] =
+      static_cast<std::int64_t>(sessions_.limits().per_owner_max);
   const CacheStats stats = cache_.stats();
   Json& cache_json = (result["cache"] = Json::object());
   cache_json["hits"] = stats.hits;
@@ -658,7 +854,7 @@ Json Service::op_info() const {
   return result;
 }
 
-Json Service::op_health() const {
+Json Service::op_health() {
   Json result = Json::object();
   result["schema"] = kWireSchema;
   result["draining"] = draining();
@@ -676,6 +872,12 @@ Json Service::op_health() const {
     queue["admitted"] = 0;
     queue["shed"] = 0;
   }
+  // Session occupancy rides health so a router steering by load sees
+  // cap pressure (live vs global_max) next to queue depth.
+  Json& sessions_json = (result["sessions"] =
+                             session_counters_json(session_counters()));
+  sessions_json["global_max"] =
+      static_cast<std::int64_t>(sessions_.limits().global_max);
   const CacheStats stats = cache_.stats();
   Json& cache_json = (result["cache"] = Json::object());
   cache_json["hits"] = stats.hits;

@@ -26,11 +26,29 @@
 //   info            service metadata + live cache stats (never cached).
 //   health          load snapshot for routers and supervisors: queue
 //                   depth/cap, admitted/shed totals, drain state, cache
-//                   stats (never cached; see HealthState).
+//                   stats, session-table occupancy (never cached; see
+//                   HealthState).
+//   session_open    open an interactive session (src/interactive,
+//                   DESIGN.md §17): params carry the client-chosen
+//                   "session" id (proto.h's grammar; the reserved
+//                   c<digits> namespace is refused), the "protocol"
+//                   (default kcol-commit), an "instance", and protocol
+//                   params (k, rounds, optional seed). Refused with
+//                   "overloaded" + retry_after_ms when a session cap is
+//                   hit -- the same shed path queue admission uses.
+//   session_step    deliver one prover message ("msg") to the session;
+//                   replies carry the verifier's challenge / verdict. A
+//                   message that does not fit the session state is
+//                   refused with "session_state" and the session is
+//                   unchanged; an unknown (or expired) id gets
+//                   "session_not_found".
+//   session_close   abort a live session early (aborted sessions are
+//                   accounted separately from completed/expired ones).
 //
-// The first four are cached: the dispatcher stores the *dumped* result
-// string under artifact_key(op, params), so a hit replays the original
-// bytes. Every op bumps service.<op>.requests and records into the
+// The first four ops are cached: the dispatcher stores the *dumped*
+// result string under artifact_key(op, params), so a hit replays the
+// original bytes. The session ops are stateful and therefore never
+// cached. Every op bumps service.<op>.requests and records into the
 // service.<op>.latency_ns histogram; errors bump service.errors.
 //
 // Resilience (DESIGN.md §14): a request's optional "check" digest is
@@ -55,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "interactive/table.h"
 #include "lcp/audit.h"
 #include "lcp/decoder.h"
 #include "service/cache.h"
@@ -72,9 +91,31 @@ inline constexpr const char* kErrDraining = "draining";
 inline constexpr const char* kErrOverloaded = "overloaded";
 inline constexpr const char* kErrIntegrity = "integrity";
 inline constexpr const char* kErrInternal = "internal";
+/// Session ops only. Both are deliberately NOT in the client's
+/// retriable-code whitelist: blindly retrying a non-idempotent session
+/// step could double-deliver a message.
+inline constexpr const char* kErrSessionNotFound = "session_not_found";
+inline constexpr const char* kErrSessionState = "session_state";
+
+/// Limits and determinism knobs of the interactive session table.
+struct SessionConfig {
+  /// A session untouched this long is expired on the next table op.
+  std::uint64_t ttl_ms = 30'000;
+  /// Live-session caps; hitting either refuses the open with
+  /// "overloaded" + a retry_after_ms hint (the shed path).
+  std::size_t global_max = 256;
+  std::size_t per_conn_max = 64;
+  /// Base of every session's challenge seed (mixed with the session id
+  /// and the client's optional "seed" param).
+  std::uint64_t seed = 0x1A5EEDULL;
+  /// Injectable monotonic clock (ms) for deterministic TTL tests;
+  /// empty = steady_clock.
+  std::function<std::uint64_t()> clock;
+};
 
 struct ServiceConfig {
   CacheConfig cache;
+  SessionConfig sessions;
 };
 
 /// Live load counters of the transport loop, surfaced by the `health`
@@ -108,6 +149,18 @@ class Dispatcher {
   virtual std::string handle_text(const std::string& body,
                                   std::uint64_t elapsed_ms) = 0;
 
+  /// Connection-aware variant: `conn` is the transport connection slot
+  /// the frame arrived on (-1 = none / in-process). The server's batch
+  /// dispatch calls this one; stateful dispatchers (Service, for
+  /// per-connection session caps) override it, everything else falls
+  /// through to the 2-arg overload.
+  virtual std::string handle_text(const std::string& body,
+                                  std::uint64_t elapsed_ms,
+                                  std::int64_t conn) {
+    (void)conn;
+    return handle_text(body, elapsed_ms);
+  }
+
   /// After this, every request is refused with the "draining" error.
   virtual void begin_drain() = 0;
   [[nodiscard]] virtual bool draining() const = 0;
@@ -133,9 +186,13 @@ class Service : public Dispatcher {
   /// request's deadline_ms.
   std::string handle_text(const std::string& body,
                           std::uint64_t elapsed_ms = 0) override;
+  std::string handle_text(const std::string& body, std::uint64_t elapsed_ms,
+                          std::int64_t conn) override;
 
-  /// Same, on an already-parsed document.
-  Json handle(const Json& request, std::uint64_t elapsed_ms = 0);
+  /// Same, on an already-parsed document. `conn` attributes session
+  /// opens to a connection for the per-connection cap (-1 = exempt).
+  Json handle(const Json& request, std::uint64_t elapsed_ms = 0,
+              std::int64_t conn = -1);
 
   /// After this, every request is refused with the "draining" error.
   void begin_drain() override {
@@ -147,6 +204,14 @@ class Service : public Dispatcher {
   }
 
   [[nodiscard]] CacheStats cache_stats() const { return cache_.stats(); }
+
+  /// Live session-table occupancy (also surfaced by info/health).
+  /// Sweeps expired sessions first so the snapshot is never stale:
+  /// expiry is time-driven and must not wait for the next session op.
+  [[nodiscard]] ia::SessionCounters session_counters() {
+    sessions_.sweep();
+    return sessions_.counters();
+  }
 
   /// Surfaces the transport loop's load counters through the `health`
   /// op. Not owned; must outlive every handle() call. Without one the
@@ -163,24 +228,33 @@ class Service : public Dispatcher {
  private:
   /// `remaining_ms` is the request's unexpired deadline budget (0 =
   /// none); long-running ops stop at the next frame boundary past it.
-  Json dispatch(const Request& req, std::uint64_t remaining_ms);
+  Json dispatch(const Request& req, std::uint64_t remaining_ms,
+                std::int64_t conn);
   Json op_run_decoder(const Json& params) const;
   Json op_check_coloring(const Json& params) const;
   Json op_search_witness(const Json& params) const;
   Json op_build_nbhd(const Json& params, std::uint64_t remaining_ms) const;
-  Json op_info() const;
-  Json op_health() const;
+  Json op_info();
+  Json op_health();
+  Json op_session_open(const Json& params, std::int64_t conn);
+  Json op_session_step(const Json& params);
+  Json op_session_close(const Json& params);
 
   const Lcp& find_lcp(const std::string& name) const;
   /// Resolves params["instance"]: a pool name or an inline object.
   /// *name_out gets the pool name or "inline" (for repro strings).
   Instance resolve_instance(const Json& spec, std::string* name_out) const;
   std::vector<Graph> resolve_graphs(const Json& specs) const;
+  const ia::InteractiveProtocol& find_protocol(const std::string& name) const;
+  /// Validated params["session"] (grammar + reserved namespace).
+  static std::string session_param(const Json& params);
 
   ServiceConfig config_;
   std::vector<std::unique_ptr<Lcp>> lcps_;
   std::vector<NamedInstance> pool_;
   ArtifactCache cache_;
+  std::vector<std::unique_ptr<ia::InteractiveProtocol>> protocols_;
+  ia::SessionTable sessions_;
   std::atomic<bool> draining_{false};
   std::atomic<const HealthState*> health_{nullptr};
 };

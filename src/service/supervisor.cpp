@@ -35,12 +35,6 @@ std::uint64_t now_ms() {
           .count());
 }
 
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 /// Shell convention: exit code for a normal exit, 128+signal for a
 /// signal death (so SIGKILL reads as 137 in fleet health).
 int decode_wait_status(int status) {

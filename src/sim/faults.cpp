@@ -10,14 +10,6 @@ namespace shlcp {
 
 namespace {
 
-/// splitmix64 finalizer; used to key per-event generators so that fault
-/// decisions are independent of delivery iteration order.
-std::uint64_t mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 std::string show_node_list(const std::vector<Node>& nodes) {
   if (nodes.empty()) {
     return "-";

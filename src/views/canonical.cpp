@@ -88,7 +88,7 @@ std::vector<std::int64_t> compute_canonical_code(const View& v) {
 }
 
 /// SplitMix64 finalizer: the avalanche stage behind the fingerprint mix.
-constexpr std::uint64_t mix64(std::uint64_t x) {
+constexpr std::uint64_t fp_mix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
@@ -101,37 +101,37 @@ constexpr std::uint64_t mix64(std::uint64_t x) {
 /// allocation. See the header for what it deliberately leaves out.
 std::uint64_t compute_fingerprint(const View& v) {
   const int n = v.num_nodes();
-  std::uint64_t header = mix64(0x51f0u ^ static_cast<std::uint64_t>(v.radius));
-  header = mix64(header ^ static_cast<std::uint64_t>(v.id_bound));
-  header = mix64(header ^ static_cast<std::uint64_t>(n));
-  header = mix64(header ^ static_cast<std::uint64_t>(v.g.num_edges()));
+  std::uint64_t header = fp_mix64(0x51f0u ^ static_cast<std::uint64_t>(v.radius));
+  header = fp_mix64(header ^ static_cast<std::uint64_t>(v.id_bound));
+  header = fp_mix64(header ^ static_cast<std::uint64_t>(n));
+  header = fp_mix64(header ^ static_cast<std::uint64_t>(v.g.num_edges()));
   std::uint64_t sum = 0;
   std::uint64_t xr = 0;
   for (Node x = 0; x < n; ++x) {
     const auto xi = static_cast<std::size_t>(x);
-    std::uint64_t h = mix64(static_cast<std::uint64_t>(v.dist[xi]));
-    h = mix64(h ^ static_cast<std::uint64_t>(
+    std::uint64_t h = fp_mix64(static_cast<std::uint64_t>(v.dist[xi]));
+    h = fp_mix64(h ^ static_cast<std::uint64_t>(
                       static_cast<std::int64_t>(v.ids[xi])));
     const Certificate& cert = v.labels[xi];
-    h = mix64(h ^ static_cast<std::uint64_t>(cert.bits));
-    h = mix64(h ^ cert.fields.size());
+    h = fp_mix64(h ^ static_cast<std::uint64_t>(cert.bits));
+    h = fp_mix64(h ^ cert.fields.size());
     for (const int f : cert.fields) {
-      h = mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(f)));
+      h = fp_mix64(h ^ static_cast<std::uint64_t>(static_cast<std::int64_t>(f)));
     }
     const auto& px = v.ports[xi];
-    h = mix64(h ^ px.size());
+    h = fp_mix64(h ^ px.size());
     std::uint64_t port_mix = 0;
     for (const Port p : px) {
-      port_mix += mix64(0xb0a7ull + static_cast<std::uint64_t>(p));
+      port_mix += fp_mix64(0xb0a7ull + static_cast<std::uint64_t>(p));
     }
-    h = mix64(h ^ port_mix);
+    h = fp_mix64(h ^ port_mix);
     if (x == v.center) {
-      h = mix64(h ^ 0xCE17E5ull);
+      h = fp_mix64(h ^ 0xCE17E5ull);
     }
     sum += h;
     xr ^= h;
   }
-  return mix64(header ^ sum) ^ mix64(xr ^ 0x5EEDull);
+  return fp_mix64(header ^ sum) ^ fp_mix64(xr ^ 0x5EEDull);
 }
 
 }  // namespace

@@ -8,8 +8,10 @@ Usage:
     check_bench_json.py --chaos BENCH_chaos.json
     check_bench_json.py --fleet BENCH_fleet.json
     check_bench_json.py --supervisor BENCH_supervisor.json
+    check_bench_json.py --interactive BENCH_interactive.json
     check_bench_json.py --trace trace.jsonl
     check_bench_json.py --ckpt CKPT_DIR [CKPT_DIR ...]
+    check_bench_json.py --self-test
 
 The schema is pinned in bench/report.h and tests/bench_report_test.cpp;
 this script is the CI-side check that runs against the files the smoke
@@ -40,6 +42,14 @@ auto-restarted within the budget, no backend left quarantined), the
 warm-restart disk-cache probe passing, and exact stream accounting
 (ok + refused + errors + lost == requests, with errors and lost both
 zero -- the router answers every request even mid-crash).
+With --interactive it additionally enforces the commit-reveal contract
+of EXPERIMENTS.md E24 on a BENCH_interactive.json: zero binding
+violations across the forgery/replay/corruption attack family, a
+passing hiding chi-square audit over at least two colorings, an
+amplification curve with at least two rounds_* points all inside the
+(1 - 1/m)^R envelope, and exact session accounting recomputed from the
+raw counters (opened == completed + expired + refused, with aborted
+and live both zero at the end of the run).
 With --parallel it additionally enforces the enumeration hot-path
 contract on a BENCH_parallel_enum.json: a sequential case plus a full
 threads_* speedup curve with positive throughput everywhere, the
@@ -55,13 +65,35 @@ exact manifest keys and types, frames_done <= num_frames, known status
 and stop_reason values, digest format, and that the state file's FNV-1a
 hash matches the recorded state_digest.
 
-Exits 0 iff every file validates; prints one line per problem.
+With --self-test it validates itself: it writes known-good and
+known-bad fixtures to a temporary directory, re-invokes this script on
+each, and asserts every documented exit code below.
+
+Exit codes (the overall code is the maximum across all files checked):
+    0  every file validates
+    1  a file parsed but violated its schema or mode contract
+    2  usage error: no arguments, no files, or an unknown --mode flag
+    3  a named file or directory is missing or unreadable
+    4  a named file exists but is not well-formed JSON
+
+Prints one line per problem.
 """
 
 import json
 import os
 import re
+import subprocess
 import sys
+import tempfile
+
+# The documented exit-code contract. Checkers return one of these per
+# file; main() reports the maximum across all files, so the most severe
+# problem wins (MALFORMED > MISSING > FAIL > PASS).
+PASS = 0
+FAIL = 1
+USAGE = 2
+MISSING = 3
+MALFORMED = 4
 
 SCHEMA = "shlcp.bench.v1"
 # Every schema id this checker knows how to validate. A document whose
@@ -103,13 +135,28 @@ def fail(path, msg):
     return False
 
 
-def check_report(path):
+def load_json(path):
+    """Returns (code, doc): (PASS, parsed) on success, or (MISSING, None)
+    / (MALFORMED, None) after printing the problem."""
     try:
         with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(path, f"unreadable or not JSON: {e}")
+            return PASS, json.load(f)
+    except OSError as e:
+        fail(path, f"unreadable: {e}")
+        return MISSING, None
+    except json.JSONDecodeError as e:
+        fail(path, f"not JSON: {e}")
+        return MALFORMED, None
 
+
+def check_report(path):
+    code, doc = load_json(path)
+    if code:
+        return code
+    return PASS if check_report_doc(path, doc) else FAIL
+
+
+def check_report_doc(path, doc):
     ok = True
     if not isinstance(doc, dict) or list(doc.keys()) != TOP_KEYS:
         ok = fail(path, f"top-level keys must be exactly {TOP_KEYS}, "
@@ -172,14 +219,12 @@ def check_report(path):
 
 def check_service(path):
     """check_report plus the BENCH_service.json contract (E19)."""
-    ok = check_report(path)
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError):
-        return False  # already reported by check_report
+    code, doc = load_json(path)
+    if code:
+        return code
     if not isinstance(doc, dict):
-        return False
+        return FAIL
+    ok = check_report_doc(path, doc)
 
     meta = doc.get("meta", {})
     requests = meta.get("requests")
@@ -204,7 +249,7 @@ def check_service(path):
             ok = fail(path, f"missing endpoint histogram {name!r}")
         elif not hist.get("count"):
             ok = fail(path, f"endpoint histogram {name!r} recorded nothing")
-    return ok
+    return PASS if ok else FAIL
 
 
 CHAOS_MIN_KILLS = 3
@@ -217,14 +262,12 @@ CHAOS_FLAGS = ["replay_match", "disk_hit_after_restart", "torn_entry_is_miss",
 
 def check_chaos(path):
     """check_report plus the BENCH_chaos.json contract (E21)."""
-    ok = check_report(path)
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError):
-        return False  # already reported by check_report
+    code, doc = load_json(path)
+    if code:
+        return code
     if not isinstance(doc, dict):
-        return False
+        return FAIL
+    ok = check_report_doc(path, doc)
 
     meta = doc.get("meta", {})
 
@@ -278,7 +321,7 @@ def check_chaos(path):
     if crash_lost is not None and crash_lost != 0:
         ok = fail(path, f"meta.crash_lost must be 0: retries must absorb "
                         f"every kill -9 on a calm wire, got {crash_lost}")
-    return ok
+    return PASS if ok else FAIL
 
 
 FLEET_CASE_INTS = ["backends", "requests", "ok", "errors", "wrong",
@@ -287,14 +330,12 @@ FLEET_CASE_INTS = ["backends", "requests", "ok", "errors", "wrong",
 
 def check_fleet(path):
     """check_report plus the BENCH_fleet.json contract (E22)."""
-    ok = check_report(path)
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError):
-        return False  # already reported by check_report
+    code, doc = load_json(path)
+    if code:
+        return code
     if not isinstance(doc, dict):
-        return False
+        return FAIL
+    ok = check_report_doc(path, doc)
 
     meta = doc.get("meta", {})
     requests = meta.get("requests")
@@ -346,7 +387,7 @@ def check_fleet(path):
                                 f"got {values.get(key)!r}")
         if values.get("ownership_ok") is not True:
             ok = fail(path, f"{name}.ownership_ok must be true")
-    return ok
+    return PASS if ok else FAIL
 
 
 SUPERVISOR_MIN_KILLS = 5
@@ -358,14 +399,12 @@ SUPERVISOR_FLAGS = ["budget_ok", "warm_hit_after_restart",
 
 def check_supervisor(path):
     """check_report plus the BENCH_supervisor.json contract (E23)."""
-    ok = check_report(path)
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError):
-        return False  # already reported by check_report
+    code, doc = load_json(path)
+    if code:
+        return code
     if not isinstance(doc, dict):
-        return False
+        return FAIL
+    ok = check_report_doc(path, doc)
 
     meta = doc.get("meta", {})
 
@@ -417,7 +456,127 @@ def check_supervisor(path):
                     ok = fail(path, f"meta.{key} must be 0 (the router must "
                                     "answer every request even mid-crash), "
                                     f"got {values[key]}")
-    return ok
+    return PASS if ok else FAIL
+
+
+IA_SCHEMA = "shlcp.ia.v1"
+IA_COUNTER_KEYS = ["opened", "completed", "expired", "refused", "aborted",
+                   "live", "sessions"]
+IA_FLAGS = ["hiding_ok", "amplification_ok", "accounting_exact"]
+IA_ROUNDS_INTS = ["rounds", "sessions", "accepted"]
+
+
+def check_interactive(path):
+    """check_report plus the BENCH_interactive.json contract (E24)."""
+    code, doc = load_json(path)
+    if code:
+        return code
+    if not isinstance(doc, dict):
+        return FAIL
+    ok = check_report_doc(path, doc)
+
+    meta = doc.get("meta", {})
+
+    def meta_int(key):
+        v = meta.get(key)
+        if not isinstance(v, int) or isinstance(v, bool) or v < 0:
+            return None
+        return v
+
+    if meta.get("schema_interactive") != IA_SCHEMA:
+        ok = fail(path, f"meta.schema_interactive must be {IA_SCHEMA!r}, "
+                        f"got {meta.get('schema_interactive')!r}")
+    # Binding: the whole attack family (forgeries, replays, corrupted
+    # messages) must have produced zero accepted-yet-unbound openings.
+    if meta_int("binding_violations") != 0:
+        ok = fail(path, "meta.binding_violations must be exactly 0 (an "
+                        "opening was accepted that does not bind to its "
+                        f"commitment), got {meta.get('binding_violations')!r}")
+    for key in ("binding_sessions", "forgeries_tried", "binding_attacks"):
+        v = meta_int(key)
+        if v is None or v == 0:
+            ok = fail(path, f"meta.{key} must be a positive integer "
+                            f"(the binding audit never ran), "
+                            f"got {meta.get(key)!r}")
+    for key in IA_FLAGS:
+        if meta.get(key) is not True:
+            ok = fail(path, f"meta.{key} must be true, got {meta.get(key)!r}")
+    colorings = meta_int("hiding_colorings")
+    if colorings is None or colorings < 2:
+        ok = fail(path, "meta.hiding_colorings must be >= 2 (the hiding "
+                        "audit must compare at least two colorings), "
+                        f"got {meta.get('hiding_colorings')!r}")
+
+    # Session accounting, recomputed from the raw counters: every open
+    # attempt lands in exactly one of {completed, expired, refused}, and
+    # the run must drain (nothing aborted, nothing still live).
+    counters = {key: meta_int(key) for key in IA_COUNTER_KEYS}
+    for key, v in counters.items():
+        if v is None:
+            ok = fail(path, f"meta.{key} must be a non-negative integer, "
+                            f"got {meta.get(key)!r}")
+    if all(v is not None for v in counters.values()):
+        accounted = (counters["completed"] + counters["expired"]
+                     + counters["refused"])
+        if accounted != counters["opened"]:
+            ok = fail(path, "session accounting is inexact: completed + "
+                            f"expired + refused = {accounted} != opened = "
+                            f"{counters['opened']}")
+        for key in ("aborted", "live"):
+            if counters[key] != 0:
+                ok = fail(path, f"meta.{key} must be 0 at the end of the "
+                                f"run, got {counters[key]}")
+        if counters["sessions"] == 0:
+            ok = fail(path, "meta.sessions is 0: no session was ever "
+                            "admitted")
+
+    cases = {c.get("name"): c.get("values", {})
+             for c in doc.get("cases", []) if isinstance(c, dict)}
+    rounds_cases = sorted(n for n in cases if n.startswith("rounds_"))
+    if len(rounds_cases) < 2:
+        ok = fail(path, "need at least 2 rounds_* cases for an "
+                        f"amplification curve, got {rounds_cases}")
+    for name in rounds_cases:
+        values = cases[name]
+        for key in IA_ROUNDS_INTS:
+            v = values.get(key)
+            if not isinstance(v, int) or isinstance(v, bool) or v <= 0:
+                ok = fail(path, f"{name}.{key} must be a positive integer, "
+                                f"got {v!r}")
+        for key in ("rate", "envelope"):
+            v = values.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) \
+                    or not 0.0 <= v <= 1.0:
+                ok = fail(path, f"{name}.{key} must be a number in [0, 1], "
+                                f"got {v!r}")
+        if values.get("within") is not True:
+            ok = fail(path, f"{name}.within must be true (the cheating "
+                            "acceptance rate escaped the (1 - 1/m)^R "
+                            "envelope)")
+    hiding_cases = [n for n in cases if n.startswith("hiding_coloring_")]
+    if len(hiding_cases) < 2:
+        ok = fail(path, "need at least 2 hiding_coloring_* cases, "
+                        f"got {sorted(hiding_cases)}")
+    for name in sorted(hiding_cases):
+        if cases[name].get("ok") is not True:
+            ok = fail(path, f"{name}.ok must be true (transcripts from this "
+                            "coloring are distinguishable)")
+    serving = cases.get("serving")
+    if serving is None:
+        ok = fail(path, "missing case 'serving' (the in-service accounting "
+                        "pass never ran)")
+    else:
+        attempts = serving.get("attempts")
+        if not isinstance(attempts, int) or isinstance(attempts, bool) \
+                or attempts <= 0:
+            ok = fail(path, f"serving.attempts must be a positive integer, "
+                            f"got {attempts!r}")
+        elif counters.get("opened") is not None \
+                and attempts != counters["opened"]:
+            ok = fail(path, f"serving.attempts ({attempts}) != meta.opened "
+                            f"({counters['opened']}): an open attempt was "
+                            "dropped from the accounting")
+    return PASS if ok else FAIL
 
 
 PARALLEL_CASE_INTS = ["canonical_computes", "fingerprint_hits",
@@ -427,21 +586,20 @@ PARALLEL_CASE_FLOATS = ["seconds", "instances_per_sec", "speedup"]
 
 def check_parallel(path):
     """check_report plus the BENCH_parallel_enum.json contract."""
-    ok = check_report(path)
-    try:
-        with open(path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError):
-        return False  # already reported by check_report
+    code, doc = load_json(path)
+    if code:
+        return code
     if not isinstance(doc, dict):
-        return False
+        return FAIL
+    ok = check_report_doc(path, doc)
 
     meta = doc.get("meta", {})
     registrations = meta.get("registrations")
     if not isinstance(registrations, int) or isinstance(registrations, bool) \
             or registrations <= 0:
-        return fail(path, f"meta.registrations must be a positive integer, "
-                          f"got {registrations!r}")
+        fail(path, f"meta.registrations must be a positive integer, "
+                   f"got {registrations!r}")
+        return FAIL
 
     cases = {c.get("name"): c.get("values", {})
              for c in doc.get("cases", []) if isinstance(c, dict)}
@@ -494,52 +652,57 @@ def check_parallel(path):
         elif speedup2 < 1.0:
             ok = fail(path, f"threads_2 speedup is {speedup2:.2f} < 1.0 on "
                             f"a {hw}-thread machine in a non-smoke run")
-    return ok
+    return PASS if ok else FAIL
 
 
 def check_trace(path):
-    ok = True
+    code = PASS
     try:
         with open(path, encoding="utf-8") as f:
             lines = f.readlines()
     except OSError as e:
-        return fail(path, f"unreadable: {e}")
+        fail(path, f"unreadable: {e}")
+        return MISSING
     if not lines:
-        return fail(path, "trace is empty")
+        fail(path, "trace is empty")
+        return FAIL
     for lineno, line in enumerate(lines, 1):
         try:
             record = json.loads(line)
         except json.JSONDecodeError as e:
-            ok = fail(path, f"line {lineno}: not JSON: {e}")
+            fail(path, f"line {lineno}: not JSON: {e}")
+            code = max(code, MALFORMED)
             continue
         kind = record.get("type")
         if kind not in TRACE_TYPES:
-            ok = fail(path, f"line {lineno}: type must be one of "
-                            f"{sorted(TRACE_TYPES)}")
+            fail(path, f"line {lineno}: type must be one of "
+                       f"{sorted(TRACE_TYPES)}")
+            code = max(code, FAIL)
             continue
         required = {"span": ["type", "name", "tid", "t0_ns", "dur_ns"],
                     "event": ["type", "name", "tid", "t_ns"]}[kind]
         missing = [k for k in required if k not in record]
         if missing:
-            ok = fail(path, f"line {lineno}: {kind} missing {missing}")
+            fail(path, f"line {lineno}: {kind} missing {missing}")
+            code = max(code, FAIL)
         if "attrs" in record and not isinstance(record["attrs"], dict):
-            ok = fail(path, f"line {lineno}: attrs must be an object")
-    return ok
+            fail(path, f"line {lineno}: attrs must be an object")
+            code = max(code, FAIL)
+    return code
 
 
 def check_ckpt(ckpt_dir):
     manifest_path = os.path.join(ckpt_dir, "manifest.json")
-    try:
-        with open(manifest_path, encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        return fail(manifest_path, f"unreadable or not JSON: {e}")
+    code, doc = load_json(manifest_path)
+    if code:
+        return code
 
     ok = True
     if not isinstance(doc, dict) or list(doc.keys()) != CKPT_KEYS:
-        return fail(manifest_path,
-                    f"manifest keys must be exactly {CKPT_KEYS}, got "
-                    f"{list(doc) if isinstance(doc, dict) else type(doc).__name__}")
+        fail(manifest_path,
+             f"manifest keys must be exactly {CKPT_KEYS}, got "
+             f"{list(doc) if isinstance(doc, dict) else type(doc).__name__}")
+        return FAIL
     for key in CKPT_STR_KEYS:
         if not isinstance(doc[key], str) or not doc[key]:
             ok = fail(manifest_path, f"{key} must be a non-empty string")
@@ -548,7 +711,7 @@ def check_ckpt(ckpt_dir):
                 or doc[key] < 0:
             ok = fail(manifest_path, f"{key} must be a non-negative integer")
     if not ok:
-        return ok
+        return FAIL
     if doc["schema"] != CKPT_SCHEMA:
         ok = fail(manifest_path,
                   f"schema is {doc['schema']!r}, expected {CKPT_SCHEMA!r}")
@@ -571,15 +734,16 @@ def check_ckpt(ckpt_dir):
             ok = fail(manifest_path,
                       f"{key} {doc[key]!r} must match fnv:<16 hex digits>")
     if os.path.basename(doc["state_file"]) != doc["state_file"]:
-        ok = fail(manifest_path, f"state_file {doc['state_file']!r} must be "
-                                 "a bare filename inside the directory")
-        return ok
+        fail(manifest_path, f"state_file {doc['state_file']!r} must be "
+                            "a bare filename inside the directory")
+        return FAIL
     state_path = os.path.join(ckpt_dir, doc["state_file"])
     try:
         with open(state_path, "rb") as f:
             state_bytes = f.read()
     except OSError as e:
-        return fail(state_path, f"unreadable: {e}")
+        fail(state_path, f"unreadable: {e}")
+        return MISSING
     digest = fnv1a_hex(state_bytes)
     if digest != doc["state_digest"]:
         ok = fail(state_path, f"hashes to {digest} but the manifest records "
@@ -588,39 +752,162 @@ def check_ckpt(ckpt_dir):
         json.loads(state_bytes)
     except json.JSONDecodeError as e:
         ok = fail(state_path, f"not JSON: {e}")
-    return ok
+    return PASS if ok else FAIL
+
+
+MODES = {
+    "--service": check_service,
+    "--parallel": check_parallel,
+    "--chaos": check_chaos,
+    "--fleet": check_fleet,
+    "--supervisor": check_supervisor,
+    "--interactive": check_interactive,
+    "--trace": check_trace,
+    "--ckpt": check_ckpt,
+}
+
+
+def _selftest_report():
+    """A minimal document that passes the plain schema check."""
+    return {
+        "schema": SCHEMA,
+        "bench": "selftest",
+        "run": {"git": "0000000", "unix_time": 0,
+                "hardware_concurrency": 1, "num_threads": 1, "smoke": True},
+        "meta": {},
+        "cases": [],
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    }
+
+
+def _selftest_interactive():
+    """A minimal document that passes the --interactive contract."""
+    doc = _selftest_report()
+    doc["bench"] = "interactive"
+    doc["meta"] = {
+        "schema_interactive": IA_SCHEMA,
+        "binding_violations": 0, "binding_sessions": 8,
+        "forgeries_tried": 64, "replays_tried": 2,
+        "corrupted_messages": 4, "binding_attacks": 8,
+        "hiding_ok": True, "hiding_colorings": 2,
+        "amplification_ok": True, "accounting_exact": True,
+        "opened": 4, "completed": 2, "expired": 1, "refused": 1,
+        "aborted": 0, "live": 0, "sessions": 3,
+    }
+    doc["cases"] = [
+        {"name": "hiding_coloring_0",
+         "values": {"chi2": 0.5, "samples": 64, "ok": True}},
+        {"name": "hiding_coloring_1",
+         "values": {"chi2": 0.4, "samples": 64, "ok": True}},
+        {"name": "rounds_1",
+         "values": {"rounds": 1, "sessions": 32, "accepted": 26,
+                    "rate": 0.8125, "envelope": 0.8, "sigma": 0.07,
+                    "within": True}},
+        {"name": "rounds_4",
+         "values": {"rounds": 4, "sessions": 32, "accepted": 13,
+                    "rate": 0.40625, "envelope": 0.4096, "sigma": 0.08,
+                    "within": True}},
+        {"name": "serving",
+         "values": {"attempts": 4, "sessions_per_s": 100.0, "steps": 8}},
+    ]
+    return doc
+
+
+def self_test():
+    """Asserts the documented exit-code contract by re-invoking this
+    script as a subprocess on generated fixtures. Returns 0 iff every
+    invocation produced exactly the expected code."""
+    script = os.path.abspath(__file__)
+
+    def run(args):
+        proc = subprocess.run([sys.executable, script] + args,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        return proc.returncode, proc.stdout
+
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="check_bench_selftest.") as tmp:
+        def write(name, content):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                if isinstance(content, str):
+                    f.write(content)
+                else:
+                    json.dump(content, f)
+            return path
+
+        good = write("good.json", _selftest_report())
+        bad_schema = _selftest_report()
+        bad_schema["schema"] = "shlcp.bench.v999"
+        bad = write("bad_schema.json", bad_schema)
+        malformed = write("malformed.json", '{"schema": "shlcp.bench.v1",')
+        ia_good = write("ia_good.json", _selftest_interactive())
+        ia_bad = _selftest_interactive()
+        ia_bad["meta"]["binding_violations"] = 1
+        ia_bad_path = write("ia_bad.json", ia_bad)
+        ia_leak = _selftest_interactive()
+        ia_leak["meta"]["live"] = 1
+        ia_leak["meta"]["completed"] = 1
+        ia_leak_path = write("ia_leak.json", ia_leak)
+        missing = os.path.join(tmp, "does_not_exist.json")
+
+        expectations = [
+            (PASS, [good]),
+            (PASS, ["--interactive", ia_good]),
+            (FAIL, [bad]),
+            (FAIL, ["--interactive", ia_bad_path]),
+            (FAIL, ["--interactive", ia_leak_path]),
+            (USAGE, []),
+            (USAGE, ["--service"]),
+            (USAGE, ["--no-such-mode", good]),
+            (MISSING, [missing]),
+            (MISSING, ["--interactive", missing]),
+            (MALFORMED, [malformed]),
+            (MALFORMED, ["--interactive", malformed]),
+            # The overall code is the max across files: a malformed file
+            # dominates a merely-failing one.
+            (MALFORMED, [bad, malformed]),
+            (MALFORMED, [malformed, good]),
+        ]
+        for expected, args in expectations:
+            code, output = run(args)
+            if code != expected:
+                failures += 1
+                print(f"self-test: {args!r} exited {code}, expected "
+                      f"{expected}; output:\n{output}")
+    if failures:
+        print(f"self-test: {failures} expectation(s) failed")
+        return 1
+    print(f"self-test: all {len(expectations)} exit-code "
+          "expectations hold")
+    return 0
 
 
 def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 2:
         print(__doc__.strip())
-        return 2
-    if argv[1] == "--service":
-        paths, checker = argv[2:], check_service
-    elif argv[1] == "--parallel":
-        paths, checker = argv[2:], check_parallel
-    elif argv[1] == "--chaos":
-        paths, checker = argv[2:], check_chaos
-    elif argv[1] == "--fleet":
-        paths, checker = argv[2:], check_fleet
-    elif argv[1] == "--supervisor":
-        paths, checker = argv[2:], check_supervisor
-    elif argv[1] == "--trace":
-        paths, checker = argv[2:], check_trace
-    elif argv[1] == "--ckpt":
-        paths, checker = argv[2:], check_ckpt
+        return USAGE
+    if argv[1].startswith("--"):
+        checker = MODES.get(argv[1])
+        if checker is None:
+            print(f"unknown mode {argv[1]!r}; known modes: "
+                  f"{' '.join(sorted(MODES))} --self-test")
+            return USAGE
+        paths = argv[2:]
     else:
         paths, checker = argv[1:], check_report
     if not paths:
         print("no files given")
-        return 2
-    ok = True
+        return USAGE
+    worst = PASS
     for path in paths:
-        if checker(path):
+        code = checker(path)
+        if code == PASS:
             print(f"{path}: OK")
-        else:
-            ok = False
-    return 0 if ok else 1
+        worst = max(worst, code)
+    return worst
 
 
 if __name__ == "__main__":
